@@ -1,0 +1,55 @@
+// Copyright (c) 2026 The ktg Authors.
+// Figure 3: average KTG/DKTG latency vs group size p, per dataset.
+//
+// Paper series: KTG-QKC-NLRNL, KTG-VKC-NL, KTG-VKC-NLRNL,
+// KTG-VKC-DEG-NLRNL, DKTG-Greedy; p ∈ {3..7}, other parameters at the
+// Table I defaults (k=2, |W_Q|=6, N=5). Expected shape: latency grows with
+// p; VKC-DEG < VKC < QKC; NLRNL < NL.
+
+#include <cstdio>
+
+#include "bench/common.h"
+
+namespace ktg::bench {
+namespace {
+
+void RunFigure() {
+  const std::vector<std::string> datasets = {"gowalla", "brightkite",
+                                             "flickr", "dblp"};
+  const std::vector<uint32_t> p_values = {3, 4, 5, 6, 7};
+  const auto configs = PaperAlgoConfigs(/*include_qkc=*/true);
+
+  for (const auto& name : datasets) {
+    BenchDataset& ds = BenchDataset::Get(name);
+    PrintHeader("Figure 3 (" + name + "): latency (ms) vs group size p",
+                ds.Summary() + "  [k=2, |W_Q|=6, N=5, " +
+                    std::to_string(BenchQueries()) + " queries/point]");
+
+    std::vector<int> widths = {20};
+    std::vector<std::string> head = {"algorithm"};
+    for (const auto p : p_values) {
+      head.push_back("p=" + std::to_string(p));
+      widths.push_back(12);
+    }
+    PrintRow(head, widths);
+
+    for (const auto& config : configs) {
+      std::vector<std::string> row = {config.label};
+      for (const auto p : p_values) {
+        const auto workload = MakeWorkload(ds, p, kDefaultK, kDefaultWq,
+                                           kDefaultN);
+        const auto m = RunBatch(ds, config, workload);
+        row.push_back(Fmt(m.avg_ms));
+      }
+      PrintRow(row, widths);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ktg::bench
+
+int main() {
+  ktg::bench::RunFigure();
+  return 0;
+}

@@ -1,0 +1,53 @@
+// Copyright (c) 2026 The ktg Authors.
+// Figure 4: average latency vs social (tenuity) constraint k, per dataset.
+//
+// Paper series: KTG-VKC-NL, KTG-VKC-NLRNL, KTG-VKC-DEG-NLRNL, DKTG-Greedy;
+// k ∈ {1..4}. Expected shape: latency grows with k (fewer valid pairs →
+// deeper backtracking); NL degrades fastest at large k (Algorithm-2
+// expansions); VKC-DEG stays lowest.
+
+#include "bench/common.h"
+
+namespace ktg::bench {
+namespace {
+
+void RunFigure() {
+  const std::vector<std::string> datasets = {"gowalla", "brightkite",
+                                             "flickr", "dblp"};
+  const std::vector<int> k_values = {1, 2, 3, 4};
+  const auto configs = PaperAlgoConfigs(/*include_qkc=*/false);
+
+  for (const auto& name : datasets) {
+    BenchDataset& ds = BenchDataset::Get(name);
+    PrintHeader("Figure 4 (" + name + "): latency (ms) vs social constraint k",
+                ds.Summary() + "  [p=4, |W_Q|=6, N=5]");
+
+    std::vector<int> widths = {20};
+    std::vector<std::string> head = {"algorithm"};
+    for (const int k : k_values) {
+      head.push_back("k=" + std::to_string(k));
+      widths.push_back(12);
+    }
+    PrintRow(head, widths);
+
+    for (const auto& config : configs) {
+      std::vector<std::string> row = {config.label};
+      for (const int k : k_values) {
+        const auto workload =
+            MakeWorkload(ds, kDefaultP, static_cast<HopDistance>(k),
+                         kDefaultWq, kDefaultN);
+        const auto m = RunBatch(ds, config, workload);
+        row.push_back(Fmt(m.avg_ms));
+      }
+      PrintRow(row, widths);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ktg::bench
+
+int main() {
+  ktg::bench::RunFigure();
+  return 0;
+}

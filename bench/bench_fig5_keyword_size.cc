@@ -1,0 +1,52 @@
+// Copyright (c) 2026 The ktg Authors.
+// Figure 5: average latency vs query keyword size |W_Q|, per dataset.
+//
+// Paper series: KTG-VKC-NL, KTG-VKC-NLRNL, KTG-VKC-DEG-NLRNL, DKTG-Greedy;
+// |W_Q| ∈ {4..8}. Expected shape: roughly flat — with enough qualified
+// users the top groups jointly cover all query keywords either way — with
+// VKC-DEG-NLRNL well below VKC-NL.
+
+#include "bench/common.h"
+
+namespace ktg::bench {
+namespace {
+
+void RunFigure() {
+  const std::vector<std::string> datasets = {"gowalla", "brightkite",
+                                             "flickr", "dblp"};
+  const std::vector<uint32_t> wq_values = {4, 5, 6, 7, 8};
+  const auto configs = PaperAlgoConfigs(/*include_qkc=*/false);
+
+  for (const auto& name : datasets) {
+    BenchDataset& ds = BenchDataset::Get(name);
+    PrintHeader("Figure 5 (" + name + "): latency (ms) vs |W_Q|",
+                ds.Summary() + "  [p=4, k=2, N=5]");
+
+    std::vector<int> widths = {20};
+    std::vector<std::string> head = {"algorithm"};
+    for (const auto wq : wq_values) {
+      head.push_back("|WQ|=" + std::to_string(wq));
+      widths.push_back(12);
+    }
+    PrintRow(head, widths);
+
+    for (const auto& config : configs) {
+      std::vector<std::string> row = {config.label};
+      for (const auto wq : wq_values) {
+        const auto workload =
+            MakeWorkload(ds, kDefaultP, kDefaultK, wq, kDefaultN);
+        const auto m = RunBatch(ds, config, workload);
+        row.push_back(Fmt(m.avg_ms));
+      }
+      PrintRow(row, widths);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ktg::bench
+
+int main() {
+  ktg::bench::RunFigure();
+  return 0;
+}

@@ -1,0 +1,51 @@
+// Copyright (c) 2026 The ktg Authors.
+// Figure 6: average latency vs N (number of result groups), per dataset.
+//
+// Paper series: KTG-VKC-NL, KTG-VKC-NLRNL, KTG-VKC-DEG-NLRNL, DKTG-Greedy;
+// N ∈ {3, 5, 7, 9, 11}. Expected shape: mild growth in N (a weaker
+// pruning threshold and, for DKTG, more greedy rounds).
+
+#include "bench/common.h"
+
+namespace ktg::bench {
+namespace {
+
+void RunFigure() {
+  const std::vector<std::string> datasets = {"gowalla", "brightkite",
+                                             "flickr", "dblp"};
+  const std::vector<uint32_t> n_values = {3, 5, 7, 9, 11};
+  const auto configs = PaperAlgoConfigs(/*include_qkc=*/false);
+
+  for (const auto& name : datasets) {
+    BenchDataset& ds = BenchDataset::Get(name);
+    PrintHeader("Figure 6 (" + name + "): latency (ms) vs N",
+                ds.Summary() + "  [p=4, k=2, |W_Q|=6]");
+
+    std::vector<int> widths = {20};
+    std::vector<std::string> head = {"algorithm"};
+    for (const auto n : n_values) {
+      head.push_back("N=" + std::to_string(n));
+      widths.push_back(12);
+    }
+    PrintRow(head, widths);
+
+    for (const auto& config : configs) {
+      std::vector<std::string> row = {config.label};
+      for (const auto n : n_values) {
+        const auto workload =
+            MakeWorkload(ds, kDefaultP, kDefaultK, kDefaultWq, n);
+        const auto m = RunBatch(ds, config, workload);
+        row.push_back(Fmt(m.avg_ms));
+      }
+      PrintRow(row, widths);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ktg::bench
+
+int main() {
+  ktg::bench::RunFigure();
+  return 0;
+}

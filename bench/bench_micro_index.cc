@@ -1,0 +1,93 @@
+// Copyright (c) 2026 The ktg Authors.
+// google-benchmark microbenchmarks for the distance-check substrate: the
+// per-call cost of IsFartherThan under each checker and k, plus index
+// construction. These are the per-operation numbers behind the Figure 3-7
+// latency gaps.
+
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "bench/common.h"
+#include "graph/graph.h"
+#include "index/khop_bitmap.h"
+#include "index/nl_index.h"
+#include "index/nlrnl_index.h"
+#include "util/rng.h"
+
+namespace ktg::bench {
+namespace {
+
+// Pre-drawn random vertex pairs shared by every checker benchmark so all
+// measurements answer the identical query stream.
+const std::vector<std::pair<VertexId, VertexId>>& QueryPairs(
+    const Graph& graph) {
+  static std::vector<std::pair<VertexId, VertexId>> pairs = [&] {
+    Rng rng(0xF00D);
+    std::vector<std::pair<VertexId, VertexId>> out;
+    out.reserve(4096);
+    for (int i = 0; i < 4096; ++i) {
+      out.emplace_back(static_cast<VertexId>(rng.Below(graph.num_vertices())),
+                       static_cast<VertexId>(rng.Below(graph.num_vertices())));
+    }
+    return out;
+  }();
+  return pairs;
+}
+
+void BM_DistanceCheck(benchmark::State& state) {
+  const auto kind = static_cast<CheckerKind>(state.range(0));
+  const auto k = static_cast<HopDistance>(state.range(1));
+  BenchDataset& ds = BenchDataset::Get("gowalla");
+  DistanceChecker& checker = ds.Checker(kind, k);
+  const auto& pairs = QueryPairs(ds.graph().graph());
+
+  size_t i = 0;
+  uint64_t farther = 0;
+  for (auto _ : state) {
+    const auto& [u, v] = pairs[i++ & 4095];
+    farther += checker.IsFartherThan(u, v, k);
+  }
+  benchmark::DoNotOptimize(farther);
+  state.SetLabel(std::string(CheckerKindName(kind)) + "/k=" +
+                 std::to_string(k));
+}
+
+void BM_NlIndexBuild(benchmark::State& state) {
+  BenchDataset& ds = BenchDataset::GetScaled("brightkite", 0.5);
+  for (auto _ : state) {
+    NlIndex index(ds.graph().graph());
+    benchmark::DoNotOptimize(index.MemoryBytes());
+  }
+}
+
+void BM_NlrnlIndexBuild(benchmark::State& state) {
+  BenchDataset& ds = BenchDataset::GetScaled("brightkite", 0.5);
+  for (auto _ : state) {
+    NlrnlIndex index(ds.graph().graph());
+    benchmark::DoNotOptimize(index.MemoryBytes());
+  }
+}
+
+void BM_BitmapBuild(benchmark::State& state) {
+  BenchDataset& ds = BenchDataset::GetScaled("brightkite", 0.5);
+  for (auto _ : state) {
+    KHopBitmapChecker index(ds.graph().graph(), kDefaultK);
+    benchmark::DoNotOptimize(index.MemoryBytes());
+  }
+}
+
+}  // namespace
+}  // namespace ktg::bench
+
+BENCHMARK(ktg::bench::BM_DistanceCheck)
+    ->ArgsProduct({{static_cast<int>(ktg::CheckerKind::kBfs),
+                    static_cast<int>(ktg::CheckerKind::kNl),
+                    static_cast<int>(ktg::CheckerKind::kNlrnl),
+                    static_cast<int>(ktg::CheckerKind::kKHopBitmap)},
+                   {1, 2, 4}});
+BENCHMARK(ktg::bench::BM_NlIndexBuild)->Unit(benchmark::kMillisecond);
+BENCHMARK(ktg::bench::BM_NlrnlIndexBuild)->Unit(benchmark::kMillisecond);
+BENCHMARK(ktg::bench::BM_BitmapBuild)->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,127 @@
+// Copyright (c) 2026 The ktg Authors.
+// Effectiveness study (companion to Section II.A and the Figure 8
+// discussion): evaluate the SAME result groups under every tenuity metric
+// in the literature. Demonstrates the paper's positioning claims:
+//
+//  * zero internal edges / density does NOT imply social distance;
+//  * a group with zero k-triangles can still contain k-lines;
+//  * a positive k-tenuity ratio ([18]/TAGQ's model) admits close pairs —
+//    up to direct neighbors;
+//  * KTG's k-distance groups are the only ones with GroupTenuity > k by
+//    construction.
+//
+// Rows: group sources (KTG-VKC-DEG, DKTG-Greedy, TAGQ, random feasible-size
+// groups). Columns: the metrics, averaged over groups.
+
+#include <cstdio>
+
+#include "bench/common.h"
+#include "core/tagq.h"
+#include "core/tenuity_metrics.h"
+#include "util/rng.h"
+#include "util/sorted_vector.h"
+#include "util/summary_stats.h"
+
+namespace ktg::bench {
+namespace {
+
+struct MetricRow {
+  SummaryStats edges, density, klines, ktriangles, ktenuity, tenuity;
+  uint32_t groups = 0;
+
+  void Add(const Graph& g, const std::vector<VertexId>& members,
+           HopDistance k) {
+    ++groups;
+    edges.Add(static_cast<double>(GroupEdgeCount(g, members)));
+    density.Add(GroupDensity(g, members));
+    klines.Add(static_cast<double>(KLineCount(g, members, k)));
+    ktriangles.Add(static_cast<double>(KTriangleCount(g, members, k)));
+    ktenuity.Add(KTenuityRatio(g, members, k));
+    const HopDistance t = GroupTenuity(g, members);
+    tenuity.Add(t == kUnreachable ? 99.0 : static_cast<double>(t));
+  }
+};
+
+void PrintMetricRow(const std::string& label, const MetricRow& row,
+                    const std::vector<int>& widths) {
+  if (row.groups == 0) {
+    PrintRow({label, "-", "-", "-", "-", "-", "-"}, widths);
+    return;
+  }
+  PrintRow({label, Fmt(row.edges.mean()), Fmt(row.density.mean(), 3),
+            Fmt(row.klines.mean()), Fmt(row.ktriangles.mean()),
+            Fmt(row.ktenuity.mean(), 3), Fmt(row.tenuity.mean(), 1)},
+           widths);
+}
+
+void RunStudy() {
+  BenchDataset& ds = BenchDataset::Get("gowalla");
+  const Graph& g = ds.graph().graph();
+  constexpr HopDistance kTenuity = 2;
+  DistanceChecker& checker = ds.Checker(CheckerKind::kNlrnl, kTenuity);
+
+  PrintHeader(
+      "Tenuity metrics of returned groups (k = 2)",
+      ds.Summary() +
+          "  [avg over groups; 99 = some member pair disconnected]");
+  const std::vector<int> widths = {22, 10, 10, 10, 12, 12, 12};
+  PrintRow({"group source", "edges", "density", "2-lines", "2-triangles",
+            "2-tenuity", "min dist"},
+           widths);
+
+  const auto workload =
+      MakeWorkload(ds, kDefaultP, kTenuity, kDefaultWq, kDefaultN);
+
+  MetricRow ktg_row, dktg_row, tagq_row, random_row;
+  Rng rng(0x3E7);
+  for (const auto& query : workload) {
+    const auto ktg = RunKtg(ds.graph(), ds.index(), checker, query);
+    if (ktg.ok()) {
+      for (const auto& grp : ktg->groups) ktg_row.Add(g, grp.members, kTenuity);
+    }
+    const auto dktg = RunDktgGreedy(ds.graph(), ds.index(), checker, query);
+    if (dktg.ok()) {
+      for (const auto& grp : dktg->groups) {
+        dktg_row.Add(g, grp.members, kTenuity);
+      }
+    }
+    TagqOptions topts;
+    topts.max_nodes = 500'000;
+    const auto tagq = RunTagq(ds.graph(), checker, query, topts);
+    if (tagq.ok()) {
+      for (const auto& grp : tagq->groups) {
+        tagq_row.Add(g, grp.members, kTenuity);
+      }
+    }
+    // Random baseline: uniformly drawn member sets of the same size (no
+    // social constraint at all).
+    for (uint32_t r = 0; r < query.top_n; ++r) {
+      std::vector<VertexId> members;
+      while (members.size() < query.group_size) {
+        members.push_back(static_cast<VertexId>(rng.Below(g.num_vertices())));
+        SortUnique(members);
+      }
+      random_row.Add(g, members, kTenuity);
+    }
+  }
+
+  PrintMetricRow("KTG-VKC-DEG", ktg_row, widths);
+  PrintMetricRow("DKTG-Greedy", dktg_row, widths);
+  PrintMetricRow("TAGQ (hard-k variant)", tagq_row, widths);
+  PrintMetricRow("random groups", random_row, widths);
+
+  std::printf(
+      "\nreading: KTG/DKTG rows must show 0 edges, 0 2-lines, 0 2-triangles,"
+      "\n0.000 2-tenuity and min dist > 2 — the k-distance guarantee. The\n"
+      "random row shows what unconstrained selection looks like on the same\n"
+      "graph (our TAGQ variant enforces the same hard k, so it matches\n"
+      "KTG's tenuity while failing the coverage side — see Figure 8).\n");
+}
+
+}  // namespace
+}  // namespace ktg::bench
+
+int main() {
+  ktg::bench::RunStudy();
+  return 0;
+}

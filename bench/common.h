@@ -1,0 +1,117 @@
+// Copyright (c) 2026 The ktg Authors.
+// Shared infrastructure for the figure benches.
+//
+// Every bench binary regenerates one table/figure of the paper's Section
+// VII as a console table: same series (algorithm configurations), same
+// x-axis (the Table I parameter sweeps), with latency in ms averaged over a
+// query batch. Datasets come from datagen presets; the scale is adjustable
+// via the KTG_BENCH_SCALE environment variable (default 0.25 of the
+// already-1/10-scaled presets — the NL/NLRNL indexes are near-all-pairs
+// structures and the paper used a 120 GB machine; see EXPERIMENTS.md).
+
+#ifndef KTG_BENCH_COMMON_H_
+#define KTG_BENCH_COMMON_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/dktg_greedy.h"
+#include "core/ktg_engine.h"
+#include "datagen/presets.h"
+#include "datagen/query_gen.h"
+#include "index/checker_factory.h"
+#include "keywords/inverted_index.h"
+
+namespace ktg::bench {
+
+/// Table I defaults (bold values): p=4, k=2, |W_Q|=6, N=5.
+inline constexpr uint32_t kDefaultP = 4;
+inline constexpr HopDistance kDefaultK = 2;
+inline constexpr uint32_t kDefaultWq = 6;
+inline constexpr uint32_t kDefaultN = 5;
+/// Queries per measurement (the paper averages 100; scaled down with the
+/// datasets — override with KTG_BENCH_QUERIES).
+inline constexpr uint32_t kDefaultQueries = 8;
+
+/// Scale factor applied on top of the presets (env KTG_BENCH_SCALE).
+double BenchScale();
+
+/// Number of queries per measurement (env KTG_BENCH_QUERIES).
+uint32_t BenchQueries();
+
+/// A cached dataset: attributed graph + inverted index + lazily built
+/// distance checkers shared by every configuration in the binary.
+class BenchDataset {
+ public:
+  /// Loads (and caches process-wide) the preset at BenchScale().
+  static BenchDataset& Get(const std::string& preset_name);
+  /// As Get, but with an explicit scale multiplier on top of BenchScale().
+  static BenchDataset& GetScaled(const std::string& preset_name,
+                                 double extra_scale);
+
+  const std::string& name() const { return name_; }
+  const AttributedGraph& graph() const { return graph_; }
+  const InvertedIndex& index() const { return index_; }
+
+  /// Lazily builds/caches a checker. Bitmap checkers are additionally keyed
+  /// by k. Build time (seconds) is recorded for index-cost reporting.
+  DistanceChecker& Checker(CheckerKind kind, HopDistance k);
+  double checker_build_seconds(CheckerKind kind, HopDistance k) const;
+
+  /// One-line dataset summary for table headers.
+  std::string Summary() const;
+
+ private:
+  BenchDataset(std::string name, AttributedGraph graph);
+
+  std::string name_;
+  AttributedGraph graph_;
+  InvertedIndex index_;
+  std::map<std::pair<int, int>, std::unique_ptr<DistanceChecker>> checkers_;
+  std::map<std::pair<int, int>, double> build_seconds_;
+};
+
+/// One named algorithm configuration as the paper labels them
+/// ("KTG-VKC-DEG-NLRNL", "DKTG-Greedy", ...).
+struct AlgoConfig {
+  std::string label;
+  bool is_dktg = false;
+  SortStrategy sort = SortStrategy::kVkcDeg;
+  CheckerKind checker = CheckerKind::kNlrnl;
+  EngineOptions engine;  // sort is overwritten by `sort`
+};
+
+/// The configurations of Figures 3-6.
+std::vector<AlgoConfig> PaperAlgoConfigs(bool include_qkc);
+
+/// Measurement of one (algorithm, parameter point): average per-query
+/// latency plus aggregate search counters.
+struct Measurement {
+  double avg_ms = 0.0;
+  double avg_nodes = 0.0;
+  double avg_checks = 0.0;
+  double avg_best_coverage = 0.0;
+  uint32_t queries = 0;
+  uint32_t empty_results = 0;
+};
+
+/// Runs `queries` under `config` against `dataset` and aggregates.
+Measurement RunBatch(BenchDataset& dataset, const AlgoConfig& config,
+                     const std::vector<KtgQuery>& queries);
+
+/// Builds the standard workload for a dataset with one parameter overridden
+/// from the Table I defaults. Seeded deterministically per dataset.
+std::vector<KtgQuery> MakeWorkload(const BenchDataset& dataset, uint32_t p,
+                                   HopDistance k, uint32_t wq, uint32_t n);
+
+/// Console table helpers: fixed-width columns, markdown-ish separators.
+void PrintHeader(const std::string& title, const std::string& note);
+void PrintRow(const std::vector<std::string>& cells,
+              const std::vector<int>& widths);
+std::string Fmt(double value, int precision = 2);
+
+}  // namespace ktg::bench
+
+#endif  // KTG_BENCH_COMMON_H_

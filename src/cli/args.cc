@@ -1,0 +1,95 @@
+// Copyright (c) 2026 The ktg Authors.
+
+#include "cli/args.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+namespace ktg::cli {
+
+Result<Args> Args::Parse(const std::vector<std::string>& argv,
+                         const std::vector<std::string>& allowed) {
+  Args args;
+  size_t i = 0;
+  if (i < argv.size() && !argv[i].starts_with("--")) {
+    args.command_ = argv[i++];
+  }
+  for (; i < argv.size(); ++i) {
+    const std::string& token = argv[i];
+    if (!token.starts_with("--")) {
+      return Status::InvalidArgument("unexpected positional argument: " +
+                                     token);
+    }
+    std::string name = token.substr(2);
+    std::string value;
+    bool has_value = false;
+    const size_t eq = name.find('=');
+    if (eq != std::string::npos) {
+      value = name.substr(eq + 1);
+      name = name.substr(0, eq);
+      has_value = true;
+    } else if (i + 1 < argv.size() && !argv[i + 1].starts_with("--")) {
+      value = argv[++i];
+      has_value = true;
+    }
+    if (std::find(allowed.begin(), allowed.end(), name) == allowed.end()) {
+      return Status::InvalidArgument("unknown flag: --" + name);
+    }
+    args.flags_[name] = has_value ? value : "true";
+  }
+  return args;
+}
+
+std::string Args::GetString(const std::string& flag,
+                            const std::string& def) const {
+  const auto it = flags_.find(flag);
+  return it == flags_.end() ? def : it->second;
+}
+
+Result<int64_t> Args::GetInt(const std::string& flag, int64_t def) const {
+  const auto it = flags_.find(flag);
+  if (it == flags_.end()) return def;
+  char* end = nullptr;
+  const int64_t v = std::strtoll(it->second.c_str(), &end, 10);
+  if (end == it->second.c_str() || *end != '\0') {
+    return Status::InvalidArgument("--" + flag + " expects an integer, got '" +
+                                   it->second + "'");
+  }
+  return v;
+}
+
+Result<double> Args::GetDouble(const std::string& flag, double def) const {
+  const auto it = flags_.find(flag);
+  if (it == flags_.end()) return def;
+  char* end = nullptr;
+  const double v = std::strtod(it->second.c_str(), &end);
+  if (end == it->second.c_str() || *end != '\0') {
+    return Status::InvalidArgument("--" + flag + " expects a number, got '" +
+                                   it->second + "'");
+  }
+  return v;
+}
+
+bool Args::GetBool(const std::string& flag, bool def) const {
+  const auto it = flags_.find(flag);
+  if (it == flags_.end()) return def;
+  return it->second != "false" && it->second != "0" && it->second != "no";
+}
+
+std::vector<std::string> Args::GetList(const std::string& flag) const {
+  std::vector<std::string> out;
+  const std::string raw = GetString(flag);
+  size_t start = 0;
+  while (start <= raw.size()) {
+    const size_t comma = raw.find(',', start);
+    const std::string piece =
+        raw.substr(start, comma == std::string::npos ? std::string::npos
+                                                     : comma - start);
+    if (!piece.empty()) out.push_back(piece);
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  return out;
+}
+
+}  // namespace ktg::cli

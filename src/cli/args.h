@@ -1,0 +1,49 @@
+// Copyright (c) 2026 The ktg Authors.
+// A minimal, dependency-free command-line flag parser for the ktg tool.
+//
+// Grammar: `ktg <command> [--flag value | --flag=value | --bool-flag] ...`.
+// The parser is deliberately small: flags are strings until a typed getter
+// converts them; unknown flags are an error so typos fail loudly.
+
+#ifndef KTG_CLI_ARGS_H_
+#define KTG_CLI_ARGS_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace ktg::cli {
+
+/// Parsed command line: one positional command plus --flag values.
+class Args {
+ public:
+  /// Parses argv (excluding argv[0]). `allowed` lists every legal flag
+  /// name (without the leading dashes); anything else is InvalidArgument.
+  static Result<Args> Parse(const std::vector<std::string>& argv,
+                            const std::vector<std::string>& allowed);
+
+  const std::string& command() const { return command_; }
+  bool Has(const std::string& flag) const { return flags_.count(flag) > 0; }
+
+  /// Typed getters with defaults. Conversion failures return an error.
+  std::string GetString(const std::string& flag,
+                        const std::string& def = "") const;
+  Result<int64_t> GetInt(const std::string& flag, int64_t def) const;
+  Result<double> GetDouble(const std::string& flag, double def) const;
+  bool GetBool(const std::string& flag, bool def = false) const;
+
+  /// Comma-separated list value ("a,b,c" -> {"a","b","c"}); empty entries
+  /// are dropped.
+  std::vector<std::string> GetList(const std::string& flag) const;
+
+ private:
+  std::string command_;
+  std::map<std::string, std::string> flags_;
+};
+
+}  // namespace ktg::cli
+
+#endif  // KTG_CLI_ARGS_H_

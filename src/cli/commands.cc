@@ -1,0 +1,479 @@
+// Copyright (c) 2026 The ktg Authors.
+
+#include "cli/commands.h"
+
+#include <cstdio>
+#include <memory>
+
+#include "core/batch.h"
+#include "core/dktg_greedy.h"
+#include "core/explain.h"
+#include "core/greedy_heuristic.h"
+#include "core/ktg_engine.h"
+#include "core/tagq.h"
+#include "datagen/presets.h"
+#include "datagen/query_gen.h"
+#include "graph/graph_io.h"
+#include "graph/stats.h"
+#include "index/bfs_checker.h"
+#include "index/checker_factory.h"
+#include "index/serialization.h"
+#include "keywords/inverted_index.h"
+#include "util/json_writer.h"
+#include "util/percentiles.h"
+#include "util/summary_stats.h"
+#include "util/timer.h"
+
+namespace ktg::cli {
+namespace {
+
+const std::vector<std::string> kAllFlags = {
+    "preset", "scale",   "edges", "attrs",   "out",   "kind",  "keywords",
+    "p",      "k",       "n",     "algo",    "index", "checker", "queries",
+    "wq",     "seed",    "gamma", "authors", "max-nodes", "banded",
+    "json",   "threads", "explain",
+};
+
+Result<AttributedGraph> LoadInput(const Args& args, bool attrs_required) {
+  const std::string edges = args.GetString("edges");
+  if (edges.empty()) {
+    return Status::InvalidArgument("--edges <file> is required");
+  }
+  auto graph = LoadEdgeList(edges);
+  if (!graph.ok()) return graph.status();
+
+  const std::string attrs = args.GetString("attrs");
+  if (attrs.empty()) {
+    if (attrs_required) {
+      return Status::InvalidArgument("--attrs <file> is required");
+    }
+    AttributedGraphBuilder builder;
+    builder.SetGraph(std::move(graph).value());
+    return builder.Build();
+  }
+  return LoadAttributedGraph(std::move(graph).value(), attrs);
+}
+
+// Builds or loads the distance checker requested by --index / --checker.
+Result<std::unique_ptr<DistanceChecker>> MakeQueryChecker(
+    const Args& args, const Graph& graph, HopDistance k) {
+  const std::string index_path = args.GetString("index");
+  if (!index_path.empty()) {
+    // Try both kinds; the file header knows which one it is.
+    auto nlrnl = LoadNlrnlIndex(index_path);
+    if (nlrnl.ok()) {
+      return std::unique_ptr<DistanceChecker>(
+          new NlrnlIndex(std::move(nlrnl).value()));
+    }
+    auto nl = LoadNlIndex(index_path);
+    if (nl.ok()) {
+      return std::unique_ptr<DistanceChecker>(
+          new NlIndex(std::move(nl).value()));
+    }
+    return nlrnl.status();
+  }
+  const auto kind = ParseCheckerKind(args.GetString("checker", "nlrnl"));
+  if (!kind.ok()) return kind.status();
+  return MakeChecker(kind.value(), graph, k);
+}
+
+Result<KtgQuery> BuildQuery(const Args& args, const AttributedGraph& graph) {
+  const auto terms = args.GetList("keywords");
+  if (terms.empty()) {
+    return Status::InvalidArgument("--keywords a,b,c is required");
+  }
+  const auto p = args.GetInt("p", 3);
+  const auto k = args.GetInt("k", 1);
+  const auto n = args.GetInt("n", 1);
+  if (!p.ok()) return p.status();
+  if (!k.ok()) return k.status();
+  if (!n.ok()) return n.status();
+
+  KtgQuery query = MakeQuery(graph, terms, static_cast<uint32_t>(p.value()),
+                             static_cast<HopDistance>(k.value()),
+                             static_cast<uint32_t>(n.value()));
+  for (const auto& a : args.GetList("authors")) {
+    char* end = nullptr;
+    const uint64_t v = std::strtoull(a.c_str(), &end, 10);
+    if (end == a.c_str() || *end != '\0') {
+      return Status::InvalidArgument("--authors expects vertex ids");
+    }
+    query.query_vertices.push_back(static_cast<VertexId>(v));
+  }
+  int unknown = 0;
+  for (const KeywordId kw : query.keywords) {
+    if (kw == kInvalidKeyword) ++unknown;
+  }
+  if (unknown > 0) {
+    std::fprintf(stderr,
+                 "warning: %d query keyword(s) not in the vocabulary (they "
+                 "count toward |W_Q| but cannot be covered)\n",
+                 unknown);
+  }
+  return query;
+}
+
+// Emits a KTG result as a JSON document on stdout (--json).
+void PrintGroupsJson(const AttributedGraph& graph, const KtgQuery& query,
+                     const KtgResult& result) {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("query").BeginObject();
+  w.KV("p", query.group_size)
+      .KV("k", static_cast<uint64_t>(query.tenuity))
+      .KV("n", query.top_n);
+  w.Key("keywords").BeginArray();
+  for (const KeywordId kw : query.keywords) {
+    if (kw == kInvalidKeyword) {
+      w.Null();
+    } else {
+      w.Value(graph.vocabulary().Term(kw));
+    }
+  }
+  w.EndArray().EndObject();
+
+  w.Key("groups").BeginArray();
+  for (const Group& g : result.groups) {
+    w.BeginObject();
+    w.KV("covered", g.covered());
+    w.KV("coverage", QkcRatio(g, result.query_keyword_count));
+    w.Key("members").BeginArray();
+    for (const VertexId v : g.members) w.Value(static_cast<uint64_t>(v));
+    w.EndArray().EndObject();
+  }
+  w.EndArray();
+
+  w.Key("stats").BeginObject();
+  w.KV("elapsed_ms", result.stats.elapsed_ms)
+      .KV("candidates", result.stats.candidates)
+      .KV("nodes_expanded", result.stats.nodes_expanded)
+      .KV("groups_completed", result.stats.groups_completed)
+      .KV("keyword_prunes", result.stats.keyword_prunes)
+      .KV("kline_filtered", result.stats.kline_filtered)
+      .KV("distance_checks", result.stats.distance_checks);
+  w.EndObject().EndObject();
+  std::printf("%s\n", w.str().c_str());
+}
+
+void PrintGroups(const AttributedGraph& graph, const KtgQuery& query,
+                 const std::vector<Group>& groups) {
+  if (groups.empty()) {
+    std::printf("no feasible group\n");
+    return;
+  }
+  int rank = 1;
+  for (const auto& g : groups) {
+    std::printf("#%d coverage %d/%zu members:", rank++, g.covered(),
+                query.keywords.size());
+    for (const VertexId v : g.members) std::printf(" %u", v);
+    std::printf("\n");
+    for (const VertexId v : g.members) {
+      std::printf("   u%-8u:", v);
+      for (const KeywordId kw : graph.Keywords(v)) {
+        std::printf(" %s", graph.vocabulary().Term(kw).c_str());
+      }
+      std::printf("\n");
+    }
+  }
+}
+
+void PrintStats(const SearchStats& stats) {
+  std::printf(
+      "stats: %.3f ms, %llu candidates, %llu BB nodes, %llu groups "
+      "completed, %llu keyword prunes, %llu k-line removals, %llu distance "
+      "checks\n",
+      stats.elapsed_ms, static_cast<unsigned long long>(stats.candidates),
+      static_cast<unsigned long long>(stats.nodes_expanded),
+      static_cast<unsigned long long>(stats.groups_completed),
+      static_cast<unsigned long long>(stats.keyword_prunes),
+      static_cast<unsigned long long>(stats.kline_filtered),
+      static_cast<unsigned long long>(stats.distance_checks));
+}
+
+}  // namespace
+
+Status CmdGenerate(const Args& args) {
+  const std::string preset = args.GetString("preset", "gowalla");
+  const auto scale = args.GetDouble("scale", 0.1);
+  if (!scale.ok()) return scale.status();
+  auto spec = GetPreset(preset, scale.value());
+  if (!spec.ok()) return spec.status();
+  const auto seed = args.GetInt("seed", static_cast<int64_t>(spec->seed));
+  if (!seed.ok()) return seed.status();
+  spec->seed = static_cast<uint64_t>(seed.value());
+
+  const AttributedGraph graph = BuildDataset(*spec);
+  std::printf("generated %s: n=%u m=%llu keywords=%u assignments=%llu\n",
+              preset.c_str(), graph.num_vertices(),
+              static_cast<unsigned long long>(graph.num_edges()),
+              graph.num_keywords(),
+              static_cast<unsigned long long>(
+                  graph.total_keyword_assignments()));
+
+  const std::string edges = args.GetString("edges");
+  if (!edges.empty()) {
+    KTG_RETURN_IF_ERROR(SaveEdgeList(graph.graph(), edges));
+    std::printf("wrote edges to %s\n", edges.c_str());
+  }
+  const std::string attrs = args.GetString("attrs");
+  if (!attrs.empty()) {
+    KTG_RETURN_IF_ERROR(SaveAttributes(graph, attrs));
+    std::printf("wrote attributes to %s\n", attrs.c_str());
+  }
+  return Status::OK();
+}
+
+Status CmdStats(const Args& args) {
+  auto graph = LoadInput(args, /*attrs_required=*/false);
+  if (!graph.ok()) return graph.status();
+  Rng rng(42);
+  const GraphStats stats = ComputeGraphStats(graph->graph(), rng, 32);
+  std::printf("%s\n", stats.ToString().c_str());
+  if (graph->num_keywords() > 0) {
+    std::printf("keywords=%u assignments=%llu avg_per_vertex=%.2f\n",
+                graph->num_keywords(),
+                static_cast<unsigned long long>(
+                    graph->total_keyword_assignments()),
+                graph->num_vertices() == 0
+                    ? 0.0
+                    : static_cast<double>(graph->total_keyword_assignments()) /
+                          graph->num_vertices());
+  }
+  if (!stats.distance_histogram.empty()) {
+    std::printf("sampled hop-distance histogram:");
+    for (size_t d = 1; d < stats.distance_histogram.size(); ++d) {
+      std::printf(" %zu:%llu", d,
+                  static_cast<unsigned long long>(stats.distance_histogram[d]));
+    }
+    std::printf("\n");
+  }
+  return Status::OK();
+}
+
+Status CmdBuildIndex(const Args& args) {
+  auto graph = LoadInput(args, /*attrs_required=*/false);
+  if (!graph.ok()) return graph.status();
+  const std::string out = args.GetString("out");
+  if (out.empty()) return Status::InvalidArgument("--out <file> is required");
+  const std::string kind = args.GetString("kind", "nlrnl");
+
+  Stopwatch watch;
+  if (kind == "nl") {
+    NlIndex index(graph->graph());
+    KTG_RETURN_IF_ERROR(SaveNlIndex(index, out));
+    std::printf("built NL index in %.2fs (%.2f MB) -> %s\n",
+                watch.ElapsedSeconds(),
+                index.MemoryBytes() / (1024.0 * 1024.0), out.c_str());
+  } else if (kind == "nlrnl") {
+    NlrnlIndex index(graph->graph());
+    KTG_RETURN_IF_ERROR(SaveNlrnlIndex(index, out));
+    std::printf("built NLRNL index in %.2fs (%.2f MB) -> %s\n",
+                watch.ElapsedSeconds(),
+                index.MemoryBytes() / (1024.0 * 1024.0), out.c_str());
+  } else {
+    return Status::InvalidArgument("--kind must be nl or nlrnl");
+  }
+  return Status::OK();
+}
+
+Status CmdQuery(const Args& args) {
+  auto graph = LoadInput(args, /*attrs_required=*/true);
+  if (!graph.ok()) return graph.status();
+  auto query = BuildQuery(args, *graph);
+  if (!query.ok()) return query.status();
+  auto checker = MakeQueryChecker(args, graph->graph(), query->tenuity);
+  if (!checker.ok()) return checker.status();
+  const InvertedIndex index(*graph);
+
+  const auto max_nodes = args.GetInt("max-nodes", 0);
+  if (!max_nodes.ok()) return max_nodes.status();
+  const std::string algo = args.GetString("algo", "vkc-deg");
+
+  if (algo == "dktg") {
+    DktgOptions options;
+    const auto gamma = args.GetDouble("gamma", 0.5);
+    if (!gamma.ok()) return gamma.status();
+    options.gamma = gamma.value();
+    auto result = RunDktgGreedy(*graph, index, **checker, *query, options);
+    if (!result.ok()) return result.status();
+    PrintGroups(*graph, *query, result->groups);
+    std::printf("diversity=%.3f min_coverage=%.3f score=%.3f\n",
+                result->diversity, result->min_coverage, result->score);
+    PrintStats(result->stats);
+    return Status::OK();
+  }
+  if (algo == "tagq") {
+    TagqOptions options;
+    options.max_nodes = static_cast<uint64_t>(max_nodes.value());
+    auto result = RunTagq(*graph, **checker, *query, options);
+    if (!result.ok()) return result.status();
+    int rank = 1;
+    for (const auto& g : result->groups) {
+      std::printf("#%d total %d (zero-coverage members: %u):", rank++,
+                  g.total_covered, g.zero_coverage_members);
+      for (const VertexId v : g.members) std::printf(" %u", v);
+      std::printf("\n");
+    }
+    PrintStats(result->stats);
+    return Status::OK();
+  }
+  if (algo == "greedy") {
+    auto result = RunKtgGreedy(*graph, index, **checker, *query);
+    if (!result.ok()) return result.status();
+    PrintGroups(*graph, *query, result->groups);
+    PrintStats(result->stats);
+    return Status::OK();
+  }
+
+  EngineOptions options;
+  options.max_nodes = static_cast<uint64_t>(max_nodes.value());
+  if (algo == "vkc-deg") {
+    options.sort = SortStrategy::kVkcDeg;
+  } else if (algo == "vkc") {
+    options.sort = SortStrategy::kVkc;
+  } else if (algo == "qkc") {
+    options.sort = SortStrategy::kQkc;
+  } else {
+    return Status::InvalidArgument("unknown --algo: " + algo);
+  }
+  auto result = RunKtg(*graph, index, **checker, *query, options);
+  if (!result.ok()) return result.status();
+  if (args.GetBool("json")) {
+    PrintGroupsJson(*graph, *query, *result);
+  } else {
+    PrintGroups(*graph, *query, result->groups);
+    PrintStats(result->stats);
+    if (args.GetBool("explain")) {
+      for (const auto& grp : result->groups) {
+        std::printf("%s", ExplainGroup(*graph, *query, grp).ToString().c_str());
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Status CmdWorkload(const Args& args) {
+  const std::string preset = args.GetString("preset", "gowalla");
+  const auto scale = args.GetDouble("scale", 0.1);
+  if (!scale.ok()) return scale.status();
+  auto spec = GetPreset(preset, scale.value());
+  if (!spec.ok()) return spec.status();
+  const AttributedGraph graph = BuildDataset(*spec);
+  const InvertedIndex index(graph);
+
+  WorkloadOptions wopts;
+  const auto queries = args.GetInt("queries", 20);
+  const auto p = args.GetInt("p", 4);
+  const auto k = args.GetInt("k", 2);
+  const auto n = args.GetInt("n", 5);
+  const auto wq = args.GetInt("wq", 6);
+  const auto seed = args.GetInt("seed", 7);
+  if (!queries.ok()) return queries.status();
+  if (!p.ok()) return p.status();
+  if (!k.ok()) return k.status();
+  if (!n.ok()) return n.status();
+  if (!wq.ok()) return wq.status();
+  if (!seed.ok()) return seed.status();
+  wopts.num_queries = static_cast<uint32_t>(queries.value());
+  wopts.group_size = static_cast<uint32_t>(p.value());
+  wopts.tenuity = static_cast<HopDistance>(k.value());
+  wopts.top_n = static_cast<uint32_t>(n.value());
+  wopts.keyword_count = static_cast<uint32_t>(wq.value());
+  wopts.frequency_banded = args.GetBool("banded", true);
+  Rng rng(static_cast<uint64_t>(seed.value()));
+  const auto workload = GenerateWorkload(graph, wopts, rng);
+
+  const auto kind = ParseCheckerKind(args.GetString("checker", "nlrnl"));
+  if (!kind.ok()) return kind.status();
+  const auto threads = args.GetInt("threads", 1);
+  if (!threads.ok()) return threads.status();
+  std::fprintf(stderr, "building %s checker(s) over %u vertices...\n",
+               CheckerKindName(kind.value()), graph.num_vertices());
+
+  BatchOptions bopts;
+  bopts.threads = static_cast<uint32_t>(std::max<int64_t>(1, threads.value()));
+  const auto batch = RunKtgBatch(
+      graph, index,
+      [&] { return MakeChecker(kind.value(), graph.graph(), wopts.tenuity); },
+      workload, bopts);
+  if (!batch.ok()) return batch.status();
+
+  SummaryStats coverage;
+  uint32_t empty = 0;
+  for (const auto& result : batch->results) {
+    coverage.Add(result.best_coverage());
+    if (result.groups.empty()) ++empty;
+  }
+  const LatencySummary& lat = batch->latency;
+  std::printf(
+      "%s (n=%u): %llu queries on %u thread(s)\n"
+      "latency ms: mean=%.3f min=%.3f p50=%.3f p90=%.3f p99=%.3f max=%.3f\n"
+      "avg best coverage %.3f; %u empty results; %llu BB nodes total\n",
+      preset.c_str(), graph.num_vertices(),
+      static_cast<unsigned long long>(lat.count), bopts.threads, lat.mean,
+      lat.min, lat.p50, lat.p90, lat.p99, lat.max, coverage.mean(), empty,
+      static_cast<unsigned long long>(batch->totals.nodes_expanded));
+  return Status::OK();
+}
+
+std::string UsageText() {
+  return
+      "ktg — keyword-based socially tenuous group queries\n"
+      "\n"
+      "usage: ktg <command> [--flag value ...]\n"
+      "\n"
+      "commands:\n"
+      "  generate     build a synthetic preset dataset and save it\n"
+      "               --preset NAME --scale S [--seed S] [--edges F] [--attrs F]\n"
+      "  stats        structural statistics of an edge list\n"
+      "               --edges F [--attrs F]\n"
+      "  build-index  build and persist a distance index\n"
+      "               --edges F --kind nl|nlrnl --out F\n"
+      "  query        run one query\n"
+      "               --edges F --attrs F --keywords a,b,c [--p P] [--k K]\n"
+      "               [--n N] [--algo vkc-deg|vkc|qkc|greedy|dktg|tagq]\n"
+      "               [--index F | --checker bfs|nl|nlrnl|bitmap]\n"
+      "               [--authors v1,v2] [--gamma G] [--max-nodes M] [--json]\n"
+      "               [--explain]\n"
+      "  workload     latency summary over a generated workload\n"
+      "               --preset NAME --scale S [--queries Q] [--p P] [--k K]\n"
+      "               [--n N] [--wq W] [--checker C] [--seed S] [--banded B]\n"
+      "               [--threads T]\n"
+      "  help         print this text\n";
+}
+
+int RunMain(const std::vector<std::string>& argv) {
+  auto args = Args::Parse(argv, kAllFlags);
+  if (!args.ok()) {
+    std::fprintf(stderr, "error: %s\n%s", args.status().ToString().c_str(),
+                 UsageText().c_str());
+    return 2;
+  }
+  const std::string& cmd = args->command();
+  Status status;
+  if (cmd == "generate") {
+    status = CmdGenerate(*args);
+  } else if (cmd == "stats") {
+    status = CmdStats(*args);
+  } else if (cmd == "build-index") {
+    status = CmdBuildIndex(*args);
+  } else if (cmd == "query") {
+    status = CmdQuery(*args);
+  } else if (cmd == "workload") {
+    status = CmdWorkload(*args);
+  } else if (cmd == "help" || cmd.empty()) {
+    std::printf("%s", UsageText().c_str());
+    return cmd.empty() ? 2 : 0;
+  } else {
+    std::fprintf(stderr, "error: unknown command '%s'\n%s", cmd.c_str(),
+                 UsageText().c_str());
+    return 2;
+  }
+  if (!status.ok()) {
+    std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace ktg::cli

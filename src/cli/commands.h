@@ -1,0 +1,42 @@
+// Copyright (c) 2026 The ktg Authors.
+// The `ktg` command-line tool: generate datasets, inspect graphs, build
+// and persist indexes, and run KTG / DKTG / TAGQ queries from the shell.
+//
+//   ktg generate    --preset dblp --scale 0.05 --edges g.txt --attrs a.txt
+//   ktg stats       --edges g.txt [--attrs a.txt]
+//   ktg build-index --edges g.txt --kind nlrnl --out dblp.idx
+//   ktg query       --edges g.txt --attrs a.txt --keywords db,graphs
+//                   [--index dblp.idx | --checker bfs] --p 3 --k 2 --n 5
+//                   [--algo vkc-deg|vkc|qkc|greedy|dktg|tagq]
+//   ktg workload    --preset gowalla --scale 0.1 --queries 20 --p 4 --k 2
+//
+// Every command writes human-readable output to stdout and returns a
+// non-zero exit code with a message on stderr for malformed input.
+
+#ifndef KTG_CLI_COMMANDS_H_
+#define KTG_CLI_COMMANDS_H_
+
+#include <string>
+#include <vector>
+
+#include "cli/args.h"
+#include "util/status.h"
+
+namespace ktg::cli {
+
+/// Entry point used by tools/ktg_cli.cc; returns the process exit code.
+int RunMain(const std::vector<std::string>& argv);
+
+/// Individual commands (exposed for tests).
+Status CmdGenerate(const Args& args);
+Status CmdStats(const Args& args);
+Status CmdBuildIndex(const Args& args);
+Status CmdQuery(const Args& args);
+Status CmdWorkload(const Args& args);
+
+/// The usage text printed by `ktg help` / on errors.
+std::string UsageText();
+
+}  // namespace ktg::cli
+
+#endif  // KTG_CLI_COMMANDS_H_

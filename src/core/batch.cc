@@ -1,0 +1,79 @@
+// Copyright (c) 2026 The ktg Authors.
+
+#include "core/batch.h"
+
+#include <atomic>
+#include <thread>
+
+namespace ktg {
+
+Result<BatchResult> RunKtgBatch(const AttributedGraph& graph,
+                                const InvertedIndex& index,
+                                const CheckerFactory& checker_factory,
+                                const std::vector<KtgQuery>& queries,
+                                BatchOptions options) {
+  if (!checker_factory) {
+    return Status::InvalidArgument("checker_factory must be callable");
+  }
+  if (options.threads == 0) {
+    return Status::InvalidArgument("threads must be >= 1");
+  }
+  // Validate everything up front so no worker can fail mid-flight.
+  for (const auto& q : queries) {
+    KTG_RETURN_IF_ERROR(ValidateQuery(q, graph));
+  }
+
+  BatchResult batch;
+  batch.results.resize(queries.size());
+  if (queries.empty()) return batch;
+
+  const uint32_t workers =
+      std::min<uint32_t>(options.threads,
+                         static_cast<uint32_t>(queries.size()));
+
+  std::atomic<size_t> next{0};
+  auto worker_loop = [&](DistanceChecker& checker) {
+    KtgEngine engine(graph, index, checker, options.engine);
+    while (true) {
+      const size_t i = next.fetch_add(1);
+      if (i >= queries.size()) break;
+      auto r = engine.Run(queries[i]);
+      // Queries were pre-validated; Run can only fail on validation.
+      KTG_CHECK_MSG(r.ok(), r.status().ToString().c_str());
+      batch.results[i] = std::move(r).value();
+    }
+  };
+
+  if (workers == 1) {
+    auto checker = checker_factory();
+    KTG_CHECK_MSG(checker != nullptr, "checker_factory returned null");
+    worker_loop(*checker);
+  } else {
+    // Build every checker serially first (factories may share caches),
+    // then run the workers.
+    std::vector<std::unique_ptr<DistanceChecker>> checkers;
+    checkers.reserve(workers);
+    for (uint32_t w = 0; w < workers; ++w) {
+      checkers.push_back(checker_factory());
+      KTG_CHECK_MSG(checkers.back() != nullptr,
+                    "checker_factory returned null");
+    }
+    std::vector<std::thread> threads;
+    threads.reserve(workers);
+    for (uint32_t w = 0; w < workers; ++w) {
+      threads.emplace_back([&, w] { worker_loop(*checkers[w]); });
+    }
+    for (auto& t : threads) t.join();
+  }
+
+  std::vector<double> latencies;
+  latencies.reserve(batch.results.size());
+  for (const auto& r : batch.results) {
+    latencies.push_back(r.stats.elapsed_ms);
+    batch.totals += r.stats;
+  }
+  batch.latency = LatencySummary::FromSamples(latencies);
+  return batch;
+}
+
+}  // namespace ktg

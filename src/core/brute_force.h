@@ -1,0 +1,33 @@
+// Copyright (c) 2026 The ktg Authors.
+// Reference brute-force KTG solver (the naive method of Section III).
+//
+// Enumerates every p-combination of the candidate set, keeps the k-distance
+// groups and ranks by coverage — O(|V|^p), usable only on small graphs. It
+// exists as ground truth: every engine configuration is property-tested to
+// produce the same coverage profile as this solver.
+
+#ifndef KTG_CORE_BRUTE_FORCE_H_
+#define KTG_CORE_BRUTE_FORCE_H_
+
+#include "core/query.h"
+#include "index/distance_checker.h"
+#include "keywords/attributed_graph.h"
+#include "keywords/inverted_index.h"
+#include "util/status.h"
+
+namespace ktg {
+
+/// Solves a KTG query by exhaustive enumeration. Intended for tests and the
+/// worked examples; cost grows as C(|candidates|, p).
+Result<KtgResult> BruteForceKtg(const AttributedGraph& graph,
+                                const InvertedIndex& index,
+                                DistanceChecker& checker,
+                                const KtgQuery& query);
+
+/// True iff `members` forms a k-distance group (every pair farther than k).
+bool IsKDistanceGroup(std::span<const VertexId> members, HopDistance k,
+                      DistanceChecker& checker);
+
+}  // namespace ktg
+
+#endif  // KTG_CORE_BRUTE_FORCE_H_

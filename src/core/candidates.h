@@ -1,0 +1,47 @@
+// Copyright (c) 2026 The ktg Authors.
+// Candidate extraction: the initial S_R of Algorithm 1.
+//
+// Definition 7 requires every member to cover at least one query keyword, so
+// the initial candidate set is the union of the query keywords' posting
+// lists. The Section IV "Discussion" extension additionally removes
+// candidates socially close to any query vertex (the paper's "authors").
+
+#ifndef KTG_CORE_CANDIDATES_H_
+#define KTG_CORE_CANDIDATES_H_
+
+#include <vector>
+
+#include "core/query.h"
+#include "index/distance_checker.h"
+#include "keywords/inverted_index.h"
+
+namespace ktg {
+
+/// One entry of the remaining-candidates set S_R.
+struct Candidate {
+  VertexId vertex = kInvalidVertex;
+  /// Coverage mask relative to the query keyword list.
+  CoverMask mask = 0;
+  /// Cached degree (for the VKC-DEG tie-break).
+  uint32_t degree = 0;
+  /// Valid keyword coverage count w.r.t. the current intermediate set
+  /// (Definition 8, as a count); maintained by the engine.
+  int vkc = 0;
+
+  bool operator==(const Candidate&) const = default;
+};
+
+/// Materializes the initial candidate set of `query`: every vertex covering
+/// >= 1 query keyword, minus vertices within `query.tenuity` hops of any
+/// query vertex (and the query vertices themselves). `kline_removed`, when
+/// non-null, receives the number of candidates dropped by the query-vertex
+/// exclusion.
+std::vector<Candidate> ExtractCandidates(const AttributedGraph& g,
+                                         const InvertedIndex& index,
+                                         const KtgQuery& query,
+                                         DistanceChecker& checker,
+                                         uint64_t* kline_removed = nullptr);
+
+}  // namespace ktg
+
+#endif  // KTG_CORE_CANDIDATES_H_

@@ -1,0 +1,211 @@
+// Copyright (c) 2026 The ktg Authors.
+
+#include "core/conflict_graph_engine.h"
+
+#include <algorithm>
+#include <bit>
+
+#include "core/candidates.h"
+#include "core/topn.h"
+#include "util/timer.h"
+
+namespace ktg {
+namespace {
+
+// A flat bitset over candidate positions.
+class PosSet {
+ public:
+  explicit PosSet(uint32_t size) : size_(size), words_((size + 63) / 64, 0) {}
+
+  void Set(uint32_t i) { words_[i >> 6] |= uint64_t{1} << (i & 63); }
+  void Clear(uint32_t i) { words_[i >> 6] &= ~(uint64_t{1} << (i & 63)); }
+  bool Test(uint32_t i) const {
+    return (words_[i >> 6] >> (i & 63)) & 1;
+  }
+  uint32_t Count() const {
+    uint32_t c = 0;
+    for (const uint64_t w : words_) c += std::popcount(w);
+    return c;
+  }
+  /// this &= ~other
+  void Subtract(const PosSet& other) {
+    for (size_t w = 0; w < words_.size(); ++w) words_[w] &= ~other.words_[w];
+  }
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    for (size_t w = 0; w < words_.size(); ++w) {
+      uint64_t bits = words_[w];
+      while (bits) {
+        const int b = std::countr_zero(bits);
+        bits &= bits - 1;
+        fn(static_cast<uint32_t>(w * 64 + b));
+      }
+    }
+  }
+
+  uint32_t size() const { return size_; }
+
+ private:
+  uint32_t size_;
+  std::vector<uint64_t> words_;
+};
+
+struct SearchState {
+  const std::vector<Candidate>* cands;
+  const std::vector<PosSet>* conflicts;
+  const ConflictEngineOptions* options;
+  uint32_t p;
+  TopNCollector* collector;
+  SearchStats* stats;
+  bool stop = false;
+
+  std::vector<VertexId> members;
+
+  void Search(PosSet allowed, CoverMask covered) {
+    if (stop) return;
+    ++stats->nodes_expanded;
+    if (options->max_nodes != 0 &&
+        stats->nodes_expanded > options->max_nodes) {
+      stop = true;
+      return;
+    }
+    if (members.size() == p) {
+      ++stats->groups_completed;
+      Group g;
+      g.members = members;
+      std::sort(g.members.begin(), g.members.end());
+      g.mask = covered;
+      collector->Offer(std::move(g));
+      return;
+    }
+    const uint32_t need = p - static_cast<uint32_t>(members.size());
+
+    // Gather the allowed positions with their VKC and the reachable union.
+    std::vector<std::pair<int, uint32_t>> order;  // (-vkc, pos): sortable
+    order.reserve(64);
+    CoverMask reachable = covered;
+    allowed.ForEach([&](uint32_t pos) {
+      const Candidate& c = (*cands)[pos];
+      reachable |= c.mask;
+      order.emplace_back(-PopCount(NovelBits(c.mask, covered)), pos);
+    });
+    if (order.size() < need) return;
+
+    const int covered_count = PopCount(covered);
+    if (options->keyword_pruning && collector->full()) {
+      // Reachable-coverage ceiling (this engine always clamps).
+      if (PopCount(reachable) <= collector->threshold()) {
+        ++stats->keyword_prunes;
+        return;
+      }
+    }
+    // VKC-descending, position-ascending order (positions are already in
+    // (initial-VKC, degree, id) rank, so ties fall back to that rank).
+    std::sort(order.begin(), order.end());
+
+    if (options->keyword_pruning && collector->full()) {
+      int additive = covered_count;
+      for (uint32_t i = 0; i < need; ++i) additive += -order[i].first;
+      if (additive <= collector->threshold()) {
+        ++stats->keyword_prunes;
+        return;
+      }
+    }
+
+    for (size_t i = 0; i + need <= order.size(); ++i) {
+      if (stop) return;
+      const uint32_t pos = order[i].second;
+      const Candidate& v = (*cands)[pos];
+
+      if (options->keyword_pruning && collector->full()) {
+        int bound = covered_count + (-order[i].first);
+        const size_t end = std::min(order.size(), i + need);
+        for (size_t j = i + 1; j < end; ++j) bound += -order[j].first;
+        if (bound <= collector->threshold()) {
+          ++stats->keyword_prunes;
+          return;  // order is VKC-descending: later children bound lower
+        }
+      }
+
+      // Set-minus semantics: v leaves the shared pool, then the child pool
+      // additionally drops v's conflicts — one word-wise AND-NOT.
+      allowed.Clear(pos);
+      PosSet child = allowed;
+      child.Subtract((*conflicts)[pos]);
+
+      members.push_back(v.vertex);
+      Search(std::move(child), covered | v.mask);
+      members.pop_back();
+    }
+  }
+};
+
+}  // namespace
+
+Result<KtgResult> RunKtgConflictGraph(const AttributedGraph& graph,
+                                      const InvertedIndex& index,
+                                      DistanceChecker& checker,
+                                      const KtgQuery& query,
+                                      ConflictEngineOptions options) {
+  KTG_RETURN_IF_ERROR(ValidateQuery(query, graph));
+  Stopwatch watch;
+  const uint64_t checks_before = checker.num_checks();
+  SearchStats stats;
+
+  uint64_t excluded = 0;
+  std::vector<Candidate> cands =
+      ExtractCandidates(graph, index, query, checker, &excluded);
+  stats.candidates = cands.size();
+  if (options.max_candidates != 0 &&
+      cands.size() > options.max_candidates) {
+    return Status::ResourceExhausted(
+        "candidate set too large for the conflict-graph engine: " +
+        std::to_string(cands.size()));
+  }
+
+  // Static rank: initial VKC desc, degree asc, id asc (the KTG-VKC-DEG
+  // order at the root).
+  std::sort(cands.begin(), cands.end(),
+            [](const Candidate& a, const Candidate& b) {
+              if (a.vkc != b.vkc) return a.vkc > b.vkc;
+              if (a.degree != b.degree) return a.degree < b.degree;
+              return a.vertex < b.vertex;
+            });
+
+  // Materialize the conflict graph (pairs within k hops).
+  const auto n = static_cast<uint32_t>(cands.size());
+  std::vector<PosSet> conflicts(n, PosSet(n));
+  for (uint32_t i = 0; i < n; ++i) {
+    for (uint32_t j = i + 1; j < n; ++j) {
+      if (!checker.IsFartherThan(cands[i].vertex, cands[j].vertex,
+                                 query.tenuity)) {
+        conflicts[i].Set(j);
+        conflicts[j].Set(i);
+        ++stats.kline_filtered;
+      }
+    }
+  }
+
+  TopNCollector collector(query.top_n);
+  SearchState state;
+  state.cands = &cands;
+  state.conflicts = &conflicts;
+  state.options = &options;
+  state.p = query.group_size;
+  state.collector = &collector;
+  state.stats = &stats;
+
+  PosSet all(n);
+  for (uint32_t i = 0; i < n; ++i) all.Set(i);
+  state.Search(std::move(all), 0);
+
+  KtgResult result;
+  result.groups = collector.Take();
+  result.query_keyword_count = query.num_keywords();
+  stats.distance_checks = checker.num_checks() - checks_before;
+  stats.elapsed_ms = watch.ElapsedMillis();
+  result.stats = stats;
+  return result;
+}
+
+}  // namespace ktg

@@ -1,0 +1,40 @@
+// Copyright (c) 2026 The ktg Authors.
+
+#include "core/diversity.h"
+
+#include <algorithm>
+
+#include "util/sorted_vector.h"
+
+namespace ktg {
+
+double GroupJaccardDistance(const Group& g1, const Group& g2) {
+  const size_t inter = SortedIntersectionSize(g1.members, g2.members);
+  const size_t uni = g1.members.size() + g2.members.size() - inter;
+  if (uni == 0) return 0.0;
+  return static_cast<double>(uni - inter) / static_cast<double>(uni);
+}
+
+double AverageDiversity(std::span<const Group> groups) {
+  const size_t n = groups.size();
+  if (n < 2) return 1.0;
+  double total = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i + 1; j < n; ++j) {
+      total += GroupJaccardDistance(groups[i], groups[j]);
+    }
+  }
+  return 2.0 * total / (static_cast<double>(n) * static_cast<double>(n - 1));
+}
+
+double DktgScore(std::span<const Group> groups, uint32_t query_keyword_count,
+                 double gamma) {
+  if (groups.empty()) return 0.0;
+  double min_qkc = 1.0;
+  for (const Group& g : groups) {
+    min_qkc = std::min(min_qkc, QkcRatio(g, query_keyword_count));
+  }
+  return gamma * min_qkc + (1.0 - gamma) * AverageDiversity(groups);
+}
+
+}  // namespace ktg

@@ -1,0 +1,33 @@
+// Copyright (c) 2026 The ktg Authors.
+// Diversity scoring of result-group sets (Section VI.A, Equations 2-4).
+
+#ifndef KTG_CORE_DIVERSITY_H_
+#define KTG_CORE_DIVERSITY_H_
+
+#include <span>
+
+#include "core/query.h"
+
+namespace ktg {
+
+/// Jaccard distance between two groups' member sets (Equation 2):
+///   dL(g1, g2) = (|g1 ∪ g2| - |g1 ∩ g2|) / |g1 ∪ g2|.
+/// Both groups' member vectors must be sorted. Two empty groups have
+/// distance 0 by convention.
+double GroupJaccardDistance(const Group& g1, const Group& g2);
+
+/// Average pairwise Jaccard distance over a result set (Equation 3).
+/// Returns 1.0 for fewer than two groups (a single group is trivially
+/// maximally diverse — the score formula only uses this with N >= 2, and
+/// the convention keeps single-group scores meaningful).
+double AverageDiversity(std::span<const Group> groups);
+
+/// The combined DKTG objective (Equation 4):
+///   score(RG) = γ · min_{g∈RG} QKC(g) + (1-γ) · dL(RG).
+/// `query_keyword_count` is |W_Q|; returns 0 for an empty set.
+double DktgScore(std::span<const Group> groups, uint32_t query_keyword_count,
+                 double gamma);
+
+}  // namespace ktg
+
+#endif  // KTG_CORE_DIVERSITY_H_

@@ -1,0 +1,68 @@
+// Copyright (c) 2026 The ktg Authors.
+
+#include "core/dktg_greedy.h"
+
+#include <algorithm>
+
+#include "core/diversity.h"
+#include "core/ktg_engine.h"
+#include "util/timer.h"
+
+namespace ktg {
+
+Result<DktgResult> RunDktgGreedy(const AttributedGraph& graph,
+                                 const InvertedIndex& index,
+                                 DistanceChecker& checker,
+                                 const KtgQuery& query, DktgOptions options) {
+  KTG_RETURN_IF_ERROR(ValidateQuery(query, graph));
+  if (options.gamma < 0.0 || options.gamma > 1.0) {
+    return Status::InvalidArgument("gamma must be within [0, 1]");
+  }
+
+  Stopwatch watch;
+  DktgResult result;
+  result.query_keyword_count = query.num_keywords();
+  result.gamma = options.gamma;
+
+  // Each round asks the exact engine for the single best group among the
+  // candidates that no accepted group uses.
+  KtgQuery round_query = query;
+  round_query.top_n = 1;
+  int c_max = 0;  // best coverage of the previous round
+
+  for (uint32_t round = 0; round < query.top_n; ++round) {
+    EngineOptions engine_options = options.engine;
+    // "Not less than C_max": accept the first group matching the previous
+    // round's coverage instead of searching on for an equal-coverage one.
+    engine_options.stop_at_count = options.early_stop ? c_max : 0;
+
+    KtgEngine engine(graph, index, checker, engine_options);
+    auto round_result = engine.Run(round_query);
+    if (!round_result.ok()) return round_result.status();
+    result.stats += round_result->stats;
+
+    if (round_result->groups.empty()) break;  // no feasible group remains
+    Group best = std::move(round_result->groups.front());
+    c_max = best.covered();  // fallback strategy (2): C_max tracks downward
+
+    // Maximize the diversity term: members of accepted groups leave S_R.
+    round_query.excluded_vertices.insert(round_query.excluded_vertices.end(),
+                                         best.members.begin(),
+                                         best.members.end());
+    result.groups.push_back(std::move(best));
+  }
+
+  result.diversity = AverageDiversity(result.groups);
+  result.min_coverage = 1.0;
+  for (const Group& g : result.groups) {
+    result.min_coverage =
+        std::min(result.min_coverage, QkcRatio(g, result.query_keyword_count));
+  }
+  if (result.groups.empty()) result.min_coverage = 0.0;
+  result.score =
+      DktgScore(result.groups, result.query_keyword_count, options.gamma);
+  result.stats.elapsed_ms = watch.ElapsedMillis();
+  return result;
+}
+
+}  // namespace ktg

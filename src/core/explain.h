@@ -1,0 +1,66 @@
+// Copyright (c) 2026 The ktg Authors.
+// Result explanation: auditable evidence that a returned group satisfies
+// every KTG constraint.
+//
+// Reviewer selection is a human-facing process; a system that proposes a
+// panel should show its work. ExplainGroup recomputes, from scratch and
+// independently of any index, each member's covered query keywords and
+// every pairwise hop distance, and renders a verdict. The CLI's query
+// command and the case-study bench print these reports; tests use the
+// verdict as an oracle.
+
+#ifndef KTG_CORE_EXPLAIN_H_
+#define KTG_CORE_EXPLAIN_H_
+
+#include <string>
+#include <vector>
+
+#include "core/query.h"
+#include "keywords/attributed_graph.h"
+
+namespace ktg {
+
+/// Evidence for one group member.
+struct MemberEvidence {
+  VertexId vertex = kInvalidVertex;
+  /// Query keywords this member covers (terms, resolved via vocabulary).
+  std::vector<std::string> covered_terms;
+  /// |k_v ∩ W_Q| — must be >= 1 for a valid KTG member.
+  int covered_count = 0;
+};
+
+/// Evidence for one member pair.
+struct PairEvidence {
+  VertexId u = kInvalidVertex;
+  VertexId v = kInvalidVertex;
+  /// Exact hop distance (kUnreachable when disconnected).
+  HopDistance distance = 0;
+  /// distance > k?
+  bool tenuous = false;
+};
+
+/// A full audit of one group against one query.
+struct GroupExplanation {
+  std::vector<MemberEvidence> members;
+  std::vector<PairEvidence> pairs;
+  /// Query keywords the group jointly covers / misses (terms).
+  std::vector<std::string> covered_terms;
+  std::vector<std::string> missing_terms;
+  int covered_count = 0;
+  /// True iff size, per-member coverage and every pairwise distance pass.
+  bool valid = false;
+  /// Human-readable failure reasons (empty when valid).
+  std::vector<std::string> violations;
+
+  /// Multi-line human-readable rendering.
+  std::string ToString() const;
+};
+
+/// Audits `group` against `query` by direct recomputation (BFS + keyword
+/// scans; no index involvement).
+GroupExplanation ExplainGroup(const AttributedGraph& graph,
+                              const KtgQuery& query, const Group& group);
+
+}  // namespace ktg
+
+#endif  // KTG_CORE_EXPLAIN_H_

@@ -1,0 +1,120 @@
+// Copyright (c) 2026 The ktg Authors.
+
+#include "core/greedy_heuristic.h"
+
+#include <algorithm>
+
+#include "core/candidates.h"
+#include "core/topn.h"
+#include "util/timer.h"
+
+namespace ktg {
+namespace {
+
+// Index of the best candidate under (VKC desc, degree asc, id asc) after
+// refreshing VKC against `covered`; pool.size() when empty.
+size_t SelectBest(std::vector<Candidate>& pool, CoverMask covered,
+                  bool degree_tiebreak) {
+  size_t best = pool.size();
+  for (size_t i = 0; i < pool.size(); ++i) {
+    Candidate& c = pool[i];
+    c.vkc = PopCount(NovelBits(c.mask, covered));
+    if (best == pool.size()) {
+      best = i;
+      continue;
+    }
+    const Candidate& b = pool[best];
+    if (c.vkc != b.vkc) {
+      if (c.vkc > b.vkc) best = i;
+    } else if (degree_tiebreak && c.degree != b.degree) {
+      if (c.degree < b.degree) best = i;
+    }
+  }
+  return best;
+}
+
+// One no-backtracking construction. The `skip` best-ranked initial picks
+// are removed first (restart diversification). Returns true on success.
+bool ConstructOnce(const KtgQuery& query, const GreedyOptions& options,
+                   DistanceChecker& checker, std::vector<Candidate> pool,
+                   uint32_t skip, SearchStats* stats, Group* out) {
+  // Restart diversification: drop the `skip` best-ranked first picks.
+  for (uint32_t s = 0; s < skip; ++s) {
+    const size_t drop = SelectBest(pool, 0, options.degree_tiebreak);
+    if (drop == pool.size()) return false;
+    pool.erase(pool.begin() + static_cast<int64_t>(drop));
+  }
+
+  Group group;
+  CoverMask covered = 0;
+  while (group.members.size() < query.group_size) {
+    const size_t best = SelectBest(pool, covered, options.degree_tiebreak);
+    if (best == pool.size()) return false;  // pool exhausted: dead end
+
+    const Candidate chosen = pool[best];
+    pool.erase(pool.begin() + static_cast<int64_t>(best));
+    group.members.push_back(chosen.vertex);
+    covered |= chosen.mask;
+
+    // k-line filtering against the new member (Theorem 3).
+    std::vector<Candidate> next;
+    next.reserve(pool.size());
+    for (const Candidate& c : pool) {
+      if (checker.IsFartherThan(c.vertex, chosen.vertex, query.tenuity)) {
+        next.push_back(c);
+      } else {
+        ++stats->kline_filtered;
+      }
+    }
+    pool.swap(next);
+    ++stats->nodes_expanded;
+  }
+
+  std::sort(group.members.begin(), group.members.end());
+  group.mask = covered;
+  *out = std::move(group);
+  return true;
+}
+
+}  // namespace
+
+Result<KtgResult> RunKtgGreedy(const AttributedGraph& graph,
+                               const InvertedIndex& index,
+                               DistanceChecker& checker,
+                               const KtgQuery& query, GreedyOptions options) {
+  KTG_RETURN_IF_ERROR(ValidateQuery(query, graph));
+  Stopwatch watch;
+  const uint64_t checks_before = checker.num_checks();
+
+  SearchStats stats;
+  uint64_t excluded = 0;
+  const std::vector<Candidate> pool =
+      ExtractCandidates(graph, index, query, checker, &excluded);
+  stats.candidates = pool.size();
+  stats.kline_filtered += excluded;
+
+  TopNCollector collector(query.top_n);
+  uint32_t restarts = 0;
+  // Each attempt skips one more leading pivot; stop when N groups are held
+  // or the restart budget is spent.
+  for (uint32_t skip = 0;
+       collector.size() < query.top_n && restarts <= options.max_restarts;
+       ++skip, ++restarts) {
+    Group group;
+    if (ConstructOnce(query, options, checker, pool, skip, &stats, &group)) {
+      ++stats.groups_completed;
+      collector.Offer(std::move(group));
+    }
+    if (skip >= pool.size()) break;
+  }
+
+  KtgResult result;
+  result.groups = collector.Take();
+  result.query_keyword_count = query.num_keywords();
+  stats.distance_checks = checker.num_checks() - checks_before;
+  stats.elapsed_ms = watch.ElapsedMillis();
+  result.stats = stats;
+  return result;
+}
+
+}  // namespace ktg

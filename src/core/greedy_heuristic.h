@@ -1,0 +1,47 @@
+// Copyright (c) 2026 The ktg Authors.
+// A greedy (non-exact) KTG heuristic — this library's extension for the
+// regime the exact branch-and-bound cannot reach (large p or huge
+// candidate sets). Not part of the paper; the ablation bench quantifies
+// its quality/latency trade-off against the exact engines.
+//
+// Construction mirrors one root-to-leaf path of KTG-VKC-DEG: repeatedly
+// take the best remaining candidate (highest VKC, then smallest degree),
+// k-line-filter the rest, and never backtrack. To produce N groups it
+// restarts with earlier pivots excluded (each restart skips one more of
+// the best-ranked candidates), which also gives mildly diversified output.
+// Runs in O(N · p · |candidates|) distance checks.
+
+#ifndef KTG_CORE_GREEDY_HEURISTIC_H_
+#define KTG_CORE_GREEDY_HEURISTIC_H_
+
+#include "core/options.h"
+#include "core/query.h"
+#include "index/distance_checker.h"
+#include "keywords/attributed_graph.h"
+#include "keywords/inverted_index.h"
+#include "util/status.h"
+
+namespace ktg {
+
+/// Knobs for the greedy heuristic.
+struct GreedyOptions {
+  /// Tie-break by ascending degree (as KTG-VKC-DEG) when true, by id
+  /// otherwise.
+  bool degree_tiebreak = true;
+  /// Maximum restarts when a construction dead-ends before reaching size p
+  /// (each restart skips one more leading candidate).
+  uint32_t max_restarts = 16;
+};
+
+/// Runs the greedy heuristic for `query`. The result satisfies every KTG
+/// constraint (size, tenuity, per-member coverage) but its coverage may be
+/// below the exact optimum; stats.groups_completed counts constructions.
+Result<KtgResult> RunKtgGreedy(const AttributedGraph& graph,
+                               const InvertedIndex& index,
+                               DistanceChecker& checker,
+                               const KtgQuery& query,
+                               GreedyOptions options = {});
+
+}  // namespace ktg
+
+#endif  // KTG_CORE_GREEDY_HEURISTIC_H_

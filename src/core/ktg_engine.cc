@@ -1,0 +1,255 @@
+// Copyright (c) 2026 The ktg Authors.
+
+#include "core/ktg_engine.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/sorted_vector.h"
+#include "util/timer.h"
+
+namespace ktg {
+
+const char* SortStrategyName(SortStrategy s) {
+  switch (s) {
+    case SortStrategy::kQkc:
+      return "QKC";
+    case SortStrategy::kVkc:
+      return "VKC";
+    case SortStrategy::kVkcDeg:
+      return "VKC-DEG";
+  }
+  return "?";
+}
+
+KtgEngine::KtgEngine(const AttributedGraph& graph, const InvertedIndex& index,
+                     DistanceChecker& checker, EngineOptions options)
+    : graph_(graph), index_(index), checker_(checker), options_(options) {}
+
+void KtgEngine::SortCandidates(std::vector<Candidate>& cands) const {
+  switch (options_.sort) {
+    case SortStrategy::kQkc:
+      // Static order: never re-sorted after the initial call (the engine
+      // only calls this once for kQkc, with vkc == QKC counts).
+      std::sort(cands.begin(), cands.end(),
+                [](const Candidate& a, const Candidate& b) {
+                  if (a.vkc != b.vkc) return a.vkc > b.vkc;
+                  return a.vertex < b.vertex;
+                });
+      break;
+    case SortStrategy::kVkc:
+      std::sort(cands.begin(), cands.end(),
+                [](const Candidate& a, const Candidate& b) {
+                  if (a.vkc != b.vkc) return a.vkc > b.vkc;
+                  return a.vertex < b.vertex;
+                });
+      break;
+    case SortStrategy::kVkcDeg: {
+      const bool asc = options_.degree_ascending;
+      std::sort(cands.begin(), cands.end(),
+                [asc](const Candidate& a, const Candidate& b) {
+                  if (a.vkc != b.vkc) return a.vkc > b.vkc;
+                  if (a.degree != b.degree) {
+                    return asc ? a.degree < b.degree : a.degree > b.degree;
+                  }
+                  return a.vertex < b.vertex;
+                });
+      break;
+    }
+  }
+}
+
+int KtgEngine::OptimisticGain(const std::vector<Candidate>& cands, size_t from,
+                              uint32_t need) const {
+  if (need == 0 || from >= cands.size()) return 0;
+  int gain = 0;
+  if (options_.sort != SortStrategy::kQkc) {
+    // vkc-descending order: the first `need` entries are the top ones.
+    const size_t end = std::min(cands.size(), from + need);
+    for (size_t i = from; i < end; ++i) gain += cands[i].vkc;
+    return gain;
+  }
+  // QKC order is static, so select the `need` largest vkc values by scan
+  // (need <= p is tiny; an insertion pass beats sorting a copy).
+  int top[64] = {0};
+  const uint32_t cap = std::min<uint32_t>(need, 64);
+  uint32_t filled = 0;
+  for (size_t i = from; i < cands.size(); ++i) {
+    int x = cands[i].vkc;
+    if (filled < cap) {
+      top[filled++] = x;
+      for (uint32_t j = filled - 1; j > 0 && top[j] > top[j - 1]; --j) {
+        std::swap(top[j], top[j - 1]);
+      }
+    } else if (x > top[cap - 1]) {
+      top[cap - 1] = x;
+      for (uint32_t j = cap - 1; j > 0 && top[j] > top[j - 1]; --j) {
+        std::swap(top[j], top[j - 1]);
+      }
+    }
+  }
+  for (uint32_t j = 0; j < filled; ++j) gain += top[j];
+  return gain;
+}
+
+void KtgEngine::OfferCurrent(CoverMask covered) {
+  ++stats_.groups_completed;
+  Group g;
+  g.members = members_;
+  std::sort(g.members.begin(), g.members.end());
+  g.mask = covered;
+  collector_.Offer(std::move(g));
+  if (options_.stop_at_count > 0 && collector_.full() &&
+      collector_.threshold() >= options_.stop_at_count) {
+    stop_ = true;
+    last_run_complete_ = false;
+  }
+}
+
+void KtgEngine::Search(const std::vector<Candidate>& sr, CoverMask covered,
+                       CoverMask sr_union) {
+  if (stop_) return;
+  ++stats_.nodes_expanded;
+  if (options_.max_nodes != 0 && stats_.nodes_expanded > options_.max_nodes) {
+    stop_ = true;
+    last_run_complete_ = false;
+    return;
+  }
+
+  if (members_.size() == p_) {
+    OfferCurrent(covered);
+    return;
+  }
+
+  const uint32_t need = p_ - static_cast<uint32_t>(members_.size());
+  if (sr.size() < need) return;
+
+  const int covered_count = PopCount(covered);
+  // The reachable-coverage ceiling: no descendant can cover keywords outside
+  // covered ∪ (union of remaining masks). It clamps the additive Theorem-2
+  // bound, which otherwise exceeds |W_Q| on popular-keyword queries and
+  // stops pruning entirely once the top groups reach full coverage.
+  const int ceiling = options_.ceiling_prune
+                          ? PopCount(covered | sr_union)
+                          : std::numeric_limits<int>::max();
+  if (options_.keyword_pruning && collector_.full()) {
+    const int additive = covered_count + OptimisticGain(sr, 0, need);
+    if (std::min(additive, ceiling) <= collector_.threshold()) {
+      ++stats_.keyword_prunes;
+      return;
+    }
+  }
+
+  for (size_t i = 0; i + need <= sr.size(); ++i) {
+    if (stop_) return;
+    const Candidate& v = sr[i];
+
+    // Parent-side bound for this child (cheap for VKC orders; skipped for
+    // the static QKC order where it would cost a scan per child).
+    if (options_.keyword_pruning && collector_.full()) {
+      if (ceiling <= collector_.threshold()) {
+        ++stats_.keyword_prunes;
+        return;  // no child can beat the N-th result
+      }
+      if (options_.sort != SortStrategy::kQkc) {
+        const int bound =
+            covered_count + v.vkc + OptimisticGain(sr, i + 1, need - 1);
+        if (bound <= collector_.threshold()) {
+          ++stats_.keyword_prunes;
+          // sr is vkc-descending: later children only bound lower.
+          return;
+        }
+      }
+    }
+
+    // Lazy feasibility check (ablation mode): validate v against S_I now.
+    if (!options_.eager_kline_filtering) {
+      bool feasible = true;
+      for (const VertexId m : members_) {
+        if (!checker_.IsFartherThan(v.vertex, m, k_)) {
+          feasible = false;
+          break;
+        }
+      }
+      if (!feasible) continue;
+    }
+
+    const CoverMask child_covered = covered | v.mask;
+
+    // Build the child's S_R: candidates after i, k-line-filtered against v
+    // (Theorem 3), with VKC refreshed against the enlarged S_I. When the
+    // checker can materialize v's <=k ball, the whole filter costs one
+    // traversal plus binary searches.
+    const std::vector<VertexId>* ball = nullptr;
+    if (options_.eager_kline_filtering && options_.bulk_filtering) {
+      ball = checker_.BallWithinK(v.vertex, k_);
+    }
+    std::vector<Candidate> child;
+    child.reserve(sr.size() - i - 1);
+    CoverMask child_union = 0;
+    for (size_t j = i + 1; j < sr.size(); ++j) {
+      Candidate c = sr[j];
+      if (options_.eager_kline_filtering) {
+        const bool conflict =
+            ball != nullptr
+                ? SortedContains(*ball, c.vertex)
+                : !checker_.IsFartherThan(c.vertex, v.vertex, k_);
+        if (conflict) {
+          ++stats_.kline_filtered;
+          continue;
+        }
+      }
+      c.vkc = PopCount(NovelBits(c.mask, child_covered));
+      child_union |= c.mask;
+      child.push_back(c);
+    }
+    if (options_.sort != SortStrategy::kQkc) SortCandidates(child);
+
+    members_.push_back(v.vertex);
+    Search(child, child_covered, child_union);
+    members_.pop_back();
+  }
+}
+
+Result<KtgResult> KtgEngine::Run(const KtgQuery& query) {
+  KTG_RETURN_IF_ERROR(ValidateQuery(query, graph_));
+
+  Stopwatch watch;
+  p_ = query.group_size;
+  k_ = query.tenuity;
+  collector_ = TopNCollector(query.top_n);
+  members_.clear();
+  stats_ = SearchStats{};
+  stop_ = false;
+  last_run_complete_ = true;
+
+  const uint64_t checks_before = checker_.num_checks();
+
+  uint64_t excluded = 0;
+  std::vector<Candidate> sr =
+      ExtractCandidates(graph_, index_, query, checker_, &excluded);
+  stats_.candidates = sr.size();
+  stats_.kline_filtered += excluded;
+  SortCandidates(sr);
+
+  CoverMask sr_union = 0;
+  for (const Candidate& c : sr) sr_union |= c.mask;
+  Search(sr, 0, sr_union);
+
+  KtgResult result;
+  result.groups = collector_.Take();
+  result.query_keyword_count = query.num_keywords();
+  stats_.distance_checks = checker_.num_checks() - checks_before;
+  stats_.elapsed_ms = watch.ElapsedMillis();
+  result.stats = stats_;
+  return result;
+}
+
+Result<KtgResult> RunKtg(const AttributedGraph& graph,
+                         const InvertedIndex& index, DistanceChecker& checker,
+                         const KtgQuery& query, EngineOptions options) {
+  KtgEngine engine(graph, index, checker, options);
+  return engine.Run(query);
+}
+
+}  // namespace ktg

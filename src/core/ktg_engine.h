@@ -1,0 +1,90 @@
+// Copyright (c) 2026 The ktg Authors.
+// The exact branch-and-bound KTG engine of Section IV.
+//
+// One engine implements all three published variants through EngineOptions:
+//   KTG-QKC      — SortStrategy::kQkc     (static query-keyword-coverage sort)
+//   KTG-VKC      — SortStrategy::kVkc     (Algorithm 1)
+//   KTG-VKC-DEG  — SortStrategy::kVkcDeg  (VKC + degree tie-break)
+// combined with any DistanceChecker (BFS / NL / NLRNL / bitmap), which is
+// how the paper names configurations like "KTG-VKC-DEG-NLRNL".
+//
+// Search space: combinations of the candidate set S_R. A tree node holds an
+// intermediate set S_I and a filtered, re-sorted remaining set; child i
+// selects the i-th remaining candidate and recurses on the candidates after
+// it (set-minus semantics keeps every combination visited exactly once even
+// though each child is re-sorted). Two accelerations cut the tree:
+//   * keyword pruning (Theorem 2): an optimistic coverage bound against the
+//     current N-th result,
+//   * k-line filtering (Theorem 3): candidates within k hops of the newly
+//     selected member leave S_R immediately.
+
+#ifndef KTG_CORE_KTG_ENGINE_H_
+#define KTG_CORE_KTG_ENGINE_H_
+
+#include <vector>
+
+#include "core/candidates.h"
+#include "core/options.h"
+#include "core/query.h"
+#include "core/topn.h"
+#include "index/distance_checker.h"
+#include "keywords/attributed_graph.h"
+#include "keywords/inverted_index.h"
+#include "util/status.h"
+
+namespace ktg {
+
+/// Exact KTG query processor.
+///
+/// Stateful per-run scratch; not thread-safe. The graph, inverted index and
+/// checker must outlive the engine.
+class KtgEngine {
+ public:
+  KtgEngine(const AttributedGraph& graph, const InvertedIndex& index,
+            DistanceChecker& checker, EngineOptions options = {});
+
+  /// Runs one KTG query. Returns InvalidArgument/OutOfRange on malformed
+  /// queries. The result's groups are exact top-N unless options.max_nodes
+  /// truncated the search (then `complete()` on the result stats is false —
+  /// see KtgResult::stats and `last_run_complete()`).
+  Result<KtgResult> Run(const KtgQuery& query);
+
+  /// False when the previous Run() stopped early (max_nodes or
+  /// stop_at_count); the returned groups are then best-effort.
+  bool last_run_complete() const { return last_run_complete_; }
+
+  const EngineOptions& options() const { return options_; }
+
+ private:
+  void Search(const std::vector<Candidate>& sr, CoverMask covered,
+              CoverMask sr_union);
+  void SortCandidates(std::vector<Candidate>& cands) const;
+  // Sum of the `need` largest vkc values in `cands[from:]`; assumes the
+  // vector is vkc-descending for VKC strategies, scans otherwise.
+  int OptimisticGain(const std::vector<Candidate>& cands, size_t from,
+                     uint32_t need) const;
+  void OfferCurrent(CoverMask covered);
+
+  const AttributedGraph& graph_;
+  const InvertedIndex& index_;
+  DistanceChecker& checker_;
+  EngineOptions options_;
+
+  // Per-run state.
+  uint32_t p_ = 0;
+  HopDistance k_ = 0;
+  TopNCollector collector_{1};
+  std::vector<VertexId> members_;
+  SearchStats stats_;
+  bool stop_ = false;
+  bool last_run_complete_ = true;
+};
+
+/// Convenience wrapper: builds a transient engine and runs one query.
+Result<KtgResult> RunKtg(const AttributedGraph& graph,
+                         const InvertedIndex& index, DistanceChecker& checker,
+                         const KtgQuery& query, EngineOptions options = {});
+
+}  // namespace ktg
+
+#endif  // KTG_CORE_KTG_ENGINE_H_

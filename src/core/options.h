@@ -1,0 +1,76 @@
+// Copyright (c) 2026 The ktg Authors.
+// Engine configuration: sorting strategy and toggles for the paper's two
+// accelerations (keyword pruning, k-line filtering), plus safety valves.
+// The toggles exist so the ablation bench can quantify each idea.
+
+#ifndef KTG_CORE_OPTIONS_H_
+#define KTG_CORE_OPTIONS_H_
+
+#include <cstdint>
+#include <string>
+
+namespace ktg {
+
+/// Candidate ordering inside the branch-and-bound search (Section IV).
+enum class SortStrategy {
+  /// Static query-keyword-coverage sorting: sort once by QKC(v), never
+  /// re-sort (the KTG-QKC variant evaluated in Fig. 3).
+  kQkc,
+  /// Valid-keyword-coverage sorting: re-sort S_R by VKC w.r.t. the current
+  /// S_I after every selection (KTG-VKC, Algorithm 1).
+  kVkc,
+  /// VKC with vertex degree as tie-breaker (KTG-VKC-DEG). Small degree is
+  /// preferred: low-degree members conflict with fewer candidates, so a
+  /// feasible group forms earlier.
+  kVkcDeg,
+};
+
+const char* SortStrategyName(SortStrategy s);
+
+/// Knobs of the exact KTG engine.
+struct EngineOptions {
+  SortStrategy sort = SortStrategy::kVkcDeg;
+
+  /// Theorem 2: cut branches whose optimistic coverage cannot beat the
+  /// current N-th group.
+  bool keyword_pruning = true;
+
+  /// Extension on top of Theorem 2 (this library's tightening, ON by
+  /// default): additionally bound a branch by the *reachable* coverage
+  /// popcount(covered ∪ union of remaining masks), which never exceeds
+  /// |W_Q|. The paper's additive bound alone can exceed |W_Q| and stops
+  /// pruning once the top groups saturate; the ablation bench quantifies
+  /// the gap. Turn OFF to reproduce the published algorithm exactly (the
+  /// figure benches do).
+  bool ceiling_prune = true;
+
+  /// Theorem 3: eagerly remove k-line conflicts from S_R after each
+  /// selection. When false the engine checks feasibility lazily on
+  /// selection instead (same results; the ablation bench compares cost).
+  bool eager_kline_filtering = true;
+
+  /// Use the checker's bulk ball materialization (one traversal per
+  /// selected member instead of per-pair checks) when the checker offers
+  /// one. Only the index-free BFS checker does today; NL/NLRNL per-pair
+  /// checks are already cheap, so this flag does not affect them. Turn off
+  /// to force the paper's per-pair accounting everywhere.
+  bool bulk_filtering = true;
+
+  /// Degree tie-break direction for kVkcDeg. The paper's motivation implies
+  /// ascending (small degree first); the flag allows measuring the
+  /// "descending" reading as well.
+  bool degree_ascending = true;
+
+  /// Stop the search after this many branch-and-bound nodes (0 = unlimited).
+  /// When hit, the result is marked incomplete.
+  uint64_t max_nodes = 0;
+
+  /// When > 0: stop as soon as the collector is full and every held group
+  /// covers at least this many keywords. DKTG-Greedy uses it to accept the
+  /// first group matching the previous round's coverage.
+  int stop_at_count = 0;
+};
+
+}  // namespace ktg
+
+#endif  // KTG_CORE_OPTIONS_H_

@@ -1,0 +1,52 @@
+// Copyright (c) 2026 The ktg Authors.
+
+#include "core/paper_example.h"
+
+namespace ktg {
+
+AttributedGraph PaperExampleGraph() {
+  AttributedGraphBuilder b;
+  GraphBuilder& g = b.mutable_topology();
+  g.EnsureVertices(12);
+  // u0 hub.
+  g.AddEdge(0, 1);
+  g.AddEdge(0, 2);
+  g.AddEdge(0, 3);
+  g.AddEdge(0, 4);
+  g.AddEdge(0, 9);
+  g.AddEdge(0, 11);
+  // u3's remaining neighbors.
+  g.AddEdge(3, 2);
+  g.AddEdge(3, 4);
+  g.AddEdge(3, 9);
+  // The u4/u6/u7/u8 cluster.
+  g.AddEdge(6, 7);
+  g.AddEdge(8, 7);
+  g.AddEdge(8, 4);
+  g.AddEdge(7, 4);
+  g.AddEdge(6, 4);
+  // Peripherals.
+  g.AddEdge(10, 2);
+  g.AddEdge(5, 6);
+
+  b.AddKeywords(0, {"SN", "GD", "DQ"});
+  b.AddKeywords(1, {"SN"});
+  b.AddKeywords(2, {"GD"});
+  b.AddKeywords(3, {"DQ"});
+  b.AddKeywords(4, {"GD"});
+  b.AddKeywords(5, {"GD"});
+  b.AddKeywords(6, {"SN", "QP"});
+  b.AddKeywords(7, {"SN"});
+  b.AddKeywords(8, {"ML"});
+  b.AddKeywords(9, {"IR"});
+  b.AddKeywords(10, {"QP", "SN", "DQ"});
+  b.AddKeywords(11, {"SN", "DQ"});
+  return b.Build();
+}
+
+KtgQuery PaperExampleQuery(const AttributedGraph& g) {
+  const std::string terms[] = {"SN", "QP", "DQ", "GQ", "GD"};
+  return MakeQuery(g, terms, /*group_size=*/3, /*tenuity=*/1, /*top_n=*/2);
+}
+
+}  // namespace ktg

@@ -1,0 +1,39 @@
+// Copyright (c) 2026 The ktg Authors.
+// The running example of the paper (Figure 1): a 12-reviewer attributed
+// social network over database/data-mining keywords.
+//
+// Figure 1 itself is an image; its edge set is only partially recoverable
+// from the prose. This reconstruction satisfies every structural constraint
+// the text states:
+//   * u0's 1-hop neighbors are {u1, u2, u3, u4, u9, u11};
+//   * u3's 1-hop neighbors are {u0, u2, u4, u9}, its 2-hop neighbors are
+//     {u6, u7, u8, u10, u11}, u5 is a 3-hop neighbor and ecc(u3) = 3;
+//   * u6 and u7 are directly connected;
+//   * the <=2-hop ball of u8 is exactly {u0, u3, u4, u6, u7};
+//   * QKC(u4) = 0.2 and QKC(u6) = 0.4 w.r.t. W_Q = {SN, QP, DQ, GQ, GD};
+//   * u0 covers {SN, GD, DQ}; u10 adds QP on top of u0 and ties u0 on
+//     coverage with a smaller degree (the KTG-VKC-DEG ordering);
+//   * {u10, u1, u4} and {u10, u1, u5} are optimal for
+//     ⟨W_Q, p=3, k=1, N=2⟩ with coverage 4/5 (GQ is covered by nobody).
+// Where the paper's prose is self-contradictory (it both includes and
+// excludes u6 from the initial S_R), brute force over this graph is the
+// ground truth used by the tests.
+
+#ifndef KTG_CORE_PAPER_EXAMPLE_H_
+#define KTG_CORE_PAPER_EXAMPLE_H_
+
+#include "core/query.h"
+#include "keywords/attributed_graph.h"
+
+namespace ktg {
+
+/// Builds the Figure-1 reconstruction. Keyword terms use the paper's
+/// abbreviations: SN, QP, DQ, GQ, GD plus non-query fillers ML, IR.
+AttributedGraph PaperExampleGraph();
+
+/// The paper's example query ⟨W_Q = {SN, QP, DQ, GQ, GD}, p=3, k=1, N=2⟩.
+KtgQuery PaperExampleQuery(const AttributedGraph& g);
+
+}  // namespace ktg
+
+#endif  // KTG_CORE_PAPER_EXAMPLE_H_

@@ -1,0 +1,120 @@
+// Copyright (c) 2026 The ktg Authors.
+// Query and result types for KTG / DKTG processing (Definitions 7 and 10).
+
+#ifndef KTG_CORE_QUERY_H_
+#define KTG_CORE_QUERY_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "graph/types.h"
+#include "keywords/attributed_graph.h"
+#include "util/bits.h"
+#include "util/status.h"
+
+namespace ktg {
+
+/// A KTG query ⟨W_Q, p, k, N⟩.
+struct KtgQuery {
+  /// Query keyword ids (W_Q). At most 64; ids not present in the graph's
+  /// vocabulary may be kInvalidKeyword — they stay in the denominator of
+  /// QKC but can never be covered.
+  std::vector<KeywordId> keywords;
+
+  /// Group size p (>= 1).
+  uint32_t group_size = 3;
+
+  /// Tenuity constraint k: every member pair must satisfy Dis(u, v) > k.
+  HopDistance tenuity = 1;
+
+  /// Number of result groups N (>= 1).
+  uint32_t top_n = 1;
+
+  /// Optional query vertices (the "authors" of the Section IV discussion):
+  /// candidates within `tenuity` hops of any of these — and the vertices
+  /// themselves — are excluded from every result group.
+  std::vector<VertexId> query_vertices;
+
+  /// Vertices barred from appearing in any result group (exact exclusion,
+  /// no neighborhood). DKTG-Greedy uses this to remove members of already
+  /// accepted groups between rounds.
+  std::vector<VertexId> excluded_vertices;
+
+  uint32_t num_keywords() const {
+    return static_cast<uint32_t>(keywords.size());
+  }
+};
+
+/// Builds a KtgQuery from keyword strings; terms missing from the
+/// vocabulary become kInvalidKeyword entries (uncoverable but counted in
+/// |W_Q|, mirroring a user asking for an unknown topic).
+KtgQuery MakeQuery(const AttributedGraph& g,
+                   std::span<const std::string> keyword_terms,
+                   uint32_t group_size, HopDistance tenuity, uint32_t top_n);
+
+/// Validates structural constraints (sizes, vertex ranges, <= 64 keywords).
+Status ValidateQuery(const KtgQuery& query, const AttributedGraph& g);
+
+/// A candidate result group.
+struct Group {
+  /// Member vertices, sorted ascending.
+  std::vector<VertexId> members;
+
+  /// Union of the members' coverage masks relative to the query keywords.
+  CoverMask mask = 0;
+
+  /// Number of query keywords jointly covered.
+  int covered() const { return PopCount(mask); }
+
+  bool operator==(const Group&) const = default;
+};
+
+/// Query keyword coverage of a group as a ratio (Definition 6).
+inline double QkcRatio(const Group& g, uint32_t query_keyword_count) {
+  return query_keyword_count == 0
+             ? 0.0
+             : static_cast<double>(g.covered()) / query_keyword_count;
+}
+
+/// Counters describing one engine run; benchmarks report these next to
+/// latency so speedups can be attributed to pruning/filtering volume.
+struct SearchStats {
+  uint64_t nodes_expanded = 0;      ///< branch-and-bound tree nodes visited
+  uint64_t groups_completed = 0;    ///< feasible size-p groups reached
+  uint64_t keyword_prunes = 0;      ///< branches cut by Theorem 2
+  uint64_t kline_filtered = 0;      ///< S_R removals by Theorem 3
+  uint64_t distance_checks = 0;     ///< checker invocations
+  uint64_t candidates = 0;          ///< initial |S_R|
+  double elapsed_ms = 0.0;          ///< wall-clock of the search
+
+  SearchStats& operator+=(const SearchStats& o) {
+    nodes_expanded += o.nodes_expanded;
+    groups_completed += o.groups_completed;
+    keyword_prunes += o.keyword_prunes;
+    kline_filtered += o.kline_filtered;
+    distance_checks += o.distance_checks;
+    candidates += o.candidates;
+    elapsed_ms += o.elapsed_ms;
+    return *this;
+  }
+};
+
+/// Result of a KTG query: up to N groups, best coverage first.
+struct KtgResult {
+  std::vector<Group> groups;
+  uint32_t query_keyword_count = 0;
+  SearchStats stats;
+
+  bool empty() const { return groups.empty(); }
+
+  /// Coverage ratio of the best group (0 when empty).
+  double best_coverage() const {
+    return groups.empty() ? 0.0 : QkcRatio(groups.front(), query_keyword_count);
+  }
+};
+
+}  // namespace ktg
+
+#endif  // KTG_CORE_QUERY_H_

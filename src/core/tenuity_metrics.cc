@@ -1,0 +1,115 @@
+// Copyright (c) 2026 The ktg Authors.
+
+#include "core/tenuity_metrics.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "graph/bfs.h"
+
+namespace ktg {
+namespace {
+
+// Pairwise hop distances among members, bounded by `max_hops` (entries
+// above the bound are kUnreachable). One bounded BFS per member.
+std::vector<std::vector<HopDistance>> PairwiseDistances(
+    const Graph& graph, std::span<const VertexId> members,
+    HopDistance max_hops) {
+  const size_t n = members.size();
+  std::vector<std::vector<HopDistance>> d(
+      n, std::vector<HopDistance>(n, kUnreachable));
+  BoundedBfs bfs(graph);
+  for (size_t i = 0; i < n; ++i) {
+    d[i][i] = 0;
+    for (size_t j = i + 1; j < n; ++j) {
+      const HopDistance dist =
+          bfs.DistanceBidirectional(members[i], members[j], max_hops);
+      d[i][j] = d[j][i] = dist;
+    }
+  }
+  return d;
+}
+
+}  // namespace
+
+uint64_t GroupEdgeCount(const Graph& graph,
+                        std::span<const VertexId> members) {
+  uint64_t edges = 0;
+  for (size_t i = 0; i < members.size(); ++i) {
+    for (size_t j = i + 1; j < members.size(); ++j) {
+      if (graph.HasEdge(members[i], members[j])) ++edges;
+    }
+  }
+  return edges;
+}
+
+double GroupDensity(const Graph& graph, std::span<const VertexId> members) {
+  const size_t n = members.size();
+  if (n < 2) return 0.0;
+  const double pairs = static_cast<double>(n) * (n - 1) / 2.0;
+  return static_cast<double>(GroupEdgeCount(graph, members)) / pairs;
+}
+
+uint64_t KLineCount(const Graph& graph, std::span<const VertexId> members,
+                    HopDistance k) {
+  const auto d = PairwiseDistances(graph, members, k);
+  uint64_t lines = 0;
+  for (size_t i = 0; i < members.size(); ++i) {
+    for (size_t j = i + 1; j < members.size(); ++j) {
+      if (d[i][j] != kUnreachable && d[i][j] <= k) ++lines;
+    }
+  }
+  return lines;
+}
+
+uint64_t KTriangleCount(const Graph& graph, std::span<const VertexId> members,
+                        HopDistance k) {
+  if (k == 0) return 0;
+  const auto d =
+      PairwiseDistances(graph, members, static_cast<HopDistance>(k - 1));
+  const size_t n = members.size();
+  auto close = [&](size_t i, size_t j) {
+    return d[i][j] != kUnreachable && d[i][j] < k;
+  };
+  uint64_t triangles = 0;
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i + 1; j < n; ++j) {
+      if (!close(i, j)) continue;
+      for (size_t l = j + 1; l < n; ++l) {
+        if (close(i, l) && close(j, l)) ++triangles;
+      }
+    }
+  }
+  return triangles;
+}
+
+double KTenuityRatio(const Graph& graph, std::span<const VertexId> members,
+                     HopDistance k) {
+  const size_t n = members.size();
+  if (n < 2) return 0.0;
+  const double pairs = static_cast<double>(n) * (n - 1) / 2.0;
+  return static_cast<double>(KLineCount(graph, members, k)) / pairs;
+}
+
+HopDistance GroupTenuity(const Graph& graph,
+                         std::span<const VertexId> members) {
+  if (members.size() < 2) return kUnreachable;
+  // Unbounded pairwise distances; the minimum is what Definition 4 asks.
+  BoundedBfs bfs(graph);
+  HopDistance best = kUnreachable;
+  for (size_t i = 0; i < members.size(); ++i) {
+    for (size_t j = i + 1; j < members.size(); ++j) {
+      // Bound subsequent searches by the best-so-far: anything at or above
+      // it cannot lower the minimum.
+      const HopDistance bound =
+          best == kUnreachable ? static_cast<HopDistance>(kUnreachable - 1)
+                               : best;
+      const HopDistance d =
+          bfs.DistanceBidirectional(members[i], members[j], bound);
+      if (d != kUnreachable) best = std::min(best, d);
+    }
+  }
+  return best;
+}
+
+}  // namespace ktg

@@ -1,0 +1,58 @@
+// Copyright (c) 2026 The ktg Authors.
+// The tenuity metrics surveyed in Section II.A, implemented side by side.
+//
+// The paper positions its hard k-distance-group requirement against prior
+// measures of how "loose" a group is. Having all of them lets the
+// effectiveness benches quantify the claim that weaker metrics admit
+// socially close members:
+//
+//   * edge count / density          — [15]-[17]: no hop-distance guarantee;
+//   * k-line count                  — Li [2]: #pairs within k hops
+//                                     (minimized, not forbidden);
+//   * k-triangle count              — Shen et al. [1][4]: #triples whose
+//                                     three pairwise distances are all < k;
+//   * k-tenuity ratio               — Li et al. [18] (TAGQ): fraction of
+//                                     pairs within k hops;
+//   * group tenuity                 — Definition 4: the smallest pairwise
+//                                     hop distance (this paper's measure;
+//                                     a k-distance group has tenuity > k).
+
+#ifndef KTG_CORE_TENUITY_METRICS_H_
+#define KTG_CORE_TENUITY_METRICS_H_
+
+#include <span>
+
+#include "graph/graph.h"
+#include "graph/types.h"
+
+namespace ktg {
+
+/// Number of edges of `graph` with both endpoints in `members`.
+uint64_t GroupEdgeCount(const Graph& graph, std::span<const VertexId> members);
+
+/// Internal edge density: edges / C(|members|, 2); 0 for < 2 members.
+double GroupDensity(const Graph& graph, std::span<const VertexId> members);
+
+/// Number of member pairs at hop distance <= k (k-lines, Definition 2).
+uint64_t KLineCount(const Graph& graph, std::span<const VertexId> members,
+                    HopDistance k);
+
+/// Number of member triples whose three pairwise hop distances are all
+/// strictly less than k (the k-triangle of Shen et al.).
+uint64_t KTriangleCount(const Graph& graph, std::span<const VertexId> members,
+                        HopDistance k);
+
+/// The k-tenuity ratio of Li et al. [18]: (#pairs within k hops) /
+/// (#pairs); 0 for < 2 members. 0 means fully tenuous under that model.
+double KTenuityRatio(const Graph& graph, std::span<const VertexId> members,
+                     HopDistance k);
+
+/// Definition 4: the smallest pairwise hop distance within the group
+/// (kUnreachable when some pair is disconnected or fewer than 2 members).
+/// A group is a k-distance group iff GroupTenuity(...) > k.
+HopDistance GroupTenuity(const Graph& graph,
+                         std::span<const VertexId> members);
+
+}  // namespace ktg
+
+#endif  // KTG_CORE_TENUITY_METRICS_H_

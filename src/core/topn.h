@@ -1,0 +1,55 @@
+// Copyright (c) 2026 The ktg Authors.
+// Bounded top-N collection of result groups.
+//
+// The paper's update rule (Algorithm 1, lines 2-3 and the worked examples)
+// admits a new feasible group only when its coverage is *strictly* greater
+// than the current N-th best once N groups are held; before that, any
+// feasible group enters. TopNCollector encapsulates that rule and exposes
+// the pruning threshold C_max used by Theorem 2.
+
+#ifndef KTG_CORE_TOPN_H_
+#define KTG_CORE_TOPN_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/query.h"
+
+namespace ktg {
+
+/// Collects the top-N groups by covered-keyword count.
+class TopNCollector {
+ public:
+  explicit TopNCollector(uint32_t n) : n_(n) {}
+
+  /// Offers a feasible group; returns true when it was admitted.
+  bool Offer(Group group);
+
+  /// True once N groups are held.
+  bool full() const { return groups_.size() >= n_; }
+
+  /// The keyword-pruning threshold: a branch whose optimistic bound does
+  /// not exceed this cannot improve the result. Equals the N-th coverage
+  /// count when full, -1 otherwise (any feasible group is useful).
+  int threshold() const { return full() ? worst_count_ : -1; }
+
+  size_t size() const { return groups_.size(); }
+
+  /// Finalizes: groups ordered by coverage descending; ties keep insertion
+  /// order (the order the search discovered them, as in the paper's
+  /// examples). The collector is left empty.
+  std::vector<Group> Take();
+
+ private:
+  void RecomputeWorst();
+
+  uint32_t n_;
+  int worst_count_ = -1;
+  // Stored with insertion sequence numbers for stable tie ordering.
+  std::vector<std::pair<uint64_t, Group>> groups_;
+  uint64_t next_seq_ = 0;
+};
+
+}  // namespace ktg
+
+#endif  // KTG_CORE_TOPN_H_

@@ -1,0 +1,70 @@
+// Copyright (c) 2026 The ktg Authors.
+// Synthetic graph generators.
+//
+// The paper evaluates on SNAP/GitHub datasets that are not redistributable
+// here; these generators produce seeded stand-ins with matching scale and
+// degree shape (see datagen/presets.h for the per-dataset parameters and
+// DESIGN.md §4 for the substitution rationale). The simpler families
+// (Erdős–Rényi, Watts–Strogatz, paths/cycles/grids) additionally serve the
+// randomized property tests.
+
+#ifndef KTG_DATAGEN_GENERATORS_H_
+#define KTG_DATAGEN_GENERATORS_H_
+
+#include <cstdint>
+
+#include "graph/graph.h"
+#include "util/rng.h"
+
+namespace ktg {
+
+/// Barabási–Albert preferential attachment: each new vertex attaches to
+/// `edges_per_vertex` existing vertices chosen proportional to degree.
+/// Produces a connected power-law graph with average degree ≈
+/// 2·edges_per_vertex. Requires n >= edges_per_vertex + 1.
+Graph BarabasiAlbert(uint32_t n, uint32_t edges_per_vertex, Rng& rng);
+
+/// Chung–Lu: expected-degree model with a power-law weight sequence
+/// w_i ∝ (i+1)^(-1/(exponent-1)) scaled so the expected average degree is
+/// `avg_degree`. `exponent` is the power-law exponent (typically 2.1–3).
+/// May be disconnected (like the real LBSN datasets).
+Graph ChungLuPowerLaw(uint32_t n, double avg_degree, double exponent,
+                      Rng& rng);
+
+/// Erdős–Rényi G(n, p) via geometric edge skipping.
+Graph ErdosRenyi(uint32_t n, double edge_probability, Rng& rng);
+
+/// Watts–Strogatz small world: ring lattice with `neighbors_each_side`
+/// neighbors per side, each edge rewired with probability `beta`.
+Graph WattsStrogatz(uint32_t n, uint32_t neighbors_each_side, double beta,
+                    Rng& rng);
+
+/// A simple path v0 - v1 - ... - v_{n-1} (hop distances are |i - j|);
+/// deterministic, used by index tests that need known distances.
+Graph PathGraph(uint32_t n);
+
+/// A cycle over n vertices.
+Graph CycleGraph(uint32_t n);
+
+/// A rows × cols grid (4-neighborhood).
+Graph GridGraph(uint32_t rows, uint32_t cols);
+
+/// The complete graph K_n.
+Graph CompleteGraph(uint32_t n);
+
+/// A perfect `arity`-ary tree with `n` vertices (vertex i's parent is
+/// (i-1)/arity).
+Graph AryTree(uint32_t n, uint32_t arity);
+
+/// Stochastic block model: `communities` equal-sized planted communities;
+/// an edge joins two vertices of the same community with probability
+/// `p_in`, of different communities with probability `p_out`. Community of
+/// vertex v is v % communities. With p_in >> p_out this produces the
+/// community structure that makes tenuous groups scarce inside a topic
+/// cluster — the regime the paper's case study lives in.
+Graph StochasticBlockModel(uint32_t n, uint32_t communities, double p_in,
+                           double p_out, Rng& rng);
+
+}  // namespace ktg
+
+#endif  // KTG_DATAGEN_GENERATORS_H_

@@ -1,0 +1,68 @@
+// Copyright (c) 2026 The ktg Authors.
+
+#include "datagen/keyword_assigner.h"
+
+#include <algorithm>
+
+#include "util/zipf.h"
+
+namespace ktg {
+
+std::string KeywordTerm(uint32_t rank) { return "kw" + std::to_string(rank); }
+
+AttributedGraph AssignKeywords(Graph graph, const KeywordModel& model,
+                               Rng& rng) {
+  KTG_CHECK(model.vocabulary_size >= 1);
+  KTG_CHECK(model.min_per_vertex <= model.max_per_vertex);
+
+  AttributedGraphBuilder builder;
+  const uint32_t n = graph.num_vertices();
+
+  // Intern the vocabulary in rank order so KeywordId == popularity rank;
+  // benches exploit that to pick frequent query keywords.
+  Vocabulary& vocab = builder.mutable_vocabulary();
+  for (uint32_t r = 0; r < model.vocabulary_size; ++r) {
+    vocab.Intern(KeywordTerm(r));
+  }
+
+  const ZipfDistribution zipf(model.vocabulary_size, model.zipf_exponent);
+  // Per-vertex keyword sets kept for homophilous copying (vertices are
+  // attributed in id order, so neighbors with smaller ids are available).
+  std::vector<std::vector<KeywordId>> assigned(n);
+  std::vector<KeywordId> picked;
+  for (VertexId v = 0; v < n; ++v) {
+    if (model.empty_fraction > 0.0 && rng.Chance(model.empty_fraction)) {
+      continue;
+    }
+    const uint32_t count = static_cast<uint32_t>(
+        rng.Uniform(model.min_per_vertex, model.max_per_vertex));
+    picked.clear();
+    uint32_t guard = 0;
+    while (picked.size() < count && guard < 64 * count + 64) {
+      ++guard;
+      KeywordId kw = kInvalidKeyword;
+      if (model.homophily > 0.0 && rng.Chance(model.homophily)) {
+        // Copy a keyword from a random already-attributed neighbor.
+        const auto neighbors = graph.Neighbors(v);
+        if (!neighbors.empty()) {
+          const VertexId w = neighbors[rng.Below(neighbors.size())];
+          if (w < v && !assigned[w].empty()) {
+            kw = assigned[w][rng.Below(assigned[w].size())];
+          }
+        }
+      }
+      if (kw == kInvalidKeyword) {
+        kw = static_cast<KeywordId>(zipf.Sample(rng));
+      }
+      if (std::find(picked.begin(), picked.end(), kw) == picked.end()) {
+        picked.push_back(kw);
+      }
+    }
+    for (const KeywordId kw : picked) builder.AddKeywordId(v, kw);
+    assigned[v] = picked;
+  }
+  builder.SetGraph(std::move(graph));
+  return builder.Build();
+}
+
+}  // namespace ktg

@@ -1,0 +1,67 @@
+// Copyright (c) 2026 The ktg Authors.
+// Named dataset presets mirroring the paper's evaluation datasets.
+//
+// The paper (Section VII) uses DBLP (200k vertices / 1.23M edges), Gowalla
+// (67k / 559k), Brightkite (58k / 214k), Flickr (158k / 1.34M), plus a
+// denser Twitter graph (81k / 1.77M) and a 1M-vertex DBLP for Figure 7.
+// Those files are not redistributable offline, so each preset generates a
+// seeded synthetic graph with the same average degree and a power-law
+// degree shape, at a configurable scale (default 1/10 — the NL/NLRNL
+// indexes are near-all-pairs structures; the paper used a 120 GB server,
+// the default scale fits a laptop). Real SNAP files can be substituted via
+// graph_io + LoadAttributedGraph.
+
+#ifndef KTG_DATAGEN_PRESETS_H_
+#define KTG_DATAGEN_PRESETS_H_
+
+#include <string>
+#include <vector>
+
+#include "datagen/keyword_assigner.h"
+#include "keywords/attributed_graph.h"
+#include "util/status.h"
+
+namespace ktg {
+
+/// Topology family of a preset.
+enum class TopologyKind {
+  kBarabasiAlbert,
+  kChungLu,
+  kWattsStrogatz,
+};
+
+/// A reproducible dataset recipe.
+struct DatasetSpec {
+  std::string name;
+  TopologyKind topology = TopologyKind::kBarabasiAlbert;
+  uint32_t num_vertices = 10000;
+  /// kBarabasiAlbert: edges per new vertex (avg degree ≈ 2x this).
+  uint32_t ba_edges_per_vertex = 5;
+  /// kChungLu: target average degree and power-law exponent.
+  double cl_avg_degree = 10.0;
+  double cl_exponent = 2.5;
+  /// kWattsStrogatz: per-side lattice neighbors and rewiring probability.
+  uint32_t ws_neighbors = 5;
+  double ws_beta = 0.1;
+  KeywordModel keywords;
+  uint64_t seed = 42;
+
+  /// Paper-scale vertex/edge counts this preset models (for reporting).
+  uint32_t paper_vertices = 0;
+  uint64_t paper_edges = 0;
+};
+
+/// The preset names: "dblp", "gowalla", "brightkite", "flickr", "twitter",
+/// "dblp-large".
+std::vector<std::string> PresetNames();
+
+/// Returns the spec of a named preset, scaled: `scale` multiplies the
+/// default (1/10-of-paper) vertex count. Unknown names → NotFound.
+Result<DatasetSpec> GetPreset(const std::string& name, double scale = 1.0);
+
+/// Materializes a dataset from its spec (deterministic per spec).
+AttributedGraph BuildDataset(const DatasetSpec& spec);
+
+}  // namespace ktg
+
+#endif  // KTG_DATAGEN_PRESETS_H_

@@ -1,0 +1,74 @@
+// Copyright (c) 2026 The ktg Authors.
+
+#include "datagen/query_gen.h"
+
+#include <algorithm>
+
+#include "util/zipf.h"
+
+namespace ktg {
+
+std::vector<KtgQuery> GenerateWorkload(const AttributedGraph& g,
+                                       const WorkloadOptions& options,
+                                       Rng& rng) {
+  KTG_CHECK(g.num_keywords() > 0);
+  KTG_CHECK(options.keyword_count >= 1);
+  KTG_CHECK(options.keyword_count <= 64);
+
+  const uint32_t vocab = g.num_keywords();
+  const ZipfDistribution zipf(vocab, options.keyword_zipf);
+
+  // Frequency-banded mode: the sampling pool is the set of keywords with a
+  // posting frequency inside the configured band.
+  std::vector<KeywordId> pool;
+  if (options.frequency_banded) {
+    std::vector<uint32_t> freq(vocab, 0);
+    for (VertexId v = 0; v < g.num_vertices(); ++v) {
+      for (const KeywordId kw : g.Keywords(v)) ++freq[kw];
+    }
+    const uint32_t lo = options.min_keyword_freq;
+    const uint32_t hi = options.max_keyword_freq != 0
+                            ? options.max_keyword_freq
+                            : std::max(3 * lo, g.num_vertices() / 60);
+    for (KeywordId kw = 0; kw < vocab; ++kw) {
+      if (freq[kw] >= lo && freq[kw] <= hi) pool.push_back(kw);
+    }
+    // Degenerate band (tiny synthetic graphs): fall back to every keyword
+    // that occurs at all.
+    if (pool.size() < options.keyword_count) {
+      pool.clear();
+      for (KeywordId kw = 0; kw < vocab; ++kw) {
+        if (freq[kw] > 0) pool.push_back(kw);
+      }
+    }
+  }
+
+  const uint32_t universe =
+      options.frequency_banded ? static_cast<uint32_t>(pool.size()) : vocab;
+  const uint32_t want = std::min(options.keyword_count, universe);
+
+  std::vector<KtgQuery> out;
+  out.reserve(options.num_queries);
+  for (uint32_t q = 0; q < options.num_queries; ++q) {
+    KtgQuery query;
+    query.group_size = options.group_size;
+    query.tenuity = options.tenuity;
+    query.top_n = options.top_n;
+    uint32_t guard = 0;
+    while (query.keywords.size() < want && guard < 1024 * want) {
+      ++guard;
+      const KeywordId kw =
+          options.frequency_banded
+              ? pool[rng.Below(pool.size())]
+              : static_cast<KeywordId>(zipf.Sample(rng));
+      if (std::find(query.keywords.begin(), query.keywords.end(), kw) ==
+          query.keywords.end()) {
+        query.keywords.push_back(kw);
+      }
+    }
+    out.push_back(std::move(query));
+  }
+  return out;
+}
+
+}  // namespace ktg

@@ -1,0 +1,52 @@
+// Copyright (c) 2026 The ktg Authors.
+// Query workload generation (Section VII: "we randomly generate four groups
+// of queries ... each group consists of 100 queries").
+//
+// Query keywords are sampled without replacement from the vocabulary with a
+// Zipf bias toward popular keywords — uniformly random rare keywords would
+// make most queries degenerate (empty candidate sets), which is not what
+// the paper's latency curves show.
+
+#ifndef KTG_DATAGEN_QUERY_GEN_H_
+#define KTG_DATAGEN_QUERY_GEN_H_
+
+#include <vector>
+
+#include "core/query.h"
+#include "keywords/attributed_graph.h"
+#include "util/rng.h"
+
+namespace ktg {
+
+/// Workload parameters (defaults = the bold Table I defaults used by the
+/// bench harness: p=4, k=2, |W_Q|=6, N=5).
+struct WorkloadOptions {
+  uint32_t num_queries = 20;
+  uint32_t keyword_count = 6;  ///< |W_Q|
+  uint32_t group_size = 4;     ///< p
+  HopDistance tenuity = 2;     ///< k
+  uint32_t top_n = 5;          ///< N
+  /// Zipf exponent of the keyword-sampling bias (0 = uniform). Used when
+  /// frequency_banded is false.
+  double keyword_zipf = 0.4;
+
+  /// When true, query keywords are drawn uniformly from the keywords whose
+  /// posting frequency lies in [min_keyword_freq, max_keyword_freq] — the
+  /// regime of the paper's real-data workloads, where each query keyword
+  /// matches tens (not thousands) of users and exact search over all
+  /// p-combinations is tractable. The figure benches use this mode.
+  bool frequency_banded = false;
+  uint32_t min_keyword_freq = 4;
+  /// 0 = auto (max(3 * min, num_vertices / 60)).
+  uint32_t max_keyword_freq = 0;
+};
+
+/// Generates `options.num_queries` KTG queries over `g`'s vocabulary.
+/// Deterministic given `rng`'s state.
+std::vector<KtgQuery> GenerateWorkload(const AttributedGraph& g,
+                                       const WorkloadOptions& options,
+                                       Rng& rng);
+
+}  // namespace ktg
+
+#endif  // KTG_DATAGEN_QUERY_GEN_H_

@@ -1,0 +1,86 @@
+// Copyright (c) 2026 The ktg Authors.
+// Breadth-first search machinery over CSR graphs.
+//
+// Everything distance-related in the paper reduces to hop-bounded BFS:
+//  * Dis(u, v)            — Definition 1 (shortest-path hop count),
+//  * k-line tests          — Dis(u, v) <= k (Definition 2),
+//  * NL / NLRNL building   — per-vertex hop levels,
+//  * k-line filtering      — the <=k ball around a newly selected member.
+//
+// BoundedBfs owns reusable scratch buffers (epoch-stamped visit marks and a
+// frontier queue) so that millions of searches run without allocation. It is
+// therefore stateful and not thread-safe; create one per thread.
+
+#ifndef KTG_GRAPH_BFS_H_
+#define KTG_GRAPH_BFS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+#include "graph/types.h"
+
+namespace ktg {
+
+/// Reusable hop-bounded BFS engine over a fixed graph.
+class BoundedBfs {
+ public:
+  /// Binds the engine to `graph`; the graph must outlive the engine.
+  explicit BoundedBfs(const Graph& graph);
+
+  /// Hop distance from `s` to `t`, or kUnreachable when it exceeds
+  /// `max_hops` (or no path exists). Runs a single-direction BFS from `s`.
+  HopDistance Distance(VertexId s, VertexId t, HopDistance max_hops);
+
+  /// Same contract as Distance() but expands frontiers from both endpoints,
+  /// which visits O(deg^(k/2)) instead of O(deg^k) vertices — the preferred
+  /// primitive for k-line checks without an index.
+  HopDistance DistanceBidirectional(VertexId s, VertexId t,
+                                    HopDistance max_hops);
+
+  /// Vertices within `max_hops` of `s`, excluding `s` itself, in ascending
+  /// id order. This is exactly the set a k-line filter must remove from S_R
+  /// after selecting `s`.
+  std::vector<VertexId> Ball(VertexId s, HopDistance max_hops);
+
+  /// Hop levels around `s`: result[i] holds the vertices at distance i+1,
+  /// each level sorted by id; levels are produced up to `max_hops` levels or
+  /// until the frontier empties, whichever comes first.
+  std::vector<std::vector<VertexId>> Levels(VertexId s, HopDistance max_hops);
+
+  /// Eccentricity of `s` within its connected component (0 for an isolated
+  /// vertex).
+  HopDistance Eccentricity(VertexId s);
+
+  /// Number of vertices expanded by the most recent search (profiling aid).
+  uint64_t last_visited() const { return last_visited_; }
+
+ private:
+  // Marks `v` visited in the current epoch; returns false if already marked.
+  bool Mark(VertexId v) {
+    if (stamp_[v] == epoch_) return false;
+    stamp_[v] = epoch_;
+    return true;
+  }
+  void NewEpoch();
+
+  const Graph& graph_;
+  std::vector<uint32_t> stamp_;
+  uint32_t epoch_ = 0;
+  std::vector<VertexId> frontier_;
+  std::vector<VertexId> next_;
+  // Second mark array for the backward side of bidirectional searches.
+  std::vector<uint32_t> stamp_back_;
+  uint64_t last_visited_ = 0;
+};
+
+/// Convenience one-shot: hop distance between `s` and `t` with no bound.
+/// Allocates scratch internally — use BoundedBfs for hot paths.
+HopDistance HopDistanceBetween(const Graph& graph, VertexId s, VertexId t);
+
+/// Full single-source hop distances; unreachable vertices get kUnreachable.
+std::vector<HopDistance> DistancesFrom(const Graph& graph, VertexId s);
+
+}  // namespace ktg
+
+#endif  // KTG_GRAPH_BFS_H_

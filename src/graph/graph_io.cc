@@ -1,0 +1,86 @@
+// Copyright (c) 2026 The ktg Authors.
+
+#include "graph/graph_io.h"
+
+#include <cctype>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace ktg {
+namespace {
+
+// Parses one edge line into (u, v). Returns false for blank/comment lines,
+// an error status for malformed ones.
+enum class LineKind { kEdge, kSkip, kError };
+
+LineKind ParseLine(const std::string& line, uint64_t* u, uint64_t* v) {
+  size_t i = 0;
+  while (i < line.size() && std::isspace(static_cast<unsigned char>(line[i])))
+    ++i;
+  if (i == line.size() || line[i] == '#' || line[i] == '%') return LineKind::kSkip;
+
+  char* end = nullptr;
+  *u = std::strtoull(line.c_str() + i, &end, 10);
+  if (end == line.c_str() + i) return LineKind::kError;
+  const char* p = end;
+  while (*p && std::isspace(static_cast<unsigned char>(*p))) ++p;
+  if (!*p) return LineKind::kError;
+  *v = std::strtoull(p, &end, 10);
+  if (end == p) return LineKind::kError;
+  return LineKind::kEdge;
+}
+
+Result<Graph> ParseStream(std::istream& in, const std::string& origin) {
+  GraphBuilder builder;
+  std::string line;
+  uint64_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    uint64_t u = 0, v = 0;
+    switch (ParseLine(line, &u, &v)) {
+      case LineKind::kSkip:
+        continue;
+      case LineKind::kError:
+        return Status::InvalidArgument(origin + ": malformed edge at line " +
+                                       std::to_string(line_no) + ": '" +
+                                       line + "'");
+      case LineKind::kEdge:
+        if (u > kInvalidVertex - 1 || v > kInvalidVertex - 1) {
+          return Status::OutOfRange(origin + ": vertex id exceeds 32 bits at line " +
+                                    std::to_string(line_no));
+        }
+        builder.AddEdge(static_cast<VertexId>(u), static_cast<VertexId>(v));
+        break;
+    }
+  }
+  return builder.Build();
+}
+
+}  // namespace
+
+Result<Graph> LoadEdgeList(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IoError("cannot open edge list: " + path);
+  return ParseStream(in, path);
+}
+
+Result<Graph> ParseEdgeList(const std::string& text) {
+  std::istringstream in(text);
+  return ParseStream(in, "<string>");
+}
+
+Status SaveEdgeList(const Graph& graph, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::IoError("cannot create edge list: " + path);
+  out << "# ktg edge list: " << graph.num_vertices() << " vertices, "
+      << graph.num_edges() << " edges\n";
+  for (const auto& [u, v] : graph.EdgeList()) {
+    out << u << ' ' << v << '\n';
+  }
+  out.flush();
+  if (!out) return Status::IoError("failed writing edge list: " + path);
+  return Status::OK();
+}
+
+}  // namespace ktg

@@ -1,0 +1,93 @@
+// Copyright (c) 2026 The ktg Authors.
+
+#include "graph/stats.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "graph/bfs.h"
+
+namespace ktg {
+
+std::pair<std::vector<uint32_t>, uint32_t> ConnectedComponents(
+    const Graph& graph) {
+  const uint32_t n = graph.num_vertices();
+  std::vector<uint32_t> label(n, kInvalidVertex);
+  uint32_t next_label = 0;
+  std::vector<VertexId> stack;
+  for (VertexId s = 0; s < n; ++s) {
+    if (label[s] != kInvalidVertex) continue;
+    label[s] = next_label;
+    stack.push_back(s);
+    while (!stack.empty()) {
+      const VertexId u = stack.back();
+      stack.pop_back();
+      for (const VertexId w : graph.Neighbors(u)) {
+        if (label[w] == kInvalidVertex) {
+          label[w] = next_label;
+          stack.push_back(w);
+        }
+      }
+    }
+    ++next_label;
+  }
+  return {std::move(label), next_label};
+}
+
+std::vector<uint64_t> DegreeHistogram(const Graph& graph) {
+  std::vector<uint64_t> hist;
+  for (VertexId v = 0; v < graph.num_vertices(); ++v) {
+    const uint32_t d = graph.Degree(v);
+    if (d >= hist.size()) hist.resize(d + 1, 0);
+    ++hist[d];
+  }
+  return hist;
+}
+
+GraphStats ComputeGraphStats(const Graph& graph, Rng& rng,
+                             uint32_t distance_samples) {
+  GraphStats s;
+  s.num_vertices = graph.num_vertices();
+  s.num_edges = graph.num_edges();
+  s.avg_degree = graph.AverageDegree();
+  for (VertexId v = 0; v < graph.num_vertices(); ++v) {
+    s.max_degree = std::max(s.max_degree, graph.Degree(v));
+  }
+
+  auto [labels, count] = ConnectedComponents(graph);
+  s.num_components = count;
+  std::vector<uint32_t> sizes(count, 0);
+  for (const uint32_t l : labels) ++sizes[l];
+  for (const uint32_t sz : sizes) {
+    s.largest_component = std::max(s.largest_component, sz);
+  }
+
+  if (distance_samples > 0 && graph.num_vertices() > 0) {
+    BoundedBfs bfs(graph);
+    for (uint32_t i = 0; i < distance_samples; ++i) {
+      const auto src =
+          static_cast<VertexId>(rng.Below(graph.num_vertices()));
+      const auto levels = bfs.Levels(src, 64);
+      for (size_t d = 0; d < levels.size(); ++d) {
+        if (d + 1 >= s.distance_histogram.size()) {
+          s.distance_histogram.resize(d + 2, 0);
+        }
+        s.distance_histogram[d + 1] += levels[d].size();
+      }
+      s.approx_diameter =
+          std::max(s.approx_diameter, static_cast<uint32_t>(levels.size()));
+    }
+  }
+  return s;
+}
+
+std::string GraphStats::ToString() const {
+  std::ostringstream os;
+  os << "n=" << num_vertices << " m=" << num_edges << " avg_deg=" << avg_degree
+     << " max_deg=" << max_degree << " components=" << num_components
+     << " largest_cc=" << largest_component
+     << " approx_diameter=" << approx_diameter;
+  return os.str();
+}
+
+}  // namespace ktg

@@ -1,0 +1,53 @@
+// Copyright (c) 2026 The ktg Authors.
+// Structural statistics of a graph.
+//
+// Used by the dataset generators to verify that synthetic stand-ins match
+// the paper datasets' scale and shape, and by the bench harness to print a
+// dataset summary next to every figure (so EXPERIMENTS.md can relate our
+// measurements to the paper's).
+
+#ifndef KTG_GRAPH_STATS_H_
+#define KTG_GRAPH_STATS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+#include "util/rng.h"
+
+namespace ktg {
+
+/// Summary of a graph's structure.
+struct GraphStats {
+  uint32_t num_vertices = 0;
+  uint64_t num_edges = 0;
+  double avg_degree = 0.0;
+  uint32_t max_degree = 0;
+  uint32_t num_components = 0;
+  uint32_t largest_component = 0;
+  /// Hop-distance histogram over sampled connected vertex pairs:
+  /// distance_histogram[d] = observed count of pairs at distance d.
+  std::vector<uint64_t> distance_histogram;
+  /// Estimated diameter (max distance seen among BFS samples).
+  uint32_t approx_diameter = 0;
+
+  /// One-line human-readable rendering.
+  std::string ToString() const;
+};
+
+/// Computes structural statistics. `distance_samples` BFS sources are used
+/// for the distance histogram / diameter estimate (0 disables them).
+GraphStats ComputeGraphStats(const Graph& graph, Rng& rng,
+                             uint32_t distance_samples = 32);
+
+/// Connected-component labels (component id per vertex) and component count.
+std::pair<std::vector<uint32_t>, uint32_t> ConnectedComponents(
+    const Graph& graph);
+
+/// Degree histogram: result[d] = number of vertices with degree d.
+std::vector<uint64_t> DegreeHistogram(const Graph& graph);
+
+}  // namespace ktg
+
+#endif  // KTG_GRAPH_STATS_H_

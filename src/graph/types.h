@@ -1,0 +1,36 @@
+// Copyright (c) 2026 The ktg Authors.
+// Fundamental identifier types of the graph layer.
+
+#ifndef KTG_GRAPH_TYPES_H_
+#define KTG_GRAPH_TYPES_H_
+
+#include <cstdint>
+#include <limits>
+
+namespace ktg {
+
+/// Vertex identifier; vertices of a graph with n vertices are 0..n-1.
+using VertexId = uint32_t;
+
+/// Keyword identifier, an index into a Vocabulary.
+using KeywordId = uint32_t;
+
+/// Sentinel for "no vertex".
+inline constexpr VertexId kInvalidVertex =
+    std::numeric_limits<VertexId>::max();
+
+/// Sentinel for "no keyword".
+inline constexpr KeywordId kInvalidKeyword =
+    std::numeric_limits<KeywordId>::max();
+
+/// Hop distances are small in social networks (k_max ≈ 7 in DBLP per the
+/// paper); 16 bits leave ample headroom while keeping distance arrays dense.
+using HopDistance = uint16_t;
+
+/// Sentinel hop distance for "unreachable / unknown".
+inline constexpr HopDistance kUnreachable =
+    std::numeric_limits<HopDistance>::max();
+
+}  // namespace ktg
+
+#endif  // KTG_GRAPH_TYPES_H_

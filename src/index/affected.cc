@@ -1,0 +1,46 @@
+// Copyright (c) 2026 The ktg Authors.
+
+#include "index/affected.h"
+
+#include <cstdlib>
+
+#include "graph/bfs.h"
+
+namespace ktg {
+namespace {
+
+// |da - db| with kUnreachable treated as +infinity; returns a large value
+// when exactly one side is unreachable and 0 when both are.
+int64_t DistanceGap(HopDistance da, HopDistance db) {
+  const bool ia = (da == kUnreachable);
+  const bool ib = (db == kUnreachable);
+  if (ia && ib) return 0;
+  if (ia || ib) return 1 << 20;
+  return std::llabs(static_cast<int64_t>(da) - static_cast<int64_t>(db));
+}
+
+}  // namespace
+
+std::vector<VertexId> AffectedByInsertion(const Graph& old_graph, VertexId a,
+                                          VertexId b) {
+  const auto da = DistancesFrom(old_graph, a);
+  const auto db = DistancesFrom(old_graph, b);
+  std::vector<VertexId> out;
+  for (VertexId u = 0; u < old_graph.num_vertices(); ++u) {
+    if (DistanceGap(da[u], db[u]) >= 2) out.push_back(u);
+  }
+  return out;
+}
+
+std::vector<VertexId> AffectedByDeletion(const Graph& old_graph, VertexId a,
+                                         VertexId b) {
+  const auto da = DistancesFrom(old_graph, a);
+  const auto db = DistancesFrom(old_graph, b);
+  std::vector<VertexId> out;
+  for (VertexId u = 0; u < old_graph.num_vertices(); ++u) {
+    if (DistanceGap(da[u], db[u]) == 1) out.push_back(u);
+  }
+  return out;
+}
+
+}  // namespace ktg

@@ -1,0 +1,44 @@
+// Copyright (c) 2026 The ktg Authors.
+// Affected-vertex computation for dynamic index maintenance (Section V,
+// "updates for NLRNL").
+//
+// Both the NL and NLRNL indexes are per-vertex materializations of BFS
+// levels, so after an edge change it suffices to rebuild the vertices whose
+// single-source shortest-path structure can have changed. Two classical
+// facts bound that set:
+//
+//  * Insertion of {a, b}: vertex u gains a shorter path to some target iff
+//    |d(u,a) - d(u,b)| >= 2 in the old graph (otherwise routing through the
+//    new edge never beats existing paths). Newly connected vertices (exactly
+//    one of the distances finite) are included.
+//  * Deletion of {a, b}: the edge lies on some shortest path from u iff
+//    |d(u,a) - d(u,b)| == 1 in the old graph (with the edge still present);
+//    only such u can lose a shortest path.
+//
+// Moreover, if a *pair* (w, x) changes distance, both w and x satisfy the
+// respective criterion, so rebuilding the affected vertices also repairs all
+// halved (smaller-id-side) pair storage.
+
+#ifndef KTG_INDEX_AFFECTED_H_
+#define KTG_INDEX_AFFECTED_H_
+
+#include <vector>
+
+#include "graph/graph.h"
+#include "graph/types.h"
+
+namespace ktg {
+
+/// Vertices whose BFS levels may change when edge {a, b} is inserted.
+/// `old_graph` must not yet contain the edge. Sorted by id.
+std::vector<VertexId> AffectedByInsertion(const Graph& old_graph, VertexId a,
+                                          VertexId b);
+
+/// Vertices whose BFS levels may change when edge {a, b} is deleted.
+/// `old_graph` must still contain the edge. Sorted by id.
+std::vector<VertexId> AffectedByDeletion(const Graph& old_graph, VertexId a,
+                                         VertexId b);
+
+}  // namespace ktg
+
+#endif  // KTG_INDEX_AFFECTED_H_

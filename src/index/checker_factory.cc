@@ -1,0 +1,57 @@
+// Copyright (c) 2026 The ktg Authors.
+
+#include "index/checker_factory.h"
+
+#include <algorithm>
+#include <cctype>
+
+#include "index/bfs_checker.h"
+#include "index/khop_bitmap.h"
+#include "index/nl_index.h"
+#include "index/nlrnl_index.h"
+
+namespace ktg {
+
+Result<CheckerKind> ParseCheckerKind(const std::string& name) {
+  std::string lower(name);
+  std::transform(lower.begin(), lower.end(), lower.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  if (lower == "bfs") return CheckerKind::kBfs;
+  if (lower == "nl") return CheckerKind::kNl;
+  if (lower == "nlrnl") return CheckerKind::kNlrnl;
+  if (lower == "bitmap" || lower == "khopbitmap")
+    return CheckerKind::kKHopBitmap;
+  return Status::InvalidArgument("unknown checker kind: " + name);
+}
+
+const char* CheckerKindName(CheckerKind kind) {
+  switch (kind) {
+    case CheckerKind::kBfs:
+      return "BFS";
+    case CheckerKind::kNl:
+      return "NL";
+    case CheckerKind::kNlrnl:
+      return "NLRNL";
+    case CheckerKind::kKHopBitmap:
+      return "KHopBitmap";
+  }
+  return "?";
+}
+
+std::unique_ptr<DistanceChecker> MakeChecker(CheckerKind kind,
+                                             const Graph& graph,
+                                             HopDistance k) {
+  switch (kind) {
+    case CheckerKind::kBfs:
+      return std::make_unique<BfsChecker>(graph);
+    case CheckerKind::kNl:
+      return std::make_unique<NlIndex>(graph);
+    case CheckerKind::kNlrnl:
+      return std::make_unique<NlrnlIndex>(graph);
+    case CheckerKind::kKHopBitmap:
+      return std::make_unique<KHopBitmapChecker>(graph, k);
+  }
+  return nullptr;
+}
+
+}  // namespace ktg

@@ -1,0 +1,41 @@
+// Copyright (c) 2026 The ktg Authors.
+// Named construction of DistanceCheckers, used by the bench harness and the
+// examples to switch implementations from configuration.
+
+#ifndef KTG_INDEX_CHECKER_FACTORY_H_
+#define KTG_INDEX_CHECKER_FACTORY_H_
+
+#include <memory>
+#include <string>
+
+#include "graph/graph.h"
+#include "index/distance_checker.h"
+#include "util/status.h"
+
+namespace ktg {
+
+/// Available DistanceChecker implementations.
+enum class CheckerKind {
+  kBfs,         ///< no index, bidirectional bounded BFS per check
+  kNl,          ///< h-hop neighbors list (Section V.A)
+  kNlrnl,       ///< (c-1)-hop + reverse c-hop lists (Section V.B)
+  kKHopBitmap,  ///< dense within-k bit matrix (extension; fixed k)
+};
+
+/// Parses "bfs" | "nl" | "nlrnl" | "bitmap" (case-insensitive).
+Result<CheckerKind> ParseCheckerKind(const std::string& name);
+
+/// Human-readable name of a kind.
+const char* CheckerKindName(CheckerKind kind);
+
+/// Builds a checker of the given kind over `graph`. `k` is only consulted by
+/// the bitmap checker (which is specialized to a single k); pass the query's
+/// tenuity constraint. The graph must outlive the checker for kBfs and
+/// kKHopBitmap; kNl/kNlrnl copy it.
+std::unique_ptr<DistanceChecker> MakeChecker(CheckerKind kind,
+                                             const Graph& graph,
+                                             HopDistance k);
+
+}  // namespace ktg
+
+#endif  // KTG_INDEX_CHECKER_FACTORY_H_

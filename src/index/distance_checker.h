@@ -1,0 +1,76 @@
+// Copyright (c) 2026 The ktg Authors.
+// The social-distance check abstraction of Section V.
+//
+// The single operation the KTG engines need from the social graph during
+// branch-and-bound search is the k-line test of Theorem 3: "is the hop
+// distance between u and v greater than k?". The paper offers three ways to
+// answer it — on-the-fly BFS, the NL index and the NLRNL index — and its
+// Figures 3-7 and 9 compare them. DistanceChecker is the common interface;
+// every implementation also counts its invocations so benchmarks can report
+// check volume next to latency.
+
+#ifndef KTG_INDEX_DISTANCE_CHECKER_H_
+#define KTG_INDEX_DISTANCE_CHECKER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/types.h"
+
+namespace ktg {
+
+/// Answers k-line queries over a fixed social graph.
+///
+/// Implementations keep internal scratch; they are stateful and not
+/// thread-safe. Create one checker per worker thread.
+class DistanceChecker {
+ public:
+  virtual ~DistanceChecker() = default;
+
+  /// Returns true iff the hop distance Dis(u, v) is strictly greater than
+  /// `k` (Definition 1/2: "not a k-line"). A vertex is at distance 0 from
+  /// itself; vertices in different components are infinitely far apart.
+  bool IsFartherThan(VertexId u, VertexId v, HopDistance k) {
+    ++num_checks_;
+    return IsFartherThanImpl(u, v, k);
+  }
+
+  /// Short implementation name used in benchmark tables ("BFS", "NL", ...).
+  virtual std::string name() const = 0;
+
+  /// Approximate heap footprint of the index structures in bytes.
+  virtual size_t MemoryBytes() const { return 0; }
+
+  /// Bulk-filtering fast path. When non-null, the returned sorted vector
+  /// holds every vertex within `k` hops of `pivot` (excluding `pivot`), and
+  /// callers may answer many k-line tests against `pivot` with binary
+  /// searches instead of per-pair queries — the engines use it right after
+  /// selecting a member, when they must test the whole remaining set
+  /// against that one vertex. Returns nullptr when the implementation has
+  /// no cheaper way than per-pair checks (the index-based checkers: their
+  /// per-pair cost is already sub-microsecond). The pointer is valid until
+  /// the next call on this checker.
+  virtual const std::vector<VertexId>* BallWithinK(VertexId /*pivot*/,
+                                                   HopDistance /*k*/) {
+    return nullptr;
+  }
+
+  /// Number of IsFartherThan calls since construction / ResetStats.
+  uint64_t num_checks() const { return num_checks_; }
+  void ResetStats() { num_checks_ = 0; }
+
+ protected:
+  virtual bool IsFartherThanImpl(VertexId u, VertexId v, HopDistance k) = 0;
+
+  /// For implementations with bulk paths: records `n` logical checks (a
+  /// ball materialization counts as one traversal-equivalent).
+  void RecordChecks(uint64_t n) { num_checks_ += n; }
+
+ private:
+  uint64_t num_checks_ = 0;
+};
+
+}  // namespace ktg
+
+#endif  // KTG_INDEX_DISTANCE_CHECKER_H_

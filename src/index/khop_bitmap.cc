@@ -1,0 +1,26 @@
+// Copyright (c) 2026 The ktg Authors.
+
+#include "index/khop_bitmap.h"
+
+#include "graph/bfs.h"
+
+namespace ktg {
+
+KHopBitmapChecker::KHopBitmapChecker(const Graph& graph, HopDistance k)
+    : k_(k), words_per_row_((graph.num_vertices() + 63) / 64) {
+  const uint32_t n = graph.num_vertices();
+  bits_.assign(static_cast<uint64_t>(n) * words_per_row_, 0);
+  BoundedBfs bfs(graph);
+  for (VertexId v = 0; v < n; ++v) {
+    for (const VertexId w : bfs.Ball(v, k)) SetBit(v, w);
+  }
+}
+
+bool KHopBitmapChecker::IsFartherThanImpl(VertexId u, VertexId v,
+                                          HopDistance k) {
+  KTG_CHECK_MSG(k == k_, "KHopBitmapChecker was built for a different k");
+  if (u == v) return false;
+  return !TestBit(u, v);
+}
+
+}  // namespace ktg

@@ -1,0 +1,136 @@
+// Copyright (c) 2026 The ktg Authors.
+
+#include "index/nlrnl_index.h"
+
+#include <algorithm>
+
+#include "graph/bfs.h"
+#include "graph/stats.h"
+#include "index/affected.h"
+#include "util/sorted_vector.h"
+
+namespace ktg {
+
+NlrnlIndex::NlrnlIndex(const Graph& graph, NlrnlIndexOptions options)
+    : graph_(graph), options_(options) {
+  KTG_CHECK(options_.max_c >= 2);
+  const uint32_t n = graph_.num_vertices();
+  entries_.resize(n);
+  for (VertexId v = 0; v < n; ++v) BuildVertex(v);
+  RefreshComponents();
+}
+
+void NlrnlIndex::RefreshComponents() {
+  component_ = ConnectedComponents(graph_).first;
+}
+
+void NlrnlIndex::BuildVertex(VertexId v) {
+  BoundedBfs bfs(graph_);
+  const auto levels = bfs.Levels(v, kUnreachable - 1);  // full component
+  const uint32_t ecc = static_cast<uint32_t>(levels.size());
+
+  // c := the hop level with the maximal neighbor count among levels >= 2
+  // (first on ties), clamped to [2, max_c].
+  uint32_t c = 2;
+  size_t best = 0;
+  for (uint32_t level = 2; level <= ecc && level <= options_.max_c; ++level) {
+    if (levels[level - 1].size() > best) {
+      best = levels[level - 1].size();
+      c = level;
+    }
+  }
+
+  VertexEntry& entry = entries_[v];
+  entry.c = c;
+  entry.forward.clear();
+  entry.reverse.clear();
+
+  auto halved = [v](const std::vector<VertexId>& level) {
+    std::vector<VertexId> out;
+    for (const VertexId w : level) {
+      if (w > v) out.push_back(w);
+    }
+    return out;  // input is sorted, so output stays sorted
+  };
+
+  for (uint32_t level = 1; level <= ecc && level <= c - 1; ++level) {
+    entry.forward.push_back(halved(levels[level - 1]));
+  }
+  for (uint32_t level = c + 1; level <= ecc; ++level) {
+    entry.reverse.push_back(halved(levels[level - 1]));
+  }
+}
+
+bool NlrnlIndex::IsFartherThanImpl(VertexId u, VertexId v, HopDistance k) {
+  KTG_DCHECK(u < graph_.num_vertices() && v < graph_.num_vertices());
+  if (u == v) return false;  // distance 0
+  if (component_[u] != component_[v]) return true;  // infinitely far
+  if (k == 0) return true;
+
+  // Halved storage: the pair lives at the smaller id.
+  VertexId a = u, b = v;
+  if (a > b) std::swap(a, b);
+  const VertexEntry& entry = entries_[a];
+  const uint32_t c = entry.c;
+
+  // Forward levels 1 .. min(k, c-1).
+  const uint32_t fscan =
+      std::min<uint32_t>(static_cast<uint32_t>(entry.forward.size()), k);
+  for (uint32_t i = 0; i < fscan; ++i) {
+    if (SortedContains(entry.forward[i], b)) return false;  // d = i+1 <= k
+  }
+  if (k <= c - 1) return true;  // all candidate levels scanned
+
+  // k >= c: levels c+1 .. k of the reverse lists would witness d <= k.
+  for (uint32_t level = c + 1; level <= k; ++level) {
+    const uint32_t j = level - c - 1;
+    if (j >= entry.reverse.size()) break;
+    if (SortedContains(entry.reverse[j], b)) return false;  // d = level <= k
+  }
+  // Levels k+1 .. ecc witness d > k.
+  for (uint32_t j = (k >= c ? k - c : 0); j < entry.reverse.size(); ++j) {
+    if (SortedContains(entry.reverse[j], b)) return true;  // d = c+1+j > k
+  }
+  // b appears in no stored list but is in the same component: d == c <= k.
+  return false;
+}
+
+size_t NlrnlIndex::MemoryBytes() const {
+  size_t bytes = entries_.capacity() * sizeof(VertexEntry) +
+                 component_.capacity() * sizeof(uint32_t);
+  for (const auto& entry : entries_) {
+    bytes += (entry.forward.capacity() + entry.reverse.capacity()) *
+             sizeof(std::vector<VertexId>);
+    for (const auto& level : entry.forward) {
+      bytes += level.capacity() * sizeof(VertexId);
+    }
+    for (const auto& level : entry.reverse) {
+      bytes += level.capacity() * sizeof(VertexId);
+    }
+  }
+  return bytes;
+}
+
+void NlrnlIndex::InsertEdge(VertexId a, VertexId b) {
+  last_update_rebuilds_ = 0;
+  const uint32_t n = graph_.num_vertices();
+  if (a == b || a >= n || b >= n || graph_.HasEdge(a, b)) return;
+  const auto affected = AffectedByInsertion(graph_, a, b);
+  graph_ = WithEdgeAdded(graph_, a, b);
+  for (const VertexId v : affected) BuildVertex(v);
+  RefreshComponents();
+  last_update_rebuilds_ = affected.size();
+}
+
+void NlrnlIndex::RemoveEdge(VertexId a, VertexId b) {
+  last_update_rebuilds_ = 0;
+  if (a >= graph_.num_vertices() || b >= graph_.num_vertices()) return;
+  if (!graph_.HasEdge(a, b)) return;
+  const auto affected = AffectedByDeletion(graph_, a, b);
+  graph_ = WithEdgeRemoved(graph_, a, b);
+  for (const VertexId v : affected) BuildVertex(v);
+  RefreshComponents();
+  last_update_rebuilds_ = affected.size();
+}
+
+}  // namespace ktg

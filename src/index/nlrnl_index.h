@@ -1,0 +1,105 @@
+// Copyright (c) 2026 The ktg Authors.
+// The NLRNL ((c-1)-hop neighbors list + reverse c-hop neighbors list) index
+// of Section V.B.
+//
+// Per vertex, NLRNL picks c as the hop level with the maximal neighbor count
+// (c >= 2; the paper chooses c among the 2-hop, 3-hop, ... counts) and then
+// stores every BFS level *except* level c:
+//   forward lists:  levels 1 .. c-1
+//   reverse lists:  levels c+1 .. ecc  ("neighbors whose distance is > c")
+// Because every reachable vertex appears in exactly one level, absence from
+// all stored lists pins the distance to exactly c — no on-demand expansion is
+// ever needed, which is the index's advantage over NL. Skipping the largest
+// level is what makes NLRNL smaller than NL in Figure 9(a).
+//
+// Space halving: a pair {u, v} is stored only in the lists of the smaller
+// id; queries always consult min(u, v)'s entry ("we only store the hop
+// neighbor whose id is greater than the user").
+//
+// Disconnected graphs: absence could otherwise be confused with
+// unreachability, so the index keeps component labels and answers
+// cross-component queries as "farther" directly.
+
+#ifndef KTG_INDEX_NLRNL_INDEX_H_
+#define KTG_INDEX_NLRNL_INDEX_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+#include "index/distance_checker.h"
+#include "util/status.h"
+
+namespace ktg {
+
+/// Tuning knobs for NlrnlIndex.
+struct NlrnlIndexOptions {
+  /// Upper bound on the per-vertex c chosen at build time. The unstored
+  /// level is always >= 2 per the paper; raising the cap lets the argmax
+  /// pick deeper levels on large-diameter graphs.
+  uint32_t max_c = 8;
+};
+
+/// The (c-1)-hop + reverse c-hop neighbors index.
+class NlrnlIndex final : public DistanceChecker {
+ public:
+  /// Builds the index for `graph` (copied). One full BFS per vertex.
+  explicit NlrnlIndex(const Graph& graph, NlrnlIndexOptions options = {});
+
+  std::string name() const override { return "NLRNL"; }
+  size_t MemoryBytes() const override;
+
+  /// The per-vertex unstored level c.
+  uint32_t c_value(VertexId v) const { return entries_[v].c; }
+
+  /// Number of forward levels stored for `v` (== c-1, possibly fewer when
+  /// the component is shallow).
+  uint32_t num_forward_levels(VertexId v) const {
+    return static_cast<uint32_t>(entries_[v].forward.size());
+  }
+  /// Number of reverse levels stored for `v` (levels c+1 .. c+count).
+  uint32_t num_reverse_levels(VertexId v) const {
+    return static_cast<uint32_t>(entries_[v].reverse.size());
+  }
+
+  /// Applies an edge insertion: rebuilds every affected vertex entry and
+  /// refreshes component labels. No-op when the edge already exists.
+  void InsertEdge(VertexId a, VertexId b);
+
+  /// Applies an edge deletion; no-op when the edge is absent.
+  void RemoveEdge(VertexId a, VertexId b);
+
+  /// Number of vertex entries rebuilt by the last InsertEdge/RemoveEdge.
+  uint64_t last_update_rebuilds() const { return last_update_rebuilds_; }
+
+  const Graph& graph() const { return graph_; }
+
+ protected:
+  bool IsFartherThanImpl(VertexId u, VertexId v, HopDistance k) override;
+
+ private:
+  friend Status SaveNlrnlIndex(const NlrnlIndex&, const std::string&);
+  friend Result<NlrnlIndex> LoadNlrnlIndex(const std::string&);
+  NlrnlIndex() = default;
+
+  struct VertexEntry {
+    uint32_t c = 2;
+    // forward[i] = sorted (i+1)-hop neighbors with id > owner, i+1 <= c-1.
+    std::vector<std::vector<VertexId>> forward;
+    // reverse[j] = sorted (c+1+j)-hop neighbors with id > owner.
+    std::vector<std::vector<VertexId>> reverse;
+  };
+
+  void BuildVertex(VertexId v);
+  void RefreshComponents();
+
+  Graph graph_;
+  NlrnlIndexOptions options_;
+  std::vector<VertexEntry> entries_;
+  std::vector<uint32_t> component_;
+  uint64_t last_update_rebuilds_ = 0;
+};
+
+}  // namespace ktg
+
+#endif  // KTG_INDEX_NLRNL_INDEX_H_

@@ -1,0 +1,121 @@
+// Copyright (c) 2026 The ktg Authors.
+
+#include "keywords/attributed_graph.h"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+
+namespace ktg {
+
+bool AttributedGraph::HasKeyword(VertexId v, KeywordId kw) const {
+  const auto kws = Keywords(v);
+  return std::binary_search(kws.begin(), kws.end(), kw);
+}
+
+KeywordId AttributedGraphBuilder::AddKeyword(VertexId v,
+                                             std::string_view term) {
+  const KeywordId id = vocab_.Intern(term);
+  AddKeywordId(v, id);
+  return id;
+}
+
+void AttributedGraphBuilder::AddKeywordId(VertexId v, KeywordId kw) {
+  assignments_.emplace_back(v, kw);
+}
+
+void AttributedGraphBuilder::AddKeywords(
+    VertexId v, std::initializer_list<std::string_view> terms) {
+  for (const auto t : terms) AddKeyword(v, t);
+}
+
+AttributedGraph AttributedGraphBuilder::Build() {
+  AttributedGraph out;
+
+  // Merge an explicit topology with incrementally added edges.
+  if (topology_.num_added_edges() > 0 || topology_.num_vertices() > 0) {
+    KTG_CHECK_MSG(graph_.num_vertices() == 0,
+                  "use either SetGraph or mutable_topology, not both");
+    graph_ = topology_.Build();
+  }
+
+  uint32_t n = graph_.num_vertices();
+  for (const auto& [v, kw] : assignments_) {
+    KTG_UNUSED(kw);
+    n = std::max(n, v + 1);
+  }
+  if (n > graph_.num_vertices()) {
+    // Extend with isolated vertices so every attributed vertex exists.
+    GraphBuilder gb(n);
+    for (const auto& [u, v] : graph_.EdgeList()) gb.AddEdge(u, v);
+    graph_ = gb.Build();
+  }
+
+  std::sort(assignments_.begin(), assignments_.end());
+  assignments_.erase(std::unique(assignments_.begin(), assignments_.end()),
+                     assignments_.end());
+
+  out.graph_ = std::move(graph_);
+  out.vocab_ = std::move(vocab_);
+  out.kw_offsets_.assign(n + 1, 0);
+  out.kw_ids_.reserve(assignments_.size());
+  for (const auto& [v, kw] : assignments_) {
+    ++out.kw_offsets_[v + 1];
+    out.kw_ids_.push_back(kw);
+  }
+  for (uint32_t i = 0; i < n; ++i) out.kw_offsets_[i + 1] += out.kw_offsets_[i];
+
+  assignments_.clear();
+  graph_ = Graph();
+  topology_ = GraphBuilder();
+  vocab_ = Vocabulary();
+  return out;
+}
+
+Status SaveAttributes(const AttributedGraph& g, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::IoError("cannot create attribute file: " + path);
+  out << "# ktg attributes: vid term term ...\n";
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    const auto kws = g.Keywords(v);
+    if (kws.empty()) continue;
+    out << v;
+    for (const KeywordId kw : kws) out << ' ' << g.vocabulary().Term(kw);
+    out << '\n';
+  }
+  out.flush();
+  if (!out) return Status::IoError("failed writing attribute file: " + path);
+  return Status::OK();
+}
+
+Result<AttributedGraph> LoadAttributedGraph(Graph graph,
+                                            const std::string& attr_path) {
+  std::ifstream in(attr_path);
+  if (!in) return Status::IoError("cannot open attribute file: " + attr_path);
+
+  AttributedGraphBuilder builder;
+  builder.SetGraph(std::move(graph));
+  std::string line;
+  uint64_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream ls(line);
+    uint64_t vid = 0;
+    if (!(ls >> vid)) {
+      return Status::InvalidArgument(attr_path + ": malformed line " +
+                                     std::to_string(line_no));
+    }
+    if (vid >= kInvalidVertex) {
+      return Status::OutOfRange(attr_path + ": vertex id too large at line " +
+                                std::to_string(line_no));
+    }
+    std::string term;
+    while (ls >> term) {
+      builder.AddKeyword(static_cast<VertexId>(vid), term);
+    }
+  }
+  return builder.Build();
+}
+
+}  // namespace ktg

@@ -1,0 +1,109 @@
+// Copyright (c) 2026 The ktg Authors.
+// The attributed social network G = (V, E, κ) of Section III.
+//
+// An AttributedGraph couples a CSR Graph with a per-vertex keyword list (also
+// CSR, sorted per vertex) and the Vocabulary that names the keywords. It is
+// immutable; construct through AttributedGraphBuilder.
+
+#ifndef KTG_KEYWORDS_ATTRIBUTED_GRAPH_H_
+#define KTG_KEYWORDS_ATTRIBUTED_GRAPH_H_
+
+#include <initializer_list>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "graph/graph.h"
+#include "graph/types.h"
+#include "keywords/vocabulary.h"
+#include "util/status.h"
+
+namespace ktg {
+
+/// An immutable attributed social network.
+class AttributedGraph {
+ public:
+  AttributedGraph() = default;
+
+  const Graph& graph() const { return graph_; }
+  const Vocabulary& vocabulary() const { return vocab_; }
+
+  uint32_t num_vertices() const { return graph_.num_vertices(); }
+  uint64_t num_edges() const { return graph_.num_edges(); }
+  uint32_t num_keywords() const { return vocab_.size(); }
+
+  /// Sorted keyword ids of vertex `v` (may be empty).
+  std::span<const KeywordId> Keywords(VertexId v) const {
+    KTG_DCHECK(v < num_vertices());
+    return {kw_ids_.data() + kw_offsets_[v],
+            kw_ids_.data() + kw_offsets_[v + 1]};
+  }
+
+  /// True iff `v` carries keyword `kw`.
+  bool HasKeyword(VertexId v, KeywordId kw) const;
+
+  /// Total number of (vertex, keyword) pairs.
+  uint64_t total_keyword_assignments() const { return kw_ids_.size(); }
+
+  /// Approximate heap footprint in bytes (graph + keyword CSR).
+  size_t MemoryBytes() const {
+    return graph_.MemoryBytes() + kw_offsets_.capacity() * sizeof(uint64_t) +
+           kw_ids_.capacity() * sizeof(KeywordId);
+  }
+
+ private:
+  friend class AttributedGraphBuilder;
+
+  Graph graph_;
+  Vocabulary vocab_;
+  std::vector<uint64_t> kw_offsets_ = {0};
+  std::vector<KeywordId> kw_ids_;
+};
+
+/// Builds an AttributedGraph from a topology plus keyword assignments.
+class AttributedGraphBuilder {
+ public:
+  AttributedGraphBuilder() = default;
+
+  /// Sets the topology (resets any previous one). Keyword assignments to
+  /// vertices beyond the topology extend the vertex set with isolated
+  /// vertices at Build() time.
+  void SetGraph(Graph graph) { graph_ = std::move(graph); }
+
+  /// Direct access to grow the topology edge by edge.
+  GraphBuilder& mutable_topology() { return topology_; }
+
+  /// Assigns keyword `term` to vertex `v` (interned into the vocabulary).
+  KeywordId AddKeyword(VertexId v, std::string_view term);
+
+  /// Assigns an already-interned keyword id to vertex `v`.
+  void AddKeywordId(VertexId v, KeywordId kw);
+
+  /// Convenience: assigns several terms at once.
+  void AddKeywords(VertexId v, std::initializer_list<std::string_view> terms);
+
+  Vocabulary& mutable_vocabulary() { return vocab_; }
+
+  /// Finalizes. Duplicate (vertex, keyword) pairs are deduplicated. The
+  /// builder is left empty.
+  AttributedGraph Build();
+
+ private:
+  Graph graph_;
+  GraphBuilder topology_;
+  Vocabulary vocab_;
+  std::vector<std::pair<VertexId, KeywordId>> assignments_;
+};
+
+/// Saves the per-vertex keywords as text: one line per attributed vertex,
+/// "vid term term ...". Terms must not contain whitespace.
+Status SaveAttributes(const AttributedGraph& g, const std::string& path);
+
+/// Loads keyword assignments (format of SaveAttributes) onto `graph`.
+Result<AttributedGraph> LoadAttributedGraph(Graph graph,
+                                            const std::string& attr_path);
+
+}  // namespace ktg
+
+#endif  // KTG_KEYWORDS_ATTRIBUTED_GRAPH_H_

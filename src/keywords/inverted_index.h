@@ -1,0 +1,70 @@
+// Copyright (c) 2026 The ktg Authors.
+// Inverted keyword → vertex index.
+//
+// KTG query processing starts by materializing the candidate set: vertices
+// covering at least one query keyword (Definition 7 requires QKC(v) > 0).
+// Scanning all vertices is O(n · keywords); the inverted index makes it
+// O(Σ posting-list lengths of the query keywords), which is what a real
+// system would do and what lets the |W_Q| sweep of Fig. 5 behave sensibly.
+
+#ifndef KTG_KEYWORDS_INVERTED_INDEX_H_
+#define KTG_KEYWORDS_INVERTED_INDEX_H_
+
+#include <span>
+#include <vector>
+
+#include "keywords/attributed_graph.h"
+#include "util/bits.h"
+
+namespace ktg {
+
+/// A vertex together with its coverage mask relative to a query keyword
+/// list: bit i ⇔ the vertex carries query keyword i.
+struct VertexCover {
+  VertexId vertex;
+  CoverMask mask;
+
+  bool operator==(const VertexCover&) const = default;
+};
+
+/// Immutable inverted index over an AttributedGraph's keyword assignments.
+class InvertedIndex {
+ public:
+  /// Builds posting lists for every keyword of `g`'s vocabulary. The graph
+  /// must outlive the index.
+  explicit InvertedIndex(const AttributedGraph& g);
+
+  /// Sorted vertices carrying keyword `kw` (empty span for unused ids).
+  std::span<const VertexId> Postings(KeywordId kw) const;
+
+  /// Number of vertices carrying `kw`.
+  uint32_t Frequency(KeywordId kw) const {
+    return static_cast<uint32_t>(Postings(kw).size());
+  }
+
+  /// Materializes the candidates of a query: every vertex covering at least
+  /// one keyword of `query_keywords` (ids; at most 64), with its coverage
+  /// mask. Result is sorted by vertex id. Unknown/out-of-range keyword ids
+  /// contribute nothing.
+  std::vector<VertexCover> Candidates(
+      std::span<const KeywordId> query_keywords) const;
+
+  /// Approximate heap footprint in bytes.
+  size_t MemoryBytes() const {
+    return offsets_.capacity() * sizeof(uint64_t) +
+           postings_.capacity() * sizeof(VertexId);
+  }
+
+ private:
+  std::vector<uint64_t> offsets_;
+  std::vector<VertexId> postings_;
+};
+
+/// Computes the coverage mask of a single vertex against a query keyword
+/// list, without an index (used by brute force and by tests).
+CoverMask CoverMaskOf(const AttributedGraph& g, VertexId v,
+                      std::span<const KeywordId> query_keywords);
+
+}  // namespace ktg
+
+#endif  // KTG_KEYWORDS_INVERTED_INDEX_H_

@@ -1,0 +1,28 @@
+// Copyright (c) 2026 The ktg Authors.
+
+#include "keywords/vocabulary.h"
+
+#include "util/macros.h"
+
+namespace ktg {
+
+KeywordId Vocabulary::Intern(std::string_view term) {
+  const auto it = ids_.find(std::string(term));
+  if (it != ids_.end()) return it->second;
+  const auto id = static_cast<KeywordId>(terms_.size());
+  terms_.emplace_back(term);
+  ids_.emplace(terms_.back(), id);
+  return id;
+}
+
+KeywordId Vocabulary::Find(std::string_view term) const {
+  const auto it = ids_.find(std::string(term));
+  return it == ids_.end() ? kInvalidKeyword : it->second;
+}
+
+const std::string& Vocabulary::Term(KeywordId id) const {
+  KTG_CHECK(id < terms_.size());
+  return terms_[id];
+}
+
+}  // namespace ktg

@@ -1,0 +1,45 @@
+// Copyright (c) 2026 The ktg Authors.
+// Keyword dictionary: bidirectional mapping between keyword terms (strings)
+// and dense KeywordIds.
+//
+// All keyword machinery in the library works on KeywordIds; the Vocabulary is
+// the only place keyword strings live, which keeps per-vertex keyword lists
+// and inverted lists as flat integer arrays.
+
+#ifndef KTG_KEYWORDS_VOCABULARY_H_
+#define KTG_KEYWORDS_VOCABULARY_H_
+
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "graph/types.h"
+
+namespace ktg {
+
+/// A append-only string interner for keyword terms.
+class Vocabulary {
+ public:
+  Vocabulary() = default;
+
+  /// Returns the id of `term`, interning it if new.
+  KeywordId Intern(std::string_view term);
+
+  /// Returns the id of `term`, or kInvalidKeyword if absent.
+  KeywordId Find(std::string_view term) const;
+
+  /// Returns the term of `id`; fatal if out of range.
+  const std::string& Term(KeywordId id) const;
+
+  uint32_t size() const { return static_cast<uint32_t>(terms_.size()); }
+  bool empty() const { return terms_.empty(); }
+
+ private:
+  std::vector<std::string> terms_;
+  std::unordered_map<std::string, KeywordId> ids_;
+};
+
+}  // namespace ktg
+
+#endif  // KTG_KEYWORDS_VOCABULARY_H_

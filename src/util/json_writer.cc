@@ -1,0 +1,158 @@
+// Copyright (c) 2026 The ktg Authors.
+
+#include "util/json_writer.h"
+
+#include <cmath>
+#include <cstdio>
+
+#include "util/macros.h"
+
+namespace ktg {
+
+std::string JsonWriter::Escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  out.push_back('"');
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\b':
+        out += "\\b";
+        break;
+      case '\f':
+        out += "\\f";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  out.push_back('"');
+  return out;
+}
+
+void JsonWriter::BeforeValue() {
+  if (scopes_.empty()) {
+    KTG_CHECK_MSG(out_.empty(), "only one top-level JSON value is allowed");
+    return;
+  }
+  if (scopes_.back() == Scope::kObject) {
+    KTG_CHECK_MSG(key_pending_, "object values need a Key() first");
+    key_pending_ = false;
+    return;
+  }
+  // Array element.
+  if (!first_in_scope_.back()) out_.push_back(',');
+  first_in_scope_.back() = false;
+}
+
+JsonWriter& JsonWriter::Key(std::string_view key) {
+  KTG_CHECK_MSG(!scopes_.empty() && scopes_.back() == Scope::kObject,
+                "Key() outside of an object");
+  KTG_CHECK_MSG(!key_pending_, "two Key() calls in a row");
+  if (!first_in_scope_.back()) out_.push_back(',');
+  first_in_scope_.back() = false;
+  out_ += Escape(key);
+  out_.push_back(':');
+  key_pending_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::BeginObject() {
+  BeforeValue();
+  out_.push_back('{');
+  scopes_.push_back(Scope::kObject);
+  first_in_scope_.push_back(true);
+  return *this;
+}
+
+JsonWriter& JsonWriter::EndObject() {
+  KTG_CHECK_MSG(!scopes_.empty() && scopes_.back() == Scope::kObject,
+                "EndObject() without a matching BeginObject()");
+  KTG_CHECK_MSG(!key_pending_, "dangling Key() at EndObject()");
+  out_.push_back('}');
+  scopes_.pop_back();
+  first_in_scope_.pop_back();
+  return *this;
+}
+
+JsonWriter& JsonWriter::BeginArray() {
+  BeforeValue();
+  out_.push_back('[');
+  scopes_.push_back(Scope::kArray);
+  first_in_scope_.push_back(true);
+  return *this;
+}
+
+JsonWriter& JsonWriter::EndArray() {
+  KTG_CHECK_MSG(!scopes_.empty() && scopes_.back() == Scope::kArray,
+                "EndArray() without a matching BeginArray()");
+  out_.push_back(']');
+  scopes_.pop_back();
+  first_in_scope_.pop_back();
+  return *this;
+}
+
+JsonWriter& JsonWriter::Value(std::string_view v) {
+  BeforeValue();
+  out_ += Escape(v);
+  return *this;
+}
+
+JsonWriter& JsonWriter::Value(int64_t v) {
+  BeforeValue();
+  out_ += std::to_string(v);
+  return *this;
+}
+
+JsonWriter& JsonWriter::Value(uint64_t v) {
+  BeforeValue();
+  out_ += std::to_string(v);
+  return *this;
+}
+
+JsonWriter& JsonWriter::Value(double v) {
+  BeforeValue();
+  if (!std::isfinite(v)) {
+    out_ += "null";  // JSON has no NaN/Inf
+    return *this;
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.12g", v);
+  out_ += buf;
+  return *this;
+}
+
+JsonWriter& JsonWriter::Value(bool v) {
+  BeforeValue();
+  out_ += v ? "true" : "false";
+  return *this;
+}
+
+JsonWriter& JsonWriter::Null() {
+  BeforeValue();
+  out_ += "null";
+  return *this;
+}
+
+}  // namespace ktg

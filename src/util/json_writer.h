@@ -1,0 +1,65 @@
+// Copyright (c) 2026 The ktg Authors.
+// A small streaming JSON emitter.
+//
+// Benches and the CLI can export machine-readable results; this writer
+// produces correctly escaped, structurally valid JSON without pulling in a
+// third-party dependency. Structural misuse (closing the wrong scope,
+// value without a key inside an object) is a fatal programming error.
+
+#ifndef KTG_UTIL_JSON_WRITER_H_
+#define KTG_UTIL_JSON_WRITER_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ktg {
+
+/// Streaming JSON writer accumulating into a string.
+class JsonWriter {
+ public:
+  JsonWriter& BeginObject();
+  JsonWriter& EndObject();
+  JsonWriter& BeginArray();
+  JsonWriter& EndArray();
+
+  /// Emits an object key; the next emitted value belongs to it.
+  JsonWriter& Key(std::string_view key);
+
+  JsonWriter& Value(std::string_view v);
+  JsonWriter& Value(const char* v) { return Value(std::string_view(v)); }
+  JsonWriter& Value(int64_t v);
+  JsonWriter& Value(uint64_t v);
+  JsonWriter& Value(int v) { return Value(static_cast<int64_t>(v)); }
+  JsonWriter& Value(unsigned v) { return Value(static_cast<uint64_t>(v)); }
+  JsonWriter& Value(double v);
+  JsonWriter& Value(bool v);
+  JsonWriter& Null();
+
+  /// Convenience: Key(k) followed by Value(v).
+  template <typename T>
+  JsonWriter& KV(std::string_view key, T&& v) {
+    Key(key);
+    return Value(std::forward<T>(v));
+  }
+
+  /// The document; valid once every scope is closed.
+  const std::string& str() const { return out_; }
+
+  /// Escapes a string per RFC 8259 (quotes included).
+  static std::string Escape(std::string_view s);
+
+ private:
+  enum class Scope { kObject, kArray };
+  void BeforeValue();
+
+  std::string out_;
+  std::vector<Scope> scopes_;
+  std::vector<bool> first_in_scope_;
+  bool key_pending_ = false;
+};
+
+}  // namespace ktg
+
+#endif  // KTG_UTIL_JSON_WRITER_H_

@@ -1,0 +1,43 @@
+// Copyright (c) 2026 The ktg Authors.
+// Assertion and miscellaneous macros used across the library.
+//
+// Following the project style (no exceptions in library code), invariant
+// violations abort with a message. KTG_CHECK is always on; KTG_DCHECK compiles
+// away in release builds.
+
+#ifndef KTG_UTIL_MACROS_H_
+#define KTG_UTIL_MACROS_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+#define KTG_CHECK(cond)                                                     \
+  do {                                                                      \
+    if (!(cond)) {                                                          \
+      std::fprintf(stderr, "KTG_CHECK failed at %s:%d: %s\n", __FILE__,     \
+                   __LINE__, #cond);                                        \
+      std::abort();                                                         \
+    }                                                                       \
+  } while (0)
+
+#define KTG_CHECK_MSG(cond, msg)                                            \
+  do {                                                                      \
+    if (!(cond)) {                                                          \
+      std::fprintf(stderr, "KTG_CHECK failed at %s:%d: %s (%s)\n",          \
+                   __FILE__, __LINE__, #cond, msg);                         \
+      std::abort();                                                         \
+    }                                                                       \
+  } while (0)
+
+#ifdef NDEBUG
+#define KTG_DCHECK(cond) \
+  do {                   \
+  } while (0)
+#else
+#define KTG_DCHECK(cond) KTG_CHECK(cond)
+#endif
+
+// Marks intentionally unused variables (e.g. in release-only code paths).
+#define KTG_UNUSED(x) (void)(x)
+
+#endif  // KTG_UTIL_MACROS_H_

@@ -1,0 +1,67 @@
+// Copyright (c) 2026 The ktg Authors.
+// Percentile extraction for latency reporting.
+
+#ifndef KTG_UTIL_PERCENTILES_H_
+#define KTG_UTIL_PERCENTILES_H_
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "util/macros.h"
+
+namespace ktg {
+
+/// Returns the q-quantile (q in [0, 1]) of `values` using linear
+/// interpolation between order statistics. Fatal on an empty vector.
+/// The input need not be sorted (a sorted copy is made).
+double Percentile(std::vector<double> values, double q);
+
+/// Latency digest: moments plus the percentiles benches report.
+struct LatencySummary {
+  uint64_t count = 0;
+  double mean = 0;
+  double min = 0;
+  double max = 0;
+  double p50 = 0;
+  double p90 = 0;
+  double p99 = 0;
+
+  static LatencySummary FromSamples(const std::vector<double>& samples);
+};
+
+inline double Percentile(std::vector<double> values, double q) {
+  KTG_CHECK(!values.empty());
+  KTG_CHECK(q >= 0.0 && q <= 1.0);
+  std::sort(values.begin(), values.end());
+  if (values.size() == 1) return values[0];
+  const double idx = q * static_cast<double>(values.size() - 1);
+  const auto lo = static_cast<size_t>(std::floor(idx));
+  const auto hi = static_cast<size_t>(std::ceil(idx));
+  const double frac = idx - static_cast<double>(lo);
+  return values[lo] * (1.0 - frac) + values[hi] * frac;
+}
+
+inline LatencySummary LatencySummary::FromSamples(
+    const std::vector<double>& samples) {
+  LatencySummary s;
+  if (samples.empty()) return s;
+  s.count = samples.size();
+  double sum = 0;
+  s.min = samples.front();
+  s.max = samples.front();
+  for (const double x : samples) {
+    sum += x;
+    s.min = std::min(s.min, x);
+    s.max = std::max(s.max, x);
+  }
+  s.mean = sum / static_cast<double>(samples.size());
+  s.p50 = Percentile(samples, 0.50);
+  s.p90 = Percentile(samples, 0.90);
+  s.p99 = Percentile(samples, 0.99);
+  return s;
+}
+
+}  // namespace ktg
+
+#endif  // KTG_UTIL_PERCENTILES_H_

@@ -1,0 +1,37 @@
+// Copyright (c) 2026 The ktg Authors.
+
+#include "util/rng.h"
+
+#include <unordered_set>
+
+namespace ktg {
+
+std::vector<uint64_t> Rng::SampleDistinct(uint64_t universe, size_t count) {
+  KTG_CHECK(count <= universe);
+  std::vector<uint64_t> out;
+  out.reserve(count);
+  if (count == 0) return out;
+
+  // Dense case: partial Fisher-Yates over an explicit identity permutation.
+  if (universe <= 4 * count || universe <= 1024) {
+    std::vector<uint64_t> pool(universe);
+    for (uint64_t i = 0; i < universe; ++i) pool[i] = i;
+    for (size_t i = 0; i < count; ++i) {
+      const uint64_t j = i + Below(universe - i);
+      std::swap(pool[i], pool[j]);
+      out.push_back(pool[i]);
+    }
+    return out;
+  }
+
+  // Sparse case: rejection sampling with a hash set.
+  std::unordered_set<uint64_t> seen;
+  seen.reserve(count * 2);
+  while (out.size() < count) {
+    const uint64_t x = Below(universe);
+    if (seen.insert(x).second) out.push_back(x);
+  }
+  return out;
+}
+
+}  // namespace ktg

@@ -1,0 +1,128 @@
+// Copyright (c) 2026 The ktg Authors.
+// Deterministic pseudo-random number generation.
+//
+// All stochastic components of the library (dataset generators, workload
+// generators, randomized tests) draw from Rng so that every experiment is
+// reproducible from a single 64-bit seed. The engine is xoshiro256**, seeded
+// via SplitMix64, which is fast, high-quality and has a tiny state.
+
+#ifndef KTG_UTIL_RNG_H_
+#define KTG_UTIL_RNG_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/macros.h"
+
+namespace ktg {
+
+/// SplitMix64 step; used for seeding and as a cheap stateless hash/mixer.
+inline uint64_t SplitMix64(uint64_t& state) {
+  uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// Mixes a 64-bit value into a well-distributed 64-bit hash.
+inline uint64_t Mix64(uint64_t x) {
+  uint64_t s = x;
+  return SplitMix64(s);
+}
+
+/// A deterministic xoshiro256** pseudo-random generator.
+///
+/// Not thread-safe; create one Rng per thread or per generator. Satisfies
+/// (the essential parts of) UniformRandomBitGenerator so it can be used with
+/// <algorithm> shuffles if needed.
+class Rng {
+ public:
+  using result_type = uint64_t;
+
+  /// Creates a generator from a 64-bit seed. Equal seeds produce equal
+  /// streams on every platform.
+  explicit Rng(uint64_t seed = 0x5eed5eed5eedULL) { Seed(seed); }
+
+  /// Re-seeds the generator.
+  void Seed(uint64_t seed) {
+    uint64_t sm = seed;
+    for (auto& w : state_) w = SplitMix64(sm);
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~0ULL; }
+
+  /// Returns the next 64 random bits.
+  uint64_t Next() {
+    const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+    const uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  uint64_t operator()() { return Next(); }
+
+  /// Uniform integer in [0, bound). `bound` must be > 0.
+  /// Uses Lemire's multiply-shift rejection method (unbiased).
+  uint64_t Below(uint64_t bound) {
+    KTG_DCHECK(bound > 0);
+    // 128-bit multiply-based bounded sampling.
+    uint64_t x = Next();
+    __uint128_t m = static_cast<__uint128_t>(x) * bound;
+    auto lo = static_cast<uint64_t>(m);
+    if (lo < bound) {
+      const uint64_t threshold = (0 - bound) % bound;
+      while (lo < threshold) {
+        x = Next();
+        m = static_cast<__uint128_t>(x) * bound;
+        lo = static_cast<uint64_t>(m);
+      }
+    }
+    return static_cast<uint64_t>(m >> 64);
+  }
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  int64_t Uniform(int64_t lo, int64_t hi) {
+    KTG_DCHECK(lo <= hi);
+    return lo + static_cast<int64_t>(
+                    Below(static_cast<uint64_t>(hi - lo) + 1));
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Bernoulli trial with success probability `prob` (clamped to [0,1]).
+  bool Chance(double prob) { return NextDouble() < prob; }
+
+  /// Fisher-Yates shuffles `v` in place.
+  template <typename T>
+  void Shuffle(std::vector<T>& v) {
+    for (size_t i = v.size(); i > 1; --i) {
+      const size_t j = static_cast<size_t>(Below(i));
+      std::swap(v[i - 1], v[j]);
+    }
+  }
+
+  /// Samples `count` distinct values from [0, universe) without replacement.
+  /// Requires count <= universe. O(count) expected when count << universe,
+  /// falls back to a partial Fisher-Yates otherwise.
+  std::vector<uint64_t> SampleDistinct(uint64_t universe, size_t count);
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  uint64_t state_[4];
+};
+
+}  // namespace ktg
+
+#endif  // KTG_UTIL_RNG_H_

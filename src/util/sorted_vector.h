@@ -1,0 +1,86 @@
+// Copyright (c) 2026 The ktg Authors.
+// Operations over sorted, deduplicated vectors ("flat sets").
+//
+// Neighbor lists, keyword lists and index levels are stored as sorted
+// vectors: they are cache-friendly, half the size of hash sets, and support
+// O(log n) membership plus linear merges — exactly the access patterns of the
+// KTG engines and the NL/NLRNL indexes.
+
+#ifndef KTG_UTIL_SORTED_VECTOR_H_
+#define KTG_UTIL_SORTED_VECTOR_H_
+
+#include <algorithm>
+#include <vector>
+
+namespace ktg {
+
+/// True iff sorted vector `v` contains `x`.
+template <typename T>
+bool SortedContains(const std::vector<T>& v, const T& x) {
+  return std::binary_search(v.begin(), v.end(), x);
+}
+
+/// Sorts and removes duplicates in place.
+template <typename T>
+void SortUnique(std::vector<T>& v) {
+  std::sort(v.begin(), v.end());
+  v.erase(std::unique(v.begin(), v.end()), v.end());
+}
+
+/// Size of the intersection of two sorted vectors.
+template <typename T>
+size_t SortedIntersectionSize(const std::vector<T>& a,
+                              const std::vector<T>& b) {
+  size_t i = 0, j = 0, n = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i] < b[j]) {
+      ++i;
+    } else if (b[j] < a[i]) {
+      ++j;
+    } else {
+      ++n;
+      ++i;
+      ++j;
+    }
+  }
+  return n;
+}
+
+/// Intersection of two sorted vectors.
+template <typename T>
+std::vector<T> SortedIntersection(const std::vector<T>& a,
+                                  const std::vector<T>& b) {
+  std::vector<T> out;
+  std::set_intersection(a.begin(), a.end(), b.begin(), b.end(),
+                        std::back_inserter(out));
+  return out;
+}
+
+/// Union of two sorted vectors.
+template <typename T>
+std::vector<T> SortedUnion(const std::vector<T>& a, const std::vector<T>& b) {
+  std::vector<T> out;
+  std::set_union(a.begin(), a.end(), b.begin(), b.end(),
+                 std::back_inserter(out));
+  return out;
+}
+
+/// True iff two sorted vectors share at least one element.
+template <typename T>
+bool SortedIntersects(const std::vector<T>& a, const std::vector<T>& b) {
+  size_t i = 0, j = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i] < b[j]) {
+      ++i;
+    } else if (b[j] < a[i]) {
+      ++j;
+    } else {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace ktg
+
+#endif  // KTG_UTIL_SORTED_VECTOR_H_

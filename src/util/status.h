@@ -1,0 +1,145 @@
+// Copyright (c) 2026 The ktg Authors.
+// Lightweight Status / Result error-handling primitives.
+//
+// The library does not throw exceptions (Google C++ style). Operations that
+// can fail for external reasons (I/O, malformed input, resource limits)
+// return a Status, or a Result<T> when they also produce a value.
+// Programming errors are handled with KTG_CHECK instead.
+
+#ifndef KTG_UTIL_STATUS_H_
+#define KTG_UTIL_STATUS_H_
+
+#include <string>
+#include <utility>
+#include <variant>
+
+#include "util/macros.h"
+
+namespace ktg {
+
+/// Error category for a failed operation.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kIoError,
+  kOutOfRange,
+  kFailedPrecondition,
+  kResourceExhausted,
+  kUnimplemented,
+  kInternal,
+};
+
+/// Returns a short human-readable name of a status code ("IoError" etc.).
+const char* StatusCodeName(StatusCode code);
+
+/// The outcome of an operation that can fail without producing a value.
+///
+/// A Status is cheap to copy in the OK case (no allocation). Failed statuses
+/// carry a code and a message.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  /// Constructs a status with the given code and message.
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Renders "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// The outcome of an operation that produces a T on success.
+///
+/// Usage:
+///   Result<Graph> r = LoadGraph(path);
+///   if (!r.ok()) return r.status();
+///   Graph g = std::move(r).value();
+template <typename T>
+class Result {
+ public:
+  /// Constructs a successful result holding `value`.
+  Result(T value) : data_(std::move(value)) {}  // NOLINT: implicit by design
+
+  /// Constructs a failed result from a non-OK status.
+  Result(Status status) : data_(std::move(status)) {  // NOLINT
+    KTG_CHECK_MSG(!std::get<Status>(data_).ok(),
+                  "Result constructed from OK status without a value");
+  }
+
+  bool ok() const { return std::holds_alternative<T>(data_); }
+
+  /// Returns the status (OK when a value is present).
+  Status status() const {
+    if (ok()) return Status::OK();
+    return std::get<Status>(data_);
+  }
+
+  /// Accessors; it is a fatal error to access the value of a failed result.
+  const T& value() const& {
+    KTG_CHECK_MSG(ok(), status().ToString().c_str());
+    return std::get<T>(data_);
+  }
+  T& value() & {
+    KTG_CHECK_MSG(ok(), status().ToString().c_str());
+    return std::get<T>(data_);
+  }
+  T&& value() && {
+    KTG_CHECK_MSG(ok(), status().ToString().c_str());
+    return std::move(std::get<T>(data_));
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  std::variant<T, Status> data_;
+};
+
+/// Propagates a non-OK status to the caller.
+#define KTG_RETURN_IF_ERROR(expr)              \
+  do {                                         \
+    ::ktg::Status _st = (expr);                \
+    if (!_st.ok()) return _st;                 \
+  } while (0)
+
+}  // namespace ktg
+
+#endif  // KTG_UTIL_STATUS_H_

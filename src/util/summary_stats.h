@@ -1,0 +1,52 @@
+// Copyright (c) 2026 The ktg Authors.
+// Streaming summary statistics (count / mean / min / max / stddev) used by
+// graph statistics, the benchmark harness and latency reporting.
+
+#ifndef KTG_UTIL_SUMMARY_STATS_H_
+#define KTG_UTIL_SUMMARY_STATS_H_
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+
+namespace ktg {
+
+/// Welford-style online accumulator of scalar observations.
+class SummaryStats {
+ public:
+  /// Adds one observation.
+  void Add(double x) {
+    ++count_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(count_);
+    m2_ += delta * (x - mean_);
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+    sum_ += x;
+  }
+
+  uint64_t count() const { return count_; }
+  double sum() const { return sum_; }
+  double mean() const { return count_ ? mean_ : 0.0; }
+  double min() const { return count_ ? min_ : 0.0; }
+  double max() const { return count_ ? max_ : 0.0; }
+
+  /// Sample variance (n-1 denominator); 0 for fewer than two observations.
+  double variance() const {
+    return count_ > 1 ? m2_ / static_cast<double>(count_ - 1) : 0.0;
+  }
+  double stddev() const { return std::sqrt(variance()); }
+
+ private:
+  uint64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double sum_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+}  // namespace ktg
+
+#endif  // KTG_UTIL_SUMMARY_STATS_H_

@@ -1,0 +1,45 @@
+// Copyright (c) 2026 The ktg Authors.
+// Zipf-distributed sampling.
+//
+// Keyword popularity in real attributed social networks is heavily skewed;
+// we model it with a Zipf(s) distribution over ranks 0..n-1:
+//   P(rank = r) ∝ 1 / (r + 1)^s
+// The sampler precomputes the CDF once (O(n)) and samples by binary search
+// (O(log n)), which is the right trade-off for our generators that draw many
+// samples from a fixed distribution.
+
+#ifndef KTG_UTIL_ZIPF_H_
+#define KTG_UTIL_ZIPF_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace ktg {
+
+/// Samples ranks in [0, n) with probability proportional to 1/(rank+1)^s.
+class ZipfDistribution {
+ public:
+  /// Creates a Zipf distribution over `n` ranks with exponent `s` (s >= 0;
+  /// s == 0 degenerates to the uniform distribution). Requires n >= 1.
+  ZipfDistribution(uint64_t n, double s);
+
+  /// Draws one rank.
+  uint64_t Sample(Rng& rng) const;
+
+  /// Probability mass of a rank.
+  double Pmf(uint64_t rank) const;
+
+  uint64_t size() const { return n_; }
+  double exponent() const { return s_; }
+
+ private:
+  uint64_t n_;
+  double s_;
+  std::vector<double> cdf_;  // cdf_[i] = P(rank <= i); cdf_.back() == 1.
+};
+
+}  // namespace ktg
+
+#endif  // KTG_UTIL_ZIPF_H_

@@ -1,0 +1,124 @@
+// Copyright (c) 2026 The ktg Authors.
+// Batch runner tests: order preservation, single- vs multi-threaded
+// agreement, latency digest and error handling.
+
+#include <gtest/gtest.h>
+
+#include "core/batch.h"
+#include "datagen/generators.h"
+#include "datagen/keyword_assigner.h"
+#include "datagen/query_gen.h"
+#include "index/bfs_checker.h"
+#include "index/nlrnl_index.h"
+#include "keywords/inverted_index.h"
+
+namespace ktg {
+namespace {
+
+class BatchTest : public ::testing::Test {
+ protected:
+  BatchTest() {
+    Rng rng(0xBA7C);
+    KeywordModel model;
+    model.vocabulary_size = 30;
+    graph_ = AssignKeywords(BarabasiAlbert(150, 3, rng), model, rng);
+    index_ = std::make_unique<InvertedIndex>(graph_);
+
+    WorkloadOptions wopts;
+    wopts.num_queries = 12;
+    wopts.group_size = 3;
+    wopts.tenuity = 1;
+    wopts.top_n = 2;
+    queries_ = GenerateWorkload(graph_, wopts, rng);
+  }
+
+  CheckerFactory BfsFactory() const {
+    return [this] { return std::make_unique<BfsChecker>(graph_.graph()); };
+  }
+
+  AttributedGraph graph_;
+  std::unique_ptr<InvertedIndex> index_;
+  std::vector<KtgQuery> queries_;
+};
+
+TEST_F(BatchTest, SingleThreadMatchesDirectRuns) {
+  const auto batch = RunKtgBatch(graph_, *index_, BfsFactory(), queries_);
+  ASSERT_TRUE(batch.ok());
+  ASSERT_EQ(batch->results.size(), queries_.size());
+  for (size_t i = 0; i < queries_.size(); ++i) {
+    BfsChecker checker(graph_.graph());
+    const auto direct = RunKtg(graph_, *index_, checker, queries_[i]);
+    ASSERT_TRUE(direct.ok());
+    ASSERT_EQ(batch->results[i].groups.size(), direct->groups.size());
+    for (size_t g = 0; g < direct->groups.size(); ++g) {
+      EXPECT_EQ(batch->results[i].groups[g].covered(),
+                direct->groups[g].covered());
+    }
+  }
+}
+
+TEST_F(BatchTest, MultiThreadAgreesWithSingleThread) {
+  BatchOptions serial;
+  BatchOptions parallel;
+  parallel.threads = 4;
+  const auto a = RunKtgBatch(graph_, *index_, BfsFactory(), queries_, serial);
+  const auto b =
+      RunKtgBatch(graph_, *index_, BfsFactory(), queries_, parallel);
+  ASSERT_TRUE(a.ok() && b.ok());
+  ASSERT_EQ(a->results.size(), b->results.size());
+  for (size_t i = 0; i < a->results.size(); ++i) {
+    ASSERT_EQ(a->results[i].groups.size(), b->results[i].groups.size()) << i;
+    for (size_t g = 0; g < a->results[i].groups.size(); ++g) {
+      EXPECT_EQ(a->results[i].groups[g].members,
+                b->results[i].groups[g].members);
+    }
+  }
+}
+
+TEST_F(BatchTest, LatencyDigestPopulated) {
+  const auto batch = RunKtgBatch(graph_, *index_, BfsFactory(), queries_);
+  ASSERT_TRUE(batch.ok());
+  EXPECT_EQ(batch->latency.count, queries_.size());
+  EXPECT_GE(batch->latency.max, batch->latency.p50);
+  EXPECT_GE(batch->latency.p50, batch->latency.min);
+  EXPECT_GE(batch->latency.p99 + 1e-12, batch->latency.p90);
+  EXPECT_GT(batch->totals.nodes_expanded, 0u);
+}
+
+TEST_F(BatchTest, ValidatesUpFront) {
+  auto bad = queries_;
+  bad[5].group_size = 0;
+  const auto batch = RunKtgBatch(graph_, *index_, BfsFactory(), bad);
+  ASSERT_FALSE(batch.ok());
+  EXPECT_EQ(batch.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(BatchTest, RejectsBadOptions) {
+  BatchOptions opts;
+  opts.threads = 0;
+  EXPECT_FALSE(
+      RunKtgBatch(graph_, *index_, BfsFactory(), queries_, opts).ok());
+  EXPECT_FALSE(RunKtgBatch(graph_, *index_, nullptr, queries_).ok());
+}
+
+TEST_F(BatchTest, EmptyBatch) {
+  const auto batch = RunKtgBatch(graph_, *index_, BfsFactory(), {});
+  ASSERT_TRUE(batch.ok());
+  EXPECT_TRUE(batch->results.empty());
+  EXPECT_EQ(batch->latency.count, 0u);
+}
+
+TEST_F(BatchTest, WorksWithSharedIndexCheckers) {
+  // NLRNL factories that hand each worker its own index copy.
+  auto factory = [this] {
+    return std::make_unique<NlrnlIndex>(graph_.graph());
+  };
+  BatchOptions opts;
+  opts.threads = 3;
+  const auto batch = RunKtgBatch(graph_, *index_, factory, queries_, opts);
+  ASSERT_TRUE(batch.ok());
+  EXPECT_EQ(batch->results.size(), queries_.size());
+}
+
+}  // namespace
+}  // namespace ktg

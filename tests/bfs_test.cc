@@ -1,0 +1,176 @@
+// Copyright (c) 2026 The ktg Authors.
+// BFS machinery tests: bounded distances, bidirectional search, balls,
+// levels and eccentricity, cross-checked against an all-pairs reference.
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "datagen/generators.h"
+#include "graph/bfs.h"
+#include "util/rng.h"
+
+namespace ktg {
+namespace {
+
+// Floyd–Warshall reference on hop counts.
+std::vector<std::vector<uint32_t>> AllPairs(const Graph& g) {
+  const uint32_t n = g.num_vertices();
+  constexpr uint32_t kInf = std::numeric_limits<uint32_t>::max() / 4;
+  std::vector<std::vector<uint32_t>> d(n, std::vector<uint32_t>(n, kInf));
+  for (uint32_t i = 0; i < n; ++i) d[i][i] = 0;
+  for (const auto& [u, v] : g.EdgeList()) d[u][v] = d[v][u] = 1;
+  for (uint32_t k = 0; k < n; ++k) {
+    for (uint32_t i = 0; i < n; ++i) {
+      for (uint32_t j = 0; j < n; ++j) {
+        d[i][j] = std::min(d[i][j], d[i][k] + d[k][j]);
+      }
+    }
+  }
+  return d;
+}
+
+constexpr uint32_t kInf = std::numeric_limits<uint32_t>::max() / 4;
+
+TEST(BfsTest, PathGraphDistances) {
+  const Graph g = PathGraph(10);
+  BoundedBfs bfs(g);
+  EXPECT_EQ(bfs.Distance(0, 9, 20), 9);
+  EXPECT_EQ(bfs.Distance(0, 9, 9), 9);
+  EXPECT_EQ(bfs.Distance(0, 9, 8), kUnreachable);
+  EXPECT_EQ(bfs.Distance(4, 4, 0), 0);
+  EXPECT_EQ(bfs.Distance(3, 7, 4), 4);
+}
+
+TEST(BfsTest, DisconnectedIsUnreachable) {
+  GraphBuilder b(4);
+  b.AddEdge(0, 1);
+  b.AddEdge(2, 3);
+  const Graph g = b.Build();
+  BoundedBfs bfs(g);
+  EXPECT_EQ(bfs.Distance(0, 3, 100), kUnreachable);
+  EXPECT_EQ(bfs.DistanceBidirectional(0, 3, 100), kUnreachable);
+}
+
+TEST(BfsTest, BidirectionalMatchesUnidirectional) {
+  Rng rng(31);
+  for (int trial = 0; trial < 5; ++trial) {
+    const Graph g = ErdosRenyi(60, 0.06, rng);
+    BoundedBfs bfs(g);
+    const auto ref = AllPairs(g);
+    for (int i = 0; i < 200; ++i) {
+      const auto s = static_cast<VertexId>(rng.Below(g.num_vertices()));
+      const auto t = static_cast<VertexId>(rng.Below(g.num_vertices()));
+      for (const HopDistance k : {1, 2, 3, 5}) {
+        const HopDistance uni = bfs.Distance(s, t, k);
+        const HopDistance bi = bfs.DistanceBidirectional(s, t, k);
+        const uint32_t truth = ref[s][t];
+        if (truth <= k) {
+          EXPECT_EQ(uni, truth);
+          EXPECT_EQ(bi, truth) << "s=" << s << " t=" << t << " k=" << k;
+        } else {
+          EXPECT_EQ(uni, kUnreachable);
+          EXPECT_EQ(bi, kUnreachable) << "s=" << s << " t=" << t << " k=" << k;
+        }
+      }
+    }
+  }
+}
+
+TEST(BfsTest, BallMatchesReference) {
+  Rng rng(33);
+  const Graph g = WattsStrogatz(80, 2, 0.2, rng);
+  BoundedBfs bfs(g);
+  const auto ref = AllPairs(g);
+  for (VertexId s = 0; s < g.num_vertices(); s += 7) {
+    for (const HopDistance k : {1, 2, 3}) {
+      const auto ball = bfs.Ball(s, k);
+      EXPECT_TRUE(std::is_sorted(ball.begin(), ball.end()));
+      std::vector<VertexId> expect;
+      for (VertexId t = 0; t < g.num_vertices(); ++t) {
+        if (t != s && ref[s][t] <= k) expect.push_back(t);
+      }
+      EXPECT_EQ(ball, expect) << "s=" << s << " k=" << k;
+    }
+  }
+}
+
+TEST(BfsTest, LevelsPartitionTheBall) {
+  Rng rng(35);
+  const Graph g = BarabasiAlbert(100, 3, rng);
+  BoundedBfs bfs(g);
+  const auto ref = AllPairs(g);
+  const VertexId s = 17;
+  const auto levels = bfs.Levels(s, 4);
+  for (size_t i = 0; i < levels.size(); ++i) {
+    for (const VertexId t : levels[i]) {
+      EXPECT_EQ(ref[s][t], i + 1);
+    }
+  }
+  // Every vertex within 4 hops appears in exactly one level.
+  size_t total = 0;
+  for (const auto& l : levels) total += l.size();
+  size_t expect = 0;
+  for (VertexId t = 0; t < g.num_vertices(); ++t) {
+    if (t != s && ref[s][t] <= 4) ++expect;
+  }
+  EXPECT_EQ(total, expect);
+}
+
+TEST(BfsTest, EccentricityOnKnownShapes) {
+  const Graph path = PathGraph(10);
+  BoundedBfs path_bfs(path);
+  EXPECT_EQ(path_bfs.Eccentricity(0), 9);
+  EXPECT_EQ(path_bfs.Eccentricity(5), 5);
+
+  const Graph grid = GridGraph(3, 4);
+  BoundedBfs grid_bfs(grid);
+  EXPECT_EQ(grid_bfs.Eccentricity(0), 5);  // corner to opposite corner
+
+  const Graph k5 = CompleteGraph(5);
+  BoundedBfs k5_bfs(k5);
+  EXPECT_EQ(k5_bfs.Eccentricity(2), 1);
+}
+
+TEST(BfsTest, EccentricityOfIsolatedVertexIsZero) {
+  GraphBuilder b(3);
+  b.AddEdge(0, 1);
+  const Graph g = b.Build();
+  BoundedBfs bfs(g);
+  EXPECT_EQ(bfs.Eccentricity(2), 0);
+}
+
+TEST(BfsTest, DistancesFromMatchesReference) {
+  Rng rng(37);
+  const Graph g = ErdosRenyi(70, 0.05, rng);
+  const auto ref = AllPairs(g);
+  for (VertexId s = 0; s < g.num_vertices(); s += 11) {
+    const auto dist = DistancesFrom(g, s);
+    for (VertexId t = 0; t < g.num_vertices(); ++t) {
+      if (ref[s][t] >= kInf) {
+        EXPECT_EQ(dist[t], kUnreachable);
+      } else {
+        EXPECT_EQ(dist[t], ref[s][t]);
+      }
+    }
+  }
+}
+
+TEST(BfsTest, HopDistanceBetweenConvenience) {
+  const Graph g = CycleGraph(8);
+  EXPECT_EQ(HopDistanceBetween(g, 0, 4), 4);
+  EXPECT_EQ(HopDistanceBetween(g, 1, 7), 2);
+}
+
+TEST(BfsTest, EpochReuseDoesNotLeakMarks) {
+  // Many searches on the same engine must stay independent.
+  const Graph g = PathGraph(50);
+  BoundedBfs bfs(g);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(bfs.Distance(0, 5, 10), 5);
+    EXPECT_EQ(bfs.DistanceBidirectional(10, 20, 10), 10);
+  }
+}
+
+}  // namespace
+}  // namespace ktg

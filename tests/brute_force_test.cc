@@ -1,0 +1,102 @@
+// Copyright (c) 2026 The ktg Authors.
+// Brute-force reference solver tests on hand-checkable instances.
+
+#include <gtest/gtest.h>
+
+#include "core/brute_force.h"
+#include "core/paper_example.h"
+#include "datagen/generators.h"
+#include "index/bfs_checker.h"
+#include "keywords/inverted_index.h"
+
+namespace ktg {
+namespace {
+
+TEST(BruteForceTest, PaperExampleOptimumIsFourOfFive) {
+  const AttributedGraph g = PaperExampleGraph();
+  const InvertedIndex idx(g);
+  BfsChecker checker(g.graph());
+  const KtgQuery q = PaperExampleQuery(g);
+
+  const auto r = BruteForceKtg(g, idx, checker, q);
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r->groups.size(), 2u);
+  // The paper's optimum covers {SN, QP, DQ, GD} = 4 of 5 (GQ uncovered).
+  EXPECT_EQ(r->groups[0].covered(), 4);
+  EXPECT_EQ(r->groups[1].covered(), 4);
+  EXPECT_DOUBLE_EQ(r->best_coverage(), 0.8);
+  for (const auto& grp : r->groups) {
+    EXPECT_EQ(grp.members.size(), 3u);
+    EXPECT_TRUE(IsKDistanceGroup(grp.members, q.tenuity, checker));
+  }
+}
+
+TEST(BruteForceTest, PaperExampleGroupsAreTenuous) {
+  const AttributedGraph g = PaperExampleGraph();
+  BfsChecker checker(g.graph());
+  // The paper's two result groups are feasible optima in our
+  // reconstruction.
+  EXPECT_TRUE(IsKDistanceGroup(std::vector<VertexId>{10, 1, 4}, 1, checker));
+  EXPECT_TRUE(IsKDistanceGroup(std::vector<VertexId>{10, 1, 5}, 1, checker));
+  // u6-u7 are directly connected: never a 1-distance group together.
+  EXPECT_FALSE(IsKDistanceGroup(std::vector<VertexId>{6, 7, 1}, 1, checker));
+}
+
+TEST(BruteForceTest, InfeasibleWhenGraphTooTight) {
+  // A complete graph has no k-distance pair for k >= 1.
+  AttributedGraphBuilder b;
+  b.SetGraph(CompleteGraph(5));
+  for (VertexId v = 0; v < 5; ++v) b.AddKeyword(v, "x");
+  const AttributedGraph g = b.Build();
+  const InvertedIndex idx(g);
+  BfsChecker checker(g.graph());
+  KtgQuery q;
+  q.keywords = {g.vocabulary().Find("x")};
+  q.group_size = 2;
+  q.tenuity = 1;
+  q.top_n = 3;
+  const auto r = BruteForceKtg(g, idx, checker, q);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->groups.empty());
+}
+
+TEST(BruteForceTest, SingletonGroups) {
+  AttributedGraphBuilder b;
+  b.SetGraph(PathGraph(4));
+  b.AddKeywords(0, {"a"});
+  b.AddKeywords(1, {"a", "b"});
+  b.AddKeywords(3, {"b", "c"});
+  const AttributedGraph g = b.Build();
+  const InvertedIndex idx(g);
+  BfsChecker checker(g.graph());
+  KtgQuery q;
+  q.keywords = {g.vocabulary().Find("a"), g.vocabulary().Find("b"),
+                g.vocabulary().Find("c")};
+  q.group_size = 1;
+  q.tenuity = 1;
+  q.top_n = 2;
+  const auto r = BruteForceKtg(g, idx, checker, q);
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r->groups.size(), 2u);
+  // Best singletons are u3 ({b, c}) and u1 ({a, b}).
+  EXPECT_EQ(r->groups[0].covered(), 2);
+  EXPECT_EQ(r->groups[1].covered(), 2);
+}
+
+TEST(BruteForceTest, RejectsMalformedQuery) {
+  const AttributedGraph g = PaperExampleGraph();
+  const InvertedIndex idx(g);
+  BfsChecker checker(g.graph());
+  KtgQuery q = PaperExampleQuery(g);
+  q.group_size = 0;
+  EXPECT_FALSE(BruteForceKtg(g, idx, checker, q).ok());
+  q = PaperExampleQuery(g);
+  q.keywords.clear();
+  EXPECT_FALSE(BruteForceKtg(g, idx, checker, q).ok());
+  q = PaperExampleQuery(g);
+  q.top_n = 0;
+  EXPECT_FALSE(BruteForceKtg(g, idx, checker, q).ok());
+}
+
+}  // namespace
+}  // namespace ktg

@@ -1,0 +1,83 @@
+// Copyright (c) 2026 The ktg Authors.
+// Candidate extraction tests: keyword filtering, the multi-query-vertex
+// ("authors") exclusion of Section IV's Discussion, and DKTG's exact
+// exclusion list.
+
+#include <gtest/gtest.h>
+
+#include "core/candidates.h"
+#include "core/paper_example.h"
+#include "index/bfs_checker.h"
+#include "keywords/inverted_index.h"
+
+namespace ktg {
+namespace {
+
+class CandidatesTest : public ::testing::Test {
+ protected:
+  CandidatesTest()
+      : graph_(PaperExampleGraph()),
+        index_(graph_),
+        checker_(graph_.graph()),
+        query_(PaperExampleQuery(graph_)) {}
+
+  AttributedGraph graph_;
+  InvertedIndex index_;
+  BfsChecker checker_;
+  KtgQuery query_;
+};
+
+TEST_F(CandidatesTest, OnlyKeywordCoveringVertices) {
+  const auto cands = ExtractCandidates(graph_, index_, query_, checker_);
+  std::vector<VertexId> ids;
+  for (const auto& c : cands) ids.push_back(c.vertex);
+  // u8 (ML) and u9 (IR) cover no query keyword; everyone else qualifies.
+  EXPECT_EQ(ids, (std::vector<VertexId>{0, 1, 2, 3, 4, 5, 6, 7, 10, 11}));
+  for (const auto& c : cands) {
+    EXPECT_GT(PopCount(c.mask), 0);
+    EXPECT_EQ(c.degree, graph_.graph().Degree(c.vertex));
+    EXPECT_EQ(c.vkc, PopCount(c.mask));
+  }
+}
+
+TEST_F(CandidatesTest, QueryVerticesExcludeTheirNeighborhood) {
+  query_.query_vertices = {0};  // u0 is an "author"; k = 1
+  uint64_t removed = 0;
+  const auto cands =
+      ExtractCandidates(graph_, index_, query_, checker_, &removed);
+  std::vector<VertexId> ids;
+  for (const auto& c : cands) ids.push_back(c.vertex);
+  // Excluded: u0 itself plus its neighbors u1, u2, u3, u4, u11 (u9 covers
+  // no keyword anyway).
+  EXPECT_EQ(ids, (std::vector<VertexId>{5, 6, 7, 10}));
+  EXPECT_EQ(removed, 6u);
+}
+
+TEST_F(CandidatesTest, LargerTenuityExcludesMore) {
+  query_.query_vertices = {8};
+  query_.tenuity = 2;
+  const auto cands = ExtractCandidates(graph_, index_, query_, checker_);
+  std::vector<VertexId> ids;
+  for (const auto& c : cands) ids.push_back(c.vertex);
+  // u8's <=2-ball is {0, 3, 4, 6, 7}; candidates lose those.
+  EXPECT_EQ(ids, (std::vector<VertexId>{1, 2, 5, 10, 11}));
+}
+
+TEST_F(CandidatesTest, ExcludedVerticesAreExact) {
+  query_.excluded_vertices = {10, 1, 10};  // duplicates tolerated
+  const auto cands = ExtractCandidates(graph_, index_, query_, checker_);
+  for (const auto& c : cands) {
+    EXPECT_NE(c.vertex, 10u);
+    EXPECT_NE(c.vertex, 1u);
+  }
+  EXPECT_EQ(cands.size(), 8u);
+}
+
+TEST_F(CandidatesTest, EmptyWhenNoKeywordMatches) {
+  query_.keywords = {kInvalidKeyword, kInvalidKeyword};
+  const auto cands = ExtractCandidates(graph_, index_, query_, checker_);
+  EXPECT_TRUE(cands.empty());
+}
+
+}  // namespace
+}  // namespace ktg

@@ -1,0 +1,196 @@
+// Copyright (c) 2026 The ktg Authors.
+// CLI tests: the flag parser and each command end-to-end against temp
+// files (generate → stats → build-index → query round trip).
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "cli/args.h"
+#include "cli/commands.h"
+
+namespace ktg::cli {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+Result<Args> ParseFor(std::vector<std::string> argv) {
+  static const std::vector<std::string> kFlags = {
+      "preset", "scale", "edges", "attrs", "out",  "kind", "keywords",
+      "p",      "k",     "n",     "algo",  "flag", "x"};
+  return Args::Parse(argv, kFlags);
+}
+
+TEST(ArgsTest, ParsesCommandAndFlags) {
+  auto args = ParseFor({"query", "--edges", "g.txt", "--p", "3",
+                        "--keywords=a,b", "--flag"});
+  ASSERT_TRUE(args.ok()) << args.status().ToString();
+  EXPECT_EQ(args->command(), "query");
+  EXPECT_EQ(args->GetString("edges"), "g.txt");
+  EXPECT_EQ(args->GetInt("p", 0).value(), 3);
+  EXPECT_EQ(args->GetList("keywords"),
+            (std::vector<std::string>{"a", "b"}));
+  EXPECT_TRUE(args->GetBool("flag"));
+  EXPECT_FALSE(args->GetBool("absent"));
+}
+
+TEST(ArgsTest, RejectsUnknownFlag) {
+  const auto args = ParseFor({"query", "--bogus", "1"});
+  ASSERT_FALSE(args.ok());
+  EXPECT_EQ(args.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ArgsTest, RejectsStrayPositional) {
+  const auto args = ParseFor({"query", "extra"});
+  ASSERT_FALSE(args.ok());
+}
+
+TEST(ArgsTest, TypedGetterErrors) {
+  auto args = ParseFor({"query", "--p", "three", "--scale", "fast"});
+  ASSERT_TRUE(args.ok());
+  EXPECT_FALSE(args->GetInt("p", 0).ok());
+  EXPECT_FALSE(args->GetDouble("scale", 0).ok());
+  EXPECT_EQ(args->GetInt("k", 7).value(), 7);  // default path
+}
+
+TEST(ArgsTest, DefaultsAndEmptyList) {
+  auto args = ParseFor({"stats"});
+  ASSERT_TRUE(args.ok());
+  EXPECT_EQ(args->GetString("edges", "fallback"), "fallback");
+  EXPECT_TRUE(args->GetList("keywords").empty());
+}
+
+TEST(ArgsTest, BoolSpellings) {
+  auto args = ParseFor({"q1", "--flag", "false"});
+  // "q1" command then --flag false.
+  ASSERT_TRUE(args.ok());
+  EXPECT_FALSE(args->GetBool("flag", true));
+}
+
+class CliCommandTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    edges_ = TempPath("ktg_cli_edges.txt");
+    attrs_ = TempPath("ktg_cli_attrs.txt");
+    index_ = TempPath("ktg_cli.idx");
+    // Generate a tiny dataset once.
+    const auto args = Args::Parse(
+        {"generate", "--preset", "brightkite", "--scale", "0.02", "--edges",
+         edges_, "--attrs", attrs_},
+        {"preset", "scale", "edges", "attrs"});
+    ASSERT_TRUE(args.ok());
+    ASSERT_TRUE(CmdGenerate(*args).ok());
+  }
+  void TearDown() override {
+    std::remove(edges_.c_str());
+    std::remove(attrs_.c_str());
+    std::remove(index_.c_str());
+  }
+
+  std::string edges_, attrs_, index_;
+};
+
+TEST_F(CliCommandTest, StatsRuns) {
+  const auto args =
+      Args::Parse({"stats", "--edges", edges_, "--attrs", attrs_},
+                  {"edges", "attrs"});
+  ASSERT_TRUE(args.ok());
+  EXPECT_TRUE(CmdStats(*args).ok());
+}
+
+TEST_F(CliCommandTest, StatsMissingEdgesFails) {
+  const auto args = Args::Parse({"stats"}, {"edges"});
+  ASSERT_TRUE(args.ok());
+  EXPECT_FALSE(CmdStats(*args).ok());
+}
+
+TEST_F(CliCommandTest, BuildIndexAndQueryViaIndex) {
+  {
+    const auto args = Args::Parse(
+        {"build-index", "--edges", edges_, "--kind", "nlrnl", "--out",
+         index_},
+        {"edges", "kind", "out"});
+    ASSERT_TRUE(args.ok());
+    ASSERT_TRUE(CmdBuildIndex(*args).ok());
+  }
+  {
+    const auto args = Args::Parse(
+        {"query", "--edges", edges_, "--attrs", attrs_, "--index", index_,
+         "--keywords", "kw0,kw1,kw2", "--p", "2", "--k", "1", "--n", "2"},
+        {"edges", "attrs", "index", "keywords", "p", "k", "n"});
+    ASSERT_TRUE(args.ok());
+    EXPECT_TRUE(CmdQuery(*args).ok());
+  }
+}
+
+TEST_F(CliCommandTest, QueryAllAlgorithms) {
+  for (const std::string algo :
+       {"vkc-deg", "vkc", "qkc", "greedy", "dktg", "tagq"}) {
+    const auto args = Args::Parse(
+        {"query", "--edges", edges_, "--attrs", attrs_, "--checker", "bfs",
+         "--keywords", "kw0,kw1,kw2,kw3", "--p", "2", "--k", "1", "--algo",
+         algo},
+        {"edges", "attrs", "checker", "keywords", "p", "k", "algo"});
+    ASSERT_TRUE(args.ok());
+    EXPECT_TRUE(CmdQuery(*args).ok()) << algo;
+  }
+}
+
+TEST_F(CliCommandTest, QueryRejectsBadAlgo) {
+  const auto args = Args::Parse(
+      {"query", "--edges", edges_, "--attrs", attrs_, "--keywords", "kw0",
+       "--algo", "quantum"},
+      {"edges", "attrs", "keywords", "algo"});
+  ASSERT_TRUE(args.ok());
+  EXPECT_FALSE(CmdQuery(*args).ok());
+}
+
+TEST_F(CliCommandTest, QueryRequiresKeywords) {
+  const auto args =
+      Args::Parse({"query", "--edges", edges_, "--attrs", attrs_},
+                  {"edges", "attrs"});
+  ASSERT_TRUE(args.ok());
+  EXPECT_FALSE(CmdQuery(*args).ok());
+}
+
+TEST_F(CliCommandTest, WorkloadRuns) {
+  const auto args = Args::Parse(
+      {"workload", "--preset", "brightkite", "--scale", "0.02", "--queries",
+       "3", "--p", "3", "--checker", "bfs"},
+      {"preset", "scale", "queries", "p", "checker"});
+  ASSERT_TRUE(args.ok());
+  EXPECT_TRUE(CmdWorkload(*args).ok());
+}
+
+TEST_F(CliCommandTest, WorkloadRunsThreaded) {
+  const auto args = Args::Parse(
+      {"workload", "--preset", "brightkite", "--scale", "0.02", "--queries",
+       "6", "--p", "3", "--checker", "bfs", "--threads", "3"},
+      {"preset", "scale", "queries", "p", "checker", "threads"});
+  ASSERT_TRUE(args.ok());
+  EXPECT_TRUE(CmdWorkload(*args).ok());
+}
+
+TEST_F(CliCommandTest, QueryJsonOutput) {
+  const auto args = Args::Parse(
+      {"query", "--edges", edges_, "--attrs", attrs_, "--checker", "bfs",
+       "--keywords", "kw0,kw1,kw2", "--p", "2", "--k", "1", "--json"},
+      {"edges", "attrs", "checker", "keywords", "p", "k", "json"});
+  ASSERT_TRUE(args.ok());
+  EXPECT_TRUE(CmdQuery(*args).ok());
+}
+
+TEST(CliMainTest, DispatchAndExitCodes) {
+  EXPECT_EQ(RunMain({"help"}), 0);
+  EXPECT_EQ(RunMain({}), 2);
+  EXPECT_EQ(RunMain({"frobnicate"}), 2);
+  EXPECT_EQ(RunMain({"stats", "--bogus-flag", "1"}), 2);
+  EXPECT_EQ(RunMain({"stats", "--edges", "/nonexistent/zz.txt"}), 1);
+  EXPECT_FALSE(UsageText().empty());
+}
+
+}  // namespace
+}  // namespace ktg::cli

@@ -1,0 +1,136 @@
+// Copyright (c) 2026 The ktg Authors.
+// Conflict-graph engine tests: exactness versus brute force and the
+// paper's engine across random instances, plus its specific options.
+
+#include <gtest/gtest.h>
+
+#include "core/brute_force.h"
+#include "core/conflict_graph_engine.h"
+#include "core/ktg_engine.h"
+#include "core/paper_example.h"
+#include "datagen/generators.h"
+#include "datagen/keyword_assigner.h"
+#include "datagen/query_gen.h"
+#include "index/bfs_checker.h"
+#include "keywords/inverted_index.h"
+
+namespace ktg {
+namespace {
+
+std::vector<int> Counts(const std::vector<Group>& groups) {
+  std::vector<int> out;
+  for (const auto& g : groups) out.push_back(g.covered());
+  return out;
+}
+
+TEST(ConflictGraphEngineTest, PaperExample) {
+  const AttributedGraph g = PaperExampleGraph();
+  const InvertedIndex idx(g);
+  BfsChecker checker(g.graph());
+  const KtgQuery q = PaperExampleQuery(g);
+
+  const auto r = RunKtgConflictGraph(g, idx, checker, q);
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r->groups.size(), 2u);
+  EXPECT_EQ(r->groups[0].covered(), 4);
+  EXPECT_EQ(r->groups[1].covered(), 4);
+  for (const auto& grp : r->groups) {
+    EXPECT_TRUE(IsKDistanceGroup(grp.members, q.tenuity, checker));
+  }
+}
+
+TEST(ConflictGraphEngineTest, MatchesBruteForceOnRandomInstances) {
+  Rng rng(0xCF61);
+  for (int round = 0; round < 10; ++round) {
+    KeywordModel model;
+    model.vocabulary_size = 12;
+    model.min_per_vertex = 1;
+    model.max_per_vertex = 3;
+    const AttributedGraph g = AssignKeywords(
+        round % 2 == 0 ? ErdosRenyi(34, 0.08, rng)
+                       : BarabasiAlbert(36, 2, rng),
+        model, rng);
+    const InvertedIndex idx(g);
+
+    WorkloadOptions wopts;
+    wopts.num_queries = 2;
+    wopts.keyword_count = 4 + round % 3;
+    wopts.group_size = 2 + round % 3;
+    wopts.tenuity = static_cast<HopDistance>(1 + round % 3);
+    wopts.top_n = 1 + round % 4;
+    for (const auto& q : GenerateWorkload(g, wopts, rng)) {
+      BfsChecker c1(g.graph()), c2(g.graph());
+      const auto truth = BruteForceKtg(g, idx, c1, q);
+      const auto got = RunKtgConflictGraph(g, idx, c2, q);
+      ASSERT_TRUE(truth.ok() && got.ok());
+      EXPECT_EQ(Counts(got->groups), Counts(truth->groups))
+          << "round " << round << " p=" << q.group_size
+          << " k=" << q.tenuity << " N=" << q.top_n;
+      BfsChecker validator(g.graph());
+      for (const auto& grp : got->groups) {
+        EXPECT_EQ(grp.members.size(), q.group_size);
+        EXPECT_TRUE(IsKDistanceGroup(grp.members, q.tenuity, validator));
+      }
+    }
+  }
+}
+
+TEST(ConflictGraphEngineTest, AgreesWithPaperEngine) {
+  Rng rng(0xCF62);
+  KeywordModel model;
+  model.vocabulary_size = 25;
+  const AttributedGraph g =
+      AssignKeywords(WattsStrogatz(120, 3, 0.2, rng), model, rng);
+  const InvertedIndex idx(g);
+  WorkloadOptions wopts;
+  wopts.num_queries = 4;
+  wopts.group_size = 4;
+  wopts.tenuity = 2;
+  wopts.top_n = 3;
+  for (const auto& q : GenerateWorkload(g, wopts, rng)) {
+    BfsChecker c1(g.graph()), c2(g.graph());
+    const auto a = RunKtg(g, idx, c1, q);
+    const auto b = RunKtgConflictGraph(g, idx, c2, q);
+    ASSERT_TRUE(a.ok() && b.ok());
+    EXPECT_EQ(Counts(a->groups), Counts(b->groups));
+  }
+}
+
+TEST(ConflictGraphEngineTest, CandidateBudgetEnforced) {
+  const AttributedGraph g = PaperExampleGraph();
+  const InvertedIndex idx(g);
+  BfsChecker checker(g.graph());
+  ConflictEngineOptions opts;
+  opts.max_candidates = 3;  // the example has 10 candidates
+  const auto r =
+      RunKtgConflictGraph(g, idx, checker, PaperExampleQuery(g), opts);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST(ConflictGraphEngineTest, NodeBudgetStopsSearch) {
+  const AttributedGraph g = PaperExampleGraph();
+  const InvertedIndex idx(g);
+  BfsChecker checker(g.graph());
+  ConflictEngineOptions opts;
+  opts.max_nodes = 2;
+  const auto r =
+      RunKtgConflictGraph(g, idx, checker, PaperExampleQuery(g), opts);
+  ASSERT_TRUE(r.ok());
+  EXPECT_LE(r->stats.nodes_expanded, 3u);
+}
+
+TEST(ConflictGraphEngineTest, CountsConflictEdges) {
+  const AttributedGraph g = PaperExampleGraph();
+  const InvertedIndex idx(g);
+  BfsChecker checker(g.graph());
+  const auto r = RunKtgConflictGraph(g, idx, checker, PaperExampleQuery(g));
+  ASSERT_TRUE(r.ok());
+  // k-line pairs among the 10 candidates (k=1): at least the direct edges
+  // between candidate vertices.
+  EXPECT_GT(r->stats.kline_filtered, 0u);
+  EXPECT_GT(r->stats.distance_checks, 40u);  // C(10,2) pairwise checks
+}
+
+}  // namespace
+}  // namespace ktg

@@ -1,0 +1,247 @@
+// Copyright (c) 2026 The ktg Authors.
+// Dataset generator tests: determinism, degree/connectivity shape of each
+// family, keyword assignment and the named presets.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "datagen/generators.h"
+#include "datagen/keyword_assigner.h"
+#include "datagen/presets.h"
+#include "graph/bfs.h"
+#include "graph/stats.h"
+#include "util/sorted_vector.h"
+
+namespace ktg {
+namespace {
+
+TEST(GeneratorsTest, BarabasiAlbertShape) {
+  Rng rng(0xBA);
+  const Graph g = BarabasiAlbert(500, 4, rng);
+  EXPECT_EQ(g.num_vertices(), 500u);
+  // Every non-seed vertex contributes m edges (minus seed-clique overlap).
+  EXPECT_NEAR(g.AverageDegree(), 8.0, 1.0);
+  // Preferential attachment from a seed clique is connected.
+  EXPECT_EQ(ConnectedComponents(g).second, 1u);
+  // Heavy tail: max degree far above the average.
+  Rng srng(1);
+  const auto stats = ComputeGraphStats(g, srng, 0);
+  EXPECT_GT(stats.max_degree, 3 * 8);
+}
+
+TEST(GeneratorsTest, BarabasiAlbertDeterministic) {
+  Rng a(7), b(7);
+  EXPECT_EQ(BarabasiAlbert(200, 3, a).EdgeList(),
+            BarabasiAlbert(200, 3, b).EdgeList());
+}
+
+TEST(GeneratorsTest, ChungLuAverageDegree) {
+  Rng rng(0xC1);
+  const Graph g = ChungLuPowerLaw(3000, 8.0, 2.5, rng);
+  EXPECT_EQ(g.num_vertices(), 3000u);
+  EXPECT_NEAR(g.AverageDegree(), 8.0, 1.5);
+}
+
+TEST(GeneratorsTest, ErdosRenyiEdgeCount) {
+  Rng rng(0xE2);
+  const uint32_t n = 400;
+  const double p = 0.03;
+  const Graph g = ErdosRenyi(n, p, rng);
+  const double expected = p * n * (n - 1) / 2.0;
+  EXPECT_NEAR(static_cast<double>(g.num_edges()), expected,
+              5.0 * std::sqrt(expected));
+  for (const auto& [u, v] : g.EdgeList()) {
+    EXPECT_LT(u, v);
+    EXPECT_LT(v, n);
+  }
+}
+
+TEST(GeneratorsTest, ErdosRenyiExtremes) {
+  Rng rng(0xE3);
+  EXPECT_EQ(ErdosRenyi(50, 0.0, rng).num_edges(), 0u);
+  EXPECT_EQ(ErdosRenyi(10, 1.0, rng).num_edges(), 45u);
+}
+
+TEST(GeneratorsTest, WattsStrogatzDegree) {
+  Rng rng(0x35);
+  const Graph g = WattsStrogatz(300, 3, 0.1, rng);
+  // Ring lattice contributes exactly 3 edges per vertex before rewiring.
+  EXPECT_NEAR(g.AverageDegree(), 6.0, 0.5);
+}
+
+TEST(GeneratorsTest, DeterministicShapes) {
+  // Path/cycle/grid/tree/complete have exact, known structure.
+  EXPECT_EQ(PathGraph(6).num_edges(), 5u);
+  EXPECT_EQ(CycleGraph(6).num_edges(), 6u);
+  EXPECT_EQ(GridGraph(3, 3).num_edges(), 12u);
+  EXPECT_EQ(CompleteGraph(6).num_edges(), 15u);
+  const Graph tree = AryTree(13, 3);
+  EXPECT_EQ(tree.num_edges(), 12u);
+  EXPECT_EQ(ConnectedComponents(tree).second, 1u);
+  EXPECT_EQ(HopDistanceBetween(tree, 0, 12), 2);  // root to a leaf layer 2
+}
+
+TEST(GeneratorsTest, StochasticBlockModelCommunityStructure) {
+  Rng rng(0x5B3);
+  const uint32_t n = 300, c = 3;
+  const Graph g = StochasticBlockModel(n, c, 0.12, 0.004, rng);
+  uint64_t internal = 0, external = 0;
+  for (const auto& [u, v] : g.EdgeList()) {
+    if (u % c == v % c) {
+      ++internal;
+    } else {
+      ++external;
+    }
+  }
+  // Expected internal ≈ 3 * C(100,2) * 0.12 ≈ 1782; external ≈
+  // 3 * 100*100 * 0.004 ≈ 120.
+  EXPECT_GT(internal, 8 * external);
+  EXPECT_NEAR(static_cast<double>(internal), 1782.0, 300.0);
+  EXPECT_NEAR(static_cast<double>(external), 120.0, 60.0);
+}
+
+TEST(GeneratorsTest, StochasticBlockModelExtremes) {
+  Rng rng(0x5B4);
+  EXPECT_EQ(StochasticBlockModel(40, 4, 0.0, 0.0, rng).num_edges(), 0u);
+  const Graph full = StochasticBlockModel(20, 2, 1.0, 1.0, rng);
+  EXPECT_EQ(full.num_edges(), 190u);
+}
+
+TEST(KeywordAssignerTest, CountsWithinRange) {
+  Rng rng(0xA1);
+  KeywordModel model;
+  model.vocabulary_size = 50;
+  model.min_per_vertex = 2;
+  model.max_per_vertex = 5;
+  const AttributedGraph g = AssignKeywords(PathGraph(400), model, rng);
+  EXPECT_EQ(g.num_keywords(), 50u);
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    const auto kws = g.Keywords(v);
+    EXPECT_GE(kws.size(), 2u);
+    EXPECT_LE(kws.size(), 5u);
+    EXPECT_TRUE(std::is_sorted(kws.begin(), kws.end()));
+  }
+}
+
+TEST(KeywordAssignerTest, EmptyFraction) {
+  Rng rng(0xA2);
+  KeywordModel model;
+  model.vocabulary_size = 20;
+  model.empty_fraction = 0.5;
+  const AttributedGraph g = AssignKeywords(PathGraph(1000), model, rng);
+  uint32_t empty = 0;
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    if (g.Keywords(v).empty()) ++empty;
+  }
+  EXPECT_NEAR(empty, 500u, 60u);
+}
+
+TEST(KeywordAssignerTest, ZipfSkewsTowardLowRanks) {
+  Rng rng(0xA3);
+  KeywordModel model;
+  model.vocabulary_size = 100;
+  model.zipf_exponent = 1.0;
+  const AttributedGraph g = AssignKeywords(PathGraph(2000), model, rng);
+  // Popularity of the top keyword dwarfs a mid-tail one.
+  uint32_t top = 0, tail = 0;
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    for (const KeywordId kw : g.Keywords(v)) {
+      if (kw == 0) ++top;
+      if (kw == 50) ++tail;
+    }
+  }
+  EXPECT_GT(top, 4 * (tail + 1));
+}
+
+TEST(KeywordAssignerTest, HomophilyMakesNeighborsShareKeywords) {
+  Rng rng(0xA4);
+  KeywordModel base;
+  base.vocabulary_size = 400;
+  base.min_per_vertex = 3;
+  base.max_per_vertex = 5;
+  base.zipf_exponent = 0.2;  // near-uniform: random overlap is rare
+
+  KeywordModel homophilous = base;
+  homophilous.homophily = 0.6;
+
+  const Graph topo = BarabasiAlbert(800, 4, rng);
+  Rng r1(1), r2(1);
+  const AttributedGraph plain = AssignKeywords(topo, base, r1);
+  const AttributedGraph social = AssignKeywords(topo, homophilous, r2);
+
+  auto edge_overlap = [](const AttributedGraph& g) {
+    uint64_t shared = 0;
+    for (const auto& [u, v] : g.graph().EdgeList()) {
+      const auto ku = g.Keywords(u);
+      const auto kv = g.Keywords(v);
+      const std::vector<KeywordId> a(ku.begin(), ku.end());
+      const std::vector<KeywordId> b(kv.begin(), kv.end());
+      if (SortedIntersects(a, b)) ++shared;
+    }
+    return shared;
+  };
+  // Homophily makes adjacent vertices far likelier to share a keyword.
+  EXPECT_GT(edge_overlap(social), 3 * (edge_overlap(plain) + 1));
+}
+
+TEST(KeywordAssignerTest, Deterministic) {
+  KeywordModel model;
+  model.vocabulary_size = 30;
+  Rng a(5), b(5);
+  const AttributedGraph g1 = AssignKeywords(CycleGraph(100), model, a);
+  const AttributedGraph g2 = AssignKeywords(CycleGraph(100), model, b);
+  for (VertexId v = 0; v < 100; ++v) {
+    const auto k1 = g1.Keywords(v);
+    const auto k2 = g2.Keywords(v);
+    ASSERT_EQ(std::vector<KeywordId>(k1.begin(), k1.end()),
+              std::vector<KeywordId>(k2.begin(), k2.end()));
+  }
+}
+
+TEST(PresetsTest, AllNamesResolve) {
+  for (const auto& name : PresetNames()) {
+    const auto spec = GetPreset(name, 0.02);
+    ASSERT_TRUE(spec.ok()) << name;
+    EXPECT_EQ(spec->name, name);
+    EXPECT_GT(spec->paper_vertices, 0u);
+    const AttributedGraph g = BuildDataset(*spec);
+    EXPECT_EQ(g.num_vertices(), spec->num_vertices);
+    EXPECT_GT(g.num_edges(), 0u);
+    EXPECT_GT(g.num_keywords(), 0u);
+  }
+}
+
+TEST(PresetsTest, UnknownNameFails) {
+  EXPECT_FALSE(GetPreset("orkut").ok());
+  EXPECT_EQ(GetPreset("orkut").status().code(), StatusCode::kNotFound);
+}
+
+TEST(PresetsTest, ScaleControlsSize) {
+  const auto small = GetPreset("gowalla", 0.05);
+  const auto large = GetPreset("gowalla", 0.5);
+  ASSERT_TRUE(small.ok() && large.ok());
+  EXPECT_LT(small->num_vertices, large->num_vertices);
+  EXPECT_FALSE(GetPreset("gowalla", 0.0).ok());
+}
+
+TEST(PresetsTest, BuildsAreDeterministic) {
+  const auto spec = GetPreset("brightkite", 0.05);
+  ASSERT_TRUE(spec.ok());
+  const AttributedGraph a = BuildDataset(*spec);
+  const AttributedGraph b = BuildDataset(*spec);
+  EXPECT_EQ(a.graph().EdgeList(), b.graph().EdgeList());
+  EXPECT_EQ(a.total_keyword_assignments(), b.total_keyword_assignments());
+}
+
+TEST(PresetsTest, TwitterIsDenser) {
+  const auto twitter = GetPreset("twitter", 0.05);
+  const auto dblp = GetPreset("dblp", 0.05);
+  ASSERT_TRUE(twitter.ok() && dblp.ok());
+  const AttributedGraph t = BuildDataset(*twitter);
+  const AttributedGraph d = BuildDataset(*dblp);
+  EXPECT_GT(t.graph().AverageDegree(), 2 * d.graph().AverageDegree());
+}
+
+}  // namespace
+}  // namespace ktg

@@ -1,0 +1,79 @@
+// Copyright (c) 2026 The ktg Authors.
+// Diversity-function tests (Equations 2-4), including the paper's two
+// worked dL values from Example 3.
+
+#include <gtest/gtest.h>
+
+#include "core/diversity.h"
+
+namespace ktg {
+namespace {
+
+Group MakeGroup(std::vector<VertexId> members, CoverMask mask = 0) {
+  Group g;
+  g.members = std::move(members);
+  g.mask = mask;
+  return g;
+}
+
+TEST(DiversityTest, JaccardBasics) {
+  const Group a = MakeGroup({1, 2, 3});
+  const Group b = MakeGroup({1, 2, 3});
+  const Group c = MakeGroup({4, 5, 6});
+  EXPECT_DOUBLE_EQ(GroupJaccardDistance(a, b), 0.0);
+  EXPECT_DOUBLE_EQ(GroupJaccardDistance(a, c), 1.0);
+}
+
+TEST(DiversityTest, PaperExampleValues) {
+  // Example 3: {u10, u5, u1} vs {u10, u5, u2} -> dL = (4-2)/4 = 0.5.
+  const Group g1 = MakeGroup({1, 5, 10});
+  const Group g2 = MakeGroup({2, 5, 10});
+  EXPECT_DOUBLE_EQ(GroupJaccardDistance(g1, g2), 0.5);
+  // {u10, u5, u1} vs {u11, u7, u2} -> dL = (6-0)/6 = 1.
+  const Group g3 = MakeGroup({2, 7, 11});
+  EXPECT_DOUBLE_EQ(GroupJaccardDistance(g1, g3), 1.0);
+}
+
+TEST(DiversityTest, PartialOverlap) {
+  const Group a = MakeGroup({1, 2});
+  const Group b = MakeGroup({2, 3, 4});
+  // union 4, intersection 1 -> 3/4.
+  EXPECT_DOUBLE_EQ(GroupJaccardDistance(a, b), 0.75);
+}
+
+TEST(DiversityTest, AverageDiversitySmallSets) {
+  EXPECT_DOUBLE_EQ(AverageDiversity({}), 1.0);
+  const Group a = MakeGroup({1, 2});
+  EXPECT_DOUBLE_EQ(AverageDiversity(std::vector<Group>{a}), 1.0);
+}
+
+TEST(DiversityTest, AverageDiversityIsMeanOverPairs) {
+  const std::vector<Group> groups = {
+      MakeGroup({1, 2}), MakeGroup({1, 3}), MakeGroup({4, 5})};
+  // d(0,1) = (4-2... members {1,2} vs {1,3}: union 3, inter 1 -> 2/3.
+  // d(0,2) = 1, d(1,2) = 1.
+  EXPECT_NEAR(AverageDiversity(groups), (2.0 / 3.0 + 1.0 + 1.0) / 3.0, 1e-12);
+}
+
+TEST(DiversityTest, ScoreBlendsCoverageAndDiversity) {
+  // Two disjoint groups, both covering 2 of 4 keywords.
+  const std::vector<Group> groups = {MakeGroup({1, 2}, 0b0011),
+                                     MakeGroup({3, 4}, 0b1100)};
+  EXPECT_DOUBLE_EQ(DktgScore(groups, 4, 1.0), 0.5);   // pure coverage
+  EXPECT_DOUBLE_EQ(DktgScore(groups, 4, 0.0), 1.0);   // pure diversity
+  EXPECT_DOUBLE_EQ(DktgScore(groups, 4, 0.5), 0.75);  // blend
+}
+
+TEST(DiversityTest, ScoreUsesMinCoverage) {
+  const std::vector<Group> groups = {MakeGroup({1, 2}, 0b1111),
+                                     MakeGroup({3, 4}, 0b0001)};
+  // min coverage = 1/4; diversity = 1.
+  EXPECT_DOUBLE_EQ(DktgScore(groups, 4, 0.5), 0.5 * 0.25 + 0.5 * 1.0);
+}
+
+TEST(DiversityTest, EmptySetScoresZero) {
+  EXPECT_DOUBLE_EQ(DktgScore({}, 5, 0.5), 0.0);
+}
+
+}  // namespace
+}  // namespace ktg

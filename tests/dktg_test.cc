@@ -1,0 +1,164 @@
+// Copyright (c) 2026 The ktg Authors.
+// DKTG-Greedy tests: disjointness (the diversity mechanism), coverage
+// monotonicity across rounds, the fallback strategy, score accounting and
+// the approximation-ratio sanity bound of Section VI.C.
+
+#include <gtest/gtest.h>
+
+#include "core/dktg_greedy.h"
+#include "core/diversity.h"
+#include "core/ktg_engine.h"
+#include "core/paper_example.h"
+#include "datagen/generators.h"
+#include "datagen/keyword_assigner.h"
+#include "datagen/query_gen.h"
+#include "index/bfs_checker.h"
+#include "keywords/inverted_index.h"
+
+namespace ktg {
+namespace {
+
+class DktgTest : public ::testing::Test {
+ protected:
+  DktgTest()
+      : graph_(PaperExampleGraph()),
+        index_(graph_),
+        checker_(graph_.graph()),
+        query_(PaperExampleQuery(graph_)) {}
+
+  AttributedGraph graph_;
+  InvertedIndex index_;
+  BfsChecker checker_;
+  KtgQuery query_;
+};
+
+TEST_F(DktgTest, GroupsArePairwiseDisjoint) {
+  const auto r = RunDktgGreedy(graph_, index_, checker_, query_);
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r->groups.size(), 2u);
+  for (size_t i = 0; i < r->groups.size(); ++i) {
+    for (size_t j = i + 1; j < r->groups.size(); ++j) {
+      EXPECT_DOUBLE_EQ(GroupJaccardDistance(r->groups[i], r->groups[j]), 1.0);
+    }
+  }
+  EXPECT_DOUBLE_EQ(r->diversity, 1.0);
+}
+
+TEST_F(DktgTest, FirstGroupIsOptimal) {
+  const auto dktg = RunDktgGreedy(graph_, index_, checker_, query_);
+  ASSERT_TRUE(dktg.ok());
+  // Round 1 has no exclusions: its group must reach the KTG optimum (4/5).
+  EXPECT_EQ(dktg->groups.front().covered(), 4);
+}
+
+TEST_F(DktgTest, CoverageIsNonIncreasingAcrossRounds) {
+  KtgQuery q = query_;
+  q.top_n = 3;
+  const auto r = RunDktgGreedy(graph_, index_, checker_, q);
+  ASSERT_TRUE(r.ok());
+  for (size_t i = 1; i < r->groups.size(); ++i) {
+    EXPECT_LE(r->groups[i].covered(), r->groups[i - 1].covered());
+  }
+}
+
+TEST_F(DktgTest, MembersSatisfyAllKtgConstraints) {
+  const auto r = RunDktgGreedy(graph_, index_, checker_, query_);
+  ASSERT_TRUE(r.ok());
+  for (const auto& grp : r->groups) {
+    EXPECT_EQ(grp.members.size(), query_.group_size);
+    for (size_t i = 0; i < grp.members.size(); ++i) {
+      EXPECT_GT(PopCount(CoverMaskOf(graph_, grp.members[i], query_.keywords)),
+                0);
+      for (size_t j = i + 1; j < grp.members.size(); ++j) {
+        EXPECT_TRUE(checker_.IsFartherThan(grp.members[i], grp.members[j],
+                                           query_.tenuity));
+      }
+    }
+  }
+}
+
+TEST_F(DktgTest, StopsWhenCandidatesRunOut) {
+  KtgQuery q = query_;
+  q.top_n = 50;  // far more than disjoint groups exist (10 candidates / 3)
+  const auto r = RunDktgGreedy(graph_, index_, checker_, q);
+  ASSERT_TRUE(r.ok());
+  EXPECT_LE(r->groups.size(), 3u);
+  EXPECT_GE(r->groups.size(), 1u);
+}
+
+TEST_F(DktgTest, ScoreMatchesDefinition) {
+  DktgOptions opts;
+  opts.gamma = 0.3;
+  const auto r = RunDktgGreedy(graph_, index_, checker_, query_, opts);
+  ASSERT_TRUE(r.ok());
+  EXPECT_DOUBLE_EQ(
+      r->score, DktgScore(r->groups, r->query_keyword_count, opts.gamma));
+  EXPECT_DOUBLE_EQ(r->score,
+                   0.3 * r->min_coverage + 0.7 * r->diversity);
+}
+
+TEST_F(DktgTest, GammaOutOfRangeRejected) {
+  DktgOptions opts;
+  opts.gamma = 1.5;
+  EXPECT_FALSE(RunDktgGreedy(graph_, index_, checker_, query_, opts).ok());
+}
+
+TEST_F(DktgTest, EarlyStopAndFullSearchAgreeOnScoreBounds) {
+  DktgOptions fast;
+  fast.early_stop = true;
+  DktgOptions full;
+  full.early_stop = false;
+  const auto a = RunDktgGreedy(graph_, index_, checker_, query_, fast);
+  const auto b = RunDktgGreedy(graph_, index_, checker_, query_, full);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(a->groups.size(), b->groups.size());
+  // The full search's first group is optimal; early stop's first round runs
+  // with stop_at_count == 0 so it is optimal too.
+  EXPECT_EQ(a->groups.front().covered(), b->groups.front().covered());
+}
+
+TEST_F(DktgTest, ApproximationRatioBound) {
+  // Section VI.C: score >= 1 - γ(|W_Q|-1)/|W_Q| when diversity is perfect
+  // and every member covers >= 1 keyword. Check the reported score against
+  // the analytical floor.
+  DktgOptions opts;
+  opts.gamma = 0.5;
+  const auto r = RunDktgGreedy(graph_, index_, checker_, query_, opts);
+  ASSERT_TRUE(r.ok());
+  const double wq = r->query_keyword_count;
+  const double floor = 1.0 - opts.gamma * (wq - 1.0) / wq;
+  EXPECT_GE(r->score, floor - 1e-12);
+}
+
+TEST(DktgRandomTest, DiversityBeatsPlainKtgTopN) {
+  // On random instances the diversified result set is (weakly) more
+  // diverse than the plain KTG top-N for the same query.
+  Rng rng(0xD1);
+  KeywordModel model;
+  model.vocabulary_size = 15;
+  model.min_per_vertex = 1;
+  model.max_per_vertex = 3;
+  const AttributedGraph g =
+      AssignKeywords(BarabasiAlbert(60, 2, rng), model, rng);
+  const InvertedIndex idx(g);
+
+  WorkloadOptions wopts;
+  wopts.num_queries = 5;
+  wopts.keyword_count = 5;
+  wopts.group_size = 3;
+  wopts.tenuity = 1;
+  wopts.top_n = 3;
+  for (const auto& query : GenerateWorkload(g, wopts, rng)) {
+    BfsChecker c1(g.graph()), c2(g.graph());
+    const auto ktg = RunKtg(g, idx, c1, query);
+    const auto dktg = RunDktgGreedy(g, idx, c2, query);
+    ASSERT_TRUE(ktg.ok() && dktg.ok());
+    if (dktg->groups.size() == query.top_n &&
+        ktg->groups.size() == query.top_n) {
+      EXPECT_GE(dktg->diversity + 1e-12, AverageDiversity(ktg->groups));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ktg

@@ -1,0 +1,146 @@
+// Copyright (c) 2026 The ktg Authors.
+// The exactness property suite: every engine configuration (sort strategy ×
+// pruning toggles × distance checker) must return the same top-N coverage
+// multiset as the brute-force reference on randomized attributed graphs and
+// randomized queries — plus the structural invariants of Definition 7.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <tuple>
+
+#include "core/brute_force.h"
+#include "core/ktg_engine.h"
+#include "datagen/generators.h"
+#include "datagen/keyword_assigner.h"
+#include "datagen/query_gen.h"
+#include "index/bfs_checker.h"
+#include "index/checker_factory.h"
+#include "keywords/inverted_index.h"
+
+namespace ktg {
+namespace {
+
+std::vector<int> CoverageCounts(const std::vector<Group>& groups) {
+  std::vector<int> out;
+  out.reserve(groups.size());
+  for (const auto& g : groups) out.push_back(g.covered());
+  return out;
+}
+
+struct Config {
+  SortStrategy sort;
+  bool pruning;
+  bool eager;
+  CheckerKind checker;
+  bool ceiling = true;
+};
+
+std::string ConfigName(const Config& c) {
+  std::string s = SortStrategyName(c.sort);
+  s += c.pruning ? "_prune" : "_noprune";
+  s += c.eager ? "_eager" : "_lazy";
+  s += c.ceiling ? "" : "_noceiling";
+  s += "_";
+  s += CheckerKindName(c.checker);
+  return s;
+}
+
+class EngineEquivalenceTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(EngineEquivalenceTest, MatchesBruteForceOnRandomInstances) {
+  const int round = GetParam();
+  Rng rng(0xE0000 + round * 977);
+
+  // Random small attributed graph.
+  Graph topo;
+  switch (round % 4) {
+    case 0:
+      topo = ErdosRenyi(34, 0.08, rng);
+      break;
+    case 1:
+      topo = BarabasiAlbert(36, 2, rng);
+      break;
+    case 2:
+      topo = WattsStrogatz(32, 2, 0.2, rng);
+      break;
+    default:
+      topo = ChungLuPowerLaw(38, 5.0, 2.5, rng);
+      break;
+  }
+  KeywordModel model;
+  model.vocabulary_size = 12;
+  model.min_per_vertex = 1;
+  model.max_per_vertex = 3;
+  model.empty_fraction = 0.1;
+  const AttributedGraph g = AssignKeywords(std::move(topo), model, rng);
+  const InvertedIndex idx(g);
+
+  WorkloadOptions wopts;
+  wopts.num_queries = 3;
+  wopts.keyword_count = 4 + round % 3;
+  wopts.group_size = 2 + round % 3;          // p in {2, 3, 4}
+  wopts.tenuity = static_cast<HopDistance>(1 + round % 3);  // k in {1, 2, 3}
+  wopts.top_n = 1 + round % 4;               // N in {1..4}
+  const auto queries = GenerateWorkload(g, wopts, rng);
+
+  const std::vector<Config> configs = {
+      {SortStrategy::kQkc, true, true, CheckerKind::kBfs},
+      {SortStrategy::kVkc, true, true, CheckerKind::kBfs},
+      {SortStrategy::kVkcDeg, true, true, CheckerKind::kBfs},
+      {SortStrategy::kVkcDeg, false, true, CheckerKind::kBfs},
+      {SortStrategy::kVkcDeg, true, false, CheckerKind::kBfs},
+      {SortStrategy::kVkc, false, false, CheckerKind::kBfs},
+      {SortStrategy::kVkcDeg, true, true, CheckerKind::kNl},
+      {SortStrategy::kVkcDeg, true, true, CheckerKind::kNlrnl},
+      {SortStrategy::kVkc, true, true, CheckerKind::kNlrnl},
+      {SortStrategy::kVkcDeg, true, true, CheckerKind::kKHopBitmap},
+      // Published Theorem-2 bound only (no reachable-coverage tightening).
+      {SortStrategy::kVkcDeg, true, true, CheckerKind::kBfs, false},
+      {SortStrategy::kQkc, true, true, CheckerKind::kNlrnl, false},
+  };
+
+  for (const auto& query : queries) {
+    BfsChecker ref_checker(g.graph());
+    const auto truth = BruteForceKtg(g, idx, ref_checker, query);
+    ASSERT_TRUE(truth.ok());
+    const auto expected = CoverageCounts(truth->groups);
+
+    for (const auto& config : configs) {
+      auto checker = MakeChecker(config.checker, g.graph(), query.tenuity);
+      EngineOptions opts;
+      opts.sort = config.sort;
+      opts.keyword_pruning = config.pruning;
+      opts.eager_kline_filtering = config.eager;
+      opts.ceiling_prune = config.ceiling;
+      const auto got = RunKtg(g, idx, *checker, query, opts);
+      ASSERT_TRUE(got.ok());
+
+      EXPECT_EQ(CoverageCounts(got->groups), expected)
+          << ConfigName(config) << " round=" << round
+          << " p=" << query.group_size << " k=" << query.tenuity
+          << " N=" << query.top_n;
+
+      // Structural invariants of Definition 7.
+      BfsChecker validator(g.graph());
+      for (const auto& grp : got->groups) {
+        EXPECT_EQ(grp.members.size(), query.group_size);
+        EXPECT_TRUE(
+            IsKDistanceGroup(grp.members, query.tenuity, validator));
+        CoverMask mask = 0;
+        for (const VertexId m : grp.members) {
+          const CoverMask vm = CoverMaskOf(g, m, query.keywords);
+          EXPECT_GT(PopCount(vm), 0);
+          mask |= vm;
+        }
+        EXPECT_EQ(mask, grp.mask);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Rounds, EngineEquivalenceTest,
+                         ::testing::Range(0, 12));
+
+}  // namespace
+}  // namespace ktg

@@ -1,0 +1,135 @@
+// Copyright (c) 2026 The ktg Authors.
+// Unit tests for the CSR graph and its builder.
+
+#include <gtest/gtest.h>
+
+#include "datagen/generators.h"
+#include "graph/graph.h"
+#include "util/rng.h"
+
+namespace ktg {
+namespace {
+
+TEST(GraphBuilderTest, EmptyGraph) {
+  GraphBuilder b;
+  const Graph g = b.Build();
+  EXPECT_EQ(g.num_vertices(), 0u);
+  EXPECT_EQ(g.num_edges(), 0u);
+  EXPECT_EQ(g.AverageDegree(), 0.0);
+}
+
+TEST(GraphBuilderTest, MinVerticesCreatesIsolated) {
+  GraphBuilder b(5);
+  const Graph g = b.Build();
+  EXPECT_EQ(g.num_vertices(), 5u);
+  for (VertexId v = 0; v < 5; ++v) EXPECT_EQ(g.Degree(v), 0u);
+}
+
+TEST(GraphBuilderTest, DeduplicatesAndNormalizes) {
+  GraphBuilder b;
+  b.AddEdge(0, 1);
+  b.AddEdge(1, 0);  // reverse orientation
+  b.AddEdge(0, 1);  // duplicate
+  b.AddEdge(2, 2);  // self-loop dropped
+  const Graph g = b.Build();
+  EXPECT_EQ(g.num_vertices(), 3u);
+  EXPECT_EQ(g.num_edges(), 1u);
+  EXPECT_EQ(g.Degree(0), 1u);
+  EXPECT_EQ(g.Degree(1), 1u);
+  EXPECT_EQ(g.Degree(2), 0u);
+}
+
+TEST(GraphBuilderTest, NeighborsAreSorted) {
+  GraphBuilder b;
+  b.AddEdge(0, 9);
+  b.AddEdge(0, 3);
+  b.AddEdge(0, 7);
+  b.AddEdge(0, 1);
+  const Graph g = b.Build();
+  const auto nbrs = g.Neighbors(0);
+  ASSERT_EQ(nbrs.size(), 4u);
+  EXPECT_TRUE(std::is_sorted(nbrs.begin(), nbrs.end()));
+  EXPECT_EQ(nbrs[0], 1u);
+  EXPECT_EQ(nbrs[3], 9u);
+}
+
+TEST(GraphTest, HasEdge) {
+  GraphBuilder b;
+  b.AddEdge(0, 1);
+  b.AddEdge(1, 2);
+  const Graph g = b.Build();
+  EXPECT_TRUE(g.HasEdge(0, 1));
+  EXPECT_TRUE(g.HasEdge(1, 0));
+  EXPECT_TRUE(g.HasEdge(2, 1));
+  EXPECT_FALSE(g.HasEdge(0, 2));
+  EXPECT_FALSE(g.HasEdge(0, 0));
+  EXPECT_FALSE(g.HasEdge(0, 99));  // out of range is just "no edge"
+}
+
+TEST(GraphTest, EdgeListRoundTrip) {
+  GraphBuilder b;
+  b.AddEdge(3, 1);
+  b.AddEdge(0, 2);
+  b.AddEdge(2, 3);
+  const Graph g = b.Build();
+  const auto edges = g.EdgeList();
+  ASSERT_EQ(edges.size(), 3u);
+  for (const auto& [u, v] : edges) EXPECT_LT(u, v);
+  EXPECT_TRUE(std::is_sorted(edges.begin(), edges.end()));
+
+  GraphBuilder b2(g.num_vertices());
+  for (const auto& [u, v] : edges) b2.AddEdge(u, v);
+  const Graph g2 = b2.Build();
+  EXPECT_EQ(g2.EdgeList(), edges);
+}
+
+TEST(GraphTest, AverageDegree) {
+  const Graph g = CompleteGraph(5);
+  EXPECT_DOUBLE_EQ(g.AverageDegree(), 4.0);
+  EXPECT_EQ(g.num_edges(), 10u);
+}
+
+TEST(GraphTest, WithEdgeAdded) {
+  const Graph g = PathGraph(4);
+  const Graph g2 = WithEdgeAdded(g, 0, 3);
+  EXPECT_EQ(g2.num_edges(), g.num_edges() + 1);
+  EXPECT_TRUE(g2.HasEdge(0, 3));
+  // Adding an existing edge is a no-op copy.
+  const Graph g3 = WithEdgeAdded(g2, 3, 0);
+  EXPECT_EQ(g3.num_edges(), g2.num_edges());
+}
+
+TEST(GraphTest, WithEdgeAddedGrowsVertexSet) {
+  const Graph g = PathGraph(3);
+  const Graph g2 = WithEdgeAdded(g, 2, 7);
+  EXPECT_EQ(g2.num_vertices(), 8u);
+  EXPECT_TRUE(g2.HasEdge(2, 7));
+}
+
+TEST(GraphTest, WithEdgeRemoved) {
+  const Graph g = CycleGraph(5);
+  const Graph g2 = WithEdgeRemoved(g, 4, 0);
+  EXPECT_EQ(g2.num_edges(), 4u);
+  EXPECT_FALSE(g2.HasEdge(0, 4));
+  // Removing an absent edge is a no-op copy.
+  const Graph g3 = WithEdgeRemoved(g2, 0, 4);
+  EXPECT_EQ(g3.num_edges(), 4u);
+}
+
+TEST(GraphTest, MemoryBytesGrowsWithSize) {
+  Rng rng(1);
+  const Graph small = BarabasiAlbert(100, 3, rng);
+  const Graph large = BarabasiAlbert(1000, 3, rng);
+  EXPECT_GT(large.MemoryBytes(), small.MemoryBytes());
+}
+
+TEST(GraphTest, DegreeSumIsTwiceEdges) {
+  Rng rng(2);
+  const Graph g = ChungLuPowerLaw(500, 8.0, 2.5, rng);
+  uint64_t sum = 0;
+  for (VertexId v = 0; v < g.num_vertices(); ++v) sum += g.Degree(v);
+  EXPECT_EQ(sum, 2 * g.num_edges());
+}
+
+}  // namespace
+}  // namespace ktg

@@ -1,0 +1,172 @@
+// Copyright (c) 2026 The ktg Authors.
+// End-to-end integration: build a (tiny) preset dataset, generate a
+// workload, run every published algorithm configuration and cross-check
+// results, invariants and index agreement — the whole paper pipeline in
+// miniature.
+
+#include <gtest/gtest.h>
+
+#include "core/brute_force.h"
+#include "core/dktg_greedy.h"
+#include "core/ktg_engine.h"
+#include "core/tagq.h"
+#include "datagen/presets.h"
+#include "datagen/query_gen.h"
+#include "index/bfs_checker.h"
+#include "index/nl_index.h"
+#include "index/nlrnl_index.h"
+#include "keywords/inverted_index.h"
+
+namespace ktg {
+namespace {
+
+class IntegrationTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    const auto spec = GetPreset("gowalla", 0.05);  // ~336 vertices
+    ASSERT_TRUE(spec.ok());
+    graph_ = new AttributedGraph(BuildDataset(*spec));
+    index_ = new InvertedIndex(*graph_);
+  }
+  static void TearDownTestSuite() {
+    delete index_;
+    delete graph_;
+    index_ = nullptr;
+    graph_ = nullptr;
+  }
+
+  static AttributedGraph* graph_;
+  static InvertedIndex* index_;
+};
+
+AttributedGraph* IntegrationTest::graph_ = nullptr;
+InvertedIndex* IntegrationTest::index_ = nullptr;
+
+TEST_F(IntegrationTest, AllPublishedConfigurationsAgree) {
+  WorkloadOptions wopts;
+  wopts.num_queries = 4;
+  wopts.keyword_count = 5;
+  wopts.group_size = 3;
+  wopts.tenuity = 2;
+  wopts.top_n = 3;
+  Rng rng(0x1B7);
+  const auto queries = GenerateWorkload(*graph_, wopts, rng);
+
+  NlIndex nl(graph_->graph());
+  NlrnlIndex nlrnl(graph_->graph());
+  BfsChecker bfs(graph_->graph());
+
+  for (const auto& query : queries) {
+    // The four named KTG configurations of Section VII.
+    struct Run {
+      const char* name;
+      SortStrategy sort;
+      DistanceChecker* checker;
+    };
+    std::vector<Run> runs = {
+        {"KTG-QKC-NLRNL", SortStrategy::kQkc, &nlrnl},
+        {"KTG-VKC-NL", SortStrategy::kVkc, &nl},
+        {"KTG-VKC-NLRNL", SortStrategy::kVkc, &nlrnl},
+        {"KTG-VKC-DEG-NLRNL", SortStrategy::kVkcDeg, &nlrnl},
+    };
+    std::vector<int> reference;
+    for (const auto& run : runs) {
+      EngineOptions opts;
+      opts.sort = run.sort;
+      const auto r = RunKtg(*graph_, *index_, *run.checker, query, opts);
+      ASSERT_TRUE(r.ok()) << run.name;
+      std::vector<int> counts;
+      for (const auto& grp : r->groups) counts.push_back(grp.covered());
+      if (reference.empty() && !counts.empty()) {
+        reference = counts;
+      } else if (!reference.empty()) {
+        EXPECT_EQ(counts, reference) << run.name;
+      }
+      // Invariants.
+      for (const auto& grp : r->groups) {
+        ASSERT_EQ(grp.members.size(), query.group_size);
+        EXPECT_TRUE(IsKDistanceGroup(grp.members, query.tenuity, bfs));
+      }
+    }
+  }
+}
+
+TEST_F(IntegrationTest, BruteForceSpotCheck) {
+  WorkloadOptions wopts;
+  wopts.num_queries = 1;
+  wopts.keyword_count = 4;
+  wopts.group_size = 2;
+  wopts.tenuity = 2;
+  wopts.top_n = 2;
+  Rng rng(0x1B8);
+  const auto queries = GenerateWorkload(*graph_, wopts, rng);
+
+  BfsChecker c1(graph_->graph()), c2(graph_->graph());
+  const auto truth = BruteForceKtg(*graph_, *index_, c1, queries[0]);
+  const auto fast = RunKtg(*graph_, *index_, c2, queries[0]);
+  ASSERT_TRUE(truth.ok() && fast.ok());
+  ASSERT_EQ(truth->groups.size(), fast->groups.size());
+  for (size_t i = 0; i < truth->groups.size(); ++i) {
+    EXPECT_EQ(truth->groups[i].covered(), fast->groups[i].covered());
+  }
+}
+
+TEST_F(IntegrationTest, DktgProducesDiverseFeasibleGroups) {
+  WorkloadOptions wopts;
+  wopts.num_queries = 2;
+  wopts.keyword_count = 5;
+  wopts.group_size = 3;
+  wopts.tenuity = 1;
+  wopts.top_n = 3;
+  Rng rng(0x1B9);
+  BfsChecker bfs(graph_->graph());
+  for (const auto& query : GenerateWorkload(*graph_, wopts, rng)) {
+    const auto r = RunDktgGreedy(*graph_, *index_, bfs, query);
+    ASSERT_TRUE(r.ok());
+    if (r->groups.size() >= 2) {
+      EXPECT_DOUBLE_EQ(r->diversity, 1.0);  // greedy groups are disjoint
+    }
+    for (const auto& grp : r->groups) {
+      EXPECT_TRUE(IsKDistanceGroup(grp.members, query.tenuity, bfs));
+    }
+  }
+}
+
+TEST_F(IntegrationTest, TagqComparesAsInCaseStudy) {
+  WorkloadOptions wopts;
+  wopts.num_queries = 1;
+  wopts.keyword_count = 5;
+  wopts.group_size = 3;
+  wopts.tenuity = 2;
+  wopts.top_n = 3;
+  Rng rng(0x1BA);
+  const auto query = GenerateWorkload(*graph_, wopts, rng)[0];
+
+  BfsChecker c1(graph_->graph()), c2(graph_->graph());
+  const auto ktg = RunKtg(*graph_, *index_, c1, query);
+  const auto tagq = RunTagq(*graph_, c2, query);
+  ASSERT_TRUE(ktg.ok() && tagq.ok());
+  // Both respect the social constraint...
+  BfsChecker validator(graph_->graph());
+  for (const auto& grp : tagq->groups) {
+    EXPECT_TRUE(IsKDistanceGroup(grp.members, query.tenuity, validator));
+  }
+  // ...but only KTG guarantees per-member coverage.
+  for (const auto& grp : ktg->groups) {
+    for (const VertexId m : grp.members) {
+      EXPECT_GT(PopCount(CoverMaskOf(*graph_, m, query.keywords)), 0);
+    }
+  }
+}
+
+TEST_F(IntegrationTest, IndexStatsAreConsistent) {
+  NlIndex nl(graph_->graph());
+  NlrnlIndex nlrnl(graph_->graph());
+  EXPECT_GT(nl.MemoryBytes(), 0u);
+  EXPECT_GT(nlrnl.MemoryBytes(), 0u);
+  EXPECT_EQ(nl.graph().num_edges(), graph_->graph().num_edges());
+  EXPECT_EQ(nlrnl.graph().num_edges(), graph_->graph().num_edges());
+}
+
+}  // namespace
+}  // namespace ktg

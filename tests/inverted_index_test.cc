@@ -1,0 +1,113 @@
+// Copyright (c) 2026 The ktg Authors.
+// Inverted keyword index tests.
+
+#include <gtest/gtest.h>
+
+#include "core/paper_example.h"
+#include "datagen/keyword_assigner.h"
+#include "datagen/generators.h"
+#include "keywords/inverted_index.h"
+
+namespace ktg {
+namespace {
+
+AttributedGraph SmallGraph() {
+  AttributedGraphBuilder b;
+  b.mutable_topology().AddEdge(0, 1);
+  b.mutable_topology().AddEdge(1, 2);
+  b.mutable_topology().EnsureVertices(4);
+  b.AddKeywords(0, {"db", "ml"});
+  b.AddKeywords(1, {"db"});
+  b.AddKeywords(2, {"ml", "ir"});
+  // vertex 3 has no keywords.
+  return b.Build();
+}
+
+TEST(InvertedIndexTest, PostingsAreSortedAndComplete) {
+  const AttributedGraph g = SmallGraph();
+  const InvertedIndex idx(g);
+  const KeywordId db = g.vocabulary().Find("db");
+  const KeywordId ml = g.vocabulary().Find("ml");
+  const KeywordId ir = g.vocabulary().Find("ir");
+
+  const auto p_db = idx.Postings(db);
+  EXPECT_EQ(std::vector<VertexId>(p_db.begin(), p_db.end()),
+            (std::vector<VertexId>{0, 1}));
+  EXPECT_EQ(idx.Frequency(ml), 2u);
+  EXPECT_EQ(idx.Frequency(ir), 1u);
+}
+
+TEST(InvertedIndexTest, UnknownKeywordHasEmptyPostings) {
+  const AttributedGraph g = SmallGraph();
+  const InvertedIndex idx(g);
+  EXPECT_TRUE(idx.Postings(999).empty());
+  EXPECT_TRUE(idx.Postings(kInvalidKeyword).empty());
+}
+
+TEST(InvertedIndexTest, CandidatesCarryMasks) {
+  const AttributedGraph g = SmallGraph();
+  const InvertedIndex idx(g);
+  const std::vector<KeywordId> query = {g.vocabulary().Find("db"),
+                                        g.vocabulary().Find("ir")};
+  const auto cands = idx.Candidates(query);
+  ASSERT_EQ(cands.size(), 3u);
+  EXPECT_EQ(cands[0].vertex, 0u);
+  EXPECT_EQ(cands[0].mask, 0b01u);  // db only
+  EXPECT_EQ(cands[1].vertex, 1u);
+  EXPECT_EQ(cands[1].mask, 0b01u);
+  EXPECT_EQ(cands[2].vertex, 2u);
+  EXPECT_EQ(cands[2].mask, 0b10u);  // ir only
+}
+
+TEST(InvertedIndexTest, CandidatesWithInvalidKeyword) {
+  const AttributedGraph g = SmallGraph();
+  const InvertedIndex idx(g);
+  const std::vector<KeywordId> query = {kInvalidKeyword,
+                                        g.vocabulary().Find("ml")};
+  const auto cands = idx.Candidates(query);
+  ASSERT_EQ(cands.size(), 2u);
+  EXPECT_EQ(cands[0].vertex, 0u);
+  EXPECT_EQ(cands[0].mask, 0b10u);
+  EXPECT_EQ(cands[1].vertex, 2u);
+}
+
+TEST(InvertedIndexTest, CandidatesMatchScanOnRandomData) {
+  Rng rng(51);
+  KeywordModel model;
+  model.vocabulary_size = 40;
+  const AttributedGraph g =
+      AssignKeywords(BarabasiAlbert(300, 3, rng), model, rng);
+  const InvertedIndex idx(g);
+
+  std::vector<KeywordId> query;
+  for (KeywordId kw = 0; kw < 8; ++kw) query.push_back(kw * 3);
+
+  const auto cands = idx.Candidates(query);
+  // Reference: brute-force scan of every vertex.
+  size_t expected = 0;
+  size_t pos = 0;
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    const CoverMask mask = CoverMaskOf(g, v, query);
+    if (mask == 0) continue;
+    ++expected;
+    ASSERT_LT(pos, cands.size());
+    EXPECT_EQ(cands[pos].vertex, v);
+    EXPECT_EQ(cands[pos].mask, mask);
+    ++pos;
+  }
+  EXPECT_EQ(cands.size(), expected);
+}
+
+TEST(InvertedIndexTest, CoverMaskOfPaperExample) {
+  const AttributedGraph g = PaperExampleGraph();
+  const KtgQuery q = PaperExampleQuery(g);
+  // u0 covers {SN, DQ, GD} = bits 0, 2, 4 of W_Q = {SN, QP, DQ, GQ, GD}.
+  EXPECT_EQ(CoverMaskOf(g, 0, q.keywords), 0b10101u);
+  // u10 covers {SN, QP, DQ} = bits 0, 1, 2.
+  EXPECT_EQ(CoverMaskOf(g, 10, q.keywords), 0b00111u);
+  // u8 covers nothing.
+  EXPECT_EQ(CoverMaskOf(g, 8, q.keywords), 0u);
+}
+
+}  // namespace
+}  // namespace ktg

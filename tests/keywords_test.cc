@@ -1,0 +1,128 @@
+// Copyright (c) 2026 The ktg Authors.
+// Vocabulary and attributed-graph tests.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "core/paper_example.h"
+#include "keywords/attributed_graph.h"
+#include "keywords/inverted_index.h"
+#include "keywords/vocabulary.h"
+
+namespace ktg {
+namespace {
+
+TEST(VocabularyTest, InternIsIdempotent) {
+  Vocabulary v;
+  const KeywordId a = v.Intern("graph");
+  const KeywordId b = v.Intern("query");
+  EXPECT_NE(a, b);
+  EXPECT_EQ(v.Intern("graph"), a);
+  EXPECT_EQ(v.size(), 2u);
+  EXPECT_EQ(v.Term(a), "graph");
+  EXPECT_EQ(v.Term(b), "query");
+}
+
+TEST(VocabularyTest, FindMissing) {
+  Vocabulary v;
+  v.Intern("x");
+  EXPECT_EQ(v.Find("x"), 0u);
+  EXPECT_EQ(v.Find("y"), kInvalidKeyword);
+}
+
+TEST(AttributedGraphTest, BuilderAssignsKeywords) {
+  AttributedGraphBuilder b;
+  b.mutable_topology().AddEdge(0, 1);
+  b.AddKeywords(0, {"a", "b"});
+  b.AddKeyword(1, "b");
+  b.AddKeyword(1, "b");  // duplicate assignment collapses
+  const AttributedGraph g = b.Build();
+  EXPECT_EQ(g.num_vertices(), 2u);
+  EXPECT_EQ(g.num_keywords(), 2u);
+  EXPECT_EQ(g.Keywords(0).size(), 2u);
+  EXPECT_EQ(g.Keywords(1).size(), 1u);
+  EXPECT_TRUE(g.HasKeyword(1, g.vocabulary().Find("b")));
+  EXPECT_FALSE(g.HasKeyword(1, g.vocabulary().Find("a")));
+  EXPECT_EQ(g.total_keyword_assignments(), 3u);
+}
+
+TEST(AttributedGraphTest, KeywordOnUnknownVertexExtendsGraph) {
+  AttributedGraphBuilder b;
+  b.mutable_topology().AddEdge(0, 1);
+  b.AddKeyword(5, "solo");
+  const AttributedGraph g = b.Build();
+  EXPECT_EQ(g.num_vertices(), 6u);
+  EXPECT_EQ(g.graph().Degree(5), 0u);
+  EXPECT_EQ(g.Keywords(5).size(), 1u);
+}
+
+TEST(AttributedGraphTest, KeywordsAreSortedPerVertex) {
+  AttributedGraphBuilder b;
+  b.mutable_topology().EnsureVertices(1);
+  // Intern in reverse order so ids are descending relative to insertion.
+  b.AddKeyword(0, "z");
+  b.AddKeyword(0, "m");
+  b.AddKeyword(0, "a");
+  const AttributedGraph g = b.Build();
+  const auto kws = g.Keywords(0);
+  EXPECT_TRUE(std::is_sorted(kws.begin(), kws.end()));
+}
+
+TEST(AttributedGraphTest, SaveLoadRoundTrip) {
+  const AttributedGraph g = PaperExampleGraph();
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "ktg_attrs.txt").string();
+  ASSERT_TRUE(SaveAttributes(g, path).ok());
+
+  auto loaded = LoadAttributedGraph(g.graph(), path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ASSERT_EQ(loaded->num_vertices(), g.num_vertices());
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    const auto orig = g.Keywords(v);
+    const auto got = loaded->Keywords(v);
+    ASSERT_EQ(orig.size(), got.size()) << "vertex " << v;
+    for (size_t i = 0; i < orig.size(); ++i) {
+      EXPECT_EQ(g.vocabulary().Term(orig[i]),
+                loaded->vocabulary().Term(got[i]));
+    }
+  }
+  std::remove(path.c_str());
+}
+
+TEST(AttributedGraphTest, LoadMissingFileFails) {
+  const auto r = LoadAttributedGraph(Graph(), "/nonexistent/attrs.txt");
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kIoError);
+}
+
+TEST(PaperExampleTest, MatchesStatedConstraints) {
+  const AttributedGraph g = PaperExampleGraph();
+  ASSERT_EQ(g.num_vertices(), 12u);
+
+  // u0's 1-hop neighbors are {u1, u2, u3, u4, u9, u11}.
+  const auto n0 = g.graph().Neighbors(0);
+  EXPECT_EQ(std::vector<VertexId>(n0.begin(), n0.end()),
+            (std::vector<VertexId>{1, 2, 3, 4, 9, 11}));
+
+  // u3's 1-hop neighbors are {u0, u2, u4, u9}.
+  const auto n3 = g.graph().Neighbors(3);
+  EXPECT_EQ(std::vector<VertexId>(n3.begin(), n3.end()),
+            (std::vector<VertexId>{0, 2, 4, 9}));
+
+  // u6 and u7 are directly connected.
+  EXPECT_TRUE(g.graph().HasEdge(6, 7));
+
+  // QKC(u4) = 1/5 and QKC(u6) = 2/5 w.r.t. the example query.
+  const KtgQuery q = PaperExampleQuery(g);
+  EXPECT_EQ(PopCount(CoverMaskOf(g, 4, q.keywords)), 1);
+  EXPECT_EQ(PopCount(CoverMaskOf(g, 6, q.keywords)), 2);
+
+  // GQ is covered by nobody (the example's optimum is 4/5).
+  const KeywordId gq = g.vocabulary().Find("GQ");
+  EXPECT_EQ(gq, kInvalidKeyword);
+}
+
+}  // namespace
+}  // namespace ktg

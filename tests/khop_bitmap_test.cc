@@ -1,0 +1,47 @@
+// Copyright (c) 2026 The ktg Authors.
+// Dense k-hop bitmap checker tests.
+
+#include <gtest/gtest.h>
+
+#include "datagen/generators.h"
+#include "index/khop_bitmap.h"
+#include "util/rng.h"
+
+namespace ktg {
+namespace {
+
+TEST(KHopBitmapTest, PathGraph) {
+  const Graph g = PathGraph(12);
+  KHopBitmapChecker idx(g, 3);
+  EXPECT_EQ(idx.built_k(), 3);
+  EXPECT_FALSE(idx.IsFartherThan(0, 3, 3));
+  EXPECT_TRUE(idx.IsFartherThan(0, 4, 3));
+  EXPECT_FALSE(idx.IsFartherThan(5, 5, 3));
+  EXPECT_FALSE(idx.IsFartherThan(7, 6, 3));
+}
+
+TEST(KHopBitmapTest, DisconnectedIsFarther) {
+  GraphBuilder b(4);
+  b.AddEdge(0, 1);
+  KHopBitmapChecker idx(b.Build(), 2);
+  EXPECT_TRUE(idx.IsFartherThan(0, 3, 2));
+  EXPECT_TRUE(idx.IsFartherThan(2, 3, 2));
+}
+
+TEST(KHopBitmapTest, MemoryIsDenseQuadratic) {
+  Rng rng(81);
+  const Graph g = BarabasiAlbert(130, 3, rng);
+  KHopBitmapChecker idx(g, 2);
+  // 130 rows of ceil(130/64) = 3 words.
+  EXPECT_EQ(idx.MemoryBytes(), 130u * 3u * sizeof(uint64_t));
+}
+
+TEST(KHopBitmapDeathTest, WrongKIsFatal) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  const Graph g = PathGraph(5);
+  KHopBitmapChecker idx(g, 2);
+  EXPECT_DEATH(idx.IsFartherThan(0, 1, 3), "different k");
+}
+
+}  // namespace
+}  // namespace ktg

@@ -1,0 +1,204 @@
+// Copyright (c) 2026 The ktg Authors.
+// KTG engine behaviour tests on the paper's running example plus targeted
+// feature tests (stop conditions, stats, query-vertex extension). The
+// exhaustive engine-vs-brute-force property sweep lives in
+// engine_equivalence_test.cc.
+
+#include <gtest/gtest.h>
+
+#include "core/brute_force.h"
+#include "core/ktg_engine.h"
+#include "core/paper_example.h"
+#include "datagen/generators.h"
+#include "datagen/keyword_assigner.h"
+#include "index/bfs_checker.h"
+#include "index/nlrnl_index.h"
+
+namespace ktg {
+namespace {
+
+class KtgEngineTest : public ::testing::Test {
+ protected:
+  KtgEngineTest()
+      : graph_(PaperExampleGraph()),
+        index_(graph_),
+        checker_(graph_.graph()),
+        query_(PaperExampleQuery(graph_)) {}
+
+  AttributedGraph graph_;
+  InvertedIndex index_;
+  BfsChecker checker_;
+  KtgQuery query_;
+};
+
+TEST_F(KtgEngineTest, PaperExampleAllStrategies) {
+  for (const auto sort :
+       {SortStrategy::kQkc, SortStrategy::kVkc, SortStrategy::kVkcDeg}) {
+    EngineOptions opts;
+    opts.sort = sort;
+    const auto r = RunKtg(graph_, index_, checker_, query_, opts);
+    ASSERT_TRUE(r.ok());
+    ASSERT_EQ(r->groups.size(), 2u) << SortStrategyName(sort);
+    EXPECT_EQ(r->groups[0].covered(), 4) << SortStrategyName(sort);
+    EXPECT_EQ(r->groups[1].covered(), 4) << SortStrategyName(sort);
+    for (const auto& grp : r->groups) {
+      EXPECT_EQ(grp.members.size(), 3u);
+      EXPECT_TRUE(IsKDistanceGroup(grp.members, query_.tenuity, checker_));
+      for (const VertexId m : grp.members) {
+        EXPECT_GT(PopCount(CoverMaskOf(graph_, m, query_.keywords)), 0)
+            << "member " << m << " covers no query keyword";
+      }
+    }
+  }
+}
+
+TEST_F(KtgEngineTest, StatsArePopulated) {
+  const auto r = RunKtg(graph_, index_, checker_, query_);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->stats.candidates, 10u);
+  EXPECT_GT(r->stats.nodes_expanded, 0u);
+  EXPECT_GT(r->stats.groups_completed, 0u);
+  EXPECT_GT(r->stats.distance_checks, 0u);
+  EXPECT_GE(r->stats.elapsed_ms, 0.0);
+}
+
+TEST_F(KtgEngineTest, PruningReducesWork) {
+  EngineOptions with;
+  EngineOptions without;
+  without.keyword_pruning = false;
+  const auto a = RunKtg(graph_, index_, checker_, query_, with);
+  const auto b = RunKtg(graph_, index_, checker_, query_, without);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_LE(a->stats.nodes_expanded, b->stats.nodes_expanded);
+  // Same answer quality either way.
+  EXPECT_EQ(a->groups[0].covered(), b->groups[0].covered());
+}
+
+TEST_F(KtgEngineTest, LazyKlineMatchesEager) {
+  EngineOptions lazy;
+  lazy.eager_kline_filtering = false;
+  const auto a = RunKtg(graph_, index_, checker_, query_);
+  const auto b = RunKtg(graph_, index_, checker_, query_, lazy);
+  ASSERT_TRUE(a.ok() && b.ok());
+  ASSERT_EQ(a->groups.size(), b->groups.size());
+  for (size_t i = 0; i < a->groups.size(); ++i) {
+    EXPECT_EQ(a->groups[i].covered(), b->groups[i].covered());
+  }
+}
+
+TEST_F(KtgEngineTest, MaxNodesTruncates) {
+  EngineOptions opts;
+  opts.max_nodes = 2;
+  KtgEngine engine(graph_, index_, checker_, opts);
+  const auto r = engine.Run(query_);
+  ASSERT_TRUE(r.ok());
+  EXPECT_FALSE(engine.last_run_complete());
+}
+
+TEST_F(KtgEngineTest, StopAtCountShortCircuits) {
+  EngineOptions opts;
+  opts.stop_at_count = 1;  // any feasible group suffices
+  KtgQuery q = query_;
+  q.top_n = 1;
+  KtgEngine engine(graph_, index_, checker_, opts);
+  const auto r = engine.Run(q);
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r->groups.size(), 1u);
+  EXPECT_FALSE(engine.last_run_complete());
+  EXPECT_GE(r->groups[0].covered(), 1);
+}
+
+TEST_F(KtgEngineTest, QueryVertexExtension) {
+  // With u10 and u0 both "authors", every candidate near them drops out but
+  // a feasible (lower-coverage) group must still be found.
+  KtgQuery q = query_;
+  q.query_vertices = {10, 0};
+  const auto r = RunKtg(graph_, index_, checker_, q);
+  ASSERT_TRUE(r.ok());
+  for (const auto& grp : r->groups) {
+    for (const VertexId m : grp.members) {
+      EXPECT_NE(m, 10u);
+      EXPECT_NE(m, 0u);
+      EXPECT_TRUE(checker_.IsFartherThan(m, 10, q.tenuity));
+      EXPECT_TRUE(checker_.IsFartherThan(m, 0, q.tenuity));
+    }
+  }
+  // Best possible without u10/u0's neighborhoods is below 4.
+  if (!r->groups.empty()) {
+    EXPECT_LT(r->groups[0].covered(), 4);
+  }
+}
+
+TEST_F(KtgEngineTest, LargerTenuityShrinksOrEqualsCoverage) {
+  KtgQuery q2 = query_;
+  q2.tenuity = 2;
+  const auto r1 = RunKtg(graph_, index_, checker_, query_);
+  const auto r2 = RunKtg(graph_, index_, checker_, q2);
+  ASSERT_TRUE(r1.ok() && r2.ok());
+  const int best1 = r1->groups.empty() ? 0 : r1->groups[0].covered();
+  const int best2 = r2->groups.empty() ? 0 : r2->groups[0].covered();
+  // Property 1: 2-distance groups are 1-distance groups, so the optimum can
+  // only drop when k grows.
+  EXPECT_LE(best2, best1);
+}
+
+TEST_F(KtgEngineTest, WorksWithNlrnlChecker) {
+  NlrnlIndex nlrnl(graph_.graph());
+  const auto a = RunKtg(graph_, index_, checker_, query_);
+  const auto b = RunKtg(graph_, index_, nlrnl, query_);
+  ASSERT_TRUE(a.ok() && b.ok());
+  ASSERT_EQ(a->groups.size(), b->groups.size());
+  for (size_t i = 0; i < a->groups.size(); ++i) {
+    EXPECT_EQ(a->groups[i].covered(), b->groups[i].covered());
+  }
+}
+
+TEST_F(KtgEngineTest, TopNLargerThanFeasibleSet) {
+  KtgQuery q = query_;
+  q.top_n = 1000;
+  const auto r = RunKtg(graph_, index_, checker_, q);
+  ASSERT_TRUE(r.ok());
+  // Returns every feasible group, ordered by coverage.
+  EXPECT_GT(r->groups.size(), 2u);
+  for (size_t i = 1; i < r->groups.size(); ++i) {
+    EXPECT_GE(r->groups[i - 1].covered(), r->groups[i].covered());
+  }
+}
+
+TEST_F(KtgEngineTest, GroupSizeLargerThanCandidatesIsEmpty) {
+  KtgQuery q = query_;
+  q.group_size = 11;  // only 10 candidates exist
+  const auto r = RunKtg(graph_, index_, checker_, q);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->groups.empty());
+}
+
+TEST_F(KtgEngineTest, BulkFilteringMatchesPerPair) {
+  EngineOptions bulk;
+  bulk.bulk_filtering = true;
+  EngineOptions per_pair;
+  per_pair.bulk_filtering = false;
+  // BFS checker is the one with a bulk path; answers must be identical.
+  BfsChecker c1(graph_.graph()), c2(graph_.graph());
+  const auto a = RunKtg(graph_, index_, c1, query_, bulk);
+  const auto b = RunKtg(graph_, index_, c2, query_, per_pair);
+  ASSERT_TRUE(a.ok() && b.ok());
+  ASSERT_EQ(a->groups.size(), b->groups.size());
+  for (size_t i = 0; i < a->groups.size(); ++i) {
+    EXPECT_EQ(a->groups[i].members, b->groups[i].members);
+  }
+  // The bulk path must do fewer per-pair distance checks.
+  EXPECT_LT(a->stats.distance_checks, b->stats.distance_checks);
+}
+
+TEST_F(KtgEngineTest, DegreeTieBreakDirectionsBothExact) {
+  EngineOptions desc;
+  desc.degree_ascending = false;
+  const auto a = RunKtg(graph_, index_, checker_, query_);
+  const auto b = RunKtg(graph_, index_, checker_, query_, desc);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(a->groups[0].covered(), b->groups[0].covered());
+}
+
+}  // namespace
+}  // namespace ktg

@@ -1,0 +1,112 @@
+// Copyright (c) 2026 The ktg Authors.
+// Small cross-cutting behaviours not covered elsewhere: factory parsing,
+// enum names, move-only Result payloads, stats counters and display
+// helpers.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/ktg_engine.h"
+#include "core/paper_example.h"
+#include "datagen/generators.h"
+#include "graph/stats.h"
+#include "index/bfs_checker.h"
+#include "index/checker_factory.h"
+#include "keywords/inverted_index.h"
+
+namespace ktg {
+namespace {
+
+TEST(CheckerFactoryTest, ParsesAllSpellings) {
+  EXPECT_EQ(ParseCheckerKind("bfs").value(), CheckerKind::kBfs);
+  EXPECT_EQ(ParseCheckerKind("BFS").value(), CheckerKind::kBfs);
+  EXPECT_EQ(ParseCheckerKind("nl").value(), CheckerKind::kNl);
+  EXPECT_EQ(ParseCheckerKind("NLRNL").value(), CheckerKind::kNlrnl);
+  EXPECT_EQ(ParseCheckerKind("bitmap").value(), CheckerKind::kKHopBitmap);
+  EXPECT_EQ(ParseCheckerKind("KHopBitmap").value(), CheckerKind::kKHopBitmap);
+  EXPECT_FALSE(ParseCheckerKind("btree").ok());
+}
+
+TEST(CheckerFactoryTest, BuildsEveryKind) {
+  const Graph g = CycleGraph(10);
+  for (const auto kind : {CheckerKind::kBfs, CheckerKind::kNl,
+                          CheckerKind::kNlrnl, CheckerKind::kKHopBitmap}) {
+    const auto checker = MakeChecker(kind, g, 2);
+    ASSERT_NE(checker, nullptr);
+    EXPECT_EQ(checker->name(), CheckerKindName(kind));
+    EXPECT_TRUE(checker->IsFartherThan(0, 5, 2));
+    EXPECT_FALSE(checker->IsFartherThan(0, 2, 2));
+  }
+}
+
+TEST(EnumNamesTest, SortStrategyNames) {
+  EXPECT_STREQ(SortStrategyName(SortStrategy::kQkc), "QKC");
+  EXPECT_STREQ(SortStrategyName(SortStrategy::kVkc), "VKC");
+  EXPECT_STREQ(SortStrategyName(SortStrategy::kVkcDeg), "VKC-DEG");
+}
+
+TEST(ResultTest, MoveOnlyPayload) {
+  Result<std::unique_ptr<int>> r(std::make_unique<int>(9));
+  ASSERT_TRUE(r.ok());
+  std::unique_ptr<int> v = std::move(r).value();
+  EXPECT_EQ(*v, 9);
+}
+
+TEST(StatsCountersTest, PruneCountersFireWhenCollectorFull) {
+  const AttributedGraph g = PaperExampleGraph();
+  const InvertedIndex idx(g);
+  BfsChecker checker(g.graph());
+  KtgQuery q = PaperExampleQuery(g);
+  q.top_n = 1;  // fills instantly, so pruning has a threshold to use
+  const auto r = RunKtg(g, idx, checker, q);
+  ASSERT_TRUE(r.ok());
+  EXPECT_GT(r->stats.keyword_prunes, 0u);
+  EXPECT_GT(r->stats.kline_filtered, 0u);
+}
+
+TEST(StatsCountersTest, SearchStatsAccumulate) {
+  SearchStats a;
+  a.nodes_expanded = 3;
+  a.distance_checks = 10;
+  a.elapsed_ms = 1.5;
+  SearchStats b;
+  b.nodes_expanded = 4;
+  b.distance_checks = 5;
+  b.elapsed_ms = 0.5;
+  a += b;
+  EXPECT_EQ(a.nodes_expanded, 7u);
+  EXPECT_EQ(a.distance_checks, 15u);
+  EXPECT_DOUBLE_EQ(a.elapsed_ms, 2.0);
+}
+
+TEST(GraphStatsTest, ToStringMentionsEveryField) {
+  Rng rng(0x7777);
+  const auto s = ComputeGraphStats(CycleGraph(12), rng, 4);
+  const std::string text = s.ToString();
+  for (const char* needle : {"n=12", "m=12", "components=1"}) {
+    EXPECT_NE(text.find(needle), std::string::npos) << text;
+  }
+}
+
+TEST(QueryHelpersTest, MakeQueryMapsTermsAndUnknowns) {
+  const AttributedGraph g = PaperExampleGraph();
+  const std::string terms[] = {"SN", "nope", "GD"};
+  const KtgQuery q = MakeQuery(g, terms, 2, 1, 3);
+  ASSERT_EQ(q.keywords.size(), 3u);
+  EXPECT_EQ(q.keywords[0], g.vocabulary().Find("SN"));
+  EXPECT_EQ(q.keywords[1], kInvalidKeyword);
+  EXPECT_EQ(q.keywords[2], g.vocabulary().Find("GD"));
+  EXPECT_EQ(q.group_size, 2u);
+  EXPECT_EQ(q.tenuity, 1);
+  EXPECT_EQ(q.top_n, 3u);
+}
+
+TEST(QueryHelpersTest, BestCoverageOfEmptyResult) {
+  KtgResult r;
+  EXPECT_DOUBLE_EQ(r.best_coverage(), 0.0);
+  EXPECT_TRUE(r.empty());
+}
+
+}  // namespace
+}  // namespace ktg

@@ -1,0 +1,138 @@
+// Copyright (c) 2026 The ktg Authors.
+// NL (h-hop neighbors list) index tests: structure of the stored levels,
+// Algorithm 2's expansion path, memoization growth and option behaviour.
+// (Cross-implementation equivalence lives in checker_equivalence_test.cc;
+// dynamic updates in index_update_test.cc.)
+
+#include <gtest/gtest.h>
+
+#include "datagen/generators.h"
+#include "graph/bfs.h"
+#include "index/bfs_checker.h"
+#include "index/nl_index.h"
+#include "util/rng.h"
+
+namespace ktg {
+namespace {
+
+TEST(NlIndexTest, StoredLevelsMatchBfsLevels) {
+  Rng rng(61);
+  const Graph g = BarabasiAlbert(120, 3, rng);
+  const NlIndex nl(g);
+  BoundedBfs bfs(g);
+  for (VertexId v = 0; v < g.num_vertices(); v += 13) {
+    const auto levels = bfs.Levels(v, nl.base_hops(v));
+    ASSERT_EQ(nl.stored_hops(v), levels.size());
+    for (uint32_t i = 0; i < levels.size(); ++i) {
+      EXPECT_EQ(nl.Level(v, i), levels[i]) << "v=" << v << " level " << i;
+    }
+  }
+}
+
+TEST(NlIndexTest, BaseHopsIsArgmaxLevel) {
+  Rng rng(63);
+  const Graph g = WattsStrogatz(200, 3, 0.1, rng);
+  const NlIndex nl(g);
+  BoundedBfs bfs(g);
+  for (VertexId v = 0; v < g.num_vertices(); v += 17) {
+    const auto levels = bfs.Levels(v, kUnreachable - 1);
+    size_t best = 0;
+    uint32_t h = 1;
+    for (uint32_t i = 0; i < levels.size() && i < 8; ++i) {
+      if (levels[i].size() > best) {
+        best = levels[i].size();
+        h = i + 1;
+      }
+    }
+    if (levels.empty()) h = 0;
+    EXPECT_EQ(nl.base_hops(v), h) << "v=" << v;
+  }
+}
+
+TEST(NlIndexTest, MaxStoredHopsCapsBase) {
+  Rng rng(65);
+  const Graph g = PathGraph(50);  // argmax level would be deep
+  NlIndexOptions opts;
+  opts.max_stored_hops = 2;
+  const NlIndex nl(g, opts);
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    EXPECT_LE(nl.base_hops(v), 2u);
+  }
+}
+
+TEST(NlIndexTest, ExpansionAnswersBeyondHorizon) {
+  // On a path, force h = 1 and ask about distances far beyond it.
+  NlIndexOptions opts;
+  opts.max_stored_hops = 1;
+  NlIndex nl(PathGraph(30), opts);
+  EXPECT_FALSE(nl.IsFartherThan(0, 5, 5));   // distance 5
+  EXPECT_TRUE(nl.IsFartherThan(0, 5, 4));    // 5 > 4
+  EXPECT_FALSE(nl.IsFartherThan(0, 29, 29));
+  EXPECT_TRUE(nl.IsFartherThan(0, 29, 28));
+}
+
+TEST(NlIndexTest, MemoizationGrowsStoredLevels) {
+  NlIndexOptions opts;
+  opts.max_stored_hops = 1;
+  opts.memoize_expansions = true;
+  NlIndex nl(PathGraph(20), opts);
+  const uint32_t before = nl.stored_hops(10);
+  EXPECT_EQ(before, 1u);
+  nl.IsFartherThan(2, 10, 6);  // consults vertex 10, expands to 6 levels
+  EXPECT_GE(nl.stored_hops(10), 6u);
+  const size_t mem_after_expand = nl.MemoryBytes();
+  // Re-asking does not grow further.
+  nl.IsFartherThan(2, 10, 6);
+  EXPECT_EQ(nl.MemoryBytes(), mem_after_expand);
+}
+
+TEST(NlIndexTest, NoMemoizationKeepsFootprint) {
+  NlIndexOptions opts;
+  opts.max_stored_hops = 1;
+  opts.memoize_expansions = false;
+  NlIndex nl(PathGraph(20), opts);
+  const size_t before = nl.MemoryBytes();
+  EXPECT_FALSE(nl.IsFartherThan(2, 10, 8));
+  EXPECT_TRUE(nl.IsFartherThan(0, 19, 18));
+  EXPECT_EQ(nl.MemoryBytes(), before);
+  EXPECT_EQ(nl.stored_hops(10), 1u);
+}
+
+TEST(NlIndexTest, SelfAndAdjacent) {
+  const Graph g = CycleGraph(6);
+  NlIndex nl(g);
+  EXPECT_FALSE(nl.IsFartherThan(2, 2, 3));  // distance 0
+  EXPECT_FALSE(nl.IsFartherThan(2, 3, 1));  // adjacent
+  EXPECT_TRUE(nl.IsFartherThan(0, 3, 2));   // opposite side, distance 3
+  EXPECT_TRUE(nl.IsFartherThan(1, 4, 0));   // k = 0, distinct vertices
+}
+
+TEST(NlIndexTest, DisconnectedVerticesAreFarther) {
+  GraphBuilder b(5);
+  b.AddEdge(0, 1);
+  b.AddEdge(2, 3);
+  NlIndex nl(b.Build());
+  EXPECT_TRUE(nl.IsFartherThan(0, 3, 10));
+  EXPECT_TRUE(nl.IsFartherThan(4, 0, 10));  // isolated vertex
+}
+
+TEST(NlIndexTest, CountsChecks) {
+  NlIndex nl(CycleGraph(8));
+  EXPECT_EQ(nl.num_checks(), 0u);
+  nl.IsFartherThan(0, 4, 2);
+  nl.IsFartherThan(1, 5, 2);
+  EXPECT_EQ(nl.num_checks(), 2u);
+  nl.ResetStats();
+  EXPECT_EQ(nl.num_checks(), 0u);
+}
+
+TEST(NlIndexTest, MemoryAccountingIsPlausible) {
+  Rng rng(67);
+  const Graph g = BarabasiAlbert(200, 4, rng);
+  const NlIndex nl(g);
+  // At minimum the 1-hop lists (2m entries when every h >= 1) are stored.
+  EXPECT_GT(nl.MemoryBytes(), g.num_edges() * sizeof(VertexId));
+}
+
+}  // namespace
+}  // namespace ktg

@@ -1,0 +1,128 @@
+// Copyright (c) 2026 The ktg Authors.
+// NLRNL index tests: c selection, forward/reverse level structure, halved
+// storage, component handling and the "absence means distance exactly c"
+// completeness property.
+
+#include <gtest/gtest.h>
+
+#include "datagen/generators.h"
+#include "graph/bfs.h"
+#include "index/nl_index.h"
+#include "index/nlrnl_index.h"
+#include "util/rng.h"
+#include "util/sorted_vector.h"
+
+namespace ktg {
+namespace {
+
+TEST(NlrnlIndexTest, CIsAtLeastTwo) {
+  Rng rng(71);
+  const Graph g = BarabasiAlbert(150, 3, rng);
+  const NlrnlIndex idx(g);
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    EXPECT_GE(idx.c_value(v), 2u);
+    EXPECT_LE(idx.c_value(v), 8u);
+  }
+}
+
+TEST(NlrnlIndexTest, CIsArgmaxLevelAmongDeepLevels) {
+  Rng rng(73);
+  const Graph g = WattsStrogatz(200, 2, 0.05, rng);
+  const NlrnlIndex idx(g);
+  BoundedBfs bfs(g);
+  for (VertexId v = 0; v < g.num_vertices(); v += 19) {
+    const auto levels = bfs.Levels(v, kUnreachable - 1);
+    uint32_t c = 2;
+    size_t best = 0;
+    for (uint32_t level = 2; level <= levels.size() && level <= 8; ++level) {
+      if (levels[level - 1].size() > best) {
+        best = levels[level - 1].size();
+        c = level;
+      }
+    }
+    EXPECT_EQ(idx.c_value(v), c) << "v=" << v;
+  }
+}
+
+TEST(NlrnlIndexTest, ForwardAndReverseLevelCounts) {
+  Rng rng(75);
+  const Graph g = BarabasiAlbert(150, 3, rng);
+  const NlrnlIndex idx(g);
+  BoundedBfs bfs(g);
+  for (VertexId v = 0; v < g.num_vertices(); v += 11) {
+    const uint32_t ecc = bfs.Eccentricity(v);
+    const uint32_t c = idx.c_value(v);
+    EXPECT_EQ(idx.num_forward_levels(v), std::min(ecc, c - 1));
+    EXPECT_EQ(idx.num_reverse_levels(v), ecc > c ? ecc - c : 0u);
+  }
+}
+
+TEST(NlrnlIndexTest, PathGraphSemantics) {
+  // On a path the distances are |i - j|; exercise all three answer paths
+  // (forward hit, reverse hit, "absence == exactly c").
+  NlrnlIndex idx(PathGraph(24));
+  for (VertexId i = 0; i < 24; i += 3) {
+    for (VertexId j = 0; j < 24; ++j) {
+      if (i == j) continue;
+      const HopDistance d =
+          static_cast<HopDistance>(i > j ? i - j : j - i);
+      for (const HopDistance k : {1, 2, 3, 5, 8, 12}) {
+        EXPECT_EQ(idx.IsFartherThan(i, j, k), d > k)
+            << "i=" << i << " j=" << j << " k=" << k;
+      }
+    }
+  }
+}
+
+TEST(NlrnlIndexTest, CrossComponentIsFarther) {
+  GraphBuilder b(6);
+  b.AddEdge(0, 1);
+  b.AddEdge(1, 2);
+  b.AddEdge(3, 4);
+  NlrnlIndex idx(b.Build());
+  EXPECT_TRUE(idx.IsFartherThan(0, 3, 100));
+  EXPECT_TRUE(idx.IsFartherThan(2, 5, 100));
+  EXPECT_FALSE(idx.IsFartherThan(0, 2, 2));
+}
+
+TEST(NlrnlIndexTest, SelfAndKZero) {
+  NlrnlIndex idx(CycleGraph(8));
+  EXPECT_FALSE(idx.IsFartherThan(3, 3, 0));
+  EXPECT_TRUE(idx.IsFartherThan(3, 4, 0));
+}
+
+TEST(NlrnlIndexTest, SymmetricAnswers) {
+  Rng rng(77);
+  const Graph g = ErdosRenyi(80, 0.05, rng);
+  NlrnlIndex idx(g);
+  for (int trial = 0; trial < 500; ++trial) {
+    const auto u = static_cast<VertexId>(rng.Below(80));
+    const auto v = static_cast<VertexId>(rng.Below(80));
+    const auto k = static_cast<HopDistance>(1 + rng.Below(5));
+    EXPECT_EQ(idx.IsFartherThan(u, v, k), idx.IsFartherThan(v, u, k));
+  }
+}
+
+TEST(NlrnlIndexTest, SmallerThanNlOnSmallWorld) {
+  // The headline of Figure 9(a): NLRNL skips each vertex's biggest level
+  // and stores each pair once, so it is smaller than NL once NL has had to
+  // expand (here: compare construction-time footprints, where halving alone
+  // should already win on a graph whose argmax level is large).
+  Rng rng(79);
+  const Graph g = BarabasiAlbert(400, 4, rng);
+  const NlIndex nl(g);
+  const NlrnlIndex nlrnl(g);
+  EXPECT_LT(nlrnl.MemoryBytes(), nl.MemoryBytes());
+}
+
+TEST(NlrnlIndexTest, IsolatedVertexEntry) {
+  GraphBuilder b(3);
+  b.AddEdge(0, 1);
+  NlrnlIndex idx(b.Build());
+  EXPECT_EQ(idx.num_forward_levels(2), 0u);
+  EXPECT_EQ(idx.num_reverse_levels(2), 0u);
+  EXPECT_TRUE(idx.IsFartherThan(2, 0, 5));
+}
+
+}  // namespace
+}  // namespace ktg

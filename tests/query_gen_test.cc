@@ -1,0 +1,88 @@
+// Copyright (c) 2026 The ktg Authors.
+// Query workload generator tests.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "datagen/generators.h"
+#include "datagen/keyword_assigner.h"
+#include "datagen/query_gen.h"
+
+namespace ktg {
+namespace {
+
+AttributedGraph TestGraph() {
+  Rng rng(0x01);
+  KeywordModel model;
+  model.vocabulary_size = 60;
+  return AssignKeywords(PathGraph(200), model, rng);
+}
+
+TEST(QueryGenTest, ProducesRequestedShape) {
+  const AttributedGraph g = TestGraph();
+  WorkloadOptions opts;
+  opts.num_queries = 15;
+  opts.keyword_count = 7;
+  opts.group_size = 5;
+  opts.tenuity = 3;
+  opts.top_n = 9;
+  Rng rng(2);
+  const auto queries = GenerateWorkload(g, opts, rng);
+  ASSERT_EQ(queries.size(), 15u);
+  for (const auto& q : queries) {
+    EXPECT_EQ(q.keywords.size(), 7u);
+    EXPECT_EQ(q.group_size, 5u);
+    EXPECT_EQ(q.tenuity, 3);
+    EXPECT_EQ(q.top_n, 9u);
+    std::set<KeywordId> distinct(q.keywords.begin(), q.keywords.end());
+    EXPECT_EQ(distinct.size(), q.keywords.size());
+    for (const KeywordId kw : q.keywords) EXPECT_LT(kw, g.num_keywords());
+    EXPECT_TRUE(ValidateQuery(q, g).ok());
+  }
+}
+
+TEST(QueryGenTest, DeterministicPerSeed) {
+  const AttributedGraph g = TestGraph();
+  WorkloadOptions opts;
+  Rng a(9), b(9);
+  const auto qa = GenerateWorkload(g, opts, a);
+  const auto qb = GenerateWorkload(g, opts, b);
+  ASSERT_EQ(qa.size(), qb.size());
+  for (size_t i = 0; i < qa.size(); ++i) {
+    EXPECT_EQ(qa[i].keywords, qb[i].keywords);
+  }
+}
+
+TEST(QueryGenTest, BiasFavorsPopularKeywords) {
+  const AttributedGraph g = TestGraph();
+  WorkloadOptions opts;
+  opts.num_queries = 200;
+  opts.keyword_count = 4;
+  opts.keyword_zipf = 1.0;
+  Rng rng(11);
+  const auto queries = GenerateWorkload(g, opts, rng);
+  uint32_t low = 0, high = 0;
+  for (const auto& q : queries) {
+    for (const KeywordId kw : q.keywords) {
+      if (kw < 10) ++low;
+      if (kw >= 50) ++high;
+    }
+  }
+  EXPECT_GT(low, 3 * (high + 1));
+}
+
+TEST(QueryGenTest, KeywordCountClampedToVocabulary) {
+  Rng rng(0x13);
+  KeywordModel model;
+  model.vocabulary_size = 3;
+  const AttributedGraph g = AssignKeywords(PathGraph(20), model, rng);
+  WorkloadOptions opts;
+  opts.keyword_count = 10;
+  Rng qrng(4);
+  const auto queries = GenerateWorkload(g, opts, qrng);
+  for (const auto& q : queries) EXPECT_EQ(q.keywords.size(), 3u);
+}
+
+}  // namespace
+}  // namespace ktg

@@ -1,0 +1,72 @@
+// Copyright (c) 2026 The ktg Authors.
+// Graph statistics tests.
+
+#include <gtest/gtest.h>
+
+#include "datagen/generators.h"
+#include "graph/stats.h"
+
+namespace ktg {
+namespace {
+
+TEST(ComponentsTest, SingleComponent) {
+  const auto [labels, count] = ConnectedComponents(CycleGraph(6));
+  EXPECT_EQ(count, 1u);
+  for (const uint32_t l : labels) EXPECT_EQ(l, 0u);
+}
+
+TEST(ComponentsTest, MultipleComponents) {
+  GraphBuilder b(7);
+  b.AddEdge(0, 1);
+  b.AddEdge(1, 2);
+  b.AddEdge(3, 4);
+  // 5 and 6 isolated.
+  const auto [labels, count] = ConnectedComponents(b.Build());
+  EXPECT_EQ(count, 4u);
+  EXPECT_EQ(labels[0], labels[1]);
+  EXPECT_EQ(labels[1], labels[2]);
+  EXPECT_EQ(labels[3], labels[4]);
+  EXPECT_NE(labels[0], labels[3]);
+  EXPECT_NE(labels[5], labels[6]);
+}
+
+TEST(DegreeHistogramTest, Path) {
+  const auto hist = DegreeHistogram(PathGraph(5));
+  // Two endpoints of degree 1, three inner vertices of degree 2.
+  ASSERT_EQ(hist.size(), 3u);
+  EXPECT_EQ(hist[0], 0u);
+  EXPECT_EQ(hist[1], 2u);
+  EXPECT_EQ(hist[2], 3u);
+}
+
+TEST(GraphStatsTest, KnownGrid) {
+  Rng rng(41);
+  const auto s = ComputeGraphStats(GridGraph(4, 4), rng, 16);
+  EXPECT_EQ(s.num_vertices, 16u);
+  EXPECT_EQ(s.num_edges, 24u);
+  EXPECT_EQ(s.num_components, 1u);
+  EXPECT_EQ(s.largest_component, 16u);
+  EXPECT_EQ(s.max_degree, 4u);
+  EXPECT_GE(s.approx_diameter, 4u);  // corner eccentricity is 6
+  EXPECT_LE(s.approx_diameter, 6u);
+  EXPECT_FALSE(s.ToString().empty());
+}
+
+TEST(GraphStatsTest, DistanceHistogramCountsPairs) {
+  Rng rng(43);
+  const auto s = ComputeGraphStats(PathGraph(4), rng, 4);
+  // Each histogram bucket d >= 1 counts sampled (source, target) pairs.
+  uint64_t total = 0;
+  for (const auto c : s.distance_histogram) total += c;
+  EXPECT_GT(total, 0u);
+}
+
+TEST(GraphStatsTest, SamplingDisabled) {
+  Rng rng(45);
+  const auto s = ComputeGraphStats(CycleGraph(10), rng, 0);
+  EXPECT_TRUE(s.distance_histogram.empty());
+  EXPECT_EQ(s.approx_diameter, 0u);
+}
+
+}  // namespace
+}  // namespace ktg

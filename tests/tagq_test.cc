@@ -1,0 +1,147 @@
+// Copyright (c) 2026 The ktg Authors.
+// TAGQ baseline tests: the average-coverage objective, its tolerance of
+// zero-coverage members (the behaviour Figure 8 criticizes), and optimality
+// against a brute-force reference on small instances.
+
+#include <gtest/gtest.h>
+
+#include "core/paper_example.h"
+#include "core/tagq.h"
+#include "datagen/generators.h"
+#include "datagen/keyword_assigner.h"
+#include "index/bfs_checker.h"
+#include "keywords/inverted_index.h"
+#include "util/rng.h"
+
+namespace ktg {
+namespace {
+
+// Exhaustive reference for the additive objective.
+int BruteBestTagqTotal(const AttributedGraph& g, const KtgQuery& q,
+                       DistanceChecker& checker) {
+  const uint32_t n = g.num_vertices();
+  std::vector<int> qkc(n);
+  for (VertexId v = 0; v < n; ++v) {
+    qkc[v] = PopCount(CoverMaskOf(g, v, q.keywords));
+  }
+  int best = -1;
+  std::vector<VertexId> members;
+  // p <= 3 in these tests: nested loops keep the reference obviously right.
+  KTG_CHECK(q.group_size <= 3);
+  for (VertexId a = 0; a < n; ++a) {
+    if (q.group_size == 1) {
+      best = std::max(best, qkc[a]);
+      continue;
+    }
+    for (VertexId b = a + 1; b < n; ++b) {
+      if (!checker.IsFartherThan(a, b, q.tenuity)) continue;
+      if (q.group_size == 2) {
+        best = std::max(best, qkc[a] + qkc[b]);
+        continue;
+      }
+      for (VertexId c = b + 1; c < n; ++c) {
+        if (!checker.IsFartherThan(a, c, q.tenuity)) continue;
+        if (!checker.IsFartherThan(b, c, q.tenuity)) continue;
+        best = std::max(best, qkc[a] + qkc[b] + qkc[c]);
+      }
+    }
+  }
+  return best;
+}
+
+TEST(TagqTest, PaperExampleOptimalTotal) {
+  const AttributedGraph g = PaperExampleGraph();
+  BfsChecker checker(g.graph());
+  const KtgQuery q = PaperExampleQuery(g);
+
+  const auto r = RunTagq(g, checker, q);
+  ASSERT_TRUE(r.ok());
+  ASSERT_FALSE(r->groups.empty());
+
+  BfsChecker ref(g.graph());
+  EXPECT_EQ(r->groups.front().total_covered, BruteBestTagqTotal(g, q, ref));
+}
+
+TEST(TagqTest, MatchesBruteForceOnRandomInstances) {
+  Rng rng(0x7A6);
+  for (int round = 0; round < 6; ++round) {
+    KeywordModel model;
+    model.vocabulary_size = 10;
+    model.min_per_vertex = 0;
+    model.max_per_vertex = 2;
+    const AttributedGraph g =
+        AssignKeywords(ErdosRenyi(28, 0.1, rng), model, rng);
+    KtgQuery q;
+    for (KeywordId kw = 0; kw < 5; ++kw) q.keywords.push_back(kw);
+    q.group_size = 2 + round % 2;
+    q.tenuity = static_cast<HopDistance>(1 + round % 2);
+    q.top_n = 2;
+
+    BfsChecker checker(g.graph());
+    const auto r = RunTagq(g, checker, q);
+    ASSERT_TRUE(r.ok());
+    BfsChecker ref(g.graph());
+    const int best = BruteBestTagqTotal(g, q, ref);
+    if (best < 0) {
+      EXPECT_TRUE(r->groups.empty());
+    } else {
+      ASSERT_FALSE(r->groups.empty());
+      EXPECT_EQ(r->groups.front().total_covered, best) << "round " << round;
+    }
+  }
+}
+
+TEST(TagqTest, AdmitsZeroCoverageMembers) {
+  // A tight clique of experts plus far-apart keyword-less vertices: TAGQ
+  // fills the group with zero-coverage members rather than fail — the exact
+  // failure mode KTG is designed to rule out.
+  AttributedGraphBuilder b;
+  GraphBuilder& topo = b.mutable_topology();
+  // Experts 0-2 all adjacent (k=1 forbids pairing them).
+  topo.AddEdge(0, 1);
+  topo.AddEdge(0, 2);
+  topo.AddEdge(1, 2);
+  // Vertices 3 and 4 isolated, no keywords.
+  topo.EnsureVertices(5);
+  b.AddKeywords(0, {"a", "b"});
+  b.AddKeywords(1, {"a"});
+  b.AddKeywords(2, {"b"});
+  const AttributedGraph g = b.Build();
+
+  KtgQuery q;
+  q.keywords = {g.vocabulary().Find("a"), g.vocabulary().Find("b")};
+  q.group_size = 3;
+  q.tenuity = 1;
+  q.top_n = 1;
+
+  BfsChecker checker(g.graph());
+  const auto r = RunTagq(g, checker, q);
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r->groups.size(), 1u);
+  const TagqGroup& grp = r->groups.front();
+  EXPECT_EQ(grp.members, (std::vector<VertexId>{0, 3, 4}));
+  EXPECT_EQ(grp.total_covered, 2);
+  EXPECT_EQ(grp.zero_coverage_members, 2u);
+  EXPECT_DOUBLE_EQ(grp.average_coverage(q.num_keywords()), 2.0 / 6.0);
+}
+
+TEST(TagqTest, NodeBudgetTruncatesGracefully) {
+  const AttributedGraph g = PaperExampleGraph();
+  BfsChecker checker(g.graph());
+  TagqOptions opts;
+  opts.max_nodes = 3;
+  const auto r = RunTagq(g, checker, PaperExampleQuery(g), opts);
+  ASSERT_TRUE(r.ok());
+  EXPECT_LE(r->stats.nodes_expanded, 4u);
+}
+
+TEST(TagqTest, RejectsMalformedQuery) {
+  const AttributedGraph g = PaperExampleGraph();
+  BfsChecker checker(g.graph());
+  KtgQuery q = PaperExampleQuery(g);
+  q.top_n = 0;
+  EXPECT_FALSE(RunTagq(g, checker, q).ok());
+}
+
+}  // namespace
+}  // namespace ktg

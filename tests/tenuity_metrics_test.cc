@@ -1,0 +1,117 @@
+// Copyright (c) 2026 The ktg Authors.
+// Tests for the Section-II tenuity-metric zoo and the claims the paper
+// builds on them (a zero k-triangle group may still contain k-lines; a
+// positive k-tenuity ratio means some pair is within k hops; only the
+// k-distance group forbids all of it).
+
+#include <gtest/gtest.h>
+
+#include "core/paper_example.h"
+#include "core/tenuity_metrics.h"
+#include "datagen/generators.h"
+#include "util/sorted_vector.h"
+
+namespace ktg {
+namespace {
+
+std::vector<VertexId> V(std::initializer_list<VertexId> v) { return v; }
+
+TEST(TenuityMetricsTest, EdgeCountAndDensity) {
+  const Graph g = CycleGraph(6);
+  EXPECT_EQ(GroupEdgeCount(g, V({0, 1, 2})), 2u);
+  EXPECT_DOUBLE_EQ(GroupDensity(g, V({0, 1, 2})), 2.0 / 3.0);
+  EXPECT_EQ(GroupEdgeCount(g, V({0, 2, 4})), 0u);
+  EXPECT_DOUBLE_EQ(GroupDensity(g, V({0, 2, 4})), 0.0);
+  EXPECT_DOUBLE_EQ(GroupDensity(g, V({3})), 0.0);
+}
+
+TEST(TenuityMetricsTest, KLineCountOnPath) {
+  const Graph g = PathGraph(10);
+  // Members 0, 3, 6, 9: pairwise distances 3, 6, 9, 3, 6, 3.
+  EXPECT_EQ(KLineCount(g, V({0, 3, 6, 9}), 2), 0u);
+  EXPECT_EQ(KLineCount(g, V({0, 3, 6, 9}), 3), 3u);
+  EXPECT_EQ(KLineCount(g, V({0, 3, 6, 9}), 6), 5u);
+  EXPECT_EQ(KLineCount(g, V({0, 3, 6, 9}), 9), 6u);
+}
+
+TEST(TenuityMetricsTest, KTriangles) {
+  const Graph g = CompleteGraph(5);
+  // Every pair is at distance 1 < 2: all C(4,3) triples are 2-triangles.
+  EXPECT_EQ(KTriangleCount(g, V({0, 1, 2, 3}), 2), 4u);
+  // But no pair is at distance < 1.
+  EXPECT_EQ(KTriangleCount(g, V({0, 1, 2, 3}), 1), 0u);
+}
+
+TEST(TenuityMetricsTest, KTrianglesCanMissKLines) {
+  // The paper's motivation for k-lines over k-triangles: a path group has
+  // close PAIRS but no close triple.
+  const Graph g = PathGraph(7);
+  const auto members = V({0, 2, 6});
+  EXPECT_EQ(KTriangleCount(g, members, 3), 0u);  // no 3-triangle
+  EXPECT_GT(KLineCount(g, members, 2), 0u);      // yet 0 and 2 are close
+}
+
+TEST(TenuityMetricsTest, KTenuityRatio) {
+  const Graph g = PathGraph(10);
+  // {0, 1, 9}: pair (0,1) within 2 hops; the other two pairs are not.
+  EXPECT_DOUBLE_EQ(KTenuityRatio(g, V({0, 1, 9}), 2), 1.0 / 3.0);
+  EXPECT_DOUBLE_EQ(KTenuityRatio(g, V({0, 5, 9}), 2), 0.0);
+  // The paper's critique of [18]: ratio > 0 admits a direct neighbor pair.
+  EXPECT_GT(KTenuityRatio(g, V({0, 1, 9}), 1), 0.0);
+}
+
+TEST(TenuityMetricsTest, GroupTenuityDefinition4) {
+  const Graph g = PathGraph(10);
+  EXPECT_EQ(GroupTenuity(g, V({0, 4, 9})), 4);
+  EXPECT_EQ(GroupTenuity(g, V({0, 1})), 1);
+  EXPECT_EQ(GroupTenuity(g, V({5})), kUnreachable);
+  // Disconnected pair.
+  GraphBuilder b(4);
+  b.AddEdge(0, 1);
+  const Graph split = b.Build();
+  EXPECT_EQ(GroupTenuity(split, V({0, 3})), kUnreachable);
+}
+
+TEST(TenuityMetricsTest, KDistanceGroupIffTenuityExceedsK) {
+  Rng rng(0x77);
+  const Graph g = BarabasiAlbert(80, 3, rng);
+  for (int trial = 0; trial < 50; ++trial) {
+    std::vector<VertexId> members;
+    for (int i = 0; i < 3; ++i) {
+      members.push_back(static_cast<VertexId>(rng.Below(80)));
+    }
+    SortUnique(members);
+    if (members.size() < 2) continue;
+    for (const HopDistance k : {1, 2, 3}) {
+      const bool is_k_distance = KLineCount(g, members, k) == 0;
+      EXPECT_EQ(is_k_distance, GroupTenuity(g, members) > k);
+    }
+  }
+}
+
+TEST(TenuityMetricsTest, PropertyOneMonotoneInK) {
+  // Property 1: k-line counts only grow with k; a k1-distance group is a
+  // k2-distance group for k1 > k2.
+  Rng rng(0x78);
+  const Graph g = WattsStrogatz(60, 2, 0.2, rng);
+  const auto members = V({3, 17, 41, 55});
+  uint64_t prev = 0;
+  for (HopDistance k = 1; k <= 6; ++k) {
+    const uint64_t lines = KLineCount(g, members, k);
+    EXPECT_GE(lines, prev);
+    prev = lines;
+  }
+}
+
+TEST(TenuityMetricsTest, PaperExampleGroups) {
+  const AttributedGraph g = PaperExampleGraph();
+  // The paper's result groups are 1-distance groups.
+  EXPECT_GT(GroupTenuity(g.graph(), V({1, 4, 10})), 1);
+  EXPECT_GT(GroupTenuity(g.graph(), V({1, 5, 10})), 1);
+  // u6-u7 are adjacent: tenuity 1, one 1-line.
+  EXPECT_EQ(GroupTenuity(g.graph(), V({6, 7})), 1);
+  EXPECT_EQ(KLineCount(g.graph(), V({6, 7}), 1), 1u);
+}
+
+}  // namespace
+}  // namespace ktg

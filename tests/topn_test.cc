@@ -1,0 +1,98 @@
+// Copyright (c) 2026 The ktg Authors.
+// TopNCollector tests: fill semantics, strict-improvement updates and the
+// pruning threshold of Theorem 2.
+
+#include <gtest/gtest.h>
+
+#include "core/topn.h"
+
+namespace ktg {
+namespace {
+
+Group MakeGroup(std::vector<VertexId> members, CoverMask mask) {
+  Group g;
+  g.members = std::move(members);
+  g.mask = mask;
+  return g;
+}
+
+TEST(TopNCollectorTest, FillsUpToN) {
+  TopNCollector c(2);
+  EXPECT_FALSE(c.full());
+  EXPECT_EQ(c.threshold(), -1);
+  EXPECT_TRUE(c.Offer(MakeGroup({1, 2}, 0b1)));
+  EXPECT_FALSE(c.full());
+  EXPECT_TRUE(c.Offer(MakeGroup({3, 4}, 0b11)));
+  EXPECT_TRUE(c.full());
+  EXPECT_EQ(c.threshold(), 1);  // worst held coverage
+}
+
+TEST(TopNCollectorTest, EqualCoverageCannotUpdateWhenFull) {
+  // Mirrors the paper's worked example: later groups with the same coverage
+  // "can not update the result groups".
+  TopNCollector c(2);
+  c.Offer(MakeGroup({1, 2}, 0b1111));
+  c.Offer(MakeGroup({1, 3}, 0b1111));
+  EXPECT_FALSE(c.Offer(MakeGroup({1, 4}, 0b1111)));
+  const auto groups = c.Take();
+  ASSERT_EQ(groups.size(), 2u);
+  EXPECT_EQ(groups[0].members, (std::vector<VertexId>{1, 2}));
+  EXPECT_EQ(groups[1].members, (std::vector<VertexId>{1, 3}));
+}
+
+TEST(TopNCollectorTest, StrictlyBetterEvictsWorst) {
+  TopNCollector c(2);
+  c.Offer(MakeGroup({1}, 0b1));
+  c.Offer(MakeGroup({2}, 0b111));
+  EXPECT_TRUE(c.Offer(MakeGroup({3}, 0b11)));
+  const auto groups = c.Take();
+  ASSERT_EQ(groups.size(), 2u);
+  EXPECT_EQ(groups[0].covered(), 3);
+  EXPECT_EQ(groups[1].covered(), 2);
+}
+
+TEST(TopNCollectorTest, FinalMultisetIsNLargest) {
+  // Regardless of offer order, the surviving coverage counts are the N
+  // largest.
+  const std::vector<int> counts = {1, 4, 2, 4, 5, 3, 2};
+  std::vector<std::vector<int>> orders = {
+      {0, 1, 2, 3, 4, 5, 6}, {6, 5, 4, 3, 2, 1, 0}, {4, 0, 6, 1, 5, 2, 3}};
+  for (const auto& order : orders) {
+    TopNCollector c(3);
+    for (const int i : order) {
+      c.Offer(MakeGroup({static_cast<VertexId>(i)}, LowBits(counts[i])));
+    }
+    auto groups = c.Take();
+    ASSERT_EQ(groups.size(), 3u);
+    EXPECT_EQ(groups[0].covered(), 5);
+    EXPECT_EQ(groups[1].covered(), 4);
+    EXPECT_EQ(groups[2].covered(), 4);
+  }
+}
+
+TEST(TopNCollectorTest, TakeOrdersByCoverageThenDiscovery) {
+  TopNCollector c(4);
+  c.Offer(MakeGroup({1}, 0b1));
+  c.Offer(MakeGroup({2}, 0b111));
+  c.Offer(MakeGroup({3}, 0b11));
+  c.Offer(MakeGroup({4}, 0b111));
+  const auto groups = c.Take();
+  ASSERT_EQ(groups.size(), 4u);
+  EXPECT_EQ(groups[0].members, (std::vector<VertexId>{2}));
+  EXPECT_EQ(groups[1].members, (std::vector<VertexId>{4}));
+  EXPECT_EQ(groups[2].members, (std::vector<VertexId>{3}));
+  EXPECT_EQ(groups[3].members, (std::vector<VertexId>{1}));
+}
+
+TEST(TopNCollectorTest, TakeResetsCollector) {
+  TopNCollector c(1);
+  c.Offer(MakeGroup({1}, 0b1));
+  EXPECT_EQ(c.Take().size(), 1u);
+  EXPECT_EQ(c.size(), 0u);
+  EXPECT_FALSE(c.full());
+  c.Offer(MakeGroup({2}, 0b1));
+  EXPECT_EQ(c.size(), 1u);
+}
+
+}  // namespace
+}  // namespace ktg

@@ -1,0 +1,12 @@
+// Copyright (c) 2026 The ktg Authors.
+// The `ktg` command-line tool entry point; see cli/commands.h for usage.
+
+#include <string>
+#include <vector>
+
+#include "cli/commands.h"
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  return ktg::cli::RunMain(args);
+}
