@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_dktg_quality.dir/bench_dktg_quality.cc.o"
+  "CMakeFiles/bench_dktg_quality.dir/bench_dktg_quality.cc.o.d"
+  "bench_dktg_quality"
+  "bench_dktg_quality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_dktg_quality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_social_constraint.dir/bench_fig4_social_constraint.cc.o"
+  "CMakeFiles/bench_fig4_social_constraint.dir/bench_fig4_social_constraint.cc.o.d"
+  "bench_fig4_social_constraint"
+  "bench_fig4_social_constraint.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_social_constraint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_topn.dir/bench_fig6_topn.cc.o"
+  "CMakeFiles/bench_fig6_topn.dir/bench_fig6_topn.cc.o.d"
+  "bench_fig6_topn"
+  "bench_fig6_topn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_topn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

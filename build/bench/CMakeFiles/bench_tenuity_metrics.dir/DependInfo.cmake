@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_tenuity_metrics.cc" "bench/CMakeFiles/bench_tenuity_metrics.dir/bench_tenuity_metrics.cc.o" "gcc" "bench/CMakeFiles/bench_tenuity_metrics.dir/bench_tenuity_metrics.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/ktg_bench_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/datagen/CMakeFiles/ktg_datagen.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/ktg_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/index/CMakeFiles/ktg_index.dir/DependInfo.cmake"
+  "/root/repo/build/src/keywords/CMakeFiles/ktg_keywords.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/ktg_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ktg_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

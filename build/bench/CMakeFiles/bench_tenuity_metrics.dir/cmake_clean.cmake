@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tenuity_metrics.dir/bench_tenuity_metrics.cc.o"
+  "CMakeFiles/bench_tenuity_metrics.dir/bench_tenuity_metrics.cc.o.d"
+  "bench_tenuity_metrics"
+  "bench_tenuity_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tenuity_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ktg_bench_common.dir/common.cc.o"
+  "CMakeFiles/ktg_bench_common.dir/common.cc.o.d"
+  "libktg_bench_common.a"
+  "libktg_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ktg_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reviewer_selection.dir/reviewer_selection.cpp.o"
+  "CMakeFiles/reviewer_selection.dir/reviewer_selection.cpp.o.d"
+  "reviewer_selection"
+  "reviewer_selection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reviewer_selection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/seed_marketing.dir/seed_marketing.cpp.o"
+  "CMakeFiles/seed_marketing.dir/seed_marketing.cpp.o.d"
+  "seed_marketing"
+  "seed_marketing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/seed_marketing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ktg_cli.dir/args.cc.o"
+  "CMakeFiles/ktg_cli.dir/args.cc.o.d"
+  "CMakeFiles/ktg_cli.dir/commands.cc.o"
+  "CMakeFiles/ktg_cli.dir/commands.cc.o.d"
+  "libktg_cli.a"
+  "libktg_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ktg_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

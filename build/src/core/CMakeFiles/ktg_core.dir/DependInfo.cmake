@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/batch.cc" "src/core/CMakeFiles/ktg_core.dir/batch.cc.o" "gcc" "src/core/CMakeFiles/ktg_core.dir/batch.cc.o.d"
+  "/root/repo/src/core/brute_force.cc" "src/core/CMakeFiles/ktg_core.dir/brute_force.cc.o" "gcc" "src/core/CMakeFiles/ktg_core.dir/brute_force.cc.o.d"
+  "/root/repo/src/core/candidates.cc" "src/core/CMakeFiles/ktg_core.dir/candidates.cc.o" "gcc" "src/core/CMakeFiles/ktg_core.dir/candidates.cc.o.d"
+  "/root/repo/src/core/conflict_graph_engine.cc" "src/core/CMakeFiles/ktg_core.dir/conflict_graph_engine.cc.o" "gcc" "src/core/CMakeFiles/ktg_core.dir/conflict_graph_engine.cc.o.d"
+  "/root/repo/src/core/diversity.cc" "src/core/CMakeFiles/ktg_core.dir/diversity.cc.o" "gcc" "src/core/CMakeFiles/ktg_core.dir/diversity.cc.o.d"
+  "/root/repo/src/core/dktg_greedy.cc" "src/core/CMakeFiles/ktg_core.dir/dktg_greedy.cc.o" "gcc" "src/core/CMakeFiles/ktg_core.dir/dktg_greedy.cc.o.d"
+  "/root/repo/src/core/explain.cc" "src/core/CMakeFiles/ktg_core.dir/explain.cc.o" "gcc" "src/core/CMakeFiles/ktg_core.dir/explain.cc.o.d"
+  "/root/repo/src/core/greedy_heuristic.cc" "src/core/CMakeFiles/ktg_core.dir/greedy_heuristic.cc.o" "gcc" "src/core/CMakeFiles/ktg_core.dir/greedy_heuristic.cc.o.d"
+  "/root/repo/src/core/ktg_engine.cc" "src/core/CMakeFiles/ktg_core.dir/ktg_engine.cc.o" "gcc" "src/core/CMakeFiles/ktg_core.dir/ktg_engine.cc.o.d"
+  "/root/repo/src/core/paper_example.cc" "src/core/CMakeFiles/ktg_core.dir/paper_example.cc.o" "gcc" "src/core/CMakeFiles/ktg_core.dir/paper_example.cc.o.d"
+  "/root/repo/src/core/query.cc" "src/core/CMakeFiles/ktg_core.dir/query.cc.o" "gcc" "src/core/CMakeFiles/ktg_core.dir/query.cc.o.d"
+  "/root/repo/src/core/tagq.cc" "src/core/CMakeFiles/ktg_core.dir/tagq.cc.o" "gcc" "src/core/CMakeFiles/ktg_core.dir/tagq.cc.o.d"
+  "/root/repo/src/core/tenuity_metrics.cc" "src/core/CMakeFiles/ktg_core.dir/tenuity_metrics.cc.o" "gcc" "src/core/CMakeFiles/ktg_core.dir/tenuity_metrics.cc.o.d"
+  "/root/repo/src/core/topn.cc" "src/core/CMakeFiles/ktg_core.dir/topn.cc.o" "gcc" "src/core/CMakeFiles/ktg_core.dir/topn.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/keywords/CMakeFiles/ktg_keywords.dir/DependInfo.cmake"
+  "/root/repo/build/src/index/CMakeFiles/ktg_index.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/ktg_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ktg_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,37 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ktg_core.dir/batch.cc.o"
+  "CMakeFiles/ktg_core.dir/batch.cc.o.d"
+  "CMakeFiles/ktg_core.dir/brute_force.cc.o"
+  "CMakeFiles/ktg_core.dir/brute_force.cc.o.d"
+  "CMakeFiles/ktg_core.dir/candidates.cc.o"
+  "CMakeFiles/ktg_core.dir/candidates.cc.o.d"
+  "CMakeFiles/ktg_core.dir/conflict_graph_engine.cc.o"
+  "CMakeFiles/ktg_core.dir/conflict_graph_engine.cc.o.d"
+  "CMakeFiles/ktg_core.dir/diversity.cc.o"
+  "CMakeFiles/ktg_core.dir/diversity.cc.o.d"
+  "CMakeFiles/ktg_core.dir/dktg_greedy.cc.o"
+  "CMakeFiles/ktg_core.dir/dktg_greedy.cc.o.d"
+  "CMakeFiles/ktg_core.dir/explain.cc.o"
+  "CMakeFiles/ktg_core.dir/explain.cc.o.d"
+  "CMakeFiles/ktg_core.dir/greedy_heuristic.cc.o"
+  "CMakeFiles/ktg_core.dir/greedy_heuristic.cc.o.d"
+  "CMakeFiles/ktg_core.dir/ktg_engine.cc.o"
+  "CMakeFiles/ktg_core.dir/ktg_engine.cc.o.d"
+  "CMakeFiles/ktg_core.dir/paper_example.cc.o"
+  "CMakeFiles/ktg_core.dir/paper_example.cc.o.d"
+  "CMakeFiles/ktg_core.dir/query.cc.o"
+  "CMakeFiles/ktg_core.dir/query.cc.o.d"
+  "CMakeFiles/ktg_core.dir/tagq.cc.o"
+  "CMakeFiles/ktg_core.dir/tagq.cc.o.d"
+  "CMakeFiles/ktg_core.dir/tenuity_metrics.cc.o"
+  "CMakeFiles/ktg_core.dir/tenuity_metrics.cc.o.d"
+  "CMakeFiles/ktg_core.dir/topn.cc.o"
+  "CMakeFiles/ktg_core.dir/topn.cc.o.d"
+  "libktg_core.a"
+  "libktg_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ktg_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libktg_core.a"
+)

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ktg_datagen.dir/generators.cc.o"
+  "CMakeFiles/ktg_datagen.dir/generators.cc.o.d"
+  "CMakeFiles/ktg_datagen.dir/keyword_assigner.cc.o"
+  "CMakeFiles/ktg_datagen.dir/keyword_assigner.cc.o.d"
+  "CMakeFiles/ktg_datagen.dir/presets.cc.o"
+  "CMakeFiles/ktg_datagen.dir/presets.cc.o.d"
+  "CMakeFiles/ktg_datagen.dir/query_gen.cc.o"
+  "CMakeFiles/ktg_datagen.dir/query_gen.cc.o.d"
+  "libktg_datagen.a"
+  "libktg_datagen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ktg_datagen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

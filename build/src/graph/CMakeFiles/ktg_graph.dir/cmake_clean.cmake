@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ktg_graph.dir/bfs.cc.o"
+  "CMakeFiles/ktg_graph.dir/bfs.cc.o.d"
+  "CMakeFiles/ktg_graph.dir/graph.cc.o"
+  "CMakeFiles/ktg_graph.dir/graph.cc.o.d"
+  "CMakeFiles/ktg_graph.dir/graph_io.cc.o"
+  "CMakeFiles/ktg_graph.dir/graph_io.cc.o.d"
+  "CMakeFiles/ktg_graph.dir/stats.cc.o"
+  "CMakeFiles/ktg_graph.dir/stats.cc.o.d"
+  "libktg_graph.a"
+  "libktg_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ktg_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

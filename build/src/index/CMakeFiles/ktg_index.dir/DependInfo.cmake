@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/index/affected.cc" "src/index/CMakeFiles/ktg_index.dir/affected.cc.o" "gcc" "src/index/CMakeFiles/ktg_index.dir/affected.cc.o.d"
+  "/root/repo/src/index/checker_factory.cc" "src/index/CMakeFiles/ktg_index.dir/checker_factory.cc.o" "gcc" "src/index/CMakeFiles/ktg_index.dir/checker_factory.cc.o.d"
+  "/root/repo/src/index/khop_bitmap.cc" "src/index/CMakeFiles/ktg_index.dir/khop_bitmap.cc.o" "gcc" "src/index/CMakeFiles/ktg_index.dir/khop_bitmap.cc.o.d"
+  "/root/repo/src/index/nl_index.cc" "src/index/CMakeFiles/ktg_index.dir/nl_index.cc.o" "gcc" "src/index/CMakeFiles/ktg_index.dir/nl_index.cc.o.d"
+  "/root/repo/src/index/nlrnl_index.cc" "src/index/CMakeFiles/ktg_index.dir/nlrnl_index.cc.o" "gcc" "src/index/CMakeFiles/ktg_index.dir/nlrnl_index.cc.o.d"
+  "/root/repo/src/index/serialization.cc" "src/index/CMakeFiles/ktg_index.dir/serialization.cc.o" "gcc" "src/index/CMakeFiles/ktg_index.dir/serialization.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/graph/CMakeFiles/ktg_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ktg_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ktg_index.dir/affected.cc.o"
+  "CMakeFiles/ktg_index.dir/affected.cc.o.d"
+  "CMakeFiles/ktg_index.dir/checker_factory.cc.o"
+  "CMakeFiles/ktg_index.dir/checker_factory.cc.o.d"
+  "CMakeFiles/ktg_index.dir/khop_bitmap.cc.o"
+  "CMakeFiles/ktg_index.dir/khop_bitmap.cc.o.d"
+  "CMakeFiles/ktg_index.dir/nl_index.cc.o"
+  "CMakeFiles/ktg_index.dir/nl_index.cc.o.d"
+  "CMakeFiles/ktg_index.dir/nlrnl_index.cc.o"
+  "CMakeFiles/ktg_index.dir/nlrnl_index.cc.o.d"
+  "CMakeFiles/ktg_index.dir/serialization.cc.o"
+  "CMakeFiles/ktg_index.dir/serialization.cc.o.d"
+  "libktg_index.a"
+  "libktg_index.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ktg_index.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libktg_index.a"
+)

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/keywords/attributed_graph.cc" "src/keywords/CMakeFiles/ktg_keywords.dir/attributed_graph.cc.o" "gcc" "src/keywords/CMakeFiles/ktg_keywords.dir/attributed_graph.cc.o.d"
+  "/root/repo/src/keywords/inverted_index.cc" "src/keywords/CMakeFiles/ktg_keywords.dir/inverted_index.cc.o" "gcc" "src/keywords/CMakeFiles/ktg_keywords.dir/inverted_index.cc.o.d"
+  "/root/repo/src/keywords/vocabulary.cc" "src/keywords/CMakeFiles/ktg_keywords.dir/vocabulary.cc.o" "gcc" "src/keywords/CMakeFiles/ktg_keywords.dir/vocabulary.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/graph/CMakeFiles/ktg_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ktg_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ktg_keywords.dir/attributed_graph.cc.o"
+  "CMakeFiles/ktg_keywords.dir/attributed_graph.cc.o.d"
+  "CMakeFiles/ktg_keywords.dir/inverted_index.cc.o"
+  "CMakeFiles/ktg_keywords.dir/inverted_index.cc.o.d"
+  "CMakeFiles/ktg_keywords.dir/vocabulary.cc.o"
+  "CMakeFiles/ktg_keywords.dir/vocabulary.cc.o.d"
+  "libktg_keywords.a"
+  "libktg_keywords.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ktg_keywords.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ktg_util.dir/json_writer.cc.o"
+  "CMakeFiles/ktg_util.dir/json_writer.cc.o.d"
+  "CMakeFiles/ktg_util.dir/rng.cc.o"
+  "CMakeFiles/ktg_util.dir/rng.cc.o.d"
+  "CMakeFiles/ktg_util.dir/status.cc.o"
+  "CMakeFiles/ktg_util.dir/status.cc.o.d"
+  "CMakeFiles/ktg_util.dir/zipf.cc.o"
+  "CMakeFiles/ktg_util.dir/zipf.cc.o.d"
+  "libktg_util.a"
+  "libktg_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ktg_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

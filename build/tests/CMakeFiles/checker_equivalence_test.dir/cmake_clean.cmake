@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/checker_equivalence_test.dir/checker_equivalence_test.cc.o"
+  "CMakeFiles/checker_equivalence_test.dir/checker_equivalence_test.cc.o.d"
+  "checker_equivalence_test"
+  "checker_equivalence_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/checker_equivalence_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

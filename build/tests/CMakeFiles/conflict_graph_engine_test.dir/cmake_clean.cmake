@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/conflict_graph_engine_test.dir/conflict_graph_engine_test.cc.o"
+  "CMakeFiles/conflict_graph_engine_test.dir/conflict_graph_engine_test.cc.o.d"
+  "conflict_graph_engine_test"
+  "conflict_graph_engine_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/conflict_graph_engine_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

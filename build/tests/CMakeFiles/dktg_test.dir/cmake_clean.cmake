@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dktg_test.dir/dktg_test.cc.o"
+  "CMakeFiles/dktg_test.dir/dktg_test.cc.o.d"
+  "dktg_test"
+  "dktg_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dktg_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

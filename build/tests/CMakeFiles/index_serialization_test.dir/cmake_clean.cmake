@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/index_serialization_test.dir/index_serialization_test.cc.o"
+  "CMakeFiles/index_serialization_test.dir/index_serialization_test.cc.o.d"
+  "index_serialization_test"
+  "index_serialization_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/index_serialization_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/keywords_test.dir/keywords_test.cc.o"
+  "CMakeFiles/keywords_test.dir/keywords_test.cc.o.d"
+  "keywords_test"
+  "keywords_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/keywords_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/khop_bitmap_test.dir/khop_bitmap_test.cc.o"
+  "CMakeFiles/khop_bitmap_test.dir/khop_bitmap_test.cc.o.d"
+  "khop_bitmap_test"
+  "khop_bitmap_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/khop_bitmap_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ktg_engine_test.dir/ktg_engine_test.cc.o"
+  "CMakeFiles/ktg_engine_test.dir/ktg_engine_test.cc.o.d"
+  "ktg_engine_test"
+  "ktg_engine_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ktg_engine_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nl_index_test.dir/nl_index_test.cc.o"
+  "CMakeFiles/nl_index_test.dir/nl_index_test.cc.o.d"
+  "nl_index_test"
+  "nl_index_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nl_index_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

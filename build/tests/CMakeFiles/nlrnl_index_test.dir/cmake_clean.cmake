@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nlrnl_index_test.dir/nlrnl_index_test.cc.o"
+  "CMakeFiles/nlrnl_index_test.dir/nlrnl_index_test.cc.o.d"
+  "nlrnl_index_test"
+  "nlrnl_index_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nlrnl_index_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

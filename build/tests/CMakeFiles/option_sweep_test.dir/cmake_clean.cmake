@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/option_sweep_test.dir/option_sweep_test.cc.o"
+  "CMakeFiles/option_sweep_test.dir/option_sweep_test.cc.o.d"
+  "option_sweep_test"
+  "option_sweep_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/option_sweep_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tagq_test.dir/tagq_test.cc.o"
+  "CMakeFiles/tagq_test.dir/tagq_test.cc.o.d"
+  "tagq_test"
+  "tagq_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tagq_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

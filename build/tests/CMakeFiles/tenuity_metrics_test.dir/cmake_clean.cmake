@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tenuity_metrics_test.dir/tenuity_metrics_test.cc.o"
+  "CMakeFiles/tenuity_metrics_test.dir/tenuity_metrics_test.cc.o.d"
+  "tenuity_metrics_test"
+  "tenuity_metrics_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tenuity_metrics_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

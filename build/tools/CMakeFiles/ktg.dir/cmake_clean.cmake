@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ktg.dir/ktg_cli.cc.o"
+  "CMakeFiles/ktg.dir/ktg_cli.cc.o.d"
+  "ktg"
+  "ktg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ktg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
