@@ -132,7 +132,8 @@ void RunAblation() {
 }  // namespace
 }  // namespace ktg::bench
 
-int main() {
+int main(int argc, char** argv) {
+  ktg::bench::ConsumeThreadsFlag(&argc, argv);
   ktg::bench::RunAblation();
   return 0;
 }

@@ -93,7 +93,8 @@ void RunQualityStudy() {
 }  // namespace
 }  // namespace ktg::bench
 
-int main() {
+int main(int argc, char** argv) {
+  ktg::bench::ConsumeThreadsFlag(&argc, argv);
   ktg::bench::RunQualityStudy();
   return 0;
 }

@@ -45,7 +45,8 @@ void RunFigure() {
 }  // namespace
 }  // namespace ktg::bench
 
-int main() {
+int main(int argc, char** argv) {
+  ktg::bench::ConsumeThreadsFlag(&argc, argv);
   ktg::bench::RunFigure();
   return 0;
 }

@@ -80,7 +80,8 @@ void RunPartB() {
 }  // namespace
 }  // namespace ktg::bench
 
-int main() {
+int main(int argc, char** argv) {
+  ktg::bench::ConsumeThreadsFlag(&argc, argv);
   ktg::bench::RunPartA();
   ktg::bench::RunPartB();
   return 0;

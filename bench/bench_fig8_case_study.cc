@@ -168,7 +168,8 @@ void RunCaseStudy() {
 }  // namespace
 }  // namespace ktg::bench
 
-int main() {
+int main(int argc, char** argv) {
+  ktg::bench::ConsumeThreadsFlag(&argc, argv);
   ktg::bench::RunCaseStudy();
   return 0;
 }

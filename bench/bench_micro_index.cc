@@ -53,26 +53,34 @@ void BM_DistanceCheck(benchmark::State& state) {
                  std::to_string(k));
 }
 
+// The build benchmarks honor --threads / KTG_BENCH_THREADS so the parallel
+// construction speedup is measurable directly (compare --threads 1 vs N).
 void BM_NlIndexBuild(benchmark::State& state) {
   BenchDataset& ds = BenchDataset::GetScaled("brightkite", 0.5);
+  NlIndexOptions options;
+  options.num_threads = BenchThreads();
   for (auto _ : state) {
-    NlIndex index(ds.graph().graph());
+    NlIndex index(ds.graph().graph(), options);
     benchmark::DoNotOptimize(index.MemoryBytes());
   }
 }
 
 void BM_NlrnlIndexBuild(benchmark::State& state) {
   BenchDataset& ds = BenchDataset::GetScaled("brightkite", 0.5);
+  NlrnlIndexOptions options;
+  options.num_threads = BenchThreads();
   for (auto _ : state) {
-    NlrnlIndex index(ds.graph().graph());
+    NlrnlIndex index(ds.graph().graph(), options);
     benchmark::DoNotOptimize(index.MemoryBytes());
   }
 }
 
 void BM_BitmapBuild(benchmark::State& state) {
   BenchDataset& ds = BenchDataset::GetScaled("brightkite", 0.5);
+  KHopBitmapOptions options;
+  options.num_threads = BenchThreads();
   for (auto _ : state) {
-    KHopBitmapChecker index(ds.graph().graph(), kDefaultK);
+    KHopBitmapChecker index(ds.graph().graph(), kDefaultK, options);
     benchmark::DoNotOptimize(index.MemoryBytes());
   }
 }
@@ -90,4 +98,13 @@ BENCHMARK(ktg::bench::BM_NlIndexBuild)->Unit(benchmark::kMillisecond);
 BENCHMARK(ktg::bench::BM_NlrnlIndexBuild)->Unit(benchmark::kMillisecond);
 BENCHMARK(ktg::bench::BM_BitmapBuild)->Unit(benchmark::kMillisecond);
 
-BENCHMARK_MAIN();
+// Expanded BENCHMARK_MAIN so --threads can be consumed before
+// google-benchmark sees (and rejects) unknown flags.
+int main(int argc, char** argv) {
+  ktg::bench::ConsumeThreadsFlag(&argc, argv);
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -121,7 +121,8 @@ void RunStudy() {
 }  // namespace
 }  // namespace ktg::bench
 
-int main() {
+int main(int argc, char** argv) {
+  ktg::bench::ConsumeThreadsFlag(&argc, argv);
   ktg::bench::RunStudy();
   return 0;
 }

@@ -2,6 +2,7 @@
 
 #include "bench/common.h"
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <functional>
@@ -33,6 +34,40 @@ uint32_t BenchQueries() {
     return kDefaultQueries;
   }();
   return n;
+}
+
+namespace {
+// -1 = no --threads flag seen; ConsumeThreadsFlag runs before any
+// BenchThreads() call, so a plain int (no atomics) is enough.
+int g_threads_override = -1;
+}  // namespace
+
+uint32_t BenchThreads() {
+  if (g_threads_override >= 0) return static_cast<uint32_t>(g_threads_override);
+  static const uint32_t n = [] {
+    const char* env = std::getenv("KTG_BENCH_THREADS");
+    if (env != nullptr) {
+      const int v = std::atoi(env);
+      if (v >= 0) return static_cast<uint32_t>(v);
+    }
+    return 1u;  // serial: reproduce the paper's single-thread latencies
+  }();
+  return n;
+}
+
+void ConsumeThreadsFlag(int* argc, char** argv) {
+  int out = 1;
+  for (int i = 1; i < *argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--threads" && i + 1 < *argc) {
+      g_threads_override = std::max(0, std::atoi(argv[++i]));
+    } else if (arg.rfind("--threads=", 0) == 0) {
+      g_threads_override = std::max(0, std::atoi(arg.c_str() + 10));
+    } else {
+      argv[out++] = argv[i];
+    }
+  }
+  *argc = out;
 }
 
 BenchDataset::BenchDataset(std::string name, AttributedGraph graph)
@@ -70,7 +105,7 @@ DistanceChecker& BenchDataset::Checker(CheckerKind kind, HopDistance k) {
     std::fprintf(stderr, "[bench] building %s checker for %s...\n",
                  CheckerKindName(kind), name_.c_str());
     Stopwatch watch;
-    auto checker = MakeChecker(kind, graph_.graph(), k);
+    auto checker = MakeChecker(kind, graph_.graph(), k, BenchThreads());
     build_seconds_[key] = watch.ElapsedSeconds();
     it = checkers_.emplace(key, std::move(checker)).first;
   }
@@ -128,6 +163,7 @@ Measurement RunBatch(BenchDataset& dataset, const AlgoConfig& config,
   for (const auto& query : queries) {
     EngineOptions opts = config.engine;
     opts.sort = config.sort;
+    opts.num_threads = BenchThreads();
     SearchStats stats;
     double best = 0.0;
     bool empty = false;

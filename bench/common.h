@@ -41,6 +41,19 @@ double BenchScale();
 /// Number of queries per measurement (env KTG_BENCH_QUERIES).
 uint32_t BenchQueries();
 
+/// Worker threads for index builds and the engine's root-parallel search
+/// (0 = hardware concurrency). Default 1: the figure benches reproduce the
+/// paper's serial latencies unless parallelism is asked for explicitly.
+/// Set with `--threads T` on any bench binary or env KTG_BENCH_THREADS
+/// (the flag wins).
+uint32_t BenchThreads();
+
+/// Consumes `--threads T` (and `--threads=T`) from argv, updating the
+/// BenchThreads() override and shifting the remaining arguments down. Call
+/// first thing in main(); leaves unrelated flags (e.g. google-benchmark's)
+/// untouched.
+void ConsumeThreadsFlag(int* argc, char** argv);
+
 /// A cached dataset: attributed graph + inverted index + lazily built
 /// distance checkers shared by every configuration in the binary.
 class BenchDataset {

@@ -22,6 +22,7 @@
 #include "util/json_writer.h"
 #include "util/percentiles.h"
 #include "util/summary_stats.h"
+#include "util/thread_pool.h"
 #include "util/timer.h"
 
 namespace ktg::cli {
@@ -54,9 +55,18 @@ Result<AttributedGraph> LoadInput(const Args& args, bool attrs_required) {
   return LoadAttributedGraph(std::move(graph).value(), attrs);
 }
 
+// Parses --threads: 0 means "use hardware concurrency", the per-knob
+// convention of the library (negative values are clamped to 0).
+Result<uint32_t> ParseThreads(const Args& args, int64_t default_value) {
+  const auto threads = args.GetInt("threads", default_value);
+  if (!threads.ok()) return threads.status();
+  return static_cast<uint32_t>(std::max<int64_t>(0, threads.value()));
+}
+
 // Builds or loads the distance checker requested by --index / --checker.
 Result<std::unique_ptr<DistanceChecker>> MakeQueryChecker(
-    const Args& args, const Graph& graph, HopDistance k) {
+    const Args& args, const Graph& graph, HopDistance k,
+    uint32_t num_threads) {
   const std::string index_path = args.GetString("index");
   if (!index_path.empty()) {
     // Try both kinds; the file header knows which one it is.
@@ -74,7 +84,7 @@ Result<std::unique_ptr<DistanceChecker>> MakeQueryChecker(
   }
   const auto kind = ParseCheckerKind(args.GetString("checker", "nlrnl"));
   if (!kind.ok()) return kind.status();
-  return MakeChecker(kind.value(), graph, k);
+  return MakeChecker(kind.value(), graph, k, num_threads);
 }
 
 Result<KtgQuery> BuildQuery(const Args& args, const AttributedGraph& graph) {
@@ -256,16 +266,22 @@ Status CmdBuildIndex(const Args& args) {
   const std::string out = args.GetString("out");
   if (out.empty()) return Status::InvalidArgument("--out <file> is required");
   const std::string kind = args.GetString("kind", "nlrnl");
+  const auto threads = ParseThreads(args, /*default_value=*/0);
+  if (!threads.ok()) return threads.status();
 
   Stopwatch watch;
   if (kind == "nl") {
-    NlIndex index(graph->graph());
+    NlIndexOptions options;
+    options.num_threads = threads.value();
+    NlIndex index(graph->graph(), options);
     KTG_RETURN_IF_ERROR(SaveNlIndex(index, out));
     std::printf("built NL index in %.2fs (%.2f MB) -> %s\n",
                 watch.ElapsedSeconds(),
                 index.MemoryBytes() / (1024.0 * 1024.0), out.c_str());
   } else if (kind == "nlrnl") {
-    NlrnlIndex index(graph->graph());
+    NlrnlIndexOptions options;
+    options.num_threads = threads.value();
+    NlrnlIndex index(graph->graph(), options);
     KTG_RETURN_IF_ERROR(SaveNlrnlIndex(index, out));
     std::printf("built NLRNL index in %.2fs (%.2f MB) -> %s\n",
                 watch.ElapsedSeconds(),
@@ -281,7 +297,10 @@ Status CmdQuery(const Args& args) {
   if (!graph.ok()) return graph.status();
   auto query = BuildQuery(args, *graph);
   if (!query.ok()) return query.status();
-  auto checker = MakeQueryChecker(args, graph->graph(), query->tenuity);
+  const auto threads = ParseThreads(args, /*default_value=*/1);
+  if (!threads.ok()) return threads.status();
+  auto checker =
+      MakeQueryChecker(args, graph->graph(), query->tenuity, threads.value());
   if (!checker.ok()) return checker.status();
   const InvertedIndex index(*graph);
 
@@ -327,6 +346,7 @@ Status CmdQuery(const Args& args) {
 
   EngineOptions options;
   options.max_nodes = static_cast<uint64_t>(max_nodes.value());
+  options.num_threads = threads.value();
   if (algo == "vkc-deg") {
     options.sort = SortStrategy::kVkcDeg;
   } else if (algo == "vkc") {
@@ -385,13 +405,13 @@ Status CmdWorkload(const Args& args) {
 
   const auto kind = ParseCheckerKind(args.GetString("checker", "nlrnl"));
   if (!kind.ok()) return kind.status();
-  const auto threads = args.GetInt("threads", 1);
+  const auto threads = ParseThreads(args, /*default_value=*/1);
   if (!threads.ok()) return threads.status();
   std::fprintf(stderr, "building %s checker(s) over %u vertices...\n",
                CheckerKindName(kind.value()), graph.num_vertices());
 
   BatchOptions bopts;
-  bopts.threads = static_cast<uint32_t>(std::max<int64_t>(1, threads.value()));
+  bopts.threads = threads.value();
   const auto batch = RunKtgBatch(
       graph, index,
       [&] { return MakeChecker(kind.value(), graph.graph(), wopts.tenuity); },
@@ -410,7 +430,8 @@ Status CmdWorkload(const Args& args) {
       "latency ms: mean=%.3f min=%.3f p50=%.3f p90=%.3f p99=%.3f max=%.3f\n"
       "avg best coverage %.3f; %u empty results; %llu BB nodes total\n",
       preset.c_str(), graph.num_vertices(),
-      static_cast<unsigned long long>(lat.count), bopts.threads, lat.mean,
+      static_cast<unsigned long long>(lat.count),
+      ThreadPool::Resolve(bopts.threads), lat.mean,
       lat.min, lat.p50, lat.p90, lat.p99, lat.max, coverage.mean(), empty,
       static_cast<unsigned long long>(batch->totals.nodes_expanded));
   return Status::OK();
@@ -428,18 +449,24 @@ std::string UsageText() {
       "  stats        structural statistics of an edge list\n"
       "               --edges F [--attrs F]\n"
       "  build-index  build and persist a distance index\n"
-      "               --edges F --kind nl|nlrnl --out F\n"
+      "               --edges F --kind nl|nlrnl --out F [--threads T]\n"
       "  query        run one query\n"
       "               --edges F --attrs F --keywords a,b,c [--p P] [--k K]\n"
       "               [--n N] [--algo vkc-deg|vkc|qkc|greedy|dktg|tagq]\n"
       "               [--index F | --checker bfs|nl|nlrnl|bitmap]\n"
       "               [--authors v1,v2] [--gamma G] [--max-nodes M] [--json]\n"
-      "               [--explain]\n"
+      "               [--explain] [--threads T]\n"
       "  workload     latency summary over a generated workload\n"
       "               --preset NAME --scale S [--queries Q] [--p P] [--k K]\n"
       "               [--n N] [--wq W] [--checker C] [--seed S] [--banded B]\n"
       "               [--threads T]\n"
-      "  help         print this text\n";
+      "  help         print this text\n"
+      "\n"
+      "--threads semantics: 0 = all hardware threads. For build-index it\n"
+      "parallelizes construction (default 0). For query it parallelizes\n"
+      "index build and the search itself (default 1 = fully serial,\n"
+      "bit-for-bit reproducible). For workload it runs whole queries on\n"
+      "parallel workers (default 1).\n";
 }
 
 int RunMain(const std::vector<std::string>& argv) {

@@ -3,7 +3,8 @@
 #include "core/batch.h"
 
 #include <atomic>
-#include <thread>
+
+#include "util/thread_pool.h"
 
 namespace ktg {
 
@@ -15,9 +16,6 @@ Result<BatchResult> RunKtgBatch(const AttributedGraph& graph,
   if (!checker_factory) {
     return Status::InvalidArgument("checker_factory must be callable");
   }
-  if (options.threads == 0) {
-    return Status::InvalidArgument("threads must be >= 1");
-  }
   // Validate everything up front so no worker can fail mid-flight.
   for (const auto& q : queries) {
     KTG_RETURN_IF_ERROR(ValidateQuery(q, graph));
@@ -28,7 +26,7 @@ Result<BatchResult> RunKtgBatch(const AttributedGraph& graph,
   if (queries.empty()) return batch;
 
   const uint32_t workers =
-      std::min<uint32_t>(options.threads,
+      std::min<uint32_t>(ThreadPool::Resolve(options.threads),
                          static_cast<uint32_t>(queries.size()));
 
   std::atomic<size_t> next{0};
@@ -50,7 +48,8 @@ Result<BatchResult> RunKtgBatch(const AttributedGraph& graph,
     worker_loop(*checker);
   } else {
     // Build every checker serially first (factories may share caches),
-    // then run the workers.
+    // then run the workers on a pool sized so each submitted task owns a
+    // dedicated thread (and therefore a dedicated checker).
     std::vector<std::unique_ptr<DistanceChecker>> checkers;
     checkers.reserve(workers);
     for (uint32_t w = 0; w < workers; ++w) {
@@ -58,12 +57,11 @@ Result<BatchResult> RunKtgBatch(const AttributedGraph& graph,
       KTG_CHECK_MSG(checkers.back() != nullptr,
                     "checker_factory returned null");
     }
-    std::vector<std::thread> threads;
-    threads.reserve(workers);
+    ThreadPool pool(workers);
     for (uint32_t w = 0; w < workers; ++w) {
-      threads.emplace_back([&, w] { worker_loop(*checkers[w]); });
+      pool.Submit([&, w] { worker_loop(*checkers[w]); });
     }
-    for (auto& t : threads) t.join();
+    pool.Wait();
   }
 
   std::vector<double> latencies;

@@ -33,7 +33,10 @@ using CheckerFactory = std::function<std::unique_ptr<DistanceChecker>()>;
 /// Knobs for batch execution.
 struct BatchOptions {
   EngineOptions engine;
-  /// Worker threads (1 = run inline on the calling thread).
+  /// Worker threads across queries (1 = run inline on the calling thread,
+  /// 0 = hardware concurrency). Each worker owns a private checker from the
+  /// factory; this is independent of EngineOptions::num_threads, which
+  /// parallelizes within a single query.
   uint32_t threads = 1;
 };
 

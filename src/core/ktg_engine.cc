@@ -4,8 +4,10 @@
 
 #include <algorithm>
 #include <limits>
+#include <mutex>
 
 #include "util/sorted_vector.h"
+#include "util/thread_pool.h"
 #include "util/timer.h"
 
 namespace ktg {
@@ -92,28 +94,64 @@ int KtgEngine::OptimisticGain(const std::vector<Candidate>& cands, size_t from,
   return gain;
 }
 
+bool KtgEngine::CollectorFull() const {
+  return shared_topn_ != nullptr ? shared_topn_->full() : collector_.full();
+}
+
+int KtgEngine::PruneThreshold() const {
+  return shared_topn_ != nullptr ? shared_topn_->threshold()
+                                 : collector_.threshold();
+}
+
+bool KtgEngine::StopRequested() {
+  if (stop_) return true;
+  if (shared_stop_ != nullptr &&
+      shared_stop_->load(std::memory_order_relaxed)) {
+    stop_ = true;
+    return true;
+  }
+  return false;
+}
+
+void KtgEngine::RequestStop() {
+  stop_ = true;
+  last_run_complete_ = false;
+  if (shared_stop_ != nullptr) {
+    shared_stop_->store(true, std::memory_order_relaxed);
+  }
+}
+
 void KtgEngine::OfferCurrent(CoverMask covered) {
   ++stats_.groups_completed;
   Group g;
   g.members = members_;
   std::sort(g.members.begin(), g.members.end());
   g.mask = covered;
-  collector_.Offer(std::move(g));
-  if (options_.stop_at_count > 0 && collector_.full() &&
-      collector_.threshold() >= options_.stop_at_count) {
-    stop_ = true;
-    last_run_complete_ = false;
+  if (shared_topn_ != nullptr) {
+    shared_topn_->Offer(std::move(g));
+  } else {
+    collector_.Offer(std::move(g));
+  }
+  if (options_.stop_at_count > 0 && CollectorFull() &&
+      PruneThreshold() >= options_.stop_at_count) {
+    RequestStop();
   }
 }
 
 void KtgEngine::Search(const std::vector<Candidate>& sr, CoverMask covered,
                        CoverMask sr_union) {
-  if (stop_) return;
+  if (StopRequested()) return;
   ++stats_.nodes_expanded;
-  if (options_.max_nodes != 0 && stats_.nodes_expanded > options_.max_nodes) {
-    stop_ = true;
-    last_run_complete_ = false;
-    return;
+  if (options_.max_nodes != 0) {
+    // Parallel runs charge the global budget; serial runs the local count.
+    const uint64_t expanded =
+        shared_nodes_ == nullptr
+            ? stats_.nodes_expanded
+            : shared_nodes_->fetch_add(1, std::memory_order_relaxed) + 1;
+    if (expanded > options_.max_nodes) {
+      RequestStop();
+      return;
+    }
   }
 
   if (members_.size() == p_) {
@@ -132,29 +170,29 @@ void KtgEngine::Search(const std::vector<Candidate>& sr, CoverMask covered,
   const int ceiling = options_.ceiling_prune
                           ? PopCount(covered | sr_union)
                           : std::numeric_limits<int>::max();
-  if (options_.keyword_pruning && collector_.full()) {
+  if (options_.keyword_pruning && CollectorFull()) {
     const int additive = covered_count + OptimisticGain(sr, 0, need);
-    if (std::min(additive, ceiling) <= collector_.threshold()) {
+    if (std::min(additive, ceiling) <= PruneThreshold()) {
       ++stats_.keyword_prunes;
       return;
     }
   }
 
   for (size_t i = 0; i + need <= sr.size(); ++i) {
-    if (stop_) return;
+    if (StopRequested()) return;
     const Candidate& v = sr[i];
 
     // Parent-side bound for this child (cheap for VKC orders; skipped for
     // the static QKC order where it would cost a scan per child).
-    if (options_.keyword_pruning && collector_.full()) {
-      if (ceiling <= collector_.threshold()) {
+    if (options_.keyword_pruning && CollectorFull()) {
+      if (ceiling <= PruneThreshold()) {
         ++stats_.keyword_prunes;
         return;  // no child can beat the N-th result
       }
       if (options_.sort != SortStrategy::kQkc) {
         const int bound =
             covered_count + v.vkc + OptimisticGain(sr, i + 1, need - 1);
-        if (bound <= collector_.threshold()) {
+        if (bound <= PruneThreshold()) {
           ++stats_.keyword_prunes;
           // sr is vkc-descending: later children only bound lower.
           return;
@@ -211,12 +249,121 @@ void KtgEngine::Search(const std::vector<Candidate>& sr, CoverMask covered,
   }
 }
 
+uint32_t KtgEngine::EffectiveWorkers(size_t num_candidates) const {
+  if (options_.num_threads == 1) return 1;
+  if (!checker_.concurrent_read_safe()) return 1;
+  if (num_candidates < p_) return 1;  // no feasible group at all
+  const size_t num_roots = num_candidates - p_ + 1;
+  const uint32_t requested = ThreadPool::Resolve(options_.num_threads);
+  return static_cast<uint32_t>(
+      std::max<size_t>(1, std::min<size_t>(requested, num_roots)));
+}
+
+bool KtgEngine::SearchRoot(const std::vector<Candidate>& sr, size_t i,
+                           CoverMask sr_union) {
+  // One iteration of the Search() first-level loop: members_ is empty,
+  // covered == 0, need == p_. Kept in lockstep with the serial loop body so
+  // the explored subtree is identical (the recursive Search() call below
+  // accounts the subtree's node, exactly as the serial loop does).
+  const uint32_t need = p_;
+  const Candidate& v = sr[i];
+  const int ceiling = options_.ceiling_prune ? PopCount(sr_union)
+                                             : std::numeric_limits<int>::max();
+  if (options_.keyword_pruning && CollectorFull()) {
+    const int threshold = PruneThreshold();
+    if (ceiling <= threshold) {
+      ++stats_.keyword_prunes;
+      return false;  // no root can beat the N-th result anymore
+    }
+    if (options_.sort != SortStrategy::kQkc) {
+      const int bound = v.vkc + OptimisticGain(sr, i + 1, need - 1);
+      if (bound <= threshold) {
+        ++stats_.keyword_prunes;
+        return false;  // sr is vkc-descending: later roots bound lower
+      }
+    }
+  }
+
+  // (The lazy-mode feasibility check is vacuous here: S_I is empty.)
+  const CoverMask child_covered = v.mask;
+  const std::vector<VertexId>* ball = nullptr;
+  if (options_.eager_kline_filtering && options_.bulk_filtering) {
+    ball = checker_.BallWithinK(v.vertex, k_);
+  }
+  std::vector<Candidate> child;
+  child.reserve(sr.size() - i - 1);
+  CoverMask child_union = 0;
+  for (size_t j = i + 1; j < sr.size(); ++j) {
+    Candidate c = sr[j];
+    if (options_.eager_kline_filtering) {
+      const bool conflict =
+          ball != nullptr ? SortedContains(*ball, c.vertex)
+                          : !checker_.IsFartherThan(c.vertex, v.vertex, k_);
+      if (conflict) {
+        ++stats_.kline_filtered;
+        continue;
+      }
+    }
+    c.vkc = PopCount(NovelBits(c.mask, child_covered));
+    child_union |= c.mask;
+    child.push_back(c);
+  }
+  if (options_.sort != SortStrategy::kQkc) SortCandidates(child);
+
+  members_.push_back(v.vertex);
+  Search(child, child_covered, child_union);
+  members_.pop_back();
+  return true;
+}
+
+std::vector<Group> KtgEngine::ParallelRootSearch(
+    const std::vector<Candidate>& sr, CoverMask sr_union, uint32_t workers) {
+  SharedTopN shared(top_n_);
+  const size_t num_roots = sr.size() - p_ + 1;
+  std::atomic<size_t> next_root{0};
+  std::atomic<uint64_t> nodes{1};  // the (virtual) root node itself
+  std::atomic<bool> stop{false};
+
+  std::mutex agg_mu;
+  SearchStats agg;
+  bool complete = true;
+
+  auto worker_fn = [&] {
+    KtgEngine clone(graph_, index_, checker_, options_);
+    clone.p_ = p_;
+    clone.k_ = k_;
+    clone.top_n_ = top_n_;
+    clone.shared_topn_ = &shared;
+    clone.shared_nodes_ = &nodes;
+    clone.shared_stop_ = &stop;
+    while (!clone.StopRequested()) {
+      const size_t i = next_root.fetch_add(1, std::memory_order_relaxed);
+      if (i >= num_roots) break;
+      if (!clone.SearchRoot(sr, i, sr_union)) break;
+    }
+    std::lock_guard<std::mutex> lock(agg_mu);
+    agg += clone.stats_;
+    complete = complete && clone.last_run_complete_;
+  };
+
+  ThreadPool pool(workers);
+  for (uint32_t w = 0; w < workers; ++w) pool.Submit(worker_fn);
+  pool.Wait();
+
+  agg.elapsed_ms = 0.0;  // wall-clock is measured by Run(), not summed
+  stats_ += agg;
+  ++stats_.nodes_expanded;  // the virtual root accounted in `nodes`
+  if (!complete) last_run_complete_ = false;
+  return shared.Take();
+}
+
 Result<KtgResult> KtgEngine::Run(const KtgQuery& query) {
   KTG_RETURN_IF_ERROR(ValidateQuery(query, graph_));
 
   Stopwatch watch;
   p_ = query.group_size;
   k_ = query.tenuity;
+  top_n_ = query.top_n;
   collector_ = TopNCollector(query.top_n);
   members_.clear();
   stats_ = SearchStats{};
@@ -234,10 +381,15 @@ Result<KtgResult> KtgEngine::Run(const KtgQuery& query) {
 
   CoverMask sr_union = 0;
   for (const Candidate& c : sr) sr_union |= c.mask;
-  Search(sr, 0, sr_union);
 
   KtgResult result;
-  result.groups = collector_.Take();
+  const uint32_t workers = EffectiveWorkers(sr.size());
+  if (workers <= 1) {
+    Search(sr, 0, sr_union);
+    result.groups = collector_.Take();
+  } else {
+    result.groups = ParallelRootSearch(sr, sr_union, workers);
+  }
   result.query_keyword_count = query.num_keywords();
   stats_.distance_checks = checker_.num_checks() - checks_before;
   stats_.elapsed_ms = watch.ElapsedMillis();

@@ -21,6 +21,7 @@
 #ifndef KTG_CORE_KTG_ENGINE_H_
 #define KTG_CORE_KTG_ENGINE_H_
 
+#include <atomic>
 #include <vector>
 
 #include "core/candidates.h"
@@ -36,8 +37,13 @@ namespace ktg {
 
 /// Exact KTG query processor.
 ///
-/// Stateful per-run scratch; not thread-safe. The graph, inverted index and
-/// checker must outlive the engine.
+/// Stateful per-run scratch; a single engine instance is not thread-safe.
+/// The graph, inverted index and checker must outlive the engine. When
+/// EngineOptions::num_threads > 1 and the checker is concurrent-read-safe,
+/// Run() splits the first level of the search tree across that many worker
+/// threads, each driving a private engine clone whose subtree results feed
+/// a shared top-N; the shared N-th score (a relaxed atomic snapshot) is the
+/// pruning bound, so every worker benefits from every other's results.
 class KtgEngine {
  public:
   KtgEngine(const AttributedGraph& graph, const InvertedIndex& index,
@@ -65,6 +71,27 @@ class KtgEngine {
                      uint32_t need) const;
   void OfferCurrent(CoverMask covered);
 
+  // --- root-parallel machinery -------------------------------------------
+  // Worker count Run() will actually use for this query (1 unless
+  // num_threads, the checker, and the candidate count all allow more).
+  uint32_t EffectiveWorkers(size_t num_candidates) const;
+  // Runs the first tree level across `workers` threads; returns the final
+  // ordered groups (the parallel counterpart of collector_.Take()).
+  std::vector<Group> ParallelRootSearch(const std::vector<Candidate>& sr,
+                                        CoverMask sr_union, uint32_t workers);
+  // One first-level subtree: selects sr[i] as the sole member and runs the
+  // serial search below it. Returns false when the shared bound proves no
+  // later root can contribute (callers stop claiming roots).
+  bool SearchRoot(const std::vector<Candidate>& sr, size_t i,
+                  CoverMask sr_union);
+  // Shared-state indirection: these fold to the plain serial members when
+  // the pointers are null (the serial path), and to the shared structures
+  // on worker clones.
+  bool CollectorFull() const;
+  int PruneThreshold() const;
+  bool StopRequested();
+  void RequestStop();
+
   const AttributedGraph& graph_;
   const InvertedIndex& index_;
   DistanceChecker& checker_;
@@ -73,11 +100,18 @@ class KtgEngine {
   // Per-run state.
   uint32_t p_ = 0;
   HopDistance k_ = 0;
+  uint32_t top_n_ = 1;
   TopNCollector collector_{1};
   std::vector<VertexId> members_;
   SearchStats stats_;
   bool stop_ = false;
   bool last_run_complete_ = true;
+
+  // Set only on the per-worker clones of a parallel run; null on the
+  // serial path and on the coordinating engine itself.
+  SharedTopN* shared_topn_ = nullptr;
+  std::atomic<uint64_t>* shared_nodes_ = nullptr;
+  std::atomic<bool>* shared_stop_ = nullptr;
 };
 
 /// Convenience wrapper: builds a transient engine and runs one query.

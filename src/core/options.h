@@ -61,8 +61,21 @@ struct EngineOptions {
   /// "descending" reading as well.
   bool degree_ascending = true;
 
+  /// Worker threads for the branch-and-bound search (0 = hardware
+  /// concurrency). With 1 (the default) the search is the serial engine,
+  /// bit-for-bit — including tie-breaks among equal-coverage groups. With
+  /// more, the first level of the search tree is split across workers that
+  /// share a common top-N and pruning bound; results are still the exact
+  /// top-N coverage multiset, but which members represent a tied coverage
+  /// value can differ from the serial order (see docs/architecture.md).
+  /// Requires a checker whose concurrent_read_safe() is true (NLRNL,
+  /// bitmap, NL without memoization); otherwise the engine silently runs
+  /// serially.
+  uint32_t num_threads = 1;
+
   /// Stop the search after this many branch-and-bound nodes (0 = unlimited).
-  /// When hit, the result is marked incomplete.
+  /// When hit, the result is marked incomplete. The budget is global across
+  /// the parallel workers.
   uint64_t max_nodes = 0;
 
   /// When > 0: stop as soon as the collector is full and every held group

@@ -10,7 +10,9 @@
 #ifndef KTG_CORE_TOPN_H_
 #define KTG_CORE_TOPN_H_
 
+#include <atomic>
 #include <cstdint>
+#include <mutex>
 #include <vector>
 
 #include "core/query.h"
@@ -48,6 +50,45 @@ class TopNCollector {
   // Stored with insertion sequence numbers for stable tie ordering.
   std::vector<std::pair<uint64_t, Group>> groups_;
   uint64_t next_seq_ = 0;
+};
+
+/// Thread-safe top-N used by the root-parallel engine: a mutex-guarded
+/// TopNCollector plus a lock-free snapshot of the pruning threshold, so the
+/// Theorem-2 bound can be consulted on every tree node without taking the
+/// lock. The snapshot may lag the true threshold by a moment, which only
+/// weakens pruning — never correctness — because the threshold is monotone
+/// non-decreasing over a run.
+class SharedTopN {
+ public:
+  explicit SharedTopN(uint32_t n) : collector_(n) {}
+
+  /// Offers a feasible group (serialized); returns true when admitted.
+  bool Offer(Group group) {
+    std::lock_guard<std::mutex> lock(mu_);
+    const bool admitted = collector_.Offer(std::move(group));
+    threshold_.store(collector_.threshold(), std::memory_order_relaxed);
+    return admitted;
+  }
+
+  /// Relaxed snapshot of TopNCollector::threshold(): -1 until N groups are
+  /// held, then the N-th coverage count.
+  int threshold() const { return threshold_.load(std::memory_order_relaxed); }
+
+  /// True once N groups are held (per the snapshot; real group coverage is
+  /// never negative, so threshold > -1 iff the collector is full).
+  bool full() const { return threshold() > -1; }
+
+  /// Finalizes under the lock; same ordering contract as TopNCollector.
+  std::vector<Group> Take() {
+    std::lock_guard<std::mutex> lock(mu_);
+    threshold_.store(-1, std::memory_order_relaxed);
+    return collector_.Take();
+  }
+
+ private:
+  std::mutex mu_;
+  TopNCollector collector_;
+  std::atomic<int> threshold_{-1};
 };
 
 }  // namespace ktg

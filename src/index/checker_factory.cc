@@ -39,17 +39,26 @@ const char* CheckerKindName(CheckerKind kind) {
 }
 
 std::unique_ptr<DistanceChecker> MakeChecker(CheckerKind kind,
-                                             const Graph& graph,
-                                             HopDistance k) {
+                                             const Graph& graph, HopDistance k,
+                                             uint32_t num_threads) {
   switch (kind) {
     case CheckerKind::kBfs:
       return std::make_unique<BfsChecker>(graph);
-    case CheckerKind::kNl:
-      return std::make_unique<NlIndex>(graph);
-    case CheckerKind::kNlrnl:
-      return std::make_unique<NlrnlIndex>(graph);
-    case CheckerKind::kKHopBitmap:
-      return std::make_unique<KHopBitmapChecker>(graph, k);
+    case CheckerKind::kNl: {
+      NlIndexOptions options;
+      options.num_threads = num_threads;
+      return std::make_unique<NlIndex>(graph, options);
+    }
+    case CheckerKind::kNlrnl: {
+      NlrnlIndexOptions options;
+      options.num_threads = num_threads;
+      return std::make_unique<NlrnlIndex>(graph, options);
+    }
+    case CheckerKind::kKHopBitmap: {
+      KHopBitmapOptions options;
+      options.num_threads = num_threads;
+      return std::make_unique<KHopBitmapChecker>(graph, k, options);
+    }
   }
   return nullptr;
 }

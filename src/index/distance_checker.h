@@ -12,6 +12,7 @@
 #ifndef KTG_INDEX_DISTANCE_CHECKER_H_
 #define KTG_INDEX_DISTANCE_CHECKER_H_
 
+#include <atomic>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -22,8 +23,11 @@ namespace ktg {
 
 /// Answers k-line queries over a fixed social graph.
 ///
-/// Implementations keep internal scratch; they are stateful and not
-/// thread-safe. Create one checker per worker thread.
+/// Implementations may keep internal scratch; by default they are stateful
+/// and not thread-safe — create one checker per worker thread. The purely
+/// read-only implementations advertise concurrent_read_safe() so the
+/// root-parallel engine can share a single instance across its workers
+/// (the check counter is a relaxed atomic, safe either way).
 class DistanceChecker {
  public:
   virtual ~DistanceChecker() = default;
@@ -32,9 +36,16 @@ class DistanceChecker {
   /// `k` (Definition 1/2: "not a k-line"). A vertex is at distance 0 from
   /// itself; vertices in different components are infinitely far apart.
   bool IsFartherThan(VertexId u, VertexId v, HopDistance k) {
-    ++num_checks_;
+    num_checks_.fetch_add(1, std::memory_order_relaxed);
     return IsFartherThanImpl(u, v, k);
   }
+
+  /// True when IsFartherThan may be invoked from multiple threads
+  /// concurrently with no external synchronization. Only implementations
+  /// whose check path never mutates index state qualify: NLRNL, the k-hop
+  /// bitmap, and NL with memoization disabled. BFS (shared traversal
+  /// scratch) and memoizing NL stay single-threaded.
+  virtual bool concurrent_read_safe() const { return false; }
 
   /// Short implementation name used in benchmark tables ("BFS", "NL", ...).
   virtual std::string name() const = 0;
@@ -57,18 +68,33 @@ class DistanceChecker {
   }
 
   /// Number of IsFartherThan calls since construction / ResetStats.
-  uint64_t num_checks() const { return num_checks_; }
-  void ResetStats() { num_checks_ = 0; }
+  uint64_t num_checks() const {
+    return num_checks_.load(std::memory_order_relaxed);
+  }
+  void ResetStats() { num_checks_.store(0, std::memory_order_relaxed); }
 
  protected:
+  DistanceChecker() = default;
+  // The atomic counter is not copyable/movable by itself; value-semantic
+  // subclasses (NL/NLRNL are moved out of serialization loads) transfer
+  // the count explicitly.
+  DistanceChecker(const DistanceChecker& other)
+      : num_checks_(other.num_checks()) {}
+  DistanceChecker& operator=(const DistanceChecker& other) {
+    num_checks_.store(other.num_checks(), std::memory_order_relaxed);
+    return *this;
+  }
+
   virtual bool IsFartherThanImpl(VertexId u, VertexId v, HopDistance k) = 0;
 
   /// For implementations with bulk paths: records `n` logical checks (a
   /// ball materialization counts as one traversal-equivalent).
-  void RecordChecks(uint64_t n) { num_checks_ += n; }
+  void RecordChecks(uint64_t n) {
+    num_checks_.fetch_add(n, std::memory_order_relaxed);
+  }
 
  private:
-  uint64_t num_checks_ = 0;
+  std::atomic<uint64_t> num_checks_{0};
 };
 
 }  // namespace ktg

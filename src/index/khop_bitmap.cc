@@ -2,18 +2,31 @@
 
 #include "index/khop_bitmap.h"
 
+#include <algorithm>
+
 #include "graph/bfs.h"
+#include "util/thread_pool.h"
 
 namespace ktg {
 
-KHopBitmapChecker::KHopBitmapChecker(const Graph& graph, HopDistance k)
+KHopBitmapChecker::KHopBitmapChecker(const Graph& graph, HopDistance k,
+                                     KHopBitmapOptions options)
     : k_(k), words_per_row_((graph.num_vertices() + 63) / 64) {
   const uint32_t n = graph.num_vertices();
   bits_.assign(static_cast<uint64_t>(n) * words_per_row_, 0);
-  BoundedBfs bfs(graph);
-  for (VertexId v = 0; v < n; ++v) {
-    for (const VertexId w : bfs.Ball(v, k)) SetBit(v, w);
-  }
+  // Rows are disjoint word ranges, so the per-vertex builds never touch the
+  // same memory and the matrix is identical for every thread count.
+  ThreadPool pool(options.num_threads);
+  const uint64_t grain =
+      std::max<uint64_t>(1, n / (8ull * pool.num_threads()));
+  pool.ParallelFor(0, n, grain, [this, &graph, k](uint64_t begin,
+                                                  uint64_t end) {
+    BoundedBfs bfs(graph);
+    for (uint64_t v = begin; v < end; ++v) {
+      const auto vid = static_cast<VertexId>(v);
+      for (const VertexId w : bfs.Ball(vid, k)) SetBit(vid, w);
+    }
+  });
 }
 
 bool KHopBitmapChecker::IsFartherThanImpl(VertexId u, VertexId v,

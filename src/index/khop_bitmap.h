@@ -19,17 +19,31 @@
 
 namespace ktg {
 
+/// Tuning knobs for KHopBitmapChecker.
+struct KHopBitmapOptions {
+  /// Worker threads for the construction-time per-vertex BFS loop
+  /// (0 = hardware concurrency). Rows are partitioned by vertex, so every
+  /// thread count produces the identical bit matrix; 1 runs the exact
+  /// serial loop with no pool involved.
+  uint32_t num_threads = 0;
+};
+
 /// DistanceChecker specialized to one fixed k, backed by a bit matrix.
 class KHopBitmapChecker final : public DistanceChecker {
  public:
   /// Builds the within-k bitmap for `graph` (one bounded BFS per vertex).
   /// The graph must outlive the checker.
-  KHopBitmapChecker(const Graph& graph, HopDistance k);
+  KHopBitmapChecker(const Graph& graph, HopDistance k,
+                    KHopBitmapOptions options = {});
 
   std::string name() const override { return "KHopBitmap"; }
   size_t MemoryBytes() const override {
     return bits_.capacity() * sizeof(uint64_t);
   }
+
+  /// Checks are single bit loads over an immutable matrix — safe to share
+  /// across the root-parallel engine's workers.
+  bool concurrent_read_safe() const override { return true; }
 
   HopDistance built_k() const { return k_; }
 

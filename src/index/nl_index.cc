@@ -8,6 +8,7 @@
 #include "graph/bfs.h"
 #include "index/affected.h"
 #include "util/sorted_vector.h"
+#include "util/thread_pool.h"
 
 namespace ktg {
 
@@ -17,11 +18,25 @@ NlIndex::NlIndex(const Graph& graph, NlIndexOptions options)
   const uint32_t n = graph_.num_vertices();
   lists_.resize(n);
   base_h_.assign(n, 0);
-  for (VertexId v = 0; v < n; ++v) BuildVertex(v);
+  BuildAll();
 }
 
-void NlIndex::BuildVertex(VertexId v) {
-  BoundedBfs bfs(graph_);
+void NlIndex::BuildAll() {
+  const uint32_t n = graph_.num_vertices();
+  ThreadPool pool(options_.num_threads);
+  // A few chunks per worker balances uneven per-vertex BFS costs without
+  // paying scratch setup per vertex; each chunk reuses one BoundedBfs.
+  const uint64_t grain =
+      std::max<uint64_t>(1, n / (8ull * pool.num_threads()));
+  pool.ParallelFor(0, n, grain, [this](uint64_t begin, uint64_t end) {
+    BoundedBfs bfs(graph_);
+    for (uint64_t v = begin; v < end; ++v) {
+      BuildVertex(static_cast<VertexId>(v), bfs);
+    }
+  });
+}
+
+void NlIndex::BuildVertex(VertexId v, BoundedBfs& bfs) {
   auto levels = bfs.Levels(v, kUnreachable - 1);  // full component
   const uint32_t ecc = static_cast<uint32_t>(levels.size());
 
@@ -117,7 +132,8 @@ void NlIndex::InsertEdge(VertexId a, VertexId b) {
   if (a == b || a >= n || b >= n || graph_.HasEdge(a, b)) return;
   const auto affected = AffectedByInsertion(graph_, a, b);
   graph_ = WithEdgeAdded(graph_, a, b);
-  for (const VertexId v : affected) BuildVertex(v);
+  BoundedBfs bfs(graph_);
+  for (const VertexId v : affected) BuildVertex(v, bfs);
   last_update_rebuilds_ = affected.size();
 }
 
@@ -127,7 +143,8 @@ void NlIndex::RemoveEdge(VertexId a, VertexId b) {
   if (!graph_.HasEdge(a, b)) return;
   const auto affected = AffectedByDeletion(graph_, a, b);
   graph_ = WithEdgeRemoved(graph_, a, b);
-  for (const VertexId v : affected) BuildVertex(v);
+  BoundedBfs bfs(graph_);
+  for (const VertexId v : affected) BuildVertex(v, bfs);
   last_update_rebuilds_ = affected.size();
 }
 

@@ -26,6 +26,8 @@
 
 namespace ktg {
 
+class BoundedBfs;
+
 /// Tuning knobs for NlIndex.
 struct NlIndexOptions {
   /// Upper bound on the per-vertex h chosen at build time (the argmax level
@@ -36,6 +38,13 @@ struct NlIndexOptions {
   /// the lists; when false the index stays at its build-time footprint and
   /// out-of-horizon checks fall back to plain bounded BFS.
   bool memoize_expansions = true;
+
+  /// Worker threads for the construction-time per-vertex BFS loop
+  /// (0 = hardware concurrency). Every thread count produces an identical
+  /// index — per-vertex builds are independent — and 1 runs the exact
+  /// serial loop with no pool involved. Only construction is affected;
+  /// queries and dynamic updates always run on the calling thread.
+  uint32_t num_threads = 0;
 };
 
 /// The h-hop neighbors list index.
@@ -47,6 +56,12 @@ class NlIndex final : public DistanceChecker {
 
   std::string name() const override { return "NL"; }
   size_t MemoryBytes() const override;
+
+  /// Check paths mutate the lists when memoization is on; only the
+  /// fixed-footprint configuration is safe to share across threads.
+  bool concurrent_read_safe() const override {
+    return !options_.memoize_expansions;
+  }
 
   /// The per-vertex h selected at build time (before any memoized growth).
   uint32_t base_hops(VertexId v) const { return base_h_[v]; }
@@ -88,7 +103,11 @@ class NlIndex final : public DistanceChecker {
     bool exhausted = false;  // levels reach the whole component
   };
 
-  void BuildVertex(VertexId v);
+  // Builds every per-vertex list, partitioned over options_.num_threads
+  // workers (the builds are independent, so the result is identical for
+  // every thread count).
+  void BuildAll();
+  void BuildVertex(VertexId v, BoundedBfs& bfs);
   // Grows lists_[v] by one level from its current frontier. Returns false
   // (and sets exhausted) when the frontier is empty.
   bool ExpandOneLevel(VertexId v);

@@ -8,6 +8,7 @@
 #include "graph/stats.h"
 #include "index/affected.h"
 #include "util/sorted_vector.h"
+#include "util/thread_pool.h"
 
 namespace ktg {
 
@@ -16,16 +17,28 @@ NlrnlIndex::NlrnlIndex(const Graph& graph, NlrnlIndexOptions options)
   KTG_CHECK(options_.max_c >= 2);
   const uint32_t n = graph_.num_vertices();
   entries_.resize(n);
-  for (VertexId v = 0; v < n; ++v) BuildVertex(v);
+  BuildAll();
   RefreshComponents();
+}
+
+void NlrnlIndex::BuildAll() {
+  const uint32_t n = graph_.num_vertices();
+  ThreadPool pool(options_.num_threads);
+  const uint64_t grain =
+      std::max<uint64_t>(1, n / (8ull * pool.num_threads()));
+  pool.ParallelFor(0, n, grain, [this](uint64_t begin, uint64_t end) {
+    BoundedBfs bfs(graph_);
+    for (uint64_t v = begin; v < end; ++v) {
+      BuildVertex(static_cast<VertexId>(v), bfs);
+    }
+  });
 }
 
 void NlrnlIndex::RefreshComponents() {
   component_ = ConnectedComponents(graph_).first;
 }
 
-void NlrnlIndex::BuildVertex(VertexId v) {
-  BoundedBfs bfs(graph_);
+void NlrnlIndex::BuildVertex(VertexId v, BoundedBfs& bfs) {
   const auto levels = bfs.Levels(v, kUnreachable - 1);  // full component
   const uint32_t ecc = static_cast<uint32_t>(levels.size());
 
@@ -117,7 +130,8 @@ void NlrnlIndex::InsertEdge(VertexId a, VertexId b) {
   if (a == b || a >= n || b >= n || graph_.HasEdge(a, b)) return;
   const auto affected = AffectedByInsertion(graph_, a, b);
   graph_ = WithEdgeAdded(graph_, a, b);
-  for (const VertexId v : affected) BuildVertex(v);
+  BoundedBfs bfs(graph_);
+  for (const VertexId v : affected) BuildVertex(v, bfs);
   RefreshComponents();
   last_update_rebuilds_ = affected.size();
 }
@@ -128,7 +142,8 @@ void NlrnlIndex::RemoveEdge(VertexId a, VertexId b) {
   if (!graph_.HasEdge(a, b)) return;
   const auto affected = AffectedByDeletion(graph_, a, b);
   graph_ = WithEdgeRemoved(graph_, a, b);
-  for (const VertexId v : affected) BuildVertex(v);
+  BoundedBfs bfs(graph_);
+  for (const VertexId v : affected) BuildVertex(v, bfs);
   RefreshComponents();
   last_update_rebuilds_ = affected.size();
 }

@@ -32,12 +32,20 @@
 
 namespace ktg {
 
+class BoundedBfs;
+
 /// Tuning knobs for NlrnlIndex.
 struct NlrnlIndexOptions {
   /// Upper bound on the per-vertex c chosen at build time. The unstored
   /// level is always >= 2 per the paper; raising the cap lets the argmax
   /// pick deeper levels on large-diameter graphs.
   uint32_t max_c = 8;
+
+  /// Worker threads for the construction-time per-vertex BFS loop
+  /// (0 = hardware concurrency). Every thread count produces an identical
+  /// index; 1 runs the exact serial loop with no pool involved. Queries
+  /// and dynamic updates always run on the calling thread.
+  uint32_t num_threads = 0;
 };
 
 /// The (c-1)-hop + reverse c-hop neighbors index.
@@ -48,6 +56,10 @@ class NlrnlIndex final : public DistanceChecker {
 
   std::string name() const override { return "NLRNL"; }
   size_t MemoryBytes() const override;
+
+  /// NLRNL checks only read the prebuilt lists — safe to share across the
+  /// root-parallel engine's workers.
+  bool concurrent_read_safe() const override { return true; }
 
   /// The per-vertex unstored level c.
   uint32_t c_value(VertexId v) const { return entries_[v].c; }
@@ -90,7 +102,10 @@ class NlrnlIndex final : public DistanceChecker {
     std::vector<std::vector<VertexId>> reverse;
   };
 
-  void BuildVertex(VertexId v);
+  // Builds every vertex entry, partitioned over options_.num_threads
+  // workers (identical output for every thread count).
+  void BuildAll();
+  void BuildVertex(VertexId v, BoundedBfs& bfs);
   void RefreshComponents();
 
   Graph graph_;

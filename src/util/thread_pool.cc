@@ -1,0 +1,118 @@
+// Copyright (c) 2026 The ktg Authors.
+
+#include "util/thread_pool.h"
+
+#include <algorithm>
+#include <exception>
+
+#include "util/macros.h"
+
+namespace ktg {
+
+uint32_t ThreadPool::HardwareThreads() {
+  return std::max(1u, std::thread::hardware_concurrency());
+}
+
+ThreadPool::ThreadPool(uint32_t num_threads)
+    : num_threads_(Resolve(num_threads)) {
+  if (num_threads_ < 2) return;  // size-1 pools execute inline
+  workers_.reserve(num_threads_);
+  for (uint32_t i = 0; i < num_threads_; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    all_idle_.wait(lock, [this] { return queue_.empty() && active_ == 0; });
+    shutdown_ = true;
+  }
+  task_ready_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::WorkerLoop() {
+  while (true) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      task_ready_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // shutdown with a drained queue
+      task = std::move(queue_.front());
+      queue_.pop_front();
+      ++active_;
+    }
+    task();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      --active_;
+      if (queue_.empty() && active_ == 0) all_idle_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  KTG_CHECK(task != nullptr);
+  if (workers_.empty()) {
+    task();
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    KTG_CHECK(!shutdown_);
+    queue_.push_back(std::move(task));
+  }
+  task_ready_.notify_one();
+}
+
+void ThreadPool::Wait() {
+  if (workers_.empty()) return;  // inline tasks already ran
+  std::unique_lock<std::mutex> lock(mu_);
+  all_idle_.wait(lock, [this] { return queue_.empty() && active_ == 0; });
+}
+
+void ThreadPool::ParallelFor(uint64_t begin, uint64_t end, uint64_t grain,
+                             const std::function<void(uint64_t, uint64_t)>& fn) {
+  if (begin >= end) return;
+  grain = std::max<uint64_t>(grain, 1);
+  const uint64_t span = end - begin;
+  const uint64_t chunks = (span + grain - 1) / grain;
+
+  if (workers_.empty() || chunks == 1) {
+    for (uint64_t b = begin; b < end; b += grain) {
+      fn(b, std::min(end, b + grain));
+    }
+    return;
+  }
+
+  // Per-call completion state so that concurrent / repeated ParallelFor
+  // invocations on the same pool cannot observe each other.
+  struct ForState {
+    std::mutex mu;
+    std::condition_variable done;
+    uint64_t remaining;
+    std::exception_ptr error;
+  } state;
+  state.remaining = chunks;
+
+  for (uint64_t b = begin; b < end; b += grain) {
+    const uint64_t e = std::min(end, b + grain);
+    Submit([&state, &fn, b, e] {
+      try {
+        fn(b, e);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(state.mu);
+        if (state.error == nullptr) state.error = std::current_exception();
+      }
+      std::lock_guard<std::mutex> lock(state.mu);
+      if (--state.remaining == 0) state.done.notify_one();
+    });
+  }
+
+  std::unique_lock<std::mutex> lock(state.mu);
+  state.done.wait(lock, [&state] { return state.remaining == 0; });
+  if (state.error != nullptr) std::rethrow_exception(state.error);
+}
+
+}  // namespace ktg

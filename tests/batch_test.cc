@@ -94,11 +94,16 @@ TEST_F(BatchTest, ValidatesUpFront) {
 }
 
 TEST_F(BatchTest, RejectsBadOptions) {
+  EXPECT_FALSE(RunKtgBatch(graph_, *index_, nullptr, queries_).ok());
+}
+
+TEST_F(BatchTest, ZeroThreadsMeansHardwareConcurrency) {
   BatchOptions opts;
   opts.threads = 0;
-  EXPECT_FALSE(
-      RunKtgBatch(graph_, *index_, BfsFactory(), queries_, opts).ok());
-  EXPECT_FALSE(RunKtgBatch(graph_, *index_, nullptr, queries_).ok());
+  const auto batch =
+      RunKtgBatch(graph_, *index_, BfsFactory(), queries_, opts);
+  ASSERT_TRUE(batch.ok());
+  EXPECT_EQ(batch->results.size(), queries_.size());
 }
 
 TEST_F(BatchTest, EmptyBatch) {

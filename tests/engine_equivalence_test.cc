@@ -34,6 +34,7 @@ struct Config {
   bool eager;
   CheckerKind checker;
   bool ceiling = true;
+  uint32_t threads = 1;
 };
 
 std::string ConfigName(const Config& c) {
@@ -43,6 +44,7 @@ std::string ConfigName(const Config& c) {
   s += c.ceiling ? "" : "_noceiling";
   s += "_";
   s += CheckerKindName(c.checker);
+  s += "_t" + std::to_string(c.threads);
   return s;
 }
 
@@ -98,6 +100,15 @@ TEST_P(EngineEquivalenceTest, MatchesBruteForceOnRandomInstances) {
       // Published Theorem-2 bound only (no reachable-coverage tightening).
       {SortStrategy::kVkcDeg, true, true, CheckerKind::kBfs, false},
       {SortStrategy::kQkc, true, true, CheckerKind::kNlrnl, false},
+      // Root-parallel search over concurrent-read-safe checkers must keep
+      // the exactness guarantee at every worker count.
+      {SortStrategy::kVkcDeg, true, true, CheckerKind::kNlrnl, true, 2},
+      {SortStrategy::kVkcDeg, true, true, CheckerKind::kNlrnl, true, 4},
+      {SortStrategy::kVkc, true, true, CheckerKind::kNlrnl, true, 4},
+      {SortStrategy::kQkc, true, true, CheckerKind::kNlrnl, true, 2},
+      {SortStrategy::kVkcDeg, true, true, CheckerKind::kKHopBitmap, true, 4},
+      {SortStrategy::kVkcDeg, false, true, CheckerKind::kNlrnl, true, 2},
+      {SortStrategy::kVkcDeg, true, true, CheckerKind::kNlrnl, false, 4},
   };
 
   for (const auto& query : queries) {
@@ -113,6 +124,7 @@ TEST_P(EngineEquivalenceTest, MatchesBruteForceOnRandomInstances) {
       opts.keyword_pruning = config.pruning;
       opts.eager_kline_filtering = config.eager;
       opts.ceiling_prune = config.ceiling;
+      opts.num_threads = config.threads;
       const auto got = RunKtg(g, idx, *checker, query, opts);
       ASSERT_TRUE(got.ok());
 

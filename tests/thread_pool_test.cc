@@ -1,0 +1,146 @@
+// Copyright (c) 2026 The ktg Authors.
+// ThreadPool contract tests: inline execution for tiny pools, chunk
+// coverage of ParallelFor (empty range, grain larger than the range,
+// uneven splits), exception propagation, and reuse across waves.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "util/thread_pool.h"
+
+namespace ktg {
+namespace {
+
+TEST(ThreadPoolTest, HardwareThreadsIsPositive) {
+  EXPECT_GE(ThreadPool::HardwareThreads(), 1u);
+  EXPECT_EQ(ThreadPool::Resolve(0), ThreadPool::HardwareThreads());
+  EXPECT_EQ(ThreadPool::Resolve(3), 3u);
+}
+
+TEST(ThreadPoolTest, SizeOnePoolRunsInline) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.num_threads(), 1u);
+  std::atomic<int> runs{0};
+  pool.Submit([&] { ++runs; });
+  // Inline execution: the task already ran when Submit returned.
+  EXPECT_EQ(runs.load(), 1);
+  pool.Wait();
+  EXPECT_EQ(runs.load(), 1);
+}
+
+TEST(ThreadPoolTest, SubmitAndWaitRunsEveryTask) {
+  ThreadPool pool(4);
+  std::atomic<int> runs{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.Submit([&] { runs.fetch_add(1); });
+  }
+  pool.Wait();
+  EXPECT_EQ(runs.load(), 100);
+}
+
+TEST(ThreadPoolTest, PoolIsReusableAcrossWaves) {
+  ThreadPool pool(3);
+  std::atomic<int> runs{0};
+  for (int wave = 0; wave < 5; ++wave) {
+    for (int i = 0; i < 20; ++i) pool.Submit([&] { runs.fetch_add(1); });
+    pool.Wait();
+    EXPECT_EQ(runs.load(), (wave + 1) * 20);
+  }
+}
+
+TEST(ThreadPoolTest, ParallelForCoversEveryIndexExactlyOnce) {
+  for (const uint32_t threads : {1u, 2u, 4u}) {
+    for (const uint64_t grain : {1ull, 3ull, 7ull, 1000ull}) {
+      ThreadPool pool(threads);
+      std::vector<std::atomic<int>> hits(257);
+      for (auto& h : hits) h.store(0);
+      pool.ParallelFor(0, hits.size(), grain,
+                       [&](uint64_t begin, uint64_t end) {
+                         ASSERT_LE(begin, end);
+                         for (uint64_t i = begin; i < end; ++i) {
+                           hits[i].fetch_add(1);
+                         }
+                       });
+      for (size_t i = 0; i < hits.size(); ++i) {
+        EXPECT_EQ(hits[i].load(), 1)
+            << "i=" << i << " threads=" << threads << " grain=" << grain;
+      }
+    }
+  }
+}
+
+TEST(ThreadPoolTest, ParallelForEmptyRangeNeverInvokesBody) {
+  ThreadPool pool(4);
+  std::atomic<int> calls{0};
+  pool.ParallelFor(10, 10, 4, [&](uint64_t, uint64_t) { ++calls; });
+  pool.ParallelFor(10, 10, 0, [&](uint64_t, uint64_t) { ++calls; });
+  EXPECT_EQ(calls.load(), 0);
+}
+
+TEST(ThreadPoolTest, ParallelForGrainLargerThanRangeIsOneChunk) {
+  ThreadPool pool(4);
+  std::atomic<int> calls{0};
+  uint64_t seen_begin = 99, seen_end = 0;
+  pool.ParallelFor(2, 7, 1000, [&](uint64_t begin, uint64_t end) {
+    ++calls;
+    seen_begin = begin;
+    seen_end = end;
+  });
+  EXPECT_EQ(calls.load(), 1);
+  EXPECT_EQ(seen_begin, 2u);
+  EXPECT_EQ(seen_end, 7u);
+}
+
+TEST(ThreadPoolTest, ParallelForZeroGrainIsClampedToOne) {
+  ThreadPool pool(2);
+  std::vector<std::atomic<int>> hits(9);
+  for (auto& h : hits) h.store(0);
+  pool.ParallelFor(0, hits.size(), 0, [&](uint64_t begin, uint64_t end) {
+    for (uint64_t i = begin; i < end; ++i) hits[i].fetch_add(1);
+  });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPoolTest, ParallelForPropagatesExceptions) {
+  for (const uint32_t threads : {1u, 4u}) {
+    ThreadPool pool(threads);
+    EXPECT_THROW(
+        pool.ParallelFor(0, 64, 4,
+                         [&](uint64_t begin, uint64_t) {
+                           if (begin >= 32) {
+                             throw std::runtime_error("boom");
+                           }
+                         }),
+        std::runtime_error);
+    // The pool survives a throwing wave and keeps working.
+    std::atomic<int> runs{0};
+    pool.ParallelFor(0, 8, 2, [&](uint64_t begin, uint64_t end) {
+      runs.fetch_add(static_cast<int>(end - begin));
+    });
+    EXPECT_EQ(runs.load(), 8);
+  }
+}
+
+TEST(ThreadPoolTest, ParallelSumMatchesSerial) {
+  constexpr uint64_t kN = 10000;
+  std::vector<uint64_t> values(kN);
+  std::iota(values.begin(), values.end(), 1);
+  const uint64_t expected =
+      std::accumulate(values.begin(), values.end(), uint64_t{0});
+
+  ThreadPool pool(4);
+  std::atomic<uint64_t> total{0};
+  pool.ParallelFor(0, kN, 128, [&](uint64_t begin, uint64_t end) {
+    uint64_t local = 0;
+    for (uint64_t i = begin; i < end; ++i) local += values[i];
+    total.fetch_add(local);
+  });
+  EXPECT_EQ(total.load(), expected);
+}
+
+}  // namespace
+}  // namespace ktg
