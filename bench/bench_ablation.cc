@@ -135,5 +135,6 @@ void RunAblation() {
 int main(int argc, char** argv) {
   ktg::bench::ConsumeThreadsFlag(&argc, argv);
   ktg::bench::RunAblation();
+  ktg::bench::WriteMetricsSidecar("bench_ablation");
   return 0;
 }

@@ -96,5 +96,6 @@ void RunQualityStudy() {
 int main(int argc, char** argv) {
   ktg::bench::ConsumeThreadsFlag(&argc, argv);
   ktg::bench::RunQualityStudy();
+  ktg::bench::WriteMetricsSidecar("bench_dktg_quality");
   return 0;
 }

@@ -52,5 +52,6 @@ void RunFigure() {
 int main(int argc, char** argv) {
   ktg::bench::ConsumeThreadsFlag(&argc, argv);
   ktg::bench::RunFigure();
+  ktg::bench::WriteMetricsSidecar("bench_fig3_group_size");
   return 0;
 }

@@ -48,5 +48,6 @@ void RunFigure() {
 int main(int argc, char** argv) {
   ktg::bench::ConsumeThreadsFlag(&argc, argv);
   ktg::bench::RunFigure();
+  ktg::bench::WriteMetricsSidecar("bench_fig6_topn");
   return 0;
 }

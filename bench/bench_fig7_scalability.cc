@@ -84,5 +84,6 @@ int main(int argc, char** argv) {
   ktg::bench::ConsumeThreadsFlag(&argc, argv);
   ktg::bench::RunPartA();
   ktg::bench::RunPartB();
+  ktg::bench::WriteMetricsSidecar("bench_fig7_scalability");
   return 0;
 }

@@ -65,5 +65,6 @@ void RunFigure() {
 int main(int argc, char** argv) {
   ktg::bench::ConsumeThreadsFlag(&argc, argv);
   ktg::bench::RunFigure();
+  ktg::bench::WriteMetricsSidecar("bench_fig9_index_cost");
   return 0;
 }

@@ -106,5 +106,6 @@ int main(int argc, char** argv) {
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
+  ktg::bench::WriteMetricsSidecar("bench_micro_index");
   return 0;
 }

@@ -124,5 +124,6 @@ void RunStudy() {
 int main(int argc, char** argv) {
   ktg::bench::ConsumeThreadsFlag(&argc, argv);
   ktg::bench::RunStudy();
+  ktg::bench::WriteMetricsSidecar("bench_tenuity_metrics");
   return 0;
 }

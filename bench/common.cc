@@ -24,6 +24,28 @@ double BenchScale() {
   return scale;
 }
 
+obs::MetricsRegistry& Metrics() {
+  static obs::MetricsRegistry registry;
+  return registry;
+}
+
+void WriteMetricsSidecar(const std::string& bench_name) {
+  const char* env = std::getenv("KTG_BENCH_METRICS_PATH");
+  const std::string path = (env != nullptr && env[0] != '\0')
+                               ? std::string(env)
+                               : bench_name + ".metrics.json";
+  const std::string json = Metrics().ToJson() + "\n";
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "[bench] cannot write metrics sidecar %s\n",
+                 path.c_str());
+    return;
+  }
+  std::fwrite(json.data(), 1, json.size(), f);
+  std::fclose(f);
+  std::fprintf(stderr, "[bench] metrics sidecar -> %s\n", path.c_str());
+}
+
 uint32_t BenchQueries() {
   static const uint32_t n = [] {
     const char* env = std::getenv("KTG_BENCH_QUERIES");
@@ -107,6 +129,10 @@ DistanceChecker& BenchDataset::Checker(CheckerKind kind, HopDistance k) {
     Stopwatch watch;
     auto checker = MakeChecker(kind, graph_.graph(), k, BenchThreads());
     build_seconds_[key] = watch.ElapsedSeconds();
+    Metrics()
+        .gauge(std::string("bench.build_s.") + CheckerKindName(kind) + "." +
+               name_)
+        .Set(build_seconds_[key]);
     it = checkers_.emplace(key, std::move(checker)).first;
   }
   return *it->second;
@@ -164,6 +190,7 @@ Measurement RunBatch(BenchDataset& dataset, const AlgoConfig& config,
     EngineOptions opts = config.engine;
     opts.sort = config.sort;
     opts.num_threads = BenchThreads();
+    opts.metrics = &Metrics();
     SearchStats stats;
     double best = 0.0;
     bool empty = false;

@@ -23,6 +23,7 @@
 #include "datagen/query_gen.h"
 #include "index/checker_factory.h"
 #include "keywords/inverted_index.h"
+#include "obs/metrics.h"
 
 namespace ktg::bench {
 
@@ -40,6 +41,16 @@ double BenchScale();
 
 /// Number of queries per measurement (env KTG_BENCH_QUERIES).
 uint32_t BenchQueries();
+
+/// Process-wide metrics registry. RunBatch attaches it to every engine run
+/// and the dataset cache records build costs into it; each bench binary
+/// snapshots it into a JSON sidecar on exit via WriteMetricsSidecar.
+obs::MetricsRegistry& Metrics();
+
+/// Writes Metrics() as a ktg.metrics.v1 document to KTG_BENCH_METRICS_PATH
+/// (when set) or "<bench_name>.metrics.json" in the working directory.
+/// Failures only warn: a missing sidecar must never fail a bench run.
+void WriteMetricsSidecar(const std::string& bench_name);
 
 /// Worker threads for index builds and the engine's root-parallel search
 /// (0 = hardware concurrency). Default 1: the figure benches reproduce the

@@ -19,6 +19,8 @@
 #include "index/checker_factory.h"
 #include "index/serialization.h"
 #include "keywords/inverted_index.h"
+#include "obs/metrics.h"
+#include "obs/query_trace.h"
 #include "util/json_writer.h"
 #include "util/percentiles.h"
 #include "util/summary_stats.h"
@@ -32,7 +34,7 @@ const std::vector<std::string> kAllFlags = {
     "preset", "scale",   "edges", "attrs",   "out",   "kind",  "keywords",
     "p",      "k",       "n",     "algo",    "index", "checker", "queries",
     "wq",     "seed",    "gamma", "authors", "max-nodes", "banded",
-    "json",   "threads", "explain",
+    "json",   "threads", "explain", "metrics-json", "trace",
 };
 
 Result<AttributedGraph> LoadInput(const Args& args, bool attrs_required) {
@@ -155,12 +157,19 @@ void PrintGroupsJson(const AttributedGraph& graph, const KtgQuery& query,
 
   w.Key("stats").BeginObject();
   w.KV("elapsed_ms", result.stats.elapsed_ms)
+      .KV("cpu_ms", result.stats.cpu_ms)
       .KV("candidates", result.stats.candidates)
       .KV("nodes_expanded", result.stats.nodes_expanded)
       .KV("groups_completed", result.stats.groups_completed)
       .KV("keyword_prunes", result.stats.keyword_prunes)
       .KV("kline_filtered", result.stats.kline_filtered)
       .KV("distance_checks", result.stats.distance_checks);
+  w.Key("phases").BeginObject();
+  for (int i = 0; i < obs::kNumPhases; ++i) {
+    const auto phase = static_cast<obs::Phase>(i);
+    w.KV(obs::PhaseName(phase), result.stats.phases[phase]);
+  }
+  w.EndObject();
   w.EndObject().EndObject();
   std::printf("%s\n", w.str().c_str());
 }
@@ -189,15 +198,36 @@ void PrintGroups(const AttributedGraph& graph, const KtgQuery& query,
 
 void PrintStats(const SearchStats& stats) {
   std::printf(
-      "stats: %.3f ms, %llu candidates, %llu BB nodes, %llu groups "
-      "completed, %llu keyword prunes, %llu k-line removals, %llu distance "
-      "checks\n",
-      stats.elapsed_ms, static_cast<unsigned long long>(stats.candidates),
+      "stats: %.3f ms (%.3f cpu ms), %llu candidates, %llu BB nodes, %llu "
+      "groups completed, %llu keyword prunes, %llu k-line removals, %llu "
+      "distance checks\n",
+      stats.elapsed_ms, stats.cpu_ms,
+      static_cast<unsigned long long>(stats.candidates),
       static_cast<unsigned long long>(stats.nodes_expanded),
       static_cast<unsigned long long>(stats.groups_completed),
       static_cast<unsigned long long>(stats.keyword_prunes),
       static_cast<unsigned long long>(stats.kline_filtered),
       static_cast<unsigned long long>(stats.distance_checks));
+  std::printf("phases ms:");
+  for (int i = 0; i < obs::kNumPhases; ++i) {
+    const auto phase = static_cast<obs::Phase>(i);
+    std::printf(" %s=%.3f", obs::PhaseName(phase), stats.phases[phase]);
+  }
+  std::printf("\n");
+}
+
+// Writes `content` to `path` (for --metrics-json sidecars).
+Status WriteTextFile(const std::string& path, const std::string& content) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return Status::NotFound("cannot open for writing: " + path);
+  }
+  const size_t written = std::fwrite(content.data(), 1, content.size(), f);
+  const int close_err = std::fclose(f);
+  if (written != content.size() || close_err != 0) {
+    return Status::Internal("short write: " + path);
+  }
+  return Status::OK();
 }
 
 }  // namespace
@@ -308,18 +338,43 @@ Status CmdQuery(const Args& args) {
   if (!max_nodes.ok()) return max_nodes.status();
   const std::string algo = args.GetString("algo", "vkc-deg");
 
+  // Observability sinks requested via --metrics-json / --trace. Null when
+  // disabled, so the engines skip every recording site.
+  const std::string metrics_path = args.GetString("metrics-json");
+  const bool trace_enabled = args.GetBool("trace");
+  obs::MetricsRegistry registry;
+  obs::QueryTrace query_trace;
+  obs::MetricsRegistry* metrics = metrics_path.empty() ? nullptr : &registry;
+  obs::QueryTrace* trace = trace_enabled ? &query_trace : nullptr;
+
+  // Shared epilogue: dump the trace document to stdout, the metrics
+  // snapshot to --metrics-json.
+  auto finish = [&]() -> Status {
+    if (trace != nullptr) {
+      std::printf("%s\n", query_trace.ToJson().c_str());
+    }
+    if (metrics != nullptr) {
+      const Status st = WriteTextFile(metrics_path, registry.ToJson() + "\n");
+      if (!st.ok()) return st;
+      std::fprintf(stderr, "wrote metrics to %s\n", metrics_path.c_str());
+    }
+    return Status::OK();
+  };
+
   if (algo == "dktg") {
     DktgOptions options;
     const auto gamma = args.GetDouble("gamma", 0.5);
     if (!gamma.ok()) return gamma.status();
     options.gamma = gamma.value();
+    options.engine.metrics = metrics;
+    options.engine.trace = trace;
     auto result = RunDktgGreedy(*graph, index, **checker, *query, options);
     if (!result.ok()) return result.status();
     PrintGroups(*graph, *query, result->groups);
     std::printf("diversity=%.3f min_coverage=%.3f score=%.3f\n",
                 result->diversity, result->min_coverage, result->score);
     PrintStats(result->stats);
-    return Status::OK();
+    return finish();
   }
   if (algo == "tagq") {
     TagqOptions options;
@@ -334,19 +389,24 @@ Status CmdQuery(const Args& args) {
       std::printf("\n");
     }
     PrintStats(result->stats);
-    return Status::OK();
+    return finish();  // tagq has no obs hooks; sinks stay empty
   }
   if (algo == "greedy") {
-    auto result = RunKtgGreedy(*graph, index, **checker, *query);
+    GreedyOptions options;
+    options.metrics = metrics;
+    options.trace = trace;
+    auto result = RunKtgGreedy(*graph, index, **checker, *query, options);
     if (!result.ok()) return result.status();
     PrintGroups(*graph, *query, result->groups);
     PrintStats(result->stats);
-    return Status::OK();
+    return finish();
   }
 
   EngineOptions options;
   options.max_nodes = static_cast<uint64_t>(max_nodes.value());
   options.num_threads = threads.value();
+  options.metrics = metrics;
+  options.trace = trace;
   if (algo == "vkc-deg") {
     options.sort = SortStrategy::kVkcDeg;
   } else if (algo == "vkc") {
@@ -369,7 +429,7 @@ Status CmdQuery(const Args& args) {
       }
     }
   }
-  return Status::OK();
+  return finish();
 }
 
 Status CmdWorkload(const Args& args) {
@@ -410,8 +470,12 @@ Status CmdWorkload(const Args& args) {
   std::fprintf(stderr, "building %s checker(s) over %u vertices...\n",
                CheckerKindName(kind.value()), graph.num_vertices());
 
+  const std::string metrics_path = args.GetString("metrics-json");
+  obs::MetricsRegistry registry;
+
   BatchOptions bopts;
   bopts.threads = threads.value();
+  if (!metrics_path.empty()) bopts.engine.metrics = &registry;
   const auto batch = RunKtgBatch(
       graph, index,
       [&] { return MakeChecker(kind.value(), graph.graph(), wopts.tenuity); },
@@ -434,6 +498,10 @@ Status CmdWorkload(const Args& args) {
       ThreadPool::Resolve(bopts.threads), lat.mean,
       lat.min, lat.p50, lat.p90, lat.p99, lat.max, coverage.mean(), empty,
       static_cast<unsigned long long>(batch->totals.nodes_expanded));
+  if (!metrics_path.empty()) {
+    KTG_RETURN_IF_ERROR(WriteTextFile(metrics_path, registry.ToJson() + "\n"));
+    std::fprintf(stderr, "wrote metrics to %s\n", metrics_path.c_str());
+  }
   return Status::OK();
 }
 
@@ -455,18 +523,22 @@ std::string UsageText() {
       "               [--n N] [--algo vkc-deg|vkc|qkc|greedy|dktg|tagq]\n"
       "               [--index F | --checker bfs|nl|nlrnl|bitmap]\n"
       "               [--authors v1,v2] [--gamma G] [--max-nodes M] [--json]\n"
-      "               [--explain] [--threads T]\n"
+      "               [--explain] [--threads T] [--metrics-json F] [--trace]\n"
       "  workload     latency summary over a generated workload\n"
       "               --preset NAME --scale S [--queries Q] [--p P] [--k K]\n"
       "               [--n N] [--wq W] [--checker C] [--seed S] [--banded B]\n"
-      "               [--threads T]\n"
+      "               [--threads T] [--metrics-json F]\n"
       "  help         print this text\n"
       "\n"
       "--threads semantics: 0 = all hardware threads. For build-index it\n"
       "parallelizes construction (default 0). For query it parallelizes\n"
       "index build and the search itself (default 1 = fully serial,\n"
       "bit-for-bit reproducible). For workload it runs whole queries on\n"
-      "parallel workers (default 1).\n";
+      "parallel workers (default 1).\n"
+      "\n"
+      "--metrics-json F writes a ktg.metrics.v1 snapshot (counters, phase\n"
+      "timings, checker statistics) to F; --trace prints the query's\n"
+      "ktg.trace.v1 event ring to stdout. See docs/observability.md.\n";
 }
 
 int RunMain(const std::vector<std::string>& argv) {

@@ -4,6 +4,7 @@
 
 #include <atomic>
 
+#include "core/obs_bridge.h"
 #include "util/thread_pool.h"
 
 namespace ktg {
@@ -68,9 +69,21 @@ Result<BatchResult> RunKtgBatch(const AttributedGraph& graph,
   latencies.reserve(batch.results.size());
   for (const auto& r : batch.results) {
     latencies.push_back(r.stats.elapsed_ms);
+    // Note the merge semantics: totals.elapsed_ms becomes the slowest
+    // query (queries overlap across workers), totals.cpu_ms the summed
+    // compute — batch.latency carries the full per-query distribution.
     batch.totals += r.stats;
   }
   batch.latency = LatencySummary::FromSamples(latencies);
+  if (options.engine.metrics != nullptr) {
+    // Per-query engine counters were flushed by each Run() under "engine";
+    // the batch view adds the latency distribution and job size.
+    obs::MetricsRegistry& m = *options.engine.metrics;
+    m.counter("batch.jobs").Add(1);
+    m.counter("batch.queries").Add(batch.results.size());
+    obs::Histogram& h = m.histogram("batch.query_ms");
+    for (const double ms : latencies) h.Record(ms);
+  }
   return batch;
 }
 

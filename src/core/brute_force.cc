@@ -96,6 +96,7 @@ Result<KtgResult> BruteForceKtg(const AttributedGraph& graph,
   result.stats.groups_completed = state.completed;
   result.stats.distance_checks = checker.num_checks() - checks_before;
   result.stats.elapsed_ms = watch.ElapsedMillis();
+  result.stats.cpu_ms = result.stats.elapsed_ms;  // single-threaded
   return result;
 }
 

@@ -6,7 +6,10 @@
 #include <bit>
 
 #include "core/candidates.h"
+#include "core/obs_bridge.h"
 #include "core/topn.h"
+#include "obs/phase_timer.h"
+#include "obs/query_trace.h"
 #include "util/timer.h"
 
 namespace ktg {
@@ -57,9 +60,15 @@ struct SearchState {
   uint32_t p;
   TopNCollector* collector;
   SearchStats* stats;
+  obs::QueryTrace* trace = nullptr;
   bool stop = false;
 
   std::vector<VertexId> members;
+
+  void RecordTrace(obs::TraceEventKind kind, VertexId vertex, int64_t detail) {
+    if (trace == nullptr) return;
+    trace->Record(kind, static_cast<uint32_t>(members.size()), vertex, detail);
+  }
 
   void Search(PosSet allowed, CoverMask covered) {
     if (stop) return;
@@ -69,8 +78,15 @@ struct SearchState {
       stop = true;
       return;
     }
+    if (trace != nullptr) {
+      RecordTrace(obs::TraceEventKind::kExpand,
+                  members.empty() ? kInvalidVertex : members.back(),
+                  allowed.Count());
+    }
     if (members.size() == p) {
       ++stats->groups_completed;
+      RecordTrace(obs::TraceEventKind::kOffer, members.back(),
+                  PopCount(covered));
       Group g;
       g.members = members;
       std::sort(g.members.begin(), g.members.end());
@@ -96,6 +112,8 @@ struct SearchState {
       // Reachable-coverage ceiling (this engine always clamps).
       if (PopCount(reachable) <= collector->threshold()) {
         ++stats->keyword_prunes;
+        RecordTrace(obs::TraceEventKind::kKeywordPrune, kInvalidVertex,
+                    PopCount(reachable));
         return;
       }
     }
@@ -108,6 +126,8 @@ struct SearchState {
       for (uint32_t i = 0; i < need; ++i) additive += -order[i].first;
       if (additive <= collector->threshold()) {
         ++stats->keyword_prunes;
+        RecordTrace(obs::TraceEventKind::kKeywordPrune, kInvalidVertex,
+                    additive);
         return;
       }
     }
@@ -123,6 +143,7 @@ struct SearchState {
         for (size_t j = i + 1; j < end; ++j) bound += -order[j].first;
         if (bound <= collector->threshold()) {
           ++stats->keyword_prunes;
+          RecordTrace(obs::TraceEventKind::kKeywordPrune, v.vertex, bound);
           return;  // order is VKC-descending: later children bound lower
         }
       }
@@ -149,12 +170,16 @@ Result<KtgResult> RunKtgConflictGraph(const AttributedGraph& graph,
                                       ConflictEngineOptions options) {
   KTG_RETURN_IF_ERROR(ValidateQuery(query, graph));
   Stopwatch watch;
-  const uint64_t checks_before = checker.num_checks();
+  if (options.metrics != nullptr) checker.EnableDetailStats();
+  const CheckerCounters checker_before = SnapshotChecker(checker);
   SearchStats stats;
 
   uint64_t excluded = 0;
-  std::vector<Candidate> cands =
-      ExtractCandidates(graph, index, query, checker, &excluded);
+  std::vector<Candidate> cands;
+  {
+    obs::PhaseTimer timer(&stats.phases, obs::Phase::kCandidateGen);
+    cands = ExtractCandidates(graph, index, query, checker, &excluded);
+  }
   stats.candidates = cands.size();
   if (options.max_candidates != 0 &&
       cands.size() > options.max_candidates) {
@@ -163,48 +188,67 @@ Result<KtgResult> RunKtgConflictGraph(const AttributedGraph& graph,
         std::to_string(cands.size()));
   }
 
-  // Static rank: initial VKC desc, degree asc, id asc (the KTG-VKC-DEG
-  // order at the root).
-  std::sort(cands.begin(), cands.end(),
-            [](const Candidate& a, const Candidate& b) {
-              if (a.vkc != b.vkc) return a.vkc > b.vkc;
-              if (a.degree != b.degree) return a.degree < b.degree;
-              return a.vertex < b.vertex;
-            });
-
-  // Materialize the conflict graph (pairs within k hops).
-  const auto n = static_cast<uint32_t>(cands.size());
-  std::vector<PosSet> conflicts(n, PosSet(n));
-  for (uint32_t i = 0; i < n; ++i) {
-    for (uint32_t j = i + 1; j < n; ++j) {
-      if (!checker.IsFartherThan(cands[i].vertex, cands[j].vertex,
-                                 query.tenuity)) {
-        conflicts[i].Set(j);
-        conflicts[j].Set(i);
-        ++stats.kline_filtered;
-      }
-    }
+  {
+    obs::PhaseTimer timer(&stats.phases, obs::Phase::kCandidateGen);
+    // Static rank: initial VKC desc, degree asc, id asc (the KTG-VKC-DEG
+    // order at the root).
+    std::sort(cands.begin(), cands.end(),
+              [](const Candidate& a, const Candidate& b) {
+                if (a.vkc != b.vkc) return a.vkc > b.vkc;
+                if (a.degree != b.degree) return a.degree < b.degree;
+                return a.vertex < b.vertex;
+              });
   }
 
+  const auto n = static_cast<uint32_t>(cands.size());
+  std::vector<PosSet> conflicts(n, PosSet(n));
   TopNCollector collector(query.top_n);
-  SearchState state;
-  state.cands = &cands;
-  state.conflicts = &conflicts;
-  state.options = &options;
-  state.p = query.group_size;
-  state.collector = &collector;
-  state.stats = &stats;
+  {
+    // The build + walk together are this engine's "search"; the build alone
+    // additionally charges the kKlineFilter sub-phase — it is the same
+    // pairwise Theorem-3 work the paper's engines spread over the tree walk,
+    // paid up front here.
+    obs::PhaseTimer bb_timer(&stats.phases, obs::Phase::kBbSearch);
+    {
+      obs::PhaseTimer timer(&stats.phases, obs::Phase::kKlineFilter);
+      for (uint32_t i = 0; i < n; ++i) {
+        for (uint32_t j = i + 1; j < n; ++j) {
+          if (!checker.IsFartherThan(cands[i].vertex, cands[j].vertex,
+                                     query.tenuity)) {
+            conflicts[i].Set(j);
+            conflicts[j].Set(i);
+            ++stats.kline_filtered;
+          }
+        }
+      }
+    }
 
-  PosSet all(n);
-  for (uint32_t i = 0; i < n; ++i) all.Set(i);
-  state.Search(std::move(all), 0);
+    SearchState state;
+    state.cands = &cands;
+    state.conflicts = &conflicts;
+    state.options = &options;
+    state.p = query.group_size;
+    state.collector = &collector;
+    state.stats = &stats;
+    state.trace = options.trace;
+
+    PosSet all(n);
+    for (uint32_t i = 0; i < n; ++i) all.Set(i);
+    state.Search(std::move(all), 0);
+  }
 
   KtgResult result;
-  result.groups = collector.Take();
+  {
+    obs::PhaseTimer timer(&stats.phases, obs::Phase::kTopNMerge);
+    result.groups = collector.Take();
+  }
   result.query_keyword_count = query.num_keywords();
-  stats.distance_checks = checker.num_checks() - checks_before;
+  stats.distance_checks = checker.num_checks() - checker_before.checks;
   stats.elapsed_ms = watch.ElapsedMillis();
+  stats.cpu_ms = stats.elapsed_ms;  // single-threaded engine
   result.stats = stats;
+  RecordSearchStats(options.metrics, stats, "conflict");
+  RecordCheckerDelta(options.metrics, checker, checker_before);
   return result;
 }
 

@@ -38,6 +38,11 @@ struct ConflictEngineOptions {
   bool keyword_pruning = true;
   /// Node budget (0 = unlimited).
   uint64_t max_nodes = 0;
+  /// Observability sinks, borrowed; null = disabled (see EngineOptions).
+  /// Conflict-graph construction time is attributed to the kline_filter
+  /// phase — it is the same pairwise k-line work, paid up front.
+  obs::MetricsRegistry* metrics = nullptr;
+  obs::QueryTrace* trace = nullptr;
 };
 
 /// Runs a KTG query on the materialized conflict graph. Exact: returns the

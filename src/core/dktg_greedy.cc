@@ -6,6 +6,9 @@
 
 #include "core/diversity.h"
 #include "core/ktg_engine.h"
+#include "core/obs_bridge.h"
+#include "obs/phase_timer.h"
+#include "obs/query_trace.h"
 #include "util/timer.h"
 
 namespace ktg {
@@ -44,24 +47,41 @@ Result<DktgResult> RunDktgGreedy(const AttributedGraph& graph,
     if (round_result->groups.empty()) break;  // no feasible group remains
     Group best = std::move(round_result->groups.front());
     c_max = best.covered();  // fallback strategy (2): C_max tracks downward
+    if (options.engine.trace != nullptr) {
+      // One marker per accepted round: depth = round, detail = its C_max.
+      options.engine.trace->Record(obs::TraceEventKind::kNote, round,
+                                   best.members.front(), c_max);
+    }
 
     // Maximize the diversity term: members of accepted groups leave S_R.
-    round_query.excluded_vertices.insert(round_query.excluded_vertices.end(),
-                                         best.members.begin(),
-                                         best.members.end());
-    result.groups.push_back(std::move(best));
+    {
+      obs::PhaseTimer timer(&result.stats.phases, obs::Phase::kDiversify);
+      round_query.excluded_vertices.insert(round_query.excluded_vertices.end(),
+                                           best.members.begin(),
+                                           best.members.end());
+      result.groups.push_back(std::move(best));
+    }
   }
 
-  result.diversity = AverageDiversity(result.groups);
-  result.min_coverage = 1.0;
-  for (const Group& g : result.groups) {
-    result.min_coverage =
-        std::min(result.min_coverage, QkcRatio(g, result.query_keyword_count));
+  {
+    obs::PhaseTimer timer(&result.stats.phases, obs::Phase::kDiversify);
+    result.diversity = AverageDiversity(result.groups);
+    result.min_coverage = 1.0;
+    for (const Group& g : result.groups) {
+      result.min_coverage = std::min(
+          result.min_coverage, QkcRatio(g, result.query_keyword_count));
+    }
+    if (result.groups.empty()) result.min_coverage = 0.0;
+    result.score =
+        DktgScore(result.groups, result.query_keyword_count, options.gamma);
   }
-  if (result.groups.empty()) result.min_coverage = 0.0;
-  result.score =
-      DktgScore(result.groups, result.query_keyword_count, options.gamma);
   result.stats.elapsed_ms = watch.ElapsedMillis();
+  // Rounds run serially here, so the diversification tail is the only
+  // compute the inner engines did not already count.
+  result.stats.cpu_ms += result.stats.phases[obs::Phase::kDiversify];
+  // The inner rounds flushed under "engine"; the whole-query aggregate goes
+  // under "dktg" so dashboards can tell per-round cost from query cost.
+  RecordSearchStats(options.engine.metrics, result.stats, "dktg");
   return result;
 }
 

@@ -5,7 +5,10 @@
 #include <algorithm>
 
 #include "core/candidates.h"
+#include "core/obs_bridge.h"
 #include "core/topn.h"
+#include "obs/phase_timer.h"
+#include "obs/query_trace.h"
 #include "util/timer.h"
 
 namespace ktg {
@@ -84,36 +87,55 @@ Result<KtgResult> RunKtgGreedy(const AttributedGraph& graph,
                                const KtgQuery& query, GreedyOptions options) {
   KTG_RETURN_IF_ERROR(ValidateQuery(query, graph));
   Stopwatch watch;
-  const uint64_t checks_before = checker.num_checks();
+  if (options.metrics != nullptr) checker.EnableDetailStats();
+  const CheckerCounters checker_before = SnapshotChecker(checker);
 
   SearchStats stats;
   uint64_t excluded = 0;
-  const std::vector<Candidate> pool =
-      ExtractCandidates(graph, index, query, checker, &excluded);
+  std::vector<Candidate> pool;
+  {
+    obs::PhaseTimer timer(&stats.phases, obs::Phase::kCandidateGen);
+    pool = ExtractCandidates(graph, index, query, checker, &excluded);
+  }
   stats.candidates = pool.size();
   stats.kline_filtered += excluded;
 
   TopNCollector collector(query.top_n);
   uint32_t restarts = 0;
-  // Each attempt skips one more leading pivot; stop when N groups are held
-  // or the restart budget is spent.
-  for (uint32_t skip = 0;
-       collector.size() < query.top_n && restarts <= options.max_restarts;
-       ++skip, ++restarts) {
-    Group group;
-    if (ConstructOnce(query, options, checker, pool, skip, &stats, &group)) {
-      ++stats.groups_completed;
-      collector.Offer(std::move(group));
+  {
+    // The construction loop is the greedy counterpart of the tree walk; its
+    // inner k-line passes are not separately timed (they dominate it anyway).
+    obs::PhaseTimer timer(&stats.phases, obs::Phase::kBbSearch);
+    // Each attempt skips one more leading pivot; stop when N groups are held
+    // or the restart budget is spent.
+    for (uint32_t skip = 0;
+         collector.size() < query.top_n && restarts <= options.max_restarts;
+         ++skip, ++restarts) {
+      Group group;
+      if (ConstructOnce(query, options, checker, pool, skip, &stats, &group)) {
+        ++stats.groups_completed;
+        if (options.trace != nullptr) {
+          options.trace->Record(obs::TraceEventKind::kOffer, query.group_size,
+                                group.members.front(), group.covered());
+        }
+        collector.Offer(std::move(group));
+      }
+      if (skip >= pool.size()) break;
     }
-    if (skip >= pool.size()) break;
   }
 
   KtgResult result;
-  result.groups = collector.Take();
+  {
+    obs::PhaseTimer timer(&stats.phases, obs::Phase::kTopNMerge);
+    result.groups = collector.Take();
+  }
   result.query_keyword_count = query.num_keywords();
-  stats.distance_checks = checker.num_checks() - checks_before;
+  stats.distance_checks = checker.num_checks() - checker_before.checks;
   stats.elapsed_ms = watch.ElapsedMillis();
+  stats.cpu_ms = stats.elapsed_ms;  // single-threaded construction
   result.stats = stats;
+  RecordSearchStats(options.metrics, stats, "greedy");
+  RecordCheckerDelta(options.metrics, checker, checker_before);
   return result;
 }
 

@@ -31,6 +31,9 @@ struct GreedyOptions {
   /// Maximum restarts when a construction dead-ends before reaching size p
   /// (each restart skips one more leading candidate).
   uint32_t max_restarts = 16;
+  /// Observability sinks, borrowed; null = disabled (see EngineOptions).
+  obs::MetricsRegistry* metrics = nullptr;
+  obs::QueryTrace* trace = nullptr;
 };
 
 /// Runs the greedy heuristic for `query`. The result satisfies every KTG

@@ -6,6 +6,8 @@
 #include <limits>
 #include <mutex>
 
+#include "core/obs_bridge.h"
+#include "obs/phase_timer.h"
 #include "util/sorted_vector.h"
 #include "util/thread_pool.h"
 #include "util/timer.h"
@@ -26,7 +28,17 @@ const char* SortStrategyName(SortStrategy s) {
 
 KtgEngine::KtgEngine(const AttributedGraph& graph, const InvertedIndex& index,
                      DistanceChecker& checker, EngineOptions options)
-    : graph_(graph), index_(index), checker_(checker), options_(options) {}
+    : graph_(graph), index_(index), checker_(checker), options_(options) {
+  instrument_ = options_.metrics != nullptr || options_.trace != nullptr;
+  if (options_.metrics != nullptr) checker_.EnableDetailStats();
+}
+
+void KtgEngine::RecordTrace(obs::TraceEventKind kind, VertexId vertex,
+                            int64_t detail) {
+  if (options_.trace == nullptr) return;
+  options_.trace->Record(kind, static_cast<uint32_t>(members_.size()), vertex,
+                         detail);
+}
 
 void KtgEngine::SortCandidates(std::vector<Candidate>& cands) const {
   switch (options_.sort) {
@@ -123,6 +135,10 @@ void KtgEngine::RequestStop() {
 
 void KtgEngine::OfferCurrent(CoverMask covered) {
   ++stats_.groups_completed;
+  if (instrument_) {
+    RecordTrace(obs::TraceEventKind::kOffer, members_.back(),
+                PopCount(covered));
+  }
   Group g;
   g.members = members_;
   std::sort(g.members.begin(), g.members.end());
@@ -138,10 +154,63 @@ void KtgEngine::OfferCurrent(CoverMask covered) {
   }
 }
 
+std::vector<Candidate> KtgEngine::BuildChildCandidates(
+    const std::vector<Candidate>& sr, size_t i, CoverMask child_covered,
+    CoverMask* child_union) {
+  const Candidate& v = sr[i];
+
+  // Child S_R: candidates after i, k-line-filtered against v (Theorem 3),
+  // with VKC refreshed against the enlarged S_I. When the checker can
+  // materialize v's <=k ball, the whole filter costs one traversal plus
+  // binary searches.
+  const std::vector<VertexId>* ball = nullptr;
+  if (options_.eager_kline_filtering && options_.bulk_filtering) {
+    ball = checker_.BallWithinK(v.vertex, k_);
+  }
+  // The stopwatch read-back (and the clock reads it implies) happens only
+  // when a sink is attached; sub-phase attribution is a diagnostic detail.
+  Stopwatch filter_watch;
+  uint64_t dropped = 0;
+  std::vector<Candidate> child;
+  child.reserve(sr.size() - i - 1);
+  CoverMask union_mask = 0;
+  for (size_t j = i + 1; j < sr.size(); ++j) {
+    Candidate c = sr[j];
+    if (options_.eager_kline_filtering) {
+      const bool conflict =
+          ball != nullptr ? SortedContains(*ball, c.vertex)
+                          : !checker_.IsFartherThan(c.vertex, v.vertex, k_);
+      if (conflict) {
+        ++dropped;
+        continue;
+      }
+    }
+    c.vkc = PopCount(NovelBits(c.mask, child_covered));
+    union_mask |= c.mask;
+    child.push_back(c);
+  }
+  if (options_.sort != SortStrategy::kQkc) SortCandidates(child);
+  stats_.kline_filtered += dropped;
+  if (instrument_) {
+    stats_.phases[obs::Phase::kKlineFilter] += filter_watch.ElapsedMillis();
+    if (dropped > 0) {
+      RecordTrace(obs::TraceEventKind::kKlineFilter, v.vertex,
+                  static_cast<int64_t>(dropped));
+    }
+  }
+  *child_union = union_mask;
+  return child;
+}
+
 void KtgEngine::Search(const std::vector<Candidate>& sr, CoverMask covered,
                        CoverMask sr_union) {
   if (StopRequested()) return;
   ++stats_.nodes_expanded;
+  if (instrument_) {
+    RecordTrace(obs::TraceEventKind::kExpand,
+                members_.empty() ? kInvalidVertex : members_.back(),
+                static_cast<int64_t>(sr.size()));
+  }
   if (options_.max_nodes != 0) {
     // Parallel runs charge the global budget; serial runs the local count.
     const uint64_t expanded =
@@ -174,6 +243,11 @@ void KtgEngine::Search(const std::vector<Candidate>& sr, CoverMask covered,
     const int additive = covered_count + OptimisticGain(sr, 0, need);
     if (std::min(additive, ceiling) <= PruneThreshold()) {
       ++stats_.keyword_prunes;
+      if (instrument_) {
+        RecordTrace(obs::TraceEventKind::kKeywordPrune,
+                    members_.empty() ? kInvalidVertex : members_.back(),
+                    std::min(additive, ceiling));
+      }
       return;
     }
   }
@@ -187,6 +261,9 @@ void KtgEngine::Search(const std::vector<Candidate>& sr, CoverMask covered,
     if (options_.keyword_pruning && CollectorFull()) {
       if (ceiling <= PruneThreshold()) {
         ++stats_.keyword_prunes;
+        if (instrument_) {
+          RecordTrace(obs::TraceEventKind::kKeywordPrune, v.vertex, ceiling);
+        }
         return;  // no child can beat the N-th result
       }
       if (options_.sort != SortStrategy::kQkc) {
@@ -194,6 +271,9 @@ void KtgEngine::Search(const std::vector<Candidate>& sr, CoverMask covered,
             covered_count + v.vkc + OptimisticGain(sr, i + 1, need - 1);
         if (bound <= PruneThreshold()) {
           ++stats_.keyword_prunes;
+          if (instrument_) {
+            RecordTrace(obs::TraceEventKind::kKeywordPrune, v.vertex, bound);
+          }
           // sr is vkc-descending: later children only bound lower.
           return;
         }
@@ -213,35 +293,9 @@ void KtgEngine::Search(const std::vector<Candidate>& sr, CoverMask covered,
     }
 
     const CoverMask child_covered = covered | v.mask;
-
-    // Build the child's S_R: candidates after i, k-line-filtered against v
-    // (Theorem 3), with VKC refreshed against the enlarged S_I. When the
-    // checker can materialize v's <=k ball, the whole filter costs one
-    // traversal plus binary searches.
-    const std::vector<VertexId>* ball = nullptr;
-    if (options_.eager_kline_filtering && options_.bulk_filtering) {
-      ball = checker_.BallWithinK(v.vertex, k_);
-    }
-    std::vector<Candidate> child;
-    child.reserve(sr.size() - i - 1);
     CoverMask child_union = 0;
-    for (size_t j = i + 1; j < sr.size(); ++j) {
-      Candidate c = sr[j];
-      if (options_.eager_kline_filtering) {
-        const bool conflict =
-            ball != nullptr
-                ? SortedContains(*ball, c.vertex)
-                : !checker_.IsFartherThan(c.vertex, v.vertex, k_);
-        if (conflict) {
-          ++stats_.kline_filtered;
-          continue;
-        }
-      }
-      c.vkc = PopCount(NovelBits(c.mask, child_covered));
-      child_union |= c.mask;
-      child.push_back(c);
-    }
-    if (options_.sort != SortStrategy::kQkc) SortCandidates(child);
+    std::vector<Candidate> child =
+        BuildChildCandidates(sr, i, child_covered, &child_union);
 
     members_.push_back(v.vertex);
     Search(child, child_covered, child_union);
@@ -273,12 +327,18 @@ bool KtgEngine::SearchRoot(const std::vector<Candidate>& sr, size_t i,
     const int threshold = PruneThreshold();
     if (ceiling <= threshold) {
       ++stats_.keyword_prunes;
+      if (instrument_) {
+        RecordTrace(obs::TraceEventKind::kKeywordPrune, v.vertex, ceiling);
+      }
       return false;  // no root can beat the N-th result anymore
     }
     if (options_.sort != SortStrategy::kQkc) {
       const int bound = v.vkc + OptimisticGain(sr, i + 1, need - 1);
       if (bound <= threshold) {
         ++stats_.keyword_prunes;
+        if (instrument_) {
+          RecordTrace(obs::TraceEventKind::kKeywordPrune, v.vertex, bound);
+        }
         return false;  // sr is vkc-descending: later roots bound lower
       }
     }
@@ -286,29 +346,9 @@ bool KtgEngine::SearchRoot(const std::vector<Candidate>& sr, size_t i,
 
   // (The lazy-mode feasibility check is vacuous here: S_I is empty.)
   const CoverMask child_covered = v.mask;
-  const std::vector<VertexId>* ball = nullptr;
-  if (options_.eager_kline_filtering && options_.bulk_filtering) {
-    ball = checker_.BallWithinK(v.vertex, k_);
-  }
-  std::vector<Candidate> child;
-  child.reserve(sr.size() - i - 1);
   CoverMask child_union = 0;
-  for (size_t j = i + 1; j < sr.size(); ++j) {
-    Candidate c = sr[j];
-    if (options_.eager_kline_filtering) {
-      const bool conflict =
-          ball != nullptr ? SortedContains(*ball, c.vertex)
-                          : !checker_.IsFartherThan(c.vertex, v.vertex, k_);
-      if (conflict) {
-        ++stats_.kline_filtered;
-        continue;
-      }
-    }
-    c.vkc = PopCount(NovelBits(c.mask, child_covered));
-    child_union |= c.mask;
-    child.push_back(c);
-  }
-  if (options_.sort != SortStrategy::kQkc) SortCandidates(child);
+  std::vector<Candidate> child =
+      BuildChildCandidates(sr, i, child_covered, &child_union);
 
   members_.push_back(v.vertex);
   Search(child, child_covered, child_union);
@@ -329,6 +369,7 @@ std::vector<Group> KtgEngine::ParallelRootSearch(
   bool complete = true;
 
   auto worker_fn = [&] {
+    Stopwatch worker_watch;
     KtgEngine clone(graph_, index_, checker_, options_);
     clone.p_ = p_;
     clone.k_ = k_;
@@ -341,19 +382,29 @@ std::vector<Group> KtgEngine::ParallelRootSearch(
       if (i >= num_roots) break;
       if (!clone.SearchRoot(sr, i, sr_union)) break;
     }
+    // Worker wall-clock is this worker's compute time; SearchStats merges
+    // cpu_ms additively (and elapsed_ms by max), so the aggregate reports
+    // total work next to the query's wall-clock.
+    clone.stats_.cpu_ms = worker_watch.ElapsedMillis();
     std::lock_guard<std::mutex> lock(agg_mu);
     agg += clone.stats_;
     complete = complete && clone.last_run_complete_;
   };
 
-  ThreadPool pool(workers);
-  for (uint32_t w = 0; w < workers; ++w) pool.Submit(worker_fn);
-  pool.Wait();
+  {
+    obs::PhaseTimer bb_timer(&stats_.phases, obs::Phase::kBbSearch);
+    ThreadPool pool(workers);
+    for (uint32_t w = 0; w < workers; ++w) pool.Submit(worker_fn);
+    pool.Wait();
+  }
 
-  agg.elapsed_ms = 0.0;  // wall-clock is measured by Run(), not summed
+  agg.elapsed_ms = 0.0;  // wall-clock is measured by Run(), not by workers
+  // Clone phase entries only hold the kKlineFilter sub-phase (their
+  // top-level timers never ran); summing them attributes worker CPU.
   stats_ += agg;
   ++stats_.nodes_expanded;  // the virtual root accounted in `nodes`
   if (!complete) last_run_complete_ = false;
+  obs::PhaseTimer merge_timer(&stats_.phases, obs::Phase::kTopNMerge);
   return shared.Take();
 }
 
@@ -370,14 +421,17 @@ Result<KtgResult> KtgEngine::Run(const KtgQuery& query) {
   stop_ = false;
   last_run_complete_ = true;
 
-  const uint64_t checks_before = checker_.num_checks();
+  const CheckerCounters checker_before = SnapshotChecker(checker_);
 
   uint64_t excluded = 0;
-  std::vector<Candidate> sr =
-      ExtractCandidates(graph_, index_, query, checker_, &excluded);
-  stats_.candidates = sr.size();
-  stats_.kline_filtered += excluded;
-  SortCandidates(sr);
+  std::vector<Candidate> sr;
+  {
+    obs::PhaseTimer timer(&stats_.phases, obs::Phase::kCandidateGen);
+    sr = ExtractCandidates(graph_, index_, query, checker_, &excluded);
+    stats_.candidates = sr.size();
+    stats_.kline_filtered += excluded;
+    SortCandidates(sr);
+  }
 
   CoverMask sr_union = 0;
   for (const Candidate& c : sr) sr_union |= c.mask;
@@ -385,15 +439,30 @@ Result<KtgResult> KtgEngine::Run(const KtgQuery& query) {
   KtgResult result;
   const uint32_t workers = EffectiveWorkers(sr.size());
   if (workers <= 1) {
-    Search(sr, 0, sr_union);
+    {
+      obs::PhaseTimer timer(&stats_.phases, obs::Phase::kBbSearch);
+      Search(sr, 0, sr_union);
+    }
+    obs::PhaseTimer timer(&stats_.phases, obs::Phase::kTopNMerge);
     result.groups = collector_.Take();
   } else {
     result.groups = ParallelRootSearch(sr, sr_union, workers);
   }
   result.query_keyword_count = query.num_keywords();
-  stats_.distance_checks = checker_.num_checks() - checks_before;
+  stats_.distance_checks = checker_.num_checks() - checker_before.checks;
   stats_.elapsed_ms = watch.ElapsedMillis();
+  if (workers <= 1) {
+    // Serial run: all compute happened on this thread.
+    stats_.cpu_ms = stats_.elapsed_ms;
+  } else {
+    // Parallel run: workers contributed their wall-clocks; add the
+    // coordinator's serial prologue so cpu covers the whole query.
+    stats_.cpu_ms += stats_.phases[obs::Phase::kCandidateGen] +
+                     stats_.phases[obs::Phase::kTopNMerge];
+  }
   result.stats = stats_;
+  RecordSearchStats(options_.metrics, stats_, "engine");
+  RecordCheckerDelta(options_.metrics, checker_, checker_before);
   return result;
 }
 

@@ -31,6 +31,7 @@
 #include "index/distance_checker.h"
 #include "keywords/attributed_graph.h"
 #include "keywords/inverted_index.h"
+#include "obs/query_trace.h"
 #include "util/status.h"
 
 namespace ktg {
@@ -64,6 +65,17 @@ class KtgEngine {
  private:
   void Search(const std::vector<Candidate>& sr, CoverMask covered,
               CoverMask sr_union);
+  // The shared child-construction step of Search()/SearchRoot(): candidates
+  // after `i`, k-line-filtered against sr[i] (Theorem 3), VKC refreshed
+  // against `child_covered`, re-sorted for VKC strategies. Charges filter
+  // time to the kKlineFilter sub-phase and emits a trace event when
+  // observability is attached.
+  std::vector<Candidate> BuildChildCandidates(const std::vector<Candidate>& sr,
+                                              size_t i, CoverMask child_covered,
+                                              CoverMask* child_union);
+  // Forwards to the attached QueryTrace (no-op when none); depth is the
+  // current |S_I|.
+  void RecordTrace(obs::TraceEventKind kind, VertexId vertex, int64_t detail);
   void SortCandidates(std::vector<Candidate>& cands) const;
   // Sum of the `need` largest vkc values in `cands[from:]`; assumes the
   // vector is vkc-descending for VKC strategies, scans otherwise.
@@ -96,6 +108,10 @@ class KtgEngine {
   const InvertedIndex& index_;
   DistanceChecker& checker_;
   EngineOptions options_;
+
+  // True when any observability sink is attached; gates the per-node
+  // recording sites so the disabled path stays branch-only.
+  bool instrument_ = false;
 
   // Per-run state.
   uint32_t p_ = 0;

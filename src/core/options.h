@@ -9,6 +9,11 @@
 #include <cstdint>
 #include <string>
 
+namespace ktg::obs {
+class MetricsRegistry;
+class QueryTrace;
+}  // namespace ktg::obs
+
 namespace ktg {
 
 /// Candidate ordering inside the branch-and-bound search (Section IV).
@@ -82,6 +87,16 @@ struct EngineOptions {
   /// covers at least this many keywords. DKTG-Greedy uses it to accept the
   /// first group matching the previous round's coverage.
   int stop_at_count = 0;
+
+  /// Observability sinks (see src/obs/). Both are borrowed, never owned;
+  /// null (the default) means fully disabled — the engines then skip every
+  /// recording site, so the hot path pays at most a predicted branch.
+  /// `metrics` receives aggregated counters/histograms flushed once per
+  /// run; `trace` receives per-node prune/expand events (serial engine and
+  /// per-worker clones share one bounded ring, mutex-serialized — attach a
+  /// trace only when diagnosing, not when benchmarking).
+  obs::MetricsRegistry* metrics = nullptr;
+  obs::QueryTrace* trace = nullptr;
 };
 
 }  // namespace ktg

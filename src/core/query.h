@@ -11,6 +11,7 @@
 
 #include "graph/types.h"
 #include "keywords/attributed_graph.h"
+#include "obs/phases.h"
 #include "util/bits.h"
 #include "util/status.h"
 
@@ -88,7 +89,17 @@ struct SearchStats {
   uint64_t distance_checks = 0;     ///< checker invocations
   uint64_t candidates = 0;          ///< initial |S_R|
   double elapsed_ms = 0.0;          ///< wall-clock of the search
+  /// Compute time: per-worker wall-clocks summed. Equals elapsed_ms for a
+  /// serial run; exceeds it under the root-parallel engine (and that ratio
+  /// is the effective parallelism of the query).
+  double cpu_ms = 0.0;
+  /// Per-phase latency attribution (see obs/phases.h).
+  obs::PhaseBreakdown phases;
 
+  /// Merges counters. Counters and cpu_ms are additive; elapsed_ms is a
+  /// wall-clock, so merging concurrent measurements takes the max — summing
+  /// worker wall-clocks (the pre-observability behaviour) double-counts
+  /// overlapping time and is exactly what cpu_ms now reports.
   SearchStats& operator+=(const SearchStats& o) {
     nodes_expanded += o.nodes_expanded;
     groups_completed += o.groups_completed;
@@ -96,7 +107,9 @@ struct SearchStats {
     kline_filtered += o.kline_filtered;
     distance_checks += o.distance_checks;
     candidates += o.candidates;
-    elapsed_ms += o.elapsed_ms;
+    elapsed_ms = elapsed_ms > o.elapsed_ms ? elapsed_ms : o.elapsed_ms;
+    cpu_ms += o.cpu_ms;
+    phases += o.phases;
     return *this;
   }
 };

@@ -188,6 +188,7 @@ Result<TagqResult> RunTagq(const AttributedGraph& graph,
   result.stats = search.stats;
   result.stats.distance_checks = checker.num_checks() - checks_before;
   result.stats.elapsed_ms = watch.ElapsedMillis();
+  result.stats.cpu_ms = result.stats.elapsed_ms;  // single-threaded
   return result;
 }
 

@@ -37,7 +37,12 @@ class DistanceChecker {
   /// itself; vertices in different components are infinitely far apart.
   bool IsFartherThan(VertexId u, VertexId v, HopDistance k) {
     num_checks_.fetch_add(1, std::memory_order_relaxed);
-    return IsFartherThanImpl(u, v, k);
+    const bool farther = IsFartherThanImpl(u, v, k);
+    if (detail_stats_.load(std::memory_order_relaxed)) {
+      (farther ? num_farther_ : num_within_)
+          .fetch_add(1, std::memory_order_relaxed);
+    }
+    return farther;
   }
 
   /// True when IsFartherThan may be invoked from multiple threads
@@ -71,17 +76,62 @@ class DistanceChecker {
   uint64_t num_checks() const {
     return num_checks_.load(std::memory_order_relaxed);
   }
-  void ResetStats() { num_checks_.store(0, std::memory_order_relaxed); }
+
+  /// Detail attribution (hit/miss split + probe counts) is off by default
+  /// so the per-check hot path pays only one predictable branch; engines
+  /// turn it on when a MetricsRegistry is attached and leave it on — the
+  /// flag is sticky because checkers are shared across runs and workers.
+  void EnableDetailStats() {
+    detail_stats_.store(true, std::memory_order_relaxed);
+  }
+  bool detail_stats_enabled() const {
+    return detail_stats_.load(std::memory_order_relaxed);
+  }
+
+  /// Checks that answered "farther than k" (the pair stays feasible) /
+  /// "within k" (a k-line conflict). Only counted while detail stats are
+  /// enabled; farther + within == checks over that window (bulk
+  /// BallWithinK traversals count toward neither).
+  uint64_t num_farther() const {
+    return num_farther_.load(std::memory_order_relaxed);
+  }
+  uint64_t num_within() const {
+    return num_within_.load(std::memory_order_relaxed);
+  }
+
+  /// Index-structure probes (per-level membership lookups for NL/NLRNL,
+  /// word reads for the bitmap) while detail stats are enabled; 0 for
+  /// checkers without an index (BFS). probes/checks is the "how hard did
+  /// the index work per answer" ratio of Section V.
+  uint64_t num_probes() const {
+    return num_probes_.load(std::memory_order_relaxed);
+  }
+
+  void ResetStats() {
+    num_checks_.store(0, std::memory_order_relaxed);
+    num_farther_.store(0, std::memory_order_relaxed);
+    num_within_.store(0, std::memory_order_relaxed);
+    num_probes_.store(0, std::memory_order_relaxed);
+  }
 
  protected:
   DistanceChecker() = default;
-  // The atomic counter is not copyable/movable by itself; value-semantic
-  // subclasses (NL/NLRNL are moved out of serialization loads) transfer
-  // the count explicitly.
+  // The atomic counters are not copyable/movable by themselves;
+  // value-semantic subclasses (NL/NLRNL are moved out of serialization
+  // loads) transfer the counts explicitly.
   DistanceChecker(const DistanceChecker& other)
-      : num_checks_(other.num_checks()) {}
+      : num_checks_(other.num_checks()),
+        num_farther_(other.num_farther()),
+        num_within_(other.num_within()),
+        num_probes_(other.num_probes()),
+        detail_stats_(other.detail_stats_enabled()) {}
   DistanceChecker& operator=(const DistanceChecker& other) {
     num_checks_.store(other.num_checks(), std::memory_order_relaxed);
+    num_farther_.store(other.num_farther(), std::memory_order_relaxed);
+    num_within_.store(other.num_within(), std::memory_order_relaxed);
+    num_probes_.store(other.num_probes(), std::memory_order_relaxed);
+    detail_stats_.store(other.detail_stats_enabled(),
+                        std::memory_order_relaxed);
     return *this;
   }
 
@@ -93,8 +143,21 @@ class DistanceChecker {
     num_checks_.fetch_add(n, std::memory_order_relaxed);
   }
 
+  /// For index implementations: records `n` structure probes performed by
+  /// the current check. Gated on the detail flag so disabled runs pay one
+  /// branch, not an atomic RMW.
+  void RecordProbes(uint64_t n) {
+    if (detail_stats_.load(std::memory_order_relaxed)) {
+      num_probes_.fetch_add(n, std::memory_order_relaxed);
+    }
+  }
+
  private:
   std::atomic<uint64_t> num_checks_{0};
+  std::atomic<uint64_t> num_farther_{0};
+  std::atomic<uint64_t> num_within_{0};
+  std::atomic<uint64_t> num_probes_{0};
+  std::atomic<bool> detail_stats_{false};
 };
 
 }  // namespace ktg

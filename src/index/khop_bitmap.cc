@@ -33,6 +33,7 @@ bool KHopBitmapChecker::IsFartherThanImpl(VertexId u, VertexId v,
                                           HopDistance k) {
   KTG_CHECK_MSG(k == k_, "KHopBitmapChecker was built for a different k");
   if (u == v) return false;
+  RecordProbes(1);  // one word read
   return !TestBit(u, v);
 }
 

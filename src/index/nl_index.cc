@@ -99,8 +99,12 @@ bool NlIndex::IsFartherThanImpl(VertexId u, VertexId v, HopDistance k) {
   const uint32_t stored = static_cast<uint32_t>(entry.levels.size());
   const uint32_t scan = std::min<uint32_t>(stored, k);
   for (uint32_t i = 0; i < scan; ++i) {
-    if (SortedContains(entry.levels[i], u)) return false;  // distance i+1 <= k
+    if (SortedContains(entry.levels[i], u)) {
+      RecordProbes(i + 1);
+      return false;  // distance i+1 <= k
+    }
   }
+  RecordProbes(scan);
   if (k <= stored) return true;   // all levels <= k scanned, u absent
   if (entry.exhausted) return true;  // u beyond the whole component
 
@@ -109,6 +113,7 @@ bool NlIndex::IsFartherThanImpl(VertexId u, VertexId v, HopDistance k) {
   // Expand (h+1), (h+2), ..., k-hop levels on demand, memoizing each.
   for (uint32_t depth = stored + 1; depth <= k; ++depth) {
     if (!ExpandOneLevel(v)) return true;  // component exhausted below k
+    RecordProbes(1);
     if (SortedContains(entry.levels.back(), u)) return false;
   }
   return true;

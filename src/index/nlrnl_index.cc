@@ -87,23 +87,40 @@ bool NlrnlIndex::IsFartherThanImpl(VertexId u, VertexId v, HopDistance k) {
   const uint32_t c = entry.c;
 
   // Forward levels 1 .. min(k, c-1).
+  uint64_t probes = 0;
   const uint32_t fscan =
       std::min<uint32_t>(static_cast<uint32_t>(entry.forward.size()), k);
   for (uint32_t i = 0; i < fscan; ++i) {
-    if (SortedContains(entry.forward[i], b)) return false;  // d = i+1 <= k
+    ++probes;
+    if (SortedContains(entry.forward[i], b)) {
+      RecordProbes(probes);
+      return false;  // d = i+1 <= k
+    }
   }
-  if (k <= c - 1) return true;  // all candidate levels scanned
+  if (k <= c - 1) {
+    RecordProbes(probes);
+    return true;  // all candidate levels scanned
+  }
 
   // k >= c: levels c+1 .. k of the reverse lists would witness d <= k.
   for (uint32_t level = c + 1; level <= k; ++level) {
     const uint32_t j = level - c - 1;
     if (j >= entry.reverse.size()) break;
-    if (SortedContains(entry.reverse[j], b)) return false;  // d = level <= k
+    ++probes;
+    if (SortedContains(entry.reverse[j], b)) {
+      RecordProbes(probes);
+      return false;  // d = level <= k
+    }
   }
   // Levels k+1 .. ecc witness d > k.
   for (uint32_t j = (k >= c ? k - c : 0); j < entry.reverse.size(); ++j) {
-    if (SortedContains(entry.reverse[j], b)) return true;  // d = c+1+j > k
+    ++probes;
+    if (SortedContains(entry.reverse[j], b)) {
+      RecordProbes(probes);
+      return true;  // d = c+1+j > k
+    }
   }
+  RecordProbes(probes);
   // b appears in no stored list but is in the same component: d == c <= k.
   return false;
 }

@@ -1,0 +1,185 @@
+// Copyright (c) 2026 The ktg Authors.
+
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ktg::obs {
+namespace {
+
+// Atomic double accumulate / min / max via CAS (memory_order_relaxed is
+// enough: these are statistics, not synchronization).
+void AtomicAdd(std::atomic<double>& target, double delta) {
+  double cur = target.load(std::memory_order_relaxed);
+  while (!target.compare_exchange_weak(cur, cur + delta,
+                                       std::memory_order_relaxed)) {
+  }
+}
+
+void AtomicMin(std::atomic<double>& target, double v) {
+  double cur = target.load(std::memory_order_relaxed);
+  while (v < cur &&
+         !target.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+void AtomicMax(std::atomic<double>& target, double v) {
+  double cur = target.load(std::memory_order_relaxed);
+  while (v > cur &&
+         !target.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+// Bucket index for a value: 0 for v <= kMinValue, else 1 + floor(log2
+// (v / kMinValue)), clamped to the last bucket.
+int BucketIndex(double v) {
+  if (!(v > Histogram::kMinValue)) return 0;  // also catches NaN
+  const int exp =
+      static_cast<int>(std::floor(std::log2(v / Histogram::kMinValue)));
+  return std::min(Histogram::kNumBuckets - 1, 1 + exp);
+}
+
+// Upper bound of bucket i (its representative for interpolation).
+double BucketUpper(int i) {
+  return Histogram::kMinValue * std::exp2(static_cast<double>(i));
+}
+
+}  // namespace
+
+void Histogram::Record(double value) {
+  buckets_[BucketIndex(value)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  AtomicAdd(sum_, value);
+  AtomicMin(min_, value);
+  AtomicMax(max_, value);
+}
+
+double Histogram::sum() const { return sum_.load(std::memory_order_relaxed); }
+
+double Histogram::min() const {
+  // min_ starts at +inf so all-positive data is not pinned to 0.
+  const double v = min_.load(std::memory_order_relaxed);
+  return std::isfinite(v) ? v : 0.0;
+}
+
+double Histogram::max() const {
+  const double v = max_.load(std::memory_order_relaxed);
+  return std::isfinite(v) ? v : 0.0;
+}
+
+double Histogram::Quantile(double q) const {
+  const uint64_t n = count();
+  if (n == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  // Rank of the selected sample (nearest-rank on the bucket CDF).
+  const uint64_t rank = std::max<uint64_t>(
+      1, static_cast<uint64_t>(std::ceil(q * static_cast<double>(n))));
+  uint64_t seen = 0;
+  for (int i = 0; i < kNumBuckets; ++i) {
+    const uint64_t in_bucket = buckets_[i].load(std::memory_order_relaxed);
+    if (in_bucket == 0) continue;
+    if (seen + in_bucket < rank) {
+      seen += in_bucket;
+      continue;
+    }
+    if (i == 0) return std::min(max(), kMinValue);
+    // Log-linear interpolation inside the bucket, clamped to the observed
+    // range so single-bucket histograms report sane numbers.
+    const double lo = BucketUpper(i - 1);
+    const double hi = BucketUpper(i);
+    const double frac =
+        static_cast<double>(rank - seen) / static_cast<double>(in_bucket);
+    const double estimate = lo * std::pow(hi / lo, frac);
+    return std::clamp(estimate, min(), max());
+  }
+  return max();
+}
+
+LatencySummary Histogram::Summary() const {
+  LatencySummary s;
+  s.count = count();
+  if (s.count == 0) return s;
+  s.mean = sum() / static_cast<double>(s.count);
+  s.min = min();
+  s.max = max();
+  s.p50 = Quantile(0.50);
+  s.p90 = Quantile(0.90);
+  s.p99 = Quantile(0.99);
+  return s;
+}
+
+Counter& MetricsRegistry::counter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::string(name), std::make_unique<Counter>())
+             .first;
+  }
+  return *it->second;
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
+  }
+  return *it->second;
+}
+
+Histogram& MetricsRegistry::histogram(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_.emplace(std::string(name), std::make_unique<Histogram>())
+             .first;
+  }
+  return *it->second;
+}
+
+uint64_t MetricsRegistry::CounterValue(std::string_view name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = counters_.find(name);
+  return it == counters_.end() ? 0 : it->second->value();
+}
+
+void MetricsRegistry::WriteJson(JsonWriter& w) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  w.BeginObject();
+  w.KV("schema", "ktg.metrics.v1");
+
+  w.Key("counters").BeginObject();
+  for (const auto& [name, c] : counters_) w.KV(name, c->value());
+  w.EndObject();
+
+  w.Key("gauges").BeginObject();
+  for (const auto& [name, g] : gauges_) w.KV(name, g->value());
+  w.EndObject();
+
+  w.Key("histograms").BeginObject();
+  for (const auto& [name, h] : histograms_) {
+    const LatencySummary s = h->Summary();
+    w.Key(name).BeginObject();
+    w.KV("count", s.count)
+        .KV("mean", s.mean)
+        .KV("min", s.min)
+        .KV("max", s.max)
+        .KV("p50", s.p50)
+        .KV("p90", s.p90)
+        .KV("p99", s.p99)
+        .KV("sum", h->sum());
+    w.EndObject();
+  }
+  w.EndObject();
+
+  w.EndObject();
+}
+
+std::string MetricsRegistry::ToJson() const {
+  JsonWriter w;
+  WriteJson(w);
+  return w.str();
+}
+
+}  // namespace ktg::obs

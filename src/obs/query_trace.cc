@@ -1,0 +1,104 @@
+// Copyright (c) 2026 The ktg Authors.
+
+#include "obs/query_trace.h"
+
+#include <algorithm>
+
+#include "util/macros.h"
+
+namespace ktg::obs {
+
+const char* TraceEventKindName(TraceEventKind kind) {
+  switch (kind) {
+    case TraceEventKind::kExpand:
+      return "expand";
+    case TraceEventKind::kKeywordPrune:
+      return "keyword_prune";
+    case TraceEventKind::kKlineFilter:
+      return "kline_filter";
+    case TraceEventKind::kOffer:
+      return "offer";
+    case TraceEventKind::kNote:
+      return "note";
+  }
+  return "?";
+}
+
+QueryTrace::QueryTrace(size_t capacity)
+    : ring_(std::max<size_t>(1, capacity)) {}
+
+void QueryTrace::Record(TraceEventKind kind, uint32_t depth, uint32_t vertex,
+                        int64_t detail) {
+  // t_ms is read outside the lock: Stopwatch reads are const and racing
+  // timestamp reads are harmless (events are ordered by slot, not time).
+  const double t_ms = epoch_.ElapsedMillis();
+  std::lock_guard<std::mutex> lock(mu_);
+  TraceEvent& slot = ring_[next_ % ring_.size()];
+  slot.t_ms = t_ms;
+  slot.kind = kind;
+  slot.depth = depth;
+  slot.vertex = vertex;
+  slot.detail = detail;
+  ++next_;
+}
+
+uint64_t QueryTrace::total_recorded() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return next_;
+}
+
+uint64_t QueryTrace::dropped() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return next_ > ring_.size() ? next_ - ring_.size() : 0;
+}
+
+std::vector<TraceEvent> QueryTrace::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<TraceEvent> out;
+  const size_t held = static_cast<size_t>(
+      std::min<uint64_t>(next_, static_cast<uint64_t>(ring_.size())));
+  out.reserve(held);
+  const size_t start = static_cast<size_t>(next_ % ring_.size());
+  for (size_t i = 0; i < held; ++i) {
+    // Oldest-first: when full, the slot about to be overwritten is oldest.
+    const size_t idx =
+        next_ >= ring_.size() ? (start + i) % ring_.size() : i;
+    out.push_back(ring_[idx]);
+  }
+  return out;
+}
+
+void QueryTrace::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  next_ = 0;
+  epoch_.Reset();
+}
+
+void QueryTrace::WriteJson(JsonWriter& w) const {
+  const std::vector<TraceEvent> events = Snapshot();
+  w.BeginObject();
+  w.KV("schema", "ktg.trace.v1");
+  w.KV("capacity", static_cast<uint64_t>(capacity()));
+  w.KV("recorded", total_recorded());
+  w.KV("dropped", dropped());
+  w.Key("events").BeginArray();
+  for (const TraceEvent& e : events) {
+    w.BeginObject();
+    w.KV("t_ms", e.t_ms)
+        .KV("kind", TraceEventKindName(e.kind))
+        .KV("depth", static_cast<uint64_t>(e.depth))
+        .KV("vertex", static_cast<uint64_t>(e.vertex))
+        .KV("detail", e.detail);
+    w.EndObject();
+  }
+  w.EndArray();
+  w.EndObject();
+}
+
+std::string QueryTrace::ToJson() const {
+  JsonWriter w;
+  WriteJson(w);
+  return w.str();
+}
+
+}  // namespace ktg::obs

@@ -1,0 +1,88 @@
+// Copyright (c) 2026 The ktg Authors.
+// Structured per-query tracing: a bounded ring of search events.
+//
+// When a QueryTrace is attached to a run (EngineOptions::trace), the
+// engines record one event per interesting step — node expansion, a
+// Theorem-2 prune, a Theorem-3 filter pass, a completed group — with the
+// depth and timestamp. The ring is bounded: once `capacity` events are
+// held, new events overwrite the oldest, so tracing a pathological query
+// costs fixed memory and the *tail* of the search (where pruning decisions
+// bite) is what survives. Export is JSON via util/json_writer.h; the
+// schema ("ktg.trace.v1") is documented in docs/observability.md.
+//
+// Recording is mutex-serialized: a trace is a diagnostic instrument, and
+// correctness under the root-parallel engine beats shaving nanoseconds off
+// a path that is disabled by default.
+
+#ifndef KTG_OBS_QUERY_TRACE_H_
+#define KTG_OBS_QUERY_TRACE_H_
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "util/json_writer.h"
+#include "util/timer.h"
+
+namespace ktg::obs {
+
+/// What happened at a search step.
+enum class TraceEventKind : uint8_t {
+  kExpand = 0,    ///< a branch-and-bound node was expanded
+  kKeywordPrune,  ///< a branch was cut by the Theorem-2 bound
+  kKlineFilter,   ///< a child set dropped `detail` candidates (Theorem 3)
+  kOffer,         ///< a size-p group was offered to the collector
+  kNote,          ///< engine-specific marker (detail is free-form)
+};
+
+const char* TraceEventKindName(TraceEventKind kind);
+
+/// One recorded step. `detail` is kind-specific: candidates remaining for
+/// kExpand, the losing bound for kKeywordPrune, candidates dropped for
+/// kKlineFilter, keywords covered for kOffer.
+struct TraceEvent {
+  double t_ms = 0.0;  ///< since trace construction / last Clear
+  TraceEventKind kind = TraceEventKind::kNote;
+  uint32_t depth = 0;    ///< |S_I| at the event
+  uint32_t vertex = 0;   ///< the candidate involved (kInvalidVertex if none)
+  int64_t detail = 0;
+};
+
+/// Bounded ring of TraceEvents; thread-safe to record into.
+class QueryTrace {
+ public:
+  explicit QueryTrace(size_t capacity = kDefaultCapacity);
+
+  void Record(TraceEventKind kind, uint32_t depth, uint32_t vertex,
+              int64_t detail);
+
+  /// Events recorded since construction/Clear (including overwritten ones).
+  uint64_t total_recorded() const;
+  /// Events lost to ring overwrite.
+  uint64_t dropped() const;
+  size_t capacity() const { return ring_.size(); }
+
+  /// Held events, oldest first.
+  std::vector<TraceEvent> Snapshot() const;
+
+  /// Empties the ring and restarts the clock.
+  void Clear();
+
+  /// Emits {"schema":"ktg.trace.v1","capacity":...,"recorded":...,
+  /// "dropped":...,"events":[{t_ms,kind,depth,vertex,detail}]}.
+  void WriteJson(JsonWriter& w) const;
+  std::string ToJson() const;
+
+  static constexpr size_t kDefaultCapacity = 4096;
+
+ private:
+  mutable std::mutex mu_;
+  Stopwatch epoch_;
+  std::vector<TraceEvent> ring_;
+  uint64_t next_ = 0;  // total events ever recorded
+};
+
+}  // namespace ktg::obs
+
+#endif  // KTG_OBS_QUERY_TRACE_H_

@@ -6,6 +6,8 @@
 
 #include <cstdio>
 #include <filesystem>
+#include <fstream>
+#include <sstream>
 
 #include "cli/args.h"
 #include "cli/commands.h"
@@ -181,6 +183,37 @@ TEST_F(CliCommandTest, QueryJsonOutput) {
       {"edges", "attrs", "checker", "keywords", "p", "k", "json"});
   ASSERT_TRUE(args.ok());
   EXPECT_TRUE(CmdQuery(*args).ok());
+}
+
+TEST_F(CliCommandTest, QueryMetricsJsonSidecar) {
+  const std::string metrics = TempPath("ktg_cli_metrics.json");
+  const auto args = Args::Parse(
+      {"query", "--edges", edges_, "--attrs", attrs_, "--checker", "bfs",
+       "--keywords", "kw0,kw1,kw2", "--p", "2", "--k", "1", "--metrics-json",
+       metrics, "--trace"},
+      {"edges", "attrs", "checker", "keywords", "p", "k", "metrics-json",
+       "trace"});
+  ASSERT_TRUE(args.ok());
+  ASSERT_TRUE(CmdQuery(*args).ok());
+
+  std::ifstream in(metrics);
+  ASSERT_TRUE(in.good()) << metrics;
+  std::stringstream buf;
+  buf << in.rdbuf();
+  const std::string json = buf.str();
+  // Golden schema check: the ktg.metrics.v1 shape with engine counters,
+  // per-phase histograms and per-checker detail stats all present.
+  for (const char* needle :
+       {"\"schema\":\"ktg.metrics.v1\"", "\"counters\":", "\"gauges\":",
+        "\"histograms\":", "\"engine.queries\":1", "\"engine.candidates\":",
+        "\"engine.nodes_expanded\":", "\"engine.prune.keyword\":",
+        "\"engine.prune.kline\":", "\"engine.distance_checks\":",
+        "\"checker.BFS.checks\":", "\"checker.BFS.farther\":",
+        "\"engine.query_ms\":", "\"phase.candidate_gen_ms\":",
+        "\"phase.bb_search_ms\":", "\"p50\":", "\"p99\":"}) {
+    EXPECT_NE(json.find(needle), std::string::npos) << needle << "\n" << json;
+  }
+  std::remove(metrics.c_str());
 }
 
 TEST(CliMainTest, DispatchAndExitCodes) {

@@ -70,14 +70,22 @@ TEST(StatsCountersTest, SearchStatsAccumulate) {
   a.nodes_expanded = 3;
   a.distance_checks = 10;
   a.elapsed_ms = 1.5;
+  a.cpu_ms = 1.5;
+  a.phases[obs::Phase::kBbSearch] = 1.0;
   SearchStats b;
   b.nodes_expanded = 4;
   b.distance_checks = 5;
   b.elapsed_ms = 0.5;
+  b.cpu_ms = 0.5;
+  b.phases[obs::Phase::kBbSearch] = 0.25;
   a += b;
   EXPECT_EQ(a.nodes_expanded, 7u);
   EXPECT_EQ(a.distance_checks, 15u);
-  EXPECT_DOUBLE_EQ(a.elapsed_ms, 2.0);
+  // Wall-clock merges by max (concurrent measurements overlap); compute
+  // time and phase attribution merge additively.
+  EXPECT_DOUBLE_EQ(a.elapsed_ms, 1.5);
+  EXPECT_DOUBLE_EQ(a.cpu_ms, 2.0);
+  EXPECT_DOUBLE_EQ(a.phases[obs::Phase::kBbSearch], 1.25);
 }
 
 TEST(GraphStatsTest, ToStringMentionsEveryField) {
