@@ -1,0 +1,128 @@
+// Copyright (c) 2026 The ktg Authors.
+// Warm-vs-cold batch throughput with the cross-query cache (src/cache/).
+//
+// Unlike the figure benches this one does not reproduce a paper plot; it
+// measures the serving-system win of caching across query batches. Each
+// dataset gets Zipf-skewed workloads (hot keywords repeat across queries,
+// so distinct queries still touch overlapping candidate sets) generated
+// with per-batch seeds from DeriveBatchSeed — decorrelated batches, not
+// replays. Four conditions per dataset, all BFS-checker (index-free, so
+// distance work dominates and the cache has something to save):
+//
+//   off        cache disabled — the PR 3 baseline path
+//   cold       fresh cache, first batch (all fills, shows overhead vs off)
+//   warm-rep   the same batch repeated on the warm cache (result tier)
+//   warm-dist  a distinct batch on the warm cache (ball tier only)
+//
+// Acceptance: warm-rep >= 2x faster than cold; off within noise of cold.
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench/common.h"
+#include "cache/ktg_cache.h"
+#include "core/batch.h"
+#include "datagen/query_gen.h"
+#include "index/bfs_checker.h"
+#include "util/macros.h"
+#include "util/rng.h"
+#include "util/timer.h"
+
+namespace ktg::bench {
+namespace {
+
+constexpr double kZipfExponent = 0.9;
+constexpr size_t kCacheMb = 32;
+constexpr uint64_t kMasterSeed = 0xCAC4E0DULL;
+
+uint64_t DatasetSalt(const std::string& name) {
+  uint64_t h = kMasterSeed;
+  for (const char c : name) h = Mix64(h ^ static_cast<uint64_t>(c));
+  return h;
+}
+
+std::vector<KtgQuery> ZipfBatch(const BenchDataset& dataset, uint64_t batch,
+                                uint32_t count) {
+  WorkloadOptions opts;
+  opts.num_queries = count;
+  opts.keyword_count = kDefaultWq;
+  opts.group_size = kDefaultP;
+  opts.tenuity = kDefaultK;
+  opts.top_n = kDefaultN;
+  opts.keyword_zipf = kZipfExponent;
+  opts.frequency_banded = false;
+  Rng rng(DeriveBatchSeed(DatasetSalt(dataset.name()), batch));
+  return GenerateWorkload(dataset.graph(), opts, rng);
+}
+
+/// Average ms per query for one batch; `cache` may be null (cache off).
+double TimedBatch(const BenchDataset& dataset,
+                  const std::vector<KtgQuery>& queries, KtgCache* cache) {
+  BatchOptions bopts;
+  bopts.threads = BenchThreads();
+  bopts.engine.metrics = &Metrics();
+  bopts.engine.cache = cache;
+  const Stopwatch timer;
+  const auto batch = RunKtgBatch(
+      dataset.graph(), dataset.index(),
+      [&] { return std::make_unique<BfsChecker>(dataset.graph().graph()); },
+      queries, bopts);
+  const double elapsed = timer.ElapsedMillis();
+  KTG_CHECK(batch.ok());
+  return elapsed / static_cast<double>(queries.size());
+}
+
+void RunCacheReuse() {
+  const uint32_t per_batch = BenchQueries() * 2;
+  PrintHeader(
+      "Cache reuse: warm vs cold batch latency",
+      "Zipf(" + Fmt(kZipfExponent) + ") workloads, " +
+          std::to_string(per_batch) + " queries/batch, BFS checker, " +
+          std::to_string(kCacheMb) + " MB cache; ms/query");
+  const std::vector<int> widths = {12, 9, 9, 9, 9, 8, 8, 8};
+  PrintRow({"dataset", "off", "cold", "warm-rep", "warm-dst", "rep-x",
+            "dst-x", "ball-hit"},
+           widths);
+
+  for (const std::string preset : {"brightkite", "gowalla"}) {
+    BenchDataset& dataset = BenchDataset::Get(preset);
+    const auto batch0 = ZipfBatch(dataset, 0, per_batch);
+    const auto batch1 = ZipfBatch(dataset, 1, per_batch);
+
+    const double off_ms = TimedBatch(dataset, batch0, nullptr);
+
+    KtgCache cache(CacheOptionsForMb(kCacheMb));
+    const double cold_ms = TimedBatch(dataset, batch0, &cache);
+    const double warm_rep_ms = TimedBatch(dataset, batch0, &cache);
+    const double warm_dist_ms = TimedBatch(dataset, batch1, &cache);
+
+    const auto ball = cache.BallStats();
+    const double ball_total =
+        static_cast<double>(ball.hits + ball.misses);
+    const double ball_hit_pct =
+        ball_total > 0 ? 100.0 * static_cast<double>(ball.hits) / ball_total
+                       : 0.0;
+    PrintRow({dataset.name(), Fmt(off_ms, 3), Fmt(cold_ms, 3),
+              Fmt(warm_rep_ms, 3), Fmt(warm_dist_ms, 3),
+              Fmt(warm_rep_ms > 0 ? cold_ms / warm_rep_ms : 0.0, 1),
+              Fmt(warm_dist_ms > 0 ? cold_ms / warm_dist_ms : 0.0, 1),
+              Fmt(ball_hit_pct, 1) + "%"},
+             widths);
+  }
+  std::printf(
+      "\nwarm-rep replays the cold batch (result-tier hits); warm-dst is a\n"
+      "distinct DeriveBatchSeed batch (ball-tier reuse only). rep-x/dst-x\n"
+      "are speedups over the cold batch; acceptance wants rep-x >= 2.\n");
+}
+
+}  // namespace
+}  // namespace ktg::bench
+
+int main(int argc, char** argv) {
+  ktg::bench::ConsumeThreadsFlag(&argc, argv);
+  ktg::bench::RunCacheReuse();
+  ktg::bench::WriteMetricsSidecar("bench_cache_reuse");
+  return 0;
+}

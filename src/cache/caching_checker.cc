@@ -1,0 +1,55 @@
+// Copyright (c) 2026 The ktg Authors.
+
+#include "cache/caching_checker.h"
+
+#include "util/macros.h"
+#include "util/sorted_vector.h"
+
+namespace ktg {
+
+CachingChecker::CachingChecker(std::unique_ptr<DistanceChecker> inner,
+                               const Graph& graph, KtgCache* cache)
+    : inner_(std::move(inner)), cache_(cache), bfs_(graph) {
+  KTG_CHECK(inner_ != nullptr);
+  KTG_CHECK(cache_ != nullptr);
+}
+
+const std::vector<VertexId>* CachingChecker::BallWithinK(VertexId pivot,
+                                                         HopDistance k) {
+  KtgCache::BallPtr ball = cache_->GetBall(pivot, k);
+  if (ball == nullptr) {
+    // Prefer the inner checker's own bulk path (the BFS checker memoizes
+    // one ball; index checkers return nullptr) so wrapping never computes
+    // a ball the inner index could have produced cheaper.
+    if (const std::vector<VertexId>* inner_ball =
+            inner_->BallWithinK(pivot, k)) {
+      ball = std::make_shared<const std::vector<VertexId>>(*inner_ball);
+    } else {
+      RecordChecks(1);  // one traversal-equivalent, mirroring BfsChecker
+      ball = std::make_shared<const std::vector<VertexId>>(bfs_.Ball(pivot, k));
+    }
+    cache_->PutBall(pivot, k, ball);
+  }
+  holder_ = std::move(ball);
+  return holder_.get();
+}
+
+bool CachingChecker::IsFartherThanImpl(VertexId u, VertexId v, HopDistance k) {
+  if (u == v) return false;
+  if (KtgCache::BallPtr ball = cache_->PeekBall(u, k)) {
+    return !SortedContains(*ball, v);
+  }
+  if (KtgCache::BallPtr ball = cache_->PeekBall(v, k)) {
+    return !SortedContains(*ball, u);
+  }
+  return inner_->IsFartherThan(u, v, k);
+}
+
+std::unique_ptr<DistanceChecker> MaybeWrapWithCache(
+    std::unique_ptr<DistanceChecker> inner, const Graph& graph,
+    KtgCache* cache) {
+  if (cache == nullptr) return inner;
+  return std::make_unique<CachingChecker>(std::move(inner), graph, cache);
+}
+
+}  // namespace ktg

@@ -1,0 +1,71 @@
+// Copyright (c) 2026 The ktg Authors.
+// CachingChecker — a DistanceChecker decorator that consults the shared
+// KtgCache ball tier before computing.
+//
+// Two read paths:
+//  * BallWithinK (the engines' bulk-filtering fast path): on a cache miss
+//    the wrapper materializes the ball with its own hop-bounded BFS, stores
+//    it, and serves it — so any checker gains the bulk path, including the
+//    NL/NLRNL/bitmap checkers that do not offer one natively.
+//  * IsFartherThan: probes the cache for either endpoint's ball (a binary
+//    search on a hit) and falls through to the wrapped checker otherwise —
+//    a probe miss is NOT a cache miss, because the fallback is the inner
+//    index, not a traversal.
+//
+// The wrapper is stateful (ball holder + BFS scratch), hence not
+// concurrent_read_safe: create one per worker, all sharing one KtgCache.
+// Invalidation lives entirely in the cache; the wrapper never observes
+// graph updates directly, so it must be bound to the *current* graph and
+// recreated (like its inner checker) when topology changes.
+
+#ifndef KTG_CACHE_CACHING_CHECKER_H_
+#define KTG_CACHE_CACHING_CHECKER_H_
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "cache/ktg_cache.h"
+#include "graph/bfs.h"
+#include "graph/graph.h"
+#include "index/distance_checker.h"
+
+namespace ktg {
+
+class CachingChecker : public DistanceChecker {
+ public:
+  /// `graph` and `cache` are borrowed and must outlive the checker; `inner`
+  /// must answer over the same graph.
+  CachingChecker(std::unique_ptr<DistanceChecker> inner, const Graph& graph,
+                 KtgCache* cache);
+
+  std::string name() const override { return "Cached" + inner_->name(); }
+  bool concurrent_read_safe() const override { return false; }
+  size_t MemoryBytes() const override { return inner_->MemoryBytes(); }
+
+  const std::vector<VertexId>* BallWithinK(VertexId pivot,
+                                           HopDistance k) override;
+
+  DistanceChecker& inner() { return *inner_; }
+
+ protected:
+  bool IsFartherThanImpl(VertexId u, VertexId v, HopDistance k) override;
+
+ private:
+  std::unique_ptr<DistanceChecker> inner_;
+  KtgCache* cache_;
+  BoundedBfs bfs_;
+  // Keeps the ball returned by BallWithinK alive until the next call on
+  // this checker (the interface's validity contract).
+  KtgCache::BallPtr holder_;
+};
+
+/// Wraps `inner` when `cache` is non-null; otherwise returns it unchanged.
+std::unique_ptr<DistanceChecker> MaybeWrapWithCache(
+    std::unique_ptr<DistanceChecker> inner, const Graph& graph,
+    KtgCache* cache);
+
+}  // namespace ktg
+
+#endif  // KTG_CACHE_CACHING_CHECKER_H_

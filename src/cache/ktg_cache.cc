@@ -1,0 +1,150 @@
+// Copyright (c) 2026 The ktg Authors.
+
+#include "cache/ktg_cache.h"
+
+#include <utility>
+
+#include "index/affected.h"
+#include "keywords/inverted_index.h"
+#include "obs/metrics.h"
+
+namespace ktg {
+
+namespace {
+
+// The ball tier caches one entry per (vertex, radius); radii above this are
+// not worth caching (social tenuity k is small — the paper uses k <= 3) and
+// bounding it keeps EraseBallsOf O(affected * kMaxRadius).
+constexpr HopDistance kMaxCachedRadius = 8;
+
+size_t BallBytes(const std::vector<VertexId>& ball) {
+  return ball.capacity() * sizeof(VertexId) + sizeof(ball);
+}
+
+size_t ResultBytes(const std::vector<std::vector<VertexId>>& groups) {
+  size_t b = sizeof(groups);
+  for (const auto& g : groups) {
+    b += g.capacity() * sizeof(VertexId) + sizeof(g);
+  }
+  return b;
+}
+
+void ExportTier(obs::MetricsRegistry& registry, const char* hits,
+                const char* misses, const char* evictions,
+                const char* invalidations, const char* bytes,
+                const char* entries, const CacheTierStats& now,
+                CacheTierStats& last) {
+  registry.counter(hits).Add(now.hits - last.hits);
+  registry.counter(misses).Add(now.misses - last.misses);
+  registry.counter(evictions).Add(now.evictions - last.evictions);
+  registry.counter(invalidations).Add(now.invalidations - last.invalidations);
+  registry.gauge(bytes).Set(static_cast<double>(now.bytes));
+  registry.gauge(entries).Set(static_cast<double>(now.entries));
+  last = now;
+}
+
+}  // namespace
+
+CacheOptions CacheOptionsForMb(size_t mb) {
+  CacheOptions o;
+  const size_t total = mb << 20;
+  o.ball_budget_bytes = total - total / 4;
+  o.query_budget_bytes = total / 4;
+  return o;
+}
+
+KtgCache::KtgCache(const CacheOptions& options)
+    : balls_(options.ball_budget_bytes, options.shards),
+      queries_(options.query_budget_bytes, options.shards) {}
+
+KtgCache::BallPtr KtgCache::GetBall(VertexId v, HopDistance k) {
+  if (k > kMaxCachedRadius) return nullptr;
+  return balls_.Get(BallKey{v, k});
+}
+
+KtgCache::BallPtr KtgCache::PeekBall(VertexId v, HopDistance k) {
+  if (k > kMaxCachedRadius) return nullptr;
+  return balls_.GetIfPresent(BallKey{v, k});
+}
+
+void KtgCache::PutBall(VertexId v, HopDistance k, BallPtr ball) {
+  if (k > kMaxCachedRadius || ball == nullptr) return;
+  const size_t bytes = BallBytes(*ball);
+  balls_.Put(BallKey{v, k}, std::move(ball), bytes);
+}
+
+bool KtgCache::LookupQuery(const QueryKey& key, const AttributedGraph& g,
+                           const KtgQuery& query, KtgResult* out) {
+  auto stored = queries_.Get(key);
+  if (stored == nullptr) return false;
+  if (stored->epoch != epoch()) {
+    // Lazy wholesale invalidation: the entry predates the last graph
+    // update, so its groups may no longer be k-distance groups.
+    queries_.Erase(key);
+    return false;
+  }
+  out->groups.clear();
+  out->groups.reserve(stored->groups.size());
+  for (const auto& members : stored->groups) {
+    Group group;
+    group.members = members;
+    // Masks are relative to W_Q bit order, which the canonical key erases;
+    // recompute them for the *incoming* keyword order so a hit through a
+    // permuted query is bit-exact with a fresh run of that query.
+    for (VertexId v : members) {
+      group.mask |= CoverMaskOf(g, v, query.keywords);
+    }
+    out->groups.push_back(std::move(group));
+  }
+  out->query_keyword_count = query.num_keywords();
+  out->stats = SearchStats{};
+  return true;
+}
+
+void KtgCache::StoreQuery(const QueryKey& key, const KtgResult& result) {
+  auto stored = std::make_shared<StoredResult>();
+  stored->epoch = epoch();
+  stored->groups.reserve(result.groups.size());
+  for (const Group& g : result.groups) stored->groups.push_back(g.members);
+  const size_t bytes = ResultBytes(stored->groups);
+  queries_.Put(key, std::move(stored), bytes);
+}
+
+void KtgCache::EraseBallsOf(const std::vector<VertexId>& vertices) {
+  for (VertexId v : vertices) {
+    for (HopDistance k = 1; k <= kMaxCachedRadius; ++k) {
+      balls_.Erase(BallKey{v, k});
+    }
+  }
+}
+
+void KtgCache::OnEdgeInserted(const Graph& old_graph, VertexId a, VertexId b) {
+  EraseBallsOf(AffectedByInsertion(old_graph, a, b));
+  epoch_.fetch_add(1, std::memory_order_acq_rel);
+}
+
+void KtgCache::OnEdgeRemoved(const Graph& old_graph, VertexId a, VertexId b) {
+  EraseBallsOf(AffectedByDeletion(old_graph, a, b));
+  epoch_.fetch_add(1, std::memory_order_acq_rel);
+}
+
+void KtgCache::InvalidateAll() {
+  balls_.Clear();
+  queries_.Clear();
+  epoch_.fetch_add(1, std::memory_order_acq_rel);
+}
+
+void KtgCache::ExportMetrics(obs::MetricsRegistry& registry) {
+  std::lock_guard<std::mutex> lock(export_mu_);
+  ExportTier(registry, "cache.ball.hits", "cache.ball.misses",
+             "cache.ball.evictions", "cache.ball.invalidations",
+             "cache.ball.bytes", "cache.ball.entries", balls_.Stats(),
+             exported_balls_);
+  ExportTier(registry, "cache.query.hits", "cache.query.misses",
+             "cache.query.evictions", "cache.query.invalidations",
+             "cache.query.bytes", "cache.query.entries", queries_.Stats(),
+             exported_queries_);
+  registry.gauge("cache.epoch").Set(static_cast<double>(epoch()));
+}
+
+}  // namespace ktg

@@ -1,0 +1,150 @@
+// Copyright (c) 2026 The ktg Authors.
+// KtgCache — the cross-query cache: a ball tier (k-hop neighborhoods keyed
+// by (vertex, k), consulted by CachingChecker before any traversal) and a
+// query-result tier (keyed by canonical QueryKey). Both are invalidated
+// through the dynamic-update path: the ball tier precisely, by erasing the
+// entries of the vertices `affected.h` proves may have changed balls; the
+// query tier wholesale, by a graph-epoch counter every stored result is
+// tagged with.
+//
+// Thread-safe: the tiers are sharded LRUs with per-shard mutexes, so one
+// KtgCache is meant to be shared by every batch worker (that sharing is the
+// whole point — worker 3's traversal work warms worker 5's queries).
+//
+// See docs/caching.md for keying, invalidation and accounting semantics.
+
+#ifndef KTG_CACHE_KTG_CACHE_H_
+#define KTG_CACHE_KTG_CACHE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "cache/query_key.h"
+#include "cache/sharded_lru.h"
+#include "core/query.h"
+#include "graph/graph.h"
+#include "graph/types.h"
+#include "keywords/attributed_graph.h"
+#include "util/rng.h"
+
+namespace ktg::obs {
+class MetricsRegistry;
+}  // namespace ktg::obs
+
+namespace ktg {
+
+/// Sizing of one KtgCache.
+struct CacheOptions {
+  /// Byte budget of the ball tier (k-hop neighborhood vectors).
+  size_t ball_budget_bytes = 48 << 20;
+  /// Byte budget of the query-result tier.
+  size_t query_budget_bytes = 16 << 20;
+  /// Shard count per tier (rounded up to a power of two, capped at 64).
+  uint32_t shards = 16;
+};
+
+/// The `--cache-mb` split: 3/4 of the budget to the ball tier (the bulky,
+/// high-reuse one), 1/4 to query results.
+CacheOptions CacheOptionsForMb(size_t mb);
+
+class KtgCache {
+ public:
+  using BallPtr = std::shared_ptr<const std::vector<VertexId>>;
+
+  explicit KtgCache(const CacheOptions& options = {});
+
+  KtgCache(const KtgCache&) = delete;
+  KtgCache& operator=(const KtgCache&) = delete;
+
+  // --- Ball tier -----------------------------------------------------------
+
+  /// The cached sorted ball of `v` (vertices within `k` hops, excluding
+  /// `v`), or nullptr. Counts a hit or a miss.
+  BallPtr GetBall(VertexId v, HopDistance k);
+
+  /// Like GetBall but a probe: absence is not a miss (used by per-pair
+  /// checks whose fallback is the inner checker, not a cache fill).
+  BallPtr PeekBall(VertexId v, HopDistance k);
+
+  /// Stores the ball of `v` at radius `k`; `ball` must be sorted and must
+  /// not contain `v`.
+  void PutBall(VertexId v, HopDistance k, BallPtr ball);
+
+  // --- Query-result tier ---------------------------------------------------
+
+  /// Looks up `key`. On a current-epoch hit, fills `out` with the cached
+  /// groups — masks recomputed against `query.keywords` bit order (members
+  /// are invariant under keyword permutation; masks are not) — and returns
+  /// true. A stale (pre-epoch) entry is erased (counted as an
+  /// invalidation) and reported as a miss.
+  bool LookupQuery(const QueryKey& key, const AttributedGraph& g,
+                   const KtgQuery& query, KtgResult* out);
+
+  /// Stores a completed result under `key`, tagged with the current epoch.
+  void StoreQuery(const QueryKey& key, const KtgResult& result);
+
+  // --- Invalidation --------------------------------------------------------
+
+  /// Call with the graph *before* the edge {a, b} is inserted/removed.
+  /// Erases the ball entries of every vertex whose ball may change
+  /// (AffectedByInsertion/Deletion) and bumps the epoch, which voids all
+  /// stored query results.
+  void OnEdgeInserted(const Graph& old_graph, VertexId a, VertexId b);
+  void OnEdgeRemoved(const Graph& old_graph, VertexId a, VertexId b);
+
+  /// Wholesale: drops both tiers and bumps the epoch. The fallback for
+  /// updates whose affected set was not computed.
+  void InvalidateAll();
+
+  /// Current graph epoch (starts at 0, bumped once per update).
+  uint64_t epoch() const { return epoch_.load(std::memory_order_acquire); }
+
+  // --- Introspection -------------------------------------------------------
+
+  CacheTierStats BallStats() const { return balls_.Stats(); }
+  CacheTierStats QueryStats() const { return queries_.Stats(); }
+
+  /// Publishes both tiers into `registry` under cache.ball.* /
+  /// cache.query.* (hits/misses/evictions/invalidations counters,
+  /// bytes/entries gauges) plus the cache.epoch gauge. Counters in the
+  /// registry are cumulative, so repeated exports add only the delta since
+  /// the previous export to the same or any other registry.
+  void ExportMetrics(obs::MetricsRegistry& registry);
+
+ private:
+  struct BallKey {
+    VertexId v;
+    HopDistance k;
+    bool operator==(const BallKey&) const = default;
+  };
+  struct BallKeyHash {
+    uint64_t operator()(const BallKey& key) const {
+      return Mix64((static_cast<uint64_t>(key.v) << 16) | key.k);
+    }
+  };
+
+  /// A stored result: member lists only — masks depend on the querying
+  /// W_Q's bit order and are recomputed on every hit.
+  struct StoredResult {
+    uint64_t epoch = 0;
+    std::vector<std::vector<VertexId>> groups;
+  };
+
+  void EraseBallsOf(const std::vector<VertexId>& vertices);
+
+  ShardedLru<BallKey, std::vector<VertexId>, BallKeyHash> balls_;
+  ShardedLru<QueryKey, StoredResult, QueryKeyHash> queries_;
+  std::atomic<uint64_t> epoch_{0};
+
+  // Last-exported snapshots so registry counters receive deltas.
+  std::mutex export_mu_;
+  CacheTierStats exported_balls_;
+  CacheTierStats exported_queries_;
+};
+
+}  // namespace ktg
+
+#endif  // KTG_CACHE_KTG_CACHE_H_

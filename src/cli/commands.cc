@@ -5,6 +5,8 @@
 #include <cstdio>
 #include <memory>
 
+#include "cache/caching_checker.h"
+#include "cache/ktg_cache.h"
 #include "core/batch.h"
 #include "core/dktg_greedy.h"
 #include "core/explain.h"
@@ -35,6 +37,7 @@ const std::vector<std::string> kAllFlags = {
     "p",      "k",       "n",     "algo",    "index", "checker", "queries",
     "wq",     "seed",    "gamma", "authors", "max-nodes", "banded",
     "json",   "threads", "explain", "metrics-json", "trace",
+    "cache-mb", "batches",
 };
 
 Result<AttributedGraph> LoadInput(const Args& args, bool attrs_required) {
@@ -416,7 +419,20 @@ Status CmdQuery(const Args& args) {
   } else {
     return Status::InvalidArgument("unknown --algo: " + algo);
   }
+  // --cache-mb mostly matters for workload (cross-query reuse); on a single
+  // query it exercises the same wiring: result tier + wrapped checker.
+  const auto cache_mb = args.GetInt("cache-mb", 0);
+  if (!cache_mb.ok()) return cache_mb.status();
+  std::unique_ptr<KtgCache> cache;
+  if (cache_mb.value() > 0) {
+    cache = std::make_unique<KtgCache>(
+        CacheOptionsForMb(static_cast<size_t>(cache_mb.value())));
+    options.cache = cache.get();
+    *checker = MaybeWrapWithCache(std::move(*checker), graph->graph(),
+                                  cache.get());
+  }
   auto result = RunKtg(*graph, index, **checker, *query, options);
+  if (cache != nullptr && metrics != nullptr) cache->ExportMetrics(*metrics);
   if (!result.ok()) return result.status();
   if (args.GetBool("json")) {
     PrintGroupsJson(*graph, *query, *result);
@@ -460,13 +476,23 @@ Status CmdWorkload(const Args& args) {
   wopts.top_n = static_cast<uint32_t>(n.value());
   wopts.keyword_count = static_cast<uint32_t>(wq.value());
   wopts.frequency_banded = args.GetBool("banded", true);
-  Rng rng(static_cast<uint64_t>(seed.value()));
-  const auto workload = GenerateWorkload(graph, wopts, rng);
 
   const auto kind = ParseCheckerKind(args.GetString("checker", "nlrnl"));
   if (!kind.ok()) return kind.status();
   const auto threads = ParseThreads(args, /*default_value=*/1);
   if (!threads.ok()) return threads.status();
+  const auto batches = args.GetInt("batches", 1);
+  if (!batches.ok()) return batches.status();
+  if (batches.value() < 1) {
+    return Status::InvalidArgument("--batches must be >= 1");
+  }
+  const auto cache_mb = args.GetInt("cache-mb", 0);
+  if (!cache_mb.ok()) return cache_mb.status();
+  std::unique_ptr<KtgCache> cache;
+  if (cache_mb.value() > 0) {
+    cache = std::make_unique<KtgCache>(
+        CacheOptionsForMb(static_cast<size_t>(cache_mb.value())));
+  }
   std::fprintf(stderr, "building %s checker(s) over %u vertices...\n",
                CheckerKindName(kind.value()), graph.num_vertices());
 
@@ -475,29 +501,56 @@ Status CmdWorkload(const Args& args) {
 
   BatchOptions bopts;
   bopts.threads = threads.value();
+  bopts.engine.cache = cache.get();
   if (!metrics_path.empty()) bopts.engine.metrics = &registry;
-  const auto batch = RunKtgBatch(
-      graph, index,
-      [&] { return MakeChecker(kind.value(), graph.graph(), wopts.tenuity); },
-      workload, bopts);
-  if (!batch.ok()) return batch.status();
 
-  SummaryStats coverage;
-  uint32_t empty = 0;
-  for (const auto& result : batch->results) {
-    coverage.Add(result.best_coverage());
-    if (result.groups.empty()) ++empty;
+  // Each batch draws its workload from a seed derived from the master seed
+  // (batch 0 = master, for historical reproducibility). Re-seeding every
+  // batch identically would replay the same queries, so the cache (when on)
+  // would look perfect even on workloads with zero genuine reuse.
+  for (int64_t b = 0; b < batches.value(); ++b) {
+    Rng rng(DeriveBatchSeed(static_cast<uint64_t>(seed.value()),
+                            static_cast<uint64_t>(b)));
+    const auto workload = GenerateWorkload(graph, wopts, rng);
+    const auto batch = RunKtgBatch(
+        graph, index,
+        [&] { return MakeChecker(kind.value(), graph.graph(), wopts.tenuity); },
+        workload, bopts);
+    if (!batch.ok()) return batch.status();
+
+    SummaryStats coverage;
+    uint32_t empty = 0;
+    for (const auto& result : batch->results) {
+      coverage.Add(result.best_coverage());
+      if (result.groups.empty()) ++empty;
+    }
+    const LatencySummary& lat = batch->latency;
+    if (batches.value() > 1) {
+      std::printf("batch %lld/%lld: ", static_cast<long long>(b + 1),
+                  static_cast<long long>(batches.value()));
+    }
+    std::printf(
+        "%s (n=%u): %llu queries on %u thread(s)\n"
+        "latency ms: mean=%.3f min=%.3f p50=%.3f p90=%.3f p99=%.3f max=%.3f\n"
+        "avg best coverage %.3f; %u empty results; %llu BB nodes total\n",
+        preset.c_str(), graph.num_vertices(),
+        static_cast<unsigned long long>(lat.count),
+        ThreadPool::Resolve(bopts.threads), lat.mean,
+        lat.min, lat.p50, lat.p90, lat.p99, lat.max, coverage.mean(), empty,
+        static_cast<unsigned long long>(batch->totals.nodes_expanded));
   }
-  const LatencySummary& lat = batch->latency;
-  std::printf(
-      "%s (n=%u): %llu queries on %u thread(s)\n"
-      "latency ms: mean=%.3f min=%.3f p50=%.3f p90=%.3f p99=%.3f max=%.3f\n"
-      "avg best coverage %.3f; %u empty results; %llu BB nodes total\n",
-      preset.c_str(), graph.num_vertices(),
-      static_cast<unsigned long long>(lat.count),
-      ThreadPool::Resolve(bopts.threads), lat.mean,
-      lat.min, lat.p50, lat.p90, lat.p99, lat.max, coverage.mean(), empty,
-      static_cast<unsigned long long>(batch->totals.nodes_expanded));
+  if (cache != nullptr) {
+    const CacheTierStats balls = cache->BallStats();
+    const CacheTierStats results = cache->QueryStats();
+    std::fprintf(stderr,
+                 "cache: ball %llu hits / %llu misses, query %llu hits / "
+                 "%llu misses, %.2f MB resident\n",
+                 static_cast<unsigned long long>(balls.hits),
+                 static_cast<unsigned long long>(balls.misses),
+                 static_cast<unsigned long long>(results.hits),
+                 static_cast<unsigned long long>(results.misses),
+                 (balls.bytes + results.bytes) / (1024.0 * 1024.0));
+  }
   if (!metrics_path.empty()) {
     KTG_RETURN_IF_ERROR(WriteTextFile(metrics_path, registry.ToJson() + "\n"));
     std::fprintf(stderr, "wrote metrics to %s\n", metrics_path.c_str());
@@ -524,10 +577,12 @@ std::string UsageText() {
       "               [--index F | --checker bfs|nl|nlrnl|bitmap]\n"
       "               [--authors v1,v2] [--gamma G] [--max-nodes M] [--json]\n"
       "               [--explain] [--threads T] [--metrics-json F] [--trace]\n"
+      "               [--cache-mb M]\n"
       "  workload     latency summary over a generated workload\n"
       "               --preset NAME --scale S [--queries Q] [--p P] [--k K]\n"
       "               [--n N] [--wq W] [--checker C] [--seed S] [--banded B]\n"
-      "               [--threads T] [--metrics-json F]\n"
+      "               [--threads T] [--metrics-json F] [--cache-mb M]\n"
+      "               [--batches B]\n"
       "  help         print this text\n"
       "\n"
       "--threads semantics: 0 = all hardware threads. For build-index it\n"
@@ -538,7 +593,14 @@ std::string UsageText() {
       "\n"
       "--metrics-json F writes a ktg.metrics.v1 snapshot (counters, phase\n"
       "timings, checker statistics) to F; --trace prints the query's\n"
-      "ktg.trace.v1 event ring to stdout. See docs/observability.md.\n";
+      "ktg.trace.v1 event ring to stdout. See docs/observability.md.\n"
+      "\n"
+      "--cache-mb M enables the cross-query cache (M megabytes shared by\n"
+      "all workers: k-hop neighborhoods + query results; off by default).\n"
+      "--batches B runs B workload batches against the same cache, each\n"
+      "drawn from a seed derived from --seed, so batch 2+ measures warm\n"
+      "reuse on fresh queries rather than replaying batch 1. See\n"
+      "docs/caching.md.\n";
 }
 
 int RunMain(const std::vector<std::string>& argv) {

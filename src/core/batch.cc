@@ -4,6 +4,8 @@
 
 #include <atomic>
 
+#include "cache/caching_checker.h"
+#include "cache/ktg_cache.h"
 #include "core/obs_bridge.h"
 #include "util/thread_pool.h"
 
@@ -30,6 +32,20 @@ Result<BatchResult> RunKtgBatch(const AttributedGraph& graph,
       std::min<uint32_t>(ThreadPool::Resolve(options.threads),
                          static_cast<uint32_t>(queries.size()));
 
+  // With a cache attached, every worker's checker is wrapped so its ball
+  // tier is consulted (and warmed) before any traversal. The wrapper is
+  // stateful, so it is per-worker; the KtgCache behind it is shared. Note
+  // the trade-off: a wrapped checker is not concurrent_read_safe, so
+  // within-query root parallelism (EngineOptions::num_threads > 1) falls
+  // back to serial — across-query parallelism (options.threads) is where a
+  // shared cache pays off.
+  auto make_checker = [&]() -> std::unique_ptr<DistanceChecker> {
+    auto checker = checker_factory();
+    if (checker == nullptr) return nullptr;
+    return MaybeWrapWithCache(std::move(checker), graph.graph(),
+                              options.engine.cache);
+  };
+
   std::atomic<size_t> next{0};
   auto worker_loop = [&](DistanceChecker& checker) {
     KtgEngine engine(graph, index, checker, options.engine);
@@ -44,7 +60,7 @@ Result<BatchResult> RunKtgBatch(const AttributedGraph& graph,
   };
 
   if (workers == 1) {
-    auto checker = checker_factory();
+    auto checker = make_checker();
     KTG_CHECK_MSG(checker != nullptr, "checker_factory returned null");
     worker_loop(*checker);
   } else {
@@ -54,7 +70,7 @@ Result<BatchResult> RunKtgBatch(const AttributedGraph& graph,
     std::vector<std::unique_ptr<DistanceChecker>> checkers;
     checkers.reserve(workers);
     for (uint32_t w = 0; w < workers; ++w) {
-      checkers.push_back(checker_factory());
+      checkers.push_back(make_checker());
       KTG_CHECK_MSG(checkers.back() != nullptr,
                     "checker_factory returned null");
     }
@@ -83,6 +99,9 @@ Result<BatchResult> RunKtgBatch(const AttributedGraph& graph,
     m.counter("batch.queries").Add(batch.results.size());
     obs::Histogram& h = m.histogram("batch.query_ms");
     for (const double ms : latencies) h.Record(ms);
+    if (options.engine.cache != nullptr) {
+      options.engine.cache->ExportMetrics(m);
+    }
   }
   return batch;
 }

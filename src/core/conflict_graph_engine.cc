@@ -5,6 +5,8 @@
 #include <algorithm>
 #include <bit>
 
+#include "cache/ktg_cache.h"
+#include "cache/query_key.h"
 #include "core/candidates.h"
 #include "core/obs_bridge.h"
 #include "core/topn.h"
@@ -170,6 +172,25 @@ Result<KtgResult> RunKtgConflictGraph(const AttributedGraph& graph,
                                       ConflictEngineOptions options) {
   KTG_RETURN_IF_ERROR(ValidateQuery(query, graph));
   Stopwatch watch;
+
+  QueryKey cache_key;
+  const bool cacheable = options.cache != nullptr && options.max_nodes == 0;
+  if (cacheable) {
+    // This engine has one fixed ordering (VKC desc, degree asc), matching
+    // kVkcDeg/ascending; the distinct engine tag keeps its tie-breaks from
+    // aliasing KtgEngine's.
+    cache_key = CanonicalQueryKey(query, kEngineTagConflict,
+                                  SortStrategy::kVkcDeg,
+                                  /*degree_ascending=*/true);
+    KtgResult cached;
+    if (options.cache->LookupQuery(cache_key, graph, query, &cached)) {
+      cached.stats.elapsed_ms = watch.ElapsedMillis();
+      cached.stats.cpu_ms = cached.stats.elapsed_ms;
+      RecordSearchStats(options.metrics, cached.stats, "conflict");
+      return cached;
+    }
+  }
+
   if (options.metrics != nullptr) checker.EnableDetailStats();
   const CheckerCounters checker_before = SnapshotChecker(checker);
   SearchStats stats;
@@ -247,6 +268,7 @@ Result<KtgResult> RunKtgConflictGraph(const AttributedGraph& graph,
   stats.elapsed_ms = watch.ElapsedMillis();
   stats.cpu_ms = stats.elapsed_ms;  // single-threaded engine
   result.stats = stats;
+  if (cacheable) options.cache->StoreQuery(cache_key, result);
   RecordSearchStats(options.metrics, stats, "conflict");
   RecordCheckerDelta(options.metrics, checker, checker_before);
   return result;

@@ -43,6 +43,10 @@ struct ConflictEngineOptions {
   /// phase — it is the same pairwise k-line work, paid up front.
   obs::MetricsRegistry* metrics = nullptr;
   obs::QueryTrace* trace = nullptr;
+  /// Cross-query result cache, borrowed (see EngineOptions::cache). Keyed
+  /// under a distinct engine tag, so conflict-engine results never serve a
+  /// KtgEngine lookup or vice versa. Truncated runs (max_nodes) bypass it.
+  KtgCache* cache = nullptr;
 };
 
 /// Runs a KTG query on the materialized conflict graph. Exact: returns the

@@ -6,6 +6,8 @@
 #include <limits>
 #include <mutex>
 
+#include "cache/ktg_cache.h"
+#include "cache/query_key.h"
 #include "core/obs_bridge.h"
 #include "obs/phase_timer.h"
 #include "util/sorted_vector.h"
@@ -412,6 +414,24 @@ Result<KtgResult> KtgEngine::Run(const KtgQuery& query) {
   KTG_RETURN_IF_ERROR(ValidateQuery(query, graph_));
 
   Stopwatch watch;
+
+  // Cross-query result cache: truncated searches (max_nodes/stop_at_count)
+  // produce best-effort groups, so they neither consult nor populate it.
+  QueryKey cache_key;
+  const bool cacheable = options_.cache != nullptr && options_.max_nodes == 0 &&
+                         options_.stop_at_count == 0;
+  if (cacheable) {
+    cache_key = CanonicalQueryKey(query, kEngineTagKtg, options_.sort,
+                                  options_.degree_ascending);
+    KtgResult cached;
+    if (options_.cache->LookupQuery(cache_key, graph_, query, &cached)) {
+      cached.stats.elapsed_ms = watch.ElapsedMillis();
+      cached.stats.cpu_ms = cached.stats.elapsed_ms;
+      last_run_complete_ = true;
+      RecordSearchStats(options_.metrics, cached.stats, "engine");
+      return cached;
+    }
+  }
   p_ = query.group_size;
   k_ = query.tenuity;
   top_n_ = query.top_n;
@@ -461,6 +481,9 @@ Result<KtgResult> KtgEngine::Run(const KtgQuery& query) {
                      stats_.phases[obs::Phase::kTopNMerge];
   }
   result.stats = stats_;
+  if (cacheable && last_run_complete_) {
+    options_.cache->StoreQuery(cache_key, result);
+  }
   RecordSearchStats(options_.metrics, stats_, "engine");
   RecordCheckerDelta(options_.metrics, checker_, checker_before);
   return result;

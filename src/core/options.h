@@ -16,6 +16,8 @@ class QueryTrace;
 
 namespace ktg {
 
+class KtgCache;
+
 /// Candidate ordering inside the branch-and-bound search (Section IV).
 enum class SortStrategy {
   /// Static query-keyword-coverage sorting: sort once by QKC(v), never
@@ -97,6 +99,16 @@ struct EngineOptions {
   /// trace only when diagnosing, not when benchmarking).
   obs::MetricsRegistry* metrics = nullptr;
   obs::QueryTrace* trace = nullptr;
+
+  /// Cross-query cache (see src/cache/ and docs/caching.md). Borrowed,
+  /// never owned; null (the default) disables both tiers. When set, Run()
+  /// serves repeated queries from the result tier and stores every
+  /// complete run; truncated searches (max_nodes / stop_at_count) are
+  /// neither served from nor stored into the cache — their results are
+  /// best-effort, not the query's answer. The ball tier is consulted only
+  /// through a CachingChecker wrapper (the batch runner installs one per
+  /// worker); attaching a cache here does not by itself wrap the checker.
+  KtgCache* cache = nullptr;
 };
 
 }  // namespace ktg

@@ -30,6 +30,17 @@ inline uint64_t Mix64(uint64_t x) {
   return SplitMix64(s);
 }
 
+/// Seed for batch number `batch` of a multi-batch run derived from one
+/// master seed. Distinct batches get decorrelated streams — re-seeding
+/// every batch with the master seed would replay the identical workload,
+/// which silently turns a warm-cache benchmark into a 100%-repetition one.
+/// Batch 0 maps to the master seed itself so single-batch runs reproduce
+/// historical outputs bit-for-bit.
+inline uint64_t DeriveBatchSeed(uint64_t master_seed, uint64_t batch) {
+  if (batch == 0) return master_seed;
+  return Mix64(master_seed ^ Mix64(0x6261746368ULL + batch));  // "batch"
+}
+
 /// A deterministic xoshiro256** pseudo-random generator.
 ///
 /// Not thread-safe; create one Rng per thread or per generator. Satisfies
