@@ -25,14 +25,29 @@ void Report(const std::string& section,
             const std::vector<std::pair<std::string, AlgoConfig>>& variants) {
   BenchDataset& ds = BenchDataset::Get("gowalla");
   PrintHeader("Ablation: " + section, ds.Summary() + "  [p=4, k=2, |W_Q|=6, N=5]");
-  const std::vector<int> widths = {30, 12, 14, 16};
-  PrintRow({"variant", "ms/query", "BB nodes", "dist checks"}, widths);
+  const bool repeated = BenchRepeats() > 1;
+  std::vector<int> widths = {30, 12, 14, 16};
+  std::vector<std::string> header = {"variant", "ms/query", "BB nodes",
+                                     "dist checks"};
+  if (repeated) {
+    widths = {30, 12, 12, 12, 14, 16};
+    header = {"variant", "ms/query", "min ms", "med ms", "BB nodes",
+              "dist checks"};
+  }
+  PrintRow(header, widths);
   const auto workload =
       MakeWorkload(ds, kDefaultP, kDefaultK, kDefaultWq, kDefaultN);
   for (const auto& [label, config] : variants) {
     const auto m = RunBatch(ds, config, workload);
-    PrintRow({label, Fmt(m.avg_ms), Fmt(m.avg_nodes, 0), Fmt(m.avg_checks, 0)},
-             widths);
+    if (repeated) {
+      PrintRow({label, Fmt(m.avg_ms), Fmt(m.min_ms), Fmt(m.median_ms),
+                Fmt(m.avg_nodes, 0), Fmt(m.avg_checks, 0)},
+               widths);
+    } else {
+      PrintRow(
+          {label, Fmt(m.avg_ms), Fmt(m.avg_nodes, 0), Fmt(m.avg_checks, 0)},
+          widths);
+    }
   }
 }
 
@@ -102,30 +117,44 @@ void RunAblation() {
 
     auto paper = Base();
     paper.engine.ceiling_prune = false;
+    paper.engine.residual_bound = false;
     const auto m1 = RunBatch(ds, paper, workload);
     PrintRow({"paper bound (Thm 2 only)", Fmt(m1.avg_ms),
               Fmt(m1.avg_nodes, 0), Fmt(m1.avg_checks, 0)},
              widths);
 
-    const auto m2 = RunBatch(ds, Base(), workload);
+    auto ceiling_only = Base();
+    ceiling_only.engine.residual_bound = false;
+    const auto m2 = RunBatch(ds, ceiling_only, workload);
     PrintRow({"+ reachable-coverage ceiling", Fmt(m2.avg_ms),
               Fmt(m2.avg_nodes, 0), Fmt(m2.avg_checks, 0)},
              widths);
 
-    // Conflict-graph engine on the identical workload.
-    DistanceChecker& checker = ds.Checker(CheckerKind::kNlrnl, kDefaultK);
-    SummaryStats ms, nodes, checks;
-    for (const auto& query : workload) {
-      const auto r = RunKtgConflictGraph(ds.graph(), ds.index(), checker,
-                                         query);
-      if (!r.ok()) continue;
-      ms.Add(r->stats.elapsed_ms);
-      nodes.Add(static_cast<double>(r->stats.nodes_expanded));
-      checks.Add(static_cast<double>(r->stats.distance_checks));
-    }
-    PrintRow({"conflict-graph engine", Fmt(ms.mean()), Fmt(nodes.mean(), 0),
-              Fmt(checks.mean(), 0)},
+    const auto m3 = RunBatch(ds, Base(), workload);
+    PrintRow({"+ residual suffix-union clamp", Fmt(m3.avg_ms),
+              Fmt(m3.avg_nodes, 0), Fmt(m3.avg_checks, 0)},
              widths);
+
+    // Conflict-graph engine on the identical workload (ball-walk build +
+    // residual bound by default; plus the degeneracy branch order).
+    DistanceChecker& checker = ds.Checker(CheckerKind::kNlrnl, kDefaultK);
+    for (const bool degeneracy : {false, true}) {
+      ConflictEngineOptions copts;
+      copts.degeneracy_order = degeneracy;
+      SummaryStats ms, nodes, checks;
+      for (const auto& query : workload) {
+        const auto r = RunKtgConflictGraph(ds.graph(), ds.index(), checker,
+                                           query, copts);
+        if (!r.ok()) continue;
+        ms.Add(r->stats.elapsed_ms);
+        nodes.Add(static_cast<double>(r->stats.nodes_expanded));
+        checks.Add(static_cast<double>(r->stats.distance_checks));
+      }
+      PrintRow({degeneracy ? "conflict engine (degeneracy)"
+                           : "conflict-graph engine",
+                Fmt(ms.mean()), Fmt(nodes.mean(), 0), Fmt(checks.mean(), 0)},
+               widths);
+    }
   }
 }
 
@@ -134,6 +163,7 @@ void RunAblation() {
 
 int main(int argc, char** argv) {
   ktg::bench::ConsumeThreadsFlag(&argc, argv);
+  ktg::bench::ConsumeRepeatFlag(&argc, argv);
   ktg::bench::RunAblation();
   ktg::bench::WriteMetricsSidecar("bench_ablation");
   return 0;

@@ -82,6 +82,7 @@ void RunPartB() {
 
 int main(int argc, char** argv) {
   ktg::bench::ConsumeThreadsFlag(&argc, argv);
+  ktg::bench::ConsumeRepeatFlag(&argc, argv);
   ktg::bench::RunPartA();
   ktg::bench::RunPartB();
   ktg::bench::WriteMetricsSidecar("bench_fig7_scalability");

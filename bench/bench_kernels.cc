@@ -1,0 +1,218 @@
+// Copyright (c) 2026 The ktg Authors.
+// Kernel microbench (docs/kernels.md): two questions, one binary.
+//
+//   1. What do the AVX2 word kernels buy over the scalar loops at the
+//      word counts the engines actually see? (Both implementations are
+//      always compiled; this bench calls each directly, bypassing the
+//      runtime dispatch, so the comparison works even on machines where
+//      the dispatcher would pick scalar.)
+//   2. What does the ball-walk conflict-graph construction buy over the
+//      all-pairs probe loop as the candidate set grows? (The acceptance
+//      bar for the rewrite: >= 3x at >= 5k candidates.)
+//
+// Honors --repeat R / KTG_BENCH_REPEAT (min/median across repeats) and
+// writes the standard metrics sidecar.
+
+#include <cstdio>
+#include <vector>
+
+#include "bench/common.h"
+#include "core/conflict_graph_engine.h"
+#include "datagen/generators.h"
+#include "index/bfs_checker.h"
+#include "index/khop_bitmap.h"
+#include "util/bitset_ops.h"
+#include "util/rng.h"
+#include "util/timer.h"
+
+namespace ktg::bench {
+namespace {
+
+// Prevent dead-code elimination without a memory barrier per op.
+volatile uint64_t g_sink = 0;
+
+struct KernelTiming {
+  double scalar_ns = 0.0;
+  double avx2_ns = 0.0;  // 0 when the AVX2 bodies are unavailable
+};
+
+template <typename Fn>
+double TimePerCall(uint64_t reps, Fn&& fn) {
+  // One warm-up pass populates caches; then take the min over repeats.
+  fn();
+  double best_ms = -1.0;
+  for (uint32_t rep = 0; rep < BenchRepeats(); ++rep) {
+    Stopwatch watch;
+    for (uint64_t r = 0; r < reps; ++r) fn();
+    const double ms = watch.ElapsedMillis();
+    if (best_ms < 0.0 || ms < best_ms) best_ms = ms;
+  }
+  return best_ms * 1e6 / static_cast<double>(reps);
+}
+
+void BenchWordKernels() {
+  PrintHeader("Bit-parallel kernels: scalar vs AVX2",
+              std::string("dispatch on this machine: ") +
+                  KernelDispatchName() +
+                  (Avx2Available() ? "" : " (CPU lacks AVX2)"));
+  const std::vector<int> widths = {10, 18, 14, 14, 10};
+  PrintRow({"words", "kernel", "scalar ns", "avx2 ns", "speedup"}, widths);
+
+  Rng rng(0xBE9C);
+  for (const size_t words : {8u, 32u, 128u, 512u, 4096u}) {
+    std::vector<uint64_t> a(words), b(words), dst(words);
+    for (auto& w : a) w = rng.Next();
+    for (auto& w : b) w = rng.Next();
+    const uint64_t reps = words >= 4096 ? 20'000 : 200'000;
+
+    struct Row {
+      const char* name;
+      KernelTiming t;
+    };
+    std::vector<Row> rows;
+
+    {
+      Row r{"and_not", {}};
+      r.t.scalar_ns = TimePerCall(reps, [&] {
+        bitset_scalar::AndNot(dst.data(), a.data(), b.data(), words);
+        g_sink = g_sink + dst[0];
+      });
+#if KTG_BITSET_AVX2_COMPILED
+      if (Avx2Available()) {
+        r.t.avx2_ns = TimePerCall(reps, [&] {
+          bitset_avx2::AndNot(dst.data(), a.data(), b.data(), words);
+          g_sink = g_sink + dst[0];
+        });
+      }
+#endif
+      rows.push_back(r);
+    }
+    {
+      Row r{"popcount", {}};
+      r.t.scalar_ns = TimePerCall(
+          reps, [&] { g_sink = g_sink + bitset_scalar::Popcount(a.data(), words); });
+#if KTG_BITSET_AVX2_COMPILED
+      if (Avx2Available()) {
+        r.t.avx2_ns = TimePerCall(
+            reps, [&] { g_sink = g_sink + bitset_avx2::Popcount(a.data(), words); });
+      }
+#endif
+      rows.push_back(r);
+    }
+    {
+      Row r{"and_popcount", {}};
+      r.t.scalar_ns = TimePerCall(reps, [&] {
+        g_sink = g_sink + bitset_scalar::AndPopcount(a.data(), b.data(), words);
+      });
+#if KTG_BITSET_AVX2_COMPILED
+      if (Avx2Available()) {
+        r.t.avx2_ns = TimePerCall(reps, [&] {
+          g_sink = g_sink + bitset_avx2::AndPopcount(a.data(), b.data(), words);
+        });
+      }
+#endif
+      rows.push_back(r);
+    }
+
+    for (const auto& row : rows) {
+      const bool have_avx2 = row.t.avx2_ns > 0.0;
+      PrintRow({std::to_string(words), row.name, Fmt(row.t.scalar_ns),
+                have_avx2 ? Fmt(row.t.avx2_ns) : "-",
+                have_avx2 ? Fmt(row.t.scalar_ns / row.t.avx2_ns) + "x" : "-"},
+               widths);
+      Metrics()
+          .gauge(std::string("kernel.bench.") + row.name + ".scalar_ns.w" +
+                 std::to_string(words))
+          .Set(row.t.scalar_ns);
+      if (have_avx2) {
+        Metrics()
+            .gauge(std::string("kernel.bench.") + row.name + ".avx2_ns.w" +
+                   std::to_string(words))
+            .Set(row.t.avx2_ns);
+      }
+    }
+  }
+}
+
+void BenchConflictConstruction() {
+  // A Barabasi-Albert social topology: hubs give the 2-hop balls realistic
+  // skew. Candidates are every other vertex, so the membership bitmap is
+  // half-dense — the regime the engine sees on popular-keyword queries.
+  constexpr uint32_t kVertices = 20'000;
+  constexpr HopDistance kK = 2;
+  Rng rng(0xBA11);
+  const Graph graph = BarabasiAlbert(kVertices, 3, rng);
+
+  PrintHeader(
+      "Conflict-graph construction: all-pairs probes vs ball walk",
+      "BarabasiAlbert n=20000 m0=3, k=2; pairwise uses KHopBitmap probes "
+      "(one bit load each, the cheapest checker), ball walk reads the same "
+      "bitmap's rows; bfs-ball is the index-free path");
+  const std::vector<int> widths = {12, 14, 18, 14, 12, 14};
+  PrintRow({"candidates", "pairwise ms", "rows (bitmap) ms", "bfs-ball ms",
+            "speedup", "edges"},
+           widths);
+
+  std::printf("[bench] building KHopBitmap (n=%u, k=%d)...\n", kVertices,
+              int{kK});
+  KHopBitmapChecker bitmap(graph, kK);
+  BfsChecker bfs(graph);
+
+  for (const uint32_t n : {1'000u, 2'000u, 5'000u, 10'000u}) {
+    std::vector<Candidate> cands;
+    cands.reserve(n);
+    for (uint32_t i = 0; i < n; ++i) {
+      Candidate c;
+      c.vertex = static_cast<VertexId>(i * 2);
+      cands.push_back(c);
+    }
+
+    auto time_build = [&](DistanceChecker& checker, ConflictBuild mode,
+                          uint64_t* edges) {
+      double best_ms = -1.0;
+      for (uint32_t rep = 0; rep < BenchRepeats(); ++rep) {
+        Stopwatch watch;
+        const auto cg = BuildConflictAdjacency(graph, checker, cands, kK,
+                                               mode);
+        const double ms = watch.ElapsedMillis();
+        *edges = cg.edges;
+        if (best_ms < 0.0 || ms < best_ms) best_ms = ms;
+      }
+      return best_ms;
+    };
+
+    uint64_t edges_pw = 0, edges_rows = 0, edges_bfs = 0;
+    const double pairwise_ms =
+        time_build(bitmap, ConflictBuild::kPairwise, &edges_pw);
+    const double rows_ms =
+        time_build(bitmap, ConflictBuild::kBallWalk, &edges_rows);
+    const double bfs_ms = time_build(bfs, ConflictBuild::kBallWalk,
+                                     &edges_bfs);
+    KTG_CHECK(edges_pw == edges_rows && edges_pw == edges_bfs);
+
+    PrintRow({std::to_string(n), Fmt(pairwise_ms), Fmt(rows_ms), Fmt(bfs_ms),
+              Fmt(pairwise_ms / rows_ms) + "x", std::to_string(edges_pw)},
+             widths);
+    Metrics()
+        .gauge("kernel.bench.conflict_pairwise_ms.c" + std::to_string(n))
+        .Set(pairwise_ms);
+    Metrics()
+        .gauge("kernel.bench.conflict_ballwalk_ms.c" + std::to_string(n))
+        .Set(rows_ms);
+    Metrics()
+        .gauge("kernel.bench.conflict_bfsball_ms.c" + std::to_string(n))
+        .Set(bfs_ms);
+  }
+}
+
+}  // namespace
+}  // namespace ktg::bench
+
+int main(int argc, char** argv) {
+  ktg::bench::ConsumeThreadsFlag(&argc, argv);
+  ktg::bench::ConsumeRepeatFlag(&argc, argv);
+  ktg::bench::BenchWordKernels();
+  ktg::bench::BenchConflictConstruction();
+  ktg::bench::WriteMetricsSidecar("bench_kernels");
+  return 0;
+}

@@ -65,6 +65,17 @@ uint32_t BenchThreads();
 /// untouched.
 void ConsumeThreadsFlag(int* argc, char** argv);
 
+/// Measurement repeats per batch (env KTG_BENCH_REPEAT, `--repeat R` wins;
+/// default 1). With R > 1, RunBatch re-runs the whole query batch R times
+/// and additionally reports the min and median per-query latency across
+/// repeats — the stable statistics to quote (see docs/performance.md);
+/// counters come from the first repeat (they are deterministic).
+uint32_t BenchRepeats();
+
+/// Consumes `--repeat R` (and `--repeat=R`) from argv, mirroring
+/// ConsumeThreadsFlag.
+void ConsumeRepeatFlag(int* argc, char** argv);
+
 /// A cached dataset: attributed graph + inverted index + lazily built
 /// distance checkers shared by every configuration in the binary.
 class BenchDataset {
@@ -114,6 +125,11 @@ std::vector<AlgoConfig> PaperAlgoConfigs(bool include_qkc);
 /// latency plus aggregate search counters.
 struct Measurement {
   double avg_ms = 0.0;
+  /// Min / median of the per-repeat average latency (== avg_ms when
+  /// BenchRepeats() is 1). Min filters scheduler noise; median is the
+  /// robust central tendency — see docs/performance.md.
+  double min_ms = 0.0;
+  double median_ms = 0.0;
   double avg_nodes = 0.0;
   double avg_checks = 0.0;
   double avg_best_coverage = 0.0;
@@ -121,7 +137,8 @@ struct Measurement {
   uint32_t empty_results = 0;
 };
 
-/// Runs `queries` under `config` against `dataset` and aggregates.
+/// Runs `queries` under `config` against `dataset` BenchRepeats() times and
+/// aggregates (avg over all repeats; min/median across repeats).
 Measurement RunBatch(BenchDataset& dataset, const AlgoConfig& config,
                      const std::vector<KtgQuery>& queries);
 

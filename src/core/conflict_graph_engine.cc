@@ -4,12 +4,14 @@
 
 #include <algorithm>
 #include <bit>
+#include <numeric>
 
 #include "cache/ktg_cache.h"
 #include "cache/query_key.h"
-#include "core/candidates.h"
 #include "core/obs_bridge.h"
 #include "core/topn.h"
+#include "graph/bfs.h"
+#include "index/khop_bitmap.h"
 #include "obs/phase_timer.h"
 #include "obs/query_trace.h"
 #include "util/timer.h"
@@ -17,47 +19,61 @@
 namespace ktg {
 namespace {
 
-// A flat bitset over candidate positions.
-class PosSet {
- public:
-  explicit PosSet(uint32_t size) : size_(size), words_((size + 63) / 64, 0) {}
+constexpr uint32_t kNoPos = ~uint32_t{0};
 
-  void Set(uint32_t i) { words_[i >> 6] |= uint64_t{1} << (i & 63); }
-  void Clear(uint32_t i) { words_[i >> 6] &= ~(uint64_t{1} << (i & 63)); }
-  bool Test(uint32_t i) const {
-    return (words_[i >> 6] >> (i & 63)) & 1;
+// Reverse degeneracy rank of the conflict graph: repeatedly remove a
+// minimum-degree candidate (bucket queue, O(n + m)); core_order[i] is i's
+// removal index. Branching prefers the *last*-removed candidates — the
+// densest core, whose members conflict with the most others — so infeasible
+// combinations are discovered near the root.
+std::vector<uint32_t> DegeneracyRemovalOrder(const ConflictAdjacency& cg) {
+  const auto n = static_cast<uint32_t>(cg.adj.size());
+  std::vector<uint32_t> degree(n), core_order(n, 0);
+  std::vector<std::vector<uint32_t>> buckets(n + 1);
+  for (uint32_t i = 0; i < n; ++i) {
+    degree[i] = cg.adj[i].Count();
+    buckets[degree[i]].push_back(i);
   }
-  uint32_t Count() const {
-    uint32_t c = 0;
-    for (const uint64_t w : words_) c += std::popcount(w);
-    return c;
-  }
-  /// this &= ~other
-  void Subtract(const PosSet& other) {
-    for (size_t w = 0; w < words_.size(); ++w) words_[w] &= ~other.words_[w];
-  }
-  template <typename Fn>
-  void ForEach(Fn&& fn) const {
-    for (size_t w = 0; w < words_.size(); ++w) {
-      uint64_t bits = words_[w];
-      while (bits) {
-        const int b = std::countr_zero(bits);
-        bits &= bits - 1;
-        fn(static_cast<uint32_t>(w * 64 + b));
+  std::vector<bool> removed(n, false);
+  uint32_t cursor = 0;  // min possible non-empty bucket
+  for (uint32_t step = 0; step < n; ++step) {
+    while (cursor < buckets.size() && buckets[cursor].empty()) ++cursor;
+    // Degrees only decrease, but lazily deleted entries may sit in stale
+    // buckets; skip them (their live copy is in a lower bucket).
+    uint32_t u = kNoPos;
+    while (cursor < buckets.size()) {
+      auto& b = buckets[cursor];
+      while (!b.empty()) {
+        const uint32_t cand = b.back();
+        b.pop_back();
+        if (!removed[cand] && degree[cand] == cursor) {
+          u = cand;
+          break;
+        }
       }
+      if (u != kNoPos) break;
+      if (b.empty()) ++cursor;
     }
+    removed[u] = true;
+    core_order[u] = step;
+    cg.adj[u].ForEach([&](uint32_t v) {
+      if (removed[v]) return;
+      --degree[v];
+      buckets[degree[v]].push_back(v);
+      if (degree[v] < cursor) cursor = degree[v];
+    });
   }
-
-  uint32_t size() const { return size_; }
-
- private:
-  uint32_t size_;
-  std::vector<uint64_t> words_;
-};
+  return core_order;
+}
 
 struct SearchState {
   const std::vector<Candidate>* cands;
-  const std::vector<PosSet>* conflicts;
+  const std::vector<Bitset>* conflicts;
+  // Per-keyword transposes: kw_pos[b] holds the candidate positions whose
+  // mask covers query keyword b. The residual bound intersects these with
+  // a child's surviving bitset — word-parallel reachability, no gather.
+  const std::vector<Bitset>* kw_pos;
+  CoverMask all_kw_mask = 0;  // union of every candidate's mask
   const ConflictEngineOptions* options;
   uint32_t p;
   TopNCollector* collector;
@@ -72,7 +88,29 @@ struct SearchState {
     trace->Record(kind, static_cast<uint32_t>(members.size()), vertex, detail);
   }
 
-  void Search(PosSet allowed, CoverMask covered) {
+  // Residual-coverage clamp for a child node: can the child's surviving
+  // set push coverage strictly past the threshold? Counts, with early
+  // exit, the keywords outside child_covered still reachable from
+  // `child` — one BitIntersects per residual keyword, each a word-parallel
+  // scan that stops at the first witness. Returns true when the child is
+  // provably unable to beat the threshold (safe to skip: Offer rejects
+  // non-improving groups when the collector is full).
+  bool ResidualBoundPrunes(const Bitset& child, CoverMask child_covered,
+                           int threshold) const {
+    int reach = PopCount(child_covered);
+    if (reach > threshold) return false;
+    CoverMask residual = all_kw_mask & ~child_covered;
+    while (residual != 0) {
+      const int b = std::countr_zero(residual);
+      residual &= residual - 1;
+      if ((*kw_pos)[b].Intersects(child)) {
+        if (++reach > threshold) return false;
+      }
+    }
+    return true;
+  }
+
+  void Search(Bitset allowed, CoverMask covered) {
     if (stop) return;
     ++stats->nodes_expanded;
     if (options->max_nodes != 0 &&
@@ -120,7 +158,7 @@ struct SearchState {
       }
     }
     // VKC-descending, position-ascending order (positions are already in
-    // (initial-VKC, degree, id) rank, so ties fall back to that rank).
+    // the static root rank, so ties fall back to that rank).
     std::sort(order.begin(), order.end());
 
     if (options->keyword_pruning && collector->full()) {
@@ -151,19 +189,94 @@ struct SearchState {
       }
 
       // Set-minus semantics: v leaves the shared pool, then the child pool
-      // additionally drops v's conflicts — one word-wise AND-NOT.
+      // additionally drops v's conflicts — one word-wise AND-NOT kernel.
       allowed.Clear(pos);
-      PosSet child = allowed;
-      child.Subtract((*conflicts)[pos]);
+      Bitset child = allowed;
+      child.AndNotAssign((*conflicts)[pos]);
+
+      const CoverMask child_covered = covered | v.mask;
+      if (options->residual_bound && options->keyword_pruning &&
+          collector->full() &&
+          ResidualBoundPrunes(child, child_covered, collector->threshold())) {
+        // The additive bound passed but the child's surviving set cannot
+        // reach past the N-th coverage: skip the subtree. Not a `return` —
+        // later children survive different conflict sets.
+        ++stats->ub_prunes;
+        RecordTrace(obs::TraceEventKind::kKeywordPrune, v.vertex,
+                    -static_cast<int64_t>(pos) - 1);
+        continue;
+      }
 
       members.push_back(v.vertex);
-      Search(std::move(child), covered | v.mask);
+      Search(std::move(child), child_covered);
       members.pop_back();
     }
   }
 };
 
 }  // namespace
+
+ConflictAdjacency BuildConflictAdjacency(const Graph& graph,
+                                         DistanceChecker& checker,
+                                         const std::vector<Candidate>& cands,
+                                         HopDistance k, ConflictBuild build) {
+  const auto n = static_cast<uint32_t>(cands.size());
+  ConflictAdjacency out;
+  out.adj.assign(n, Bitset(n));
+
+  if (build == ConflictBuild::kPairwise) {
+    for (uint32_t i = 0; i < n; ++i) {
+      for (uint32_t j = i + 1; j < n; ++j) {
+        if (!checker.IsFartherThan(cands[i].vertex, cands[j].vertex, k)) {
+          out.adj[i].Set(j);
+          out.adj[j].Set(i);
+          ++out.edges;
+        }
+      }
+    }
+    return out;
+  }
+
+  // Ball walk. Candidate-membership map over the vertex space: each ball
+  // visit resolves to a candidate position in O(1).
+  const uint32_t nv = graph.num_vertices();
+  std::vector<uint32_t> pos_of(nv, kNoPos);
+  for (uint32_t i = 0; i < n; ++i) pos_of[cands[i].vertex] = i;
+
+  if (auto* bitmap = dynamic_cast<KHopBitmapChecker*>(&checker);
+      bitmap != nullptr && bitmap->built_k() == k) {
+    // Balls are already materialized as matrix rows: adjacency row i is
+    // row(v_i) ∩ members, one AND kernel per candidate — no BFS, no
+    // per-pair probes.
+    Bitset members(nv);
+    for (uint32_t i = 0; i < n; ++i) members.Set(cands[i].vertex);
+    std::vector<uint64_t> scratch(members.num_words());
+    for (uint32_t i = 0; i < n; ++i) {
+      const auto row = bitmap->RowWords(cands[i].vertex);
+      BitAnd(scratch.data(), row.data(), members.words(), scratch.size());
+      ForEachSetBit(scratch.data(), scratch.size(), [&](uint32_t w) {
+        const uint32_t j = pos_of[w];
+        out.adj[i].Set(j);
+        if (j > i) ++out.edges;
+      });
+    }
+    return out;
+  }
+
+  // One bounded BFS per candidate over the social graph: O(n · ball)
+  // traversal work replaces O(n²) checker probes, and symmetry is free
+  // (j ∈ ball(i) ⇔ i ∈ ball(j) on an undirected graph).
+  BoundedBfs bfs(graph);
+  for (uint32_t i = 0; i < n; ++i) {
+    for (const VertexId w : bfs.Ball(cands[i].vertex, k)) {
+      const uint32_t j = pos_of[w];
+      if (j == kNoPos) continue;
+      out.adj[i].Set(j);
+      if (j > i) ++out.edges;
+    }
+  }
+  return out;
+}
 
 Result<KtgResult> RunKtgConflictGraph(const AttributedGraph& graph,
                                       const InvertedIndex& index,
@@ -174,7 +287,10 @@ Result<KtgResult> RunKtgConflictGraph(const AttributedGraph& graph,
   Stopwatch watch;
 
   QueryKey cache_key;
-  const bool cacheable = options.cache != nullptr && options.max_nodes == 0;
+  // Degeneracy runs reorder tie-breaks, so they bypass the result cache
+  // (same coverage profile, possibly different representative members).
+  const bool cacheable = options.cache != nullptr && options.max_nodes == 0 &&
+                         !options.degeneracy_order;
   if (cacheable) {
     // This engine has one fixed ordering (VKC desc, degree asc), matching
     // kVkcDeg/ascending; the distinct engine tag keeps its tie-breaks from
@@ -222,39 +338,78 @@ Result<KtgResult> RunKtgConflictGraph(const AttributedGraph& graph,
   }
 
   const auto n = static_cast<uint32_t>(cands.size());
-  std::vector<PosSet> conflicts(n, PosSet(n));
+  ConflictAdjacency cg;
   TopNCollector collector(query.top_n);
   {
     // The build + walk together are this engine's "search"; the build alone
-    // additionally charges the kKlineFilter sub-phase — it is the same
-    // pairwise Theorem-3 work the paper's engines spread over the tree walk,
-    // paid up front here.
+    // additionally charges the kKlineFilter sub-phase — the same Theorem-3
+    // work the paper's engines spread over the tree walk, paid up front.
     obs::PhaseTimer bb_timer(&stats.phases, obs::Phase::kBbSearch);
     {
       obs::PhaseTimer timer(&stats.phases, obs::Phase::kKlineFilter);
+      cg = BuildConflictAdjacency(graph.graph(), checker, cands,
+                                  query.tenuity, options.build);
+      stats.kline_filtered = cg.edges;
+    }
+
+    if (options.degeneracy_order && n > 0) {
+      // Re-rank: VKC desc stays primary (the additive bound's "later
+      // children bound lower" return depends on it); within equal VKC the
+      // densest-core candidates come first, replacing the degree
+      // tie-break. Candidates and adjacency are permuted once so the
+      // search's position-ascending tie-break is the degeneracy rank.
+      const std::vector<uint32_t> core_order = DegeneracyRemovalOrder(cg);
+      std::vector<uint32_t> perm(n);
+      std::iota(perm.begin(), perm.end(), 0);
+      std::sort(perm.begin(), perm.end(), [&](uint32_t a, uint32_t b) {
+        if (cands[a].vkc != cands[b].vkc) return cands[a].vkc > cands[b].vkc;
+        if (core_order[a] != core_order[b])
+          return core_order[a] > core_order[b];  // last removed first
+        return cands[a].vertex < cands[b].vertex;
+      });
+      std::vector<uint32_t> inv(n);
+      for (uint32_t r = 0; r < n; ++r) inv[perm[r]] = r;
+      std::vector<Candidate> new_cands(n);
+      std::vector<Bitset> new_adj(n, Bitset(n));
+      for (uint32_t r = 0; r < n; ++r) {
+        new_cands[r] = cands[perm[r]];
+        cg.adj[perm[r]].ForEach(
+            [&](uint32_t j) { new_adj[r].Set(inv[j]); });
+      }
+      cands = std::move(new_cands);
+      cg.adj = std::move(new_adj);
+    }
+
+    // Keyword transposes for the residual bound: position bitsets per
+    // query keyword, built once per run.
+    std::vector<Bitset> kw_pos;
+    CoverMask all_kw_mask = 0;
+    if (options.residual_bound) {
+      kw_pos.assign(query.num_keywords(), Bitset(n));
       for (uint32_t i = 0; i < n; ++i) {
-        for (uint32_t j = i + 1; j < n; ++j) {
-          if (!checker.IsFartherThan(cands[i].vertex, cands[j].vertex,
-                                     query.tenuity)) {
-            conflicts[i].Set(j);
-            conflicts[j].Set(i);
-            ++stats.kline_filtered;
-          }
+        CoverMask m = cands[i].mask;
+        all_kw_mask |= m;
+        while (m != 0) {
+          const int b = std::countr_zero(m);
+          m &= m - 1;
+          kw_pos[b].Set(i);
         }
       }
     }
 
     SearchState state;
     state.cands = &cands;
-    state.conflicts = &conflicts;
+    state.conflicts = &cg.adj;
+    state.kw_pos = &kw_pos;
+    state.all_kw_mask = all_kw_mask;
     state.options = &options;
     state.p = query.group_size;
     state.collector = &collector;
     state.stats = &stats;
     state.trace = options.trace;
 
-    PosSet all(n);
-    for (uint32_t i = 0; i < n; ++i) all.Set(i);
+    Bitset all(n);
+    all.SetAll();
     state.Search(std::move(all), 0);
   }
 
@@ -271,6 +426,13 @@ Result<KtgResult> RunKtgConflictGraph(const AttributedGraph& graph,
   if (cacheable) options.cache->StoreQuery(cache_key, result);
   RecordSearchStats(options.metrics, stats, "conflict");
   RecordCheckerDelta(options.metrics, checker, checker_before);
+  if (options.metrics != nullptr) {
+    options.metrics->counter("kernel.ballwalk.balls")
+        .Add(options.build == ConflictBuild::kBallWalk ? n : 0);
+    options.metrics->counter("kernel.conflict.edges").Add(cg.edges);
+    options.metrics->gauge("kernel.dispatch.avx2")
+        .Set(Avx2Active() ? 1.0 : 0.0);
+  }
   return result;
 }
 

@@ -19,14 +19,30 @@
 
 #include <vector>
 
+#include "core/candidates.h"
 #include "core/options.h"
 #include "core/query.h"
 #include "index/distance_checker.h"
 #include "keywords/attributed_graph.h"
 #include "keywords/inverted_index.h"
+#include "util/bitset_ops.h"
 #include "util/status.h"
 
 namespace ktg {
+
+/// How the conflict adjacency bitsets are materialized.
+enum class ConflictBuild {
+  /// All-pairs checker probes: C(n, 2) IsFartherThan calls (the original
+  /// construction; kept for the ablation/microbench comparison).
+  kPairwise,
+  /// Ball walk: one bounded BFS per candidate over the social graph,
+  /// intersected with the candidate-membership map — O(n · ball) instead
+  /// of O(n²) probes, no DistanceChecker calls. When the checker is a
+  /// KHopBitmapChecker built for the query's k, even the BFS disappears:
+  /// adjacency rows are the matrix rows ANDed with the membership bitmap,
+  /// word-parallel.
+  kBallWalk,
+};
 
 /// Knobs for the conflict-graph engine.
 struct ConflictEngineOptions {
@@ -36,6 +52,23 @@ struct ConflictEngineOptions {
   /// Theorem-2 pruning (with the reachable-coverage clamp; this engine is
   /// an extension, so it always uses the tighter bound).
   bool keyword_pruning = true;
+  /// Per-child residual-coverage upper bound (ON by default): before
+  /// recursing into a child, clamp its bound by the coverage reachable
+  /// from the child's *surviving* candidate bitset, computed word-parallel
+  /// from per-keyword position bitmaps with early exit. Strictly tighter
+  /// than the node-level reachable ceiling because the child set has
+  /// already lost the selected candidate's conflicts. Exact; prunes count
+  /// as SearchStats::ub_prunes. See docs/kernels.md.
+  bool residual_bound = true;
+  /// Conflict-graph construction strategy (see ConflictBuild).
+  ConflictBuild build = ConflictBuild::kBallWalk;
+  /// Branch in reverse degeneracy order of the conflict graph instead of
+  /// the static (VKC, degree, id) rank: candidates in the densest core —
+  /// the ones conflicting with most others — are tried first, so infeasible
+  /// combinations die high in the tree. Exact (the coverage profile is
+  /// unchanged; which members represent a tied coverage value may differ,
+  /// so degeneracy runs bypass the result cache).
+  bool degeneracy_order = false;
   /// Node budget (0 = unlimited).
   uint64_t max_nodes = 0;
   /// Observability sinks, borrowed; null = disabled (see EngineOptions).
@@ -49,9 +82,30 @@ struct ConflictEngineOptions {
   KtgCache* cache = nullptr;
 };
 
+/// The materialized conflict graph over a candidate set: adj[i] is the
+/// bitset of candidate positions within k hops of candidate i (symmetric,
+/// diagonal clear). `edges` counts unordered conflict pairs.
+struct ConflictAdjacency {
+  std::vector<Bitset> adj;
+  uint64_t edges = 0;
+};
+
+/// Builds the conflict adjacency for `cands` with the chosen strategy.
+/// Both strategies produce bit-identical matrices (property-tested);
+/// kPairwise issues C(n,2) checker probes, kBallWalk walks one bounded BFS
+/// ball per candidate over `graph` (or reads KHopBitmapChecker rows
+/// directly when `checker` is one built for this `k`). Exposed for
+/// bench_kernels and the construction-equivalence tests; the engine calls
+/// it internally.
+ConflictAdjacency BuildConflictAdjacency(const Graph& graph,
+                                         DistanceChecker& checker,
+                                         const std::vector<Candidate>& cands,
+                                         HopDistance k, ConflictBuild build);
+
 /// Runs a KTG query on the materialized conflict graph. Exact: returns the
 /// same coverage profile as the paper's engines (property-tested).
-/// `checker` is only used to build the conflict graph.
+/// `checker` is only used to build the conflict graph (and not even for
+/// that under the default ball-walk construction).
 Result<KtgResult> RunKtgConflictGraph(const AttributedGraph& graph,
                                       const InvertedIndex& index,
                                       DistanceChecker& checker,

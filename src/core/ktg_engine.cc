@@ -254,6 +254,17 @@ void KtgEngine::Search(const std::vector<Candidate>& sr, CoverMask covered,
     }
   }
 
+  // Suffix reachable-coverage masks for the residual clamp: suffix[j] =
+  // ∪ masks of sr[j..]. The child branching on sr[i] draws its whole
+  // subtree from sr[i..], so popcount(covered | suffix[i]) bounds its
+  // final coverage — tighter than the node ceiling (which charges the
+  // already-skipped prefix) and monotone non-increasing in i. Built
+  // lazily, once per node, the first time a full collector makes the
+  // bound consultable; entries below the triggering child stay zero and
+  // are never read (the loop only moves forward).
+  std::vector<CoverMask> suffix;
+  const bool residual = options_.residual_bound && options_.keyword_pruning;
+
   for (size_t i = 0; i + need <= sr.size(); ++i) {
     if (StopRequested()) return;
     const Candidate& v = sr[i];
@@ -278,6 +289,25 @@ void KtgEngine::Search(const std::vector<Candidate>& sr, CoverMask covered,
           }
           // sr is vkc-descending: later children only bound lower.
           return;
+        }
+      }
+      if (residual) {
+        if (suffix.empty()) {
+          suffix.resize(sr.size() + 1);
+          suffix[sr.size()] = 0;
+          for (size_t j = sr.size(); j-- > i;) {
+            suffix[j] = sr[j].mask | suffix[j + 1];
+          }
+        }
+        const int clamp = PopCount(covered | suffix[i]);
+        if (clamp <= PruneThreshold()) {
+          // The additive bound passed but the child's own suffix cannot
+          // reach past the N-th coverage.
+          ++stats_.ub_prunes;
+          if (instrument_) {
+            RecordTrace(obs::TraceEventKind::kKeywordPrune, v.vertex, clamp);
+          }
+          return;  // suffix[i] ⊇ suffix[i+1]: later children clamp lower
         }
       }
     }
@@ -316,7 +346,7 @@ uint32_t KtgEngine::EffectiveWorkers(size_t num_candidates) const {
 }
 
 bool KtgEngine::SearchRoot(const std::vector<Candidate>& sr, size_t i,
-                           CoverMask sr_union) {
+                           CoverMask sr_union, CoverMask root_suffix) {
   // One iteration of the Search() first-level loop: members_ is empty,
   // covered == 0, need == p_. Kept in lockstep with the serial loop body so
   // the explored subtree is identical (the recursive Search() call below
@@ -344,6 +374,18 @@ bool KtgEngine::SearchRoot(const std::vector<Candidate>& sr, size_t i,
         return false;  // sr is vkc-descending: later roots bound lower
       }
     }
+    if (options_.residual_bound) {
+      // Residual clamp for this root (mirrors Search(); the coordinator
+      // precomputed the suffix masks once for all roots).
+      const int clamp = PopCount(root_suffix);
+      if (clamp <= threshold) {
+        ++stats_.ub_prunes;
+        if (instrument_) {
+          RecordTrace(obs::TraceEventKind::kKeywordPrune, v.vertex, clamp);
+        }
+        return false;  // suffix masks shrink with i: later roots clamp lower
+      }
+    }
   }
 
   // (The lazy-mode feasibility check is vacuous here: S_I is empty.)
@@ -362,6 +404,12 @@ std::vector<Group> KtgEngine::ParallelRootSearch(
     const std::vector<Candidate>& sr, CoverMask sr_union, uint32_t workers) {
   SharedTopN shared(top_n_);
   const size_t num_roots = sr.size() - p_ + 1;
+  // Suffix masks for the per-root residual clamp, built once for every
+  // worker (see Search(); O(|sr|) here instead of O(|sr|) per root).
+  std::vector<CoverMask> suffix(sr.size() + 1, 0);
+  if (options_.residual_bound && options_.keyword_pruning) {
+    for (size_t j = sr.size(); j-- > 0;) suffix[j] = sr[j].mask | suffix[j + 1];
+  }
   std::atomic<size_t> next_root{0};
   std::atomic<uint64_t> nodes{1};  // the (virtual) root node itself
   std::atomic<bool> stop{false};
@@ -382,7 +430,7 @@ std::vector<Group> KtgEngine::ParallelRootSearch(
     while (!clone.StopRequested()) {
       const size_t i = next_root.fetch_add(1, std::memory_order_relaxed);
       if (i >= num_roots) break;
-      if (!clone.SearchRoot(sr, i, sr_union)) break;
+      if (!clone.SearchRoot(sr, i, sr_union, suffix[i])) break;
     }
     // Worker wall-clock is this worker's compute time; SearchStats merges
     // cpu_ms additively (and elapsed_ms by max), so the aggregate reports

@@ -92,10 +92,12 @@ class KtgEngine {
   std::vector<Group> ParallelRootSearch(const std::vector<Candidate>& sr,
                                         CoverMask sr_union, uint32_t workers);
   // One first-level subtree: selects sr[i] as the sole member and runs the
-  // serial search below it. Returns false when the shared bound proves no
-  // later root can contribute (callers stop claiming roots).
+  // serial search below it. `root_suffix` is ∪ masks of sr[i..] (the
+  // residual-bound clamp for this root; ignored unless residual_bound).
+  // Returns false when the shared bound proves no later root can contribute
+  // (callers stop claiming roots).
   bool SearchRoot(const std::vector<Candidate>& sr, size_t i,
-                  CoverMask sr_union);
+                  CoverMask sr_union, CoverMask root_suffix);
   // Shared-state indirection: these fold to the plain serial members when
   // the pointers are null (the serial path), and to the shared structures
   // on worker clones.

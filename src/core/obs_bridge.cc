@@ -15,6 +15,7 @@ void RecordSearchStats(obs::MetricsRegistry* metrics, const SearchStats& stats,
   metrics->counter(p + ".nodes_expanded").Add(stats.nodes_expanded);
   metrics->counter(p + ".groups_completed").Add(stats.groups_completed);
   metrics->counter(p + ".prune.keyword").Add(stats.keyword_prunes);
+  metrics->counter(p + ".prune.ub").Add(stats.ub_prunes);
   metrics->counter(p + ".prune.kline").Add(stats.kline_filtered);
   metrics->counter(p + ".distance_checks").Add(stats.distance_checks);
   metrics->histogram(p + ".query_ms").Record(stats.elapsed_ms);

@@ -21,7 +21,7 @@ namespace ktg {
 /// Flushes one run's SearchStats into `metrics` (no-op when null) under
 /// `prefix` ("engine", "greedy", "conflict", "dktg"): counters
 /// <prefix>.queries/.candidates/.nodes_expanded/.groups_completed/
-/// .prune.keyword/.prune.kline/.distance_checks, histograms
+/// .prune.keyword/.prune.ub/.prune.kline/.distance_checks, histograms
 /// <prefix>.query_ms/.cpu_ms, and phase.<name>_ms histograms for every
 /// phase the run spent time in.
 void RecordSearchStats(obs::MetricsRegistry* metrics, const SearchStats& stats,

@@ -51,6 +51,16 @@ struct EngineOptions {
   /// figure benches do).
   bool ceiling_prune = true;
 
+  /// Extension on top of the ceiling (ON by default): clamp each child's
+  /// Theorem-2 bound by the coverage reachable from that child's own
+  /// suffix of S_R — popcount(covered ∪ union of masks from the child's
+  /// position onward) — instead of the whole node's union. Strictly
+  /// tighter, still exact (docs/kernels.md sketches the proof); prunes
+  /// children before their S_R filter/re-sort is even built. Branches cut
+  /// by this clamp alone are counted as SearchStats::ub_prunes
+  /// (`engine.prune.ub`). Only consulted while keyword_pruning is on.
+  bool residual_bound = true;
+
   /// Theorem 3: eagerly remove k-line conflicts from S_R after each
   /// selection. When false the engine checks feasibility lazily on
   /// selection instead (same results; the ablation bench compares cost).

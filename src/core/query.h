@@ -85,6 +85,10 @@ struct SearchStats {
   uint64_t nodes_expanded = 0;      ///< branch-and-bound tree nodes visited
   uint64_t groups_completed = 0;    ///< feasible size-p groups reached
   uint64_t keyword_prunes = 0;      ///< branches cut by Theorem 2
+  /// Branches cut by the residual-coverage upper bound alone — the
+  /// Theorem-2 additive bound had passed, the tighter clamp (see
+  /// docs/kernels.md) did not. Disjoint from keyword_prunes.
+  uint64_t ub_prunes = 0;
   uint64_t kline_filtered = 0;      ///< S_R removals by Theorem 3
   uint64_t distance_checks = 0;     ///< checker invocations
   uint64_t candidates = 0;          ///< initial |S_R|
@@ -104,6 +108,7 @@ struct SearchStats {
     nodes_expanded += o.nodes_expanded;
     groups_completed += o.groups_completed;
     keyword_prunes += o.keyword_prunes;
+    ub_prunes += o.ub_prunes;
     kline_filtered += o.kline_filtered;
     distance_checks += o.distance_checks;
     candidates += o.candidates;

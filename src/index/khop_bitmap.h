@@ -12,6 +12,7 @@
 #define KTG_INDEX_KHOP_BITMAP_H_
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "graph/graph.h"
@@ -46,6 +47,17 @@ class KHopBitmapChecker final : public DistanceChecker {
   bool concurrent_read_safe() const override { return true; }
 
   HopDistance built_k() const { return k_; }
+
+  /// Raw within-k row of vertex `u`: bit v set iff Dis(u, v) <= k_ and
+  /// v != u (the diagonal is clear). Word-parallel consumers — the
+  /// conflict-graph ball walk ANDs a row against a candidate-membership
+  /// bitmap — read balls straight out of the matrix with no per-pair
+  /// checks at all.
+  std::span<const uint64_t> RowWords(VertexId u) const {
+    return {bits_.data() + static_cast<uint64_t>(u) * words_per_row_,
+            words_per_row_};
+  }
+  uint32_t words_per_row() const { return words_per_row_; }
 
  protected:
   /// `k` must equal built_k() (checked).

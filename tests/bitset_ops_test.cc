@@ -1,0 +1,193 @@
+// Copyright (c) 2026 The ktg Authors.
+// Kernel equivalence fuzz: the AVX2 and scalar bodies must be bit-exact on
+// random word arrays of every alignment-relevant length (0, sub-vector
+// tails, exact multiples of 4 words), plus Bitset container edge cases.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "util/bitset_ops.h"
+#include "util/rng.h"
+
+namespace ktg {
+namespace {
+
+std::vector<uint64_t> RandomWords(Rng& rng, size_t n, int mode) {
+  std::vector<uint64_t> out(n);
+  for (auto& w : out) {
+    switch (mode % 4) {
+      case 0:  // dense random
+        w = rng.Next();
+        break;
+      case 1:  // sparse
+        w = uint64_t{1} << (rng.Next() & 63);
+        break;
+      case 2:  // all-ones
+        w = ~uint64_t{0};
+        break;
+      default:  // empty
+        w = 0;
+    }
+  }
+  return out;
+}
+
+// Lengths crossing every tail case of the 4-word AVX2 stride.
+const size_t kLengths[] = {0, 1, 2, 3, 4, 5, 7, 8, 15, 16, 17, 31, 64, 129};
+
+TEST(BitsetOpsTest, ScalarMatchesDispatchedOnRandomInputs) {
+  Rng rng(0xB17);
+  for (const size_t n : kLengths) {
+    for (int mode = 0; mode < 8; ++mode) {
+      const auto a = RandomWords(rng, n, mode);
+      const auto b = RandomWords(rng, n, mode + 1);
+
+      std::vector<uint64_t> want(n), got(n);
+      bitset_scalar::AndNot(want.data(), a.data(), b.data(), n);
+      BitAndNot(got.data(), a.data(), b.data(), n);
+      EXPECT_EQ(got, want) << "AndNot n=" << n << " mode=" << mode;
+
+      bitset_scalar::And(want.data(), a.data(), b.data(), n);
+      BitAnd(got.data(), a.data(), b.data(), n);
+      EXPECT_EQ(got, want) << "And n=" << n;
+
+      bitset_scalar::Or(want.data(), a.data(), b.data(), n);
+      BitOr(got.data(), a.data(), b.data(), n);
+      EXPECT_EQ(got, want) << "Or n=" << n;
+
+      EXPECT_EQ(BitPopcount(a.data(), n),
+                bitset_scalar::Popcount(a.data(), n))
+          << "Popcount n=" << n;
+      EXPECT_EQ(BitAndPopcount(a.data(), b.data(), n),
+                bitset_scalar::AndPopcount(a.data(), b.data(), n))
+          << "AndPopcount n=" << n;
+      EXPECT_EQ(BitAndNotPopcount(a.data(), b.data(), n),
+                bitset_scalar::AndNotPopcount(a.data(), b.data(), n))
+          << "AndNotPopcount n=" << n;
+      EXPECT_EQ(BitIntersects(a.data(), b.data(), n),
+                bitset_scalar::Intersects(a.data(), b.data(), n))
+          << "Intersects n=" << n;
+    }
+  }
+}
+
+#if KTG_BITSET_AVX2_COMPILED
+TEST(BitsetOpsTest, Avx2MatchesScalarDirectly) {
+  if (!Avx2Available()) GTEST_SKIP() << "CPU lacks AVX2";
+  Rng rng(0xB18);
+  for (const size_t n : kLengths) {
+    for (int mode = 0; mode < 8; ++mode) {
+      const auto a = RandomWords(rng, n, mode);
+      const auto b = RandomWords(rng, n, mode + 2);
+
+      std::vector<uint64_t> want(n), got(n);
+      bitset_scalar::AndNot(want.data(), a.data(), b.data(), n);
+      bitset_avx2::AndNot(got.data(), a.data(), b.data(), n);
+      EXPECT_EQ(got, want) << "AndNot n=" << n << " mode=" << mode;
+
+      bitset_scalar::And(want.data(), a.data(), b.data(), n);
+      bitset_avx2::And(got.data(), a.data(), b.data(), n);
+      EXPECT_EQ(got, want) << "And n=" << n;
+
+      bitset_scalar::Or(want.data(), a.data(), b.data(), n);
+      bitset_avx2::Or(got.data(), a.data(), b.data(), n);
+      EXPECT_EQ(got, want) << "Or n=" << n;
+
+      EXPECT_EQ(bitset_avx2::Popcount(a.data(), n),
+                bitset_scalar::Popcount(a.data(), n));
+      EXPECT_EQ(bitset_avx2::AndPopcount(a.data(), b.data(), n),
+                bitset_scalar::AndPopcount(a.data(), b.data(), n));
+      EXPECT_EQ(bitset_avx2::AndNotPopcount(a.data(), b.data(), n),
+                bitset_scalar::AndNotPopcount(a.data(), b.data(), n));
+      EXPECT_EQ(bitset_avx2::Intersects(a.data(), b.data(), n),
+                bitset_scalar::Intersects(a.data(), b.data(), n));
+    }
+  }
+}
+
+TEST(BitsetOpsTest, Avx2AliasSafeWhenDstIsA) {
+  if (!Avx2Available()) GTEST_SKIP() << "CPU lacks AVX2";
+  Rng rng(0xB19);
+  for (const size_t n : kLengths) {
+    const auto orig_a = RandomWords(rng, n, 0);
+    const auto b = RandomWords(rng, n, 1);
+    std::vector<uint64_t> want(n);
+    bitset_scalar::AndNot(want.data(), orig_a.data(), b.data(), n);
+    // In-place: the engine's AndNotAssign aliases dst == a.
+    auto a = orig_a;
+    bitset_avx2::AndNot(a.data(), a.data(), b.data(), n);
+    EXPECT_EQ(a, want) << "n=" << n;
+  }
+}
+#endif  // KTG_BITSET_AVX2_COMPILED
+
+TEST(BitsetOpsTest, DispatchReportsConsistentState) {
+  // Whatever path was resolved, the name and the flag must agree, and
+  // scalar must always be reachable.
+  if (Avx2Active()) {
+    EXPECT_STREQ(KernelDispatchName(), "avx2");
+    EXPECT_TRUE(Avx2Available());
+  } else {
+    EXPECT_STREQ(KernelDispatchName(), "scalar");
+  }
+}
+
+TEST(BitsetOpsTest, ForEachSetBitAscendingAndComplete) {
+  Rng rng(0xB1A);
+  for (const size_t n : {size_t{0}, size_t{1}, size_t{3}, size_t{9}}) {
+    for (int mode = 0; mode < 4; ++mode) {
+      const auto a = RandomWords(rng, n, mode);
+      std::vector<uint32_t> seen;
+      ForEachSetBit(a.data(), n, [&](uint32_t i) { seen.push_back(i); });
+      EXPECT_EQ(seen.size(), bitset_scalar::Popcount(a.data(), n));
+      for (size_t i = 1; i < seen.size(); ++i) EXPECT_LT(seen[i - 1], seen[i]);
+      for (const uint32_t i : seen) {
+        EXPECT_TRUE((a[i >> 6] >> (i & 63)) & 1);
+      }
+    }
+  }
+}
+
+TEST(BitsetOpsTest, BitsetEdgeCases) {
+  // Empty.
+  Bitset empty(0);
+  EXPECT_EQ(empty.Count(), 0u);
+  empty.SetAll();
+  EXPECT_EQ(empty.Count(), 0u);
+
+  // Tail masking: SetAll on a non-multiple-of-64 size must not produce
+  // ghost bits (Count and word-level equality both depend on it).
+  for (const uint32_t bits : {1u, 63u, 64u, 65u, 127u, 130u}) {
+    Bitset s(bits);
+    s.SetAll();
+    EXPECT_EQ(s.Count(), bits) << bits;
+    Bitset manual(bits);
+    for (uint32_t i = 0; i < bits; ++i) manual.Set(i);
+    EXPECT_TRUE(s == manual) << bits;
+
+    // All-ones AND-NOT all-ones = empty; OR restores.
+    Bitset t = s;
+    t.AndNotAssign(s);
+    EXPECT_EQ(t.Count(), 0u);
+    EXPECT_FALSE(t.Intersects(s) && bits == 0);
+    t.OrAssign(s);
+    EXPECT_TRUE(t == s);
+  }
+
+  // Set/Clear/Test round-trip across word boundaries.
+  Bitset s(130);
+  for (const uint32_t i : {0u, 63u, 64u, 127u, 128u, 129u}) {
+    EXPECT_FALSE(s.Test(i));
+    s.Set(i);
+    EXPECT_TRUE(s.Test(i));
+  }
+  EXPECT_EQ(s.Count(), 6u);
+  s.Clear(64);
+  EXPECT_FALSE(s.Test(64));
+  EXPECT_EQ(s.Count(), 5u);
+}
+
+}  // namespace
+}  // namespace ktg

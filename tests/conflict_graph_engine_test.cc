@@ -12,6 +12,7 @@
 #include "datagen/keyword_assigner.h"
 #include "datagen/query_gen.h"
 #include "index/bfs_checker.h"
+#include "index/khop_bitmap.h"
 #include "keywords/inverted_index.h"
 
 namespace ktg {
@@ -124,12 +125,110 @@ TEST(ConflictGraphEngineTest, CountsConflictEdges) {
   const AttributedGraph g = PaperExampleGraph();
   const InvertedIndex idx(g);
   BfsChecker checker(g.graph());
-  const auto r = RunKtgConflictGraph(g, idx, checker, PaperExampleQuery(g));
-  ASSERT_TRUE(r.ok());
-  // k-line pairs among the 10 candidates (k=1): at least the direct edges
-  // between candidate vertices.
-  EXPECT_GT(r->stats.kline_filtered, 0u);
-  EXPECT_GT(r->stats.distance_checks, 40u);  // C(10,2) pairwise checks
+
+  // Pairwise construction pays C(10,2) checker probes up front.
+  ConflictEngineOptions pairwise;
+  pairwise.build = ConflictBuild::kPairwise;
+  const auto rp =
+      RunKtgConflictGraph(g, idx, checker, PaperExampleQuery(g), pairwise);
+  ASSERT_TRUE(rp.ok());
+  EXPECT_GT(rp->stats.kline_filtered, 0u);
+  EXPECT_GT(rp->stats.distance_checks, 40u);  // C(10,2) pairwise checks
+
+  // The default ball walk finds the same edges with zero checker probes.
+  BfsChecker checker2(g.graph());
+  const auto rb = RunKtgConflictGraph(g, idx, checker2, PaperExampleQuery(g));
+  ASSERT_TRUE(rb.ok());
+  EXPECT_EQ(rb->stats.kline_filtered, rp->stats.kline_filtered);
+  EXPECT_EQ(rb->stats.distance_checks, 0u);
+  EXPECT_EQ(Counts(rb->groups), Counts(rp->groups));
+}
+
+// Property: all three constructions — pairwise probes, per-candidate BFS
+// balls, and KHopBitmap row intersections — produce bit-identical conflict
+// matrices with the same edge count.
+TEST(ConflictGraphEngineTest, ConstructionStrategiesBitIdentical) {
+  Rng rng(0xCF63);
+  for (int round = 0; round < 8; ++round) {
+    const AttributedGraph g =
+        AssignKeywords(round % 2 == 0 ? ErdosRenyi(60, 0.06, rng)
+                                      : BarabasiAlbert(64, 2, rng),
+                       KeywordModel{}, rng);
+    const auto k = static_cast<HopDistance>(1 + round % 3);
+
+    // Every other candidate vertex, unsorted coverage metadata (the
+    // construction only reads .vertex).
+    std::vector<Candidate> cands;
+    for (VertexId v = 0; v < g.num_vertices(); v += 2) {
+      Candidate c;
+      c.vertex = v;
+      cands.push_back(c);
+    }
+
+    BfsChecker bfs(g.graph());
+    const ConflictAdjacency pw = BuildConflictAdjacency(
+        g.graph(), bfs, cands, k, ConflictBuild::kPairwise);
+    const ConflictAdjacency ball = BuildConflictAdjacency(
+        g.graph(), bfs, cands, k, ConflictBuild::kBallWalk);
+    KHopBitmapChecker bitmap(g.graph(), k);
+    const ConflictAdjacency rows = BuildConflictAdjacency(
+        g.graph(), bitmap, cands, k, ConflictBuild::kBallWalk);
+
+    EXPECT_EQ(pw.edges, ball.edges) << "round " << round << " k=" << int{k};
+    EXPECT_EQ(pw.edges, rows.edges) << "round " << round << " k=" << int{k};
+    ASSERT_EQ(pw.adj.size(), ball.adj.size());
+    ASSERT_EQ(pw.adj.size(), rows.adj.size());
+    for (size_t i = 0; i < pw.adj.size(); ++i) {
+      EXPECT_TRUE(pw.adj[i] == ball.adj[i]) << "row " << i;
+      EXPECT_TRUE(pw.adj[i] == rows.adj[i]) << "row " << i;
+    }
+  }
+}
+
+// Property: the residual bound and the degeneracy order are exact — both
+// return the identical coverage profile as the plain configuration, and
+// the residual bound never expands more nodes.
+TEST(ConflictGraphEngineTest, ResidualBoundAndDegeneracyExact) {
+  Rng rng(0xCF64);
+  KeywordModel model;
+  model.vocabulary_size = 18;
+  for (int round = 0; round < 6; ++round) {
+    const AttributedGraph g =
+        AssignKeywords(WattsStrogatz(90, 3, 0.25, rng), model, rng);
+    const InvertedIndex idx(g);
+    WorkloadOptions wopts;
+    wopts.num_queries = 2;
+    wopts.keyword_count = 5;
+    wopts.group_size = 3 + round % 2;
+    wopts.tenuity = static_cast<HopDistance>(1 + round % 2);
+    wopts.top_n = 2;
+    for (const auto& q : GenerateWorkload(g, wopts, rng)) {
+      BfsChecker checker(g.graph());
+      ConflictEngineOptions plain;
+      plain.residual_bound = false;
+      const auto base = RunKtgConflictGraph(g, idx, checker, q, plain);
+
+      const auto tight =
+          RunKtgConflictGraph(g, idx, checker, q, ConflictEngineOptions{});
+
+      ConflictEngineOptions degen;
+      degen.degeneracy_order = true;
+      const auto reordered = RunKtgConflictGraph(g, idx, checker, q, degen);
+
+      ASSERT_TRUE(base.ok() && tight.ok() && reordered.ok());
+      // The residual bound prunes tied-or-worse subtrees only: identical
+      // groups (not just coverage), never more nodes.
+      EXPECT_EQ(tight->groups, base->groups);
+      EXPECT_LE(tight->stats.nodes_expanded, base->stats.nodes_expanded);
+      // Degeneracy reorders tie-breaks: the coverage profile must match,
+      // membership may differ.
+      EXPECT_EQ(Counts(reordered->groups), Counts(base->groups));
+      BfsChecker validator(g.graph());
+      for (const auto& grp : reordered->groups) {
+        EXPECT_TRUE(IsKDistanceGroup(grp.members, q.tenuity, validator));
+      }
+    }
+  }
 }
 
 }  // namespace

@@ -35,6 +35,7 @@ struct Config {
   CheckerKind checker;
   bool ceiling = true;
   uint32_t threads = 1;
+  bool residual = true;
 };
 
 std::string ConfigName(const Config& c) {
@@ -42,6 +43,7 @@ std::string ConfigName(const Config& c) {
   s += c.pruning ? "_prune" : "_noprune";
   s += c.eager ? "_eager" : "_lazy";
   s += c.ceiling ? "" : "_noceiling";
+  s += c.residual ? "" : "_noresidual";
   s += "_";
   s += CheckerKindName(c.checker);
   s += "_t" + std::to_string(c.threads);
@@ -109,6 +111,10 @@ TEST_P(EngineEquivalenceTest, MatchesBruteForceOnRandomInstances) {
       {SortStrategy::kVkcDeg, true, true, CheckerKind::kKHopBitmap, true, 4},
       {SortStrategy::kVkcDeg, false, true, CheckerKind::kNlrnl, true, 2},
       {SortStrategy::kVkcDeg, true, true, CheckerKind::kNlrnl, false, 4},
+      // Residual suffix-union clamp off (the pre-clamp search), serial and
+      // root-parallel — the default-on configs above cover the clamp.
+      {SortStrategy::kVkcDeg, true, true, CheckerKind::kBfs, true, 1, false},
+      {SortStrategy::kVkcDeg, true, true, CheckerKind::kNlrnl, true, 4, false},
   };
 
   for (const auto& query : queries) {
@@ -125,6 +131,7 @@ TEST_P(EngineEquivalenceTest, MatchesBruteForceOnRandomInstances) {
       opts.eager_kline_filtering = config.eager;
       opts.ceiling_prune = config.ceiling;
       opts.num_threads = config.threads;
+      opts.residual_bound = config.residual;
       const auto got = RunKtg(g, idx, *checker, query, opts);
       ASSERT_TRUE(got.ok());
 
@@ -153,6 +160,54 @@ TEST_P(EngineEquivalenceTest, MatchesBruteForceOnRandomInstances) {
 
 INSTANTIATE_TEST_SUITE_P(Rounds, EngineEquivalenceTest,
                          ::testing::Range(0, 12));
+
+// The residual suffix-union clamp is a pure tightening: with it on, the
+// serial engine returns the *identical* groups (same members, not just the
+// coverage profile — it only cuts subtrees whose groups the collector
+// would reject) while never expanding more nodes than the un-clamped
+// search; prunes charged to it land in ub_prunes, not keyword_prunes.
+TEST(ResidualBoundTest, IdenticalGroupsAndMonotoneNodeCounts) {
+  // Rare keywords (small per-vertex sets, steep Zipf) and wide queries:
+  // the clamp only beats the additive bound and the node ceiling when some
+  // keyword lives exclusively in already-skipped siblings, which needs
+  // low-frequency keywords to occur at all.
+  Rng rng(0xE0FF + 8);
+  KeywordModel model;
+  model.vocabulary_size = 24;
+  model.min_per_vertex = 1;
+  model.max_per_vertex = 2;
+  model.zipf_exponent = 1.2;
+  uint64_t total_ub_prunes = 0;
+  for (int round = 0; round < 8; ++round) {
+    const AttributedGraph g = AssignKeywords(
+        round % 2 == 0 ? ErdosRenyi(60, 0.05, rng)
+                       : WattsStrogatz(64, 2, 0.2, rng),
+        model, rng);
+    const InvertedIndex idx(g);
+    WorkloadOptions wopts;
+    wopts.num_queries = 3;
+    wopts.keyword_count = 8;
+    wopts.group_size = 2 + round % 3;
+    wopts.tenuity = static_cast<HopDistance>(1 + round % 2);
+    wopts.top_n = 1 + round % 3;
+    for (const auto& query : GenerateWorkload(g, wopts, rng)) {
+      BfsChecker c1(g.graph()), c2(g.graph());
+      EngineOptions off;
+      off.residual_bound = false;
+      const auto base = RunKtg(g, idx, c1, query, off);
+      const auto tight = RunKtg(g, idx, c2, query, EngineOptions{});
+      ASSERT_TRUE(base.ok() && tight.ok());
+      EXPECT_EQ(tight->groups, base->groups) << "round " << round;
+      EXPECT_LE(tight->stats.nodes_expanded, base->stats.nodes_expanded)
+          << "round " << round;
+      EXPECT_EQ(base->stats.ub_prunes, 0u);
+      total_ub_prunes += tight->stats.ub_prunes;
+    }
+  }
+  // The clamp must actually fire somewhere across the sweep (otherwise the
+  // monotonicity assertions are vacuous).
+  EXPECT_GT(total_ub_prunes, 0u);
+}
 
 }  // namespace
 }  // namespace ktg
