@@ -163,6 +163,7 @@ void RunAblation() {
 
 int main(int argc, char** argv) {
   ktg::bench::ConsumeThreadsFlag(&argc, argv);
+  ktg::bench::InstallBenchSignalFlush("bench_ablation");
   ktg::bench::ConsumeRepeatFlag(&argc, argv);
   ktg::bench::RunAblation();
   ktg::bench::WriteMetricsSidecar("bench_ablation");

@@ -122,6 +122,7 @@ void RunCacheReuse() {
 
 int main(int argc, char** argv) {
   ktg::bench::ConsumeThreadsFlag(&argc, argv);
+  ktg::bench::InstallBenchSignalFlush("bench_cache_reuse");
   ktg::bench::ConsumeRepeatFlag(&argc, argv);
   ktg::bench::RunCacheReuse();
   ktg::bench::WriteMetricsSidecar("bench_cache_reuse");

@@ -95,6 +95,7 @@ void RunQualityStudy() {
 
 int main(int argc, char** argv) {
   ktg::bench::ConsumeThreadsFlag(&argc, argv);
+  ktg::bench::InstallBenchSignalFlush("bench_dktg_quality");
   ktg::bench::ConsumeRepeatFlag(&argc, argv);
   ktg::bench::RunQualityStudy();
   ktg::bench::WriteMetricsSidecar("bench_dktg_quality");

@@ -51,6 +51,7 @@ void RunFigure() {
 
 int main(int argc, char** argv) {
   ktg::bench::ConsumeThreadsFlag(&argc, argv);
+  ktg::bench::InstallBenchSignalFlush("bench_fig3_group_size");
   ktg::bench::ConsumeRepeatFlag(&argc, argv);
   ktg::bench::RunFigure();
   ktg::bench::WriteMetricsSidecar("bench_fig3_group_size");

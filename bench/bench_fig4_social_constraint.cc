@@ -49,6 +49,7 @@ void RunFigure() {
 
 int main(int argc, char** argv) {
   ktg::bench::ConsumeThreadsFlag(&argc, argv);
+  ktg::bench::InstallBenchSignalFlush("bench_fig4_social_constraint");
   ktg::bench::ConsumeRepeatFlag(&argc, argv);
   ktg::bench::RunFigure();
   ktg::bench::WriteMetricsSidecar("bench_fig4_social_constraint");

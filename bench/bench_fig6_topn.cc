@@ -47,6 +47,7 @@ void RunFigure() {
 
 int main(int argc, char** argv) {
   ktg::bench::ConsumeThreadsFlag(&argc, argv);
+  ktg::bench::InstallBenchSignalFlush("bench_fig6_topn");
   ktg::bench::ConsumeRepeatFlag(&argc, argv);
   ktg::bench::RunFigure();
   ktg::bench::WriteMetricsSidecar("bench_fig6_topn");

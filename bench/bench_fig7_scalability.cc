@@ -82,6 +82,7 @@ void RunPartB() {
 
 int main(int argc, char** argv) {
   ktg::bench::ConsumeThreadsFlag(&argc, argv);
+  ktg::bench::InstallBenchSignalFlush("bench_fig7_scalability");
   ktg::bench::ConsumeRepeatFlag(&argc, argv);
   ktg::bench::RunPartA();
   ktg::bench::RunPartB();

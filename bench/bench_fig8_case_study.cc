@@ -170,6 +170,7 @@ void RunCaseStudy() {
 
 int main(int argc, char** argv) {
   ktg::bench::ConsumeThreadsFlag(&argc, argv);
+  ktg::bench::InstallBenchSignalFlush("bench_fig8_case_study");
   ktg::bench::ConsumeRepeatFlag(&argc, argv);
   ktg::bench::RunCaseStudy();
   ktg::bench::WriteMetricsSidecar("bench_fig8_case_study");

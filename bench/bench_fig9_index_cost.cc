@@ -64,6 +64,7 @@ void RunFigure() {
 
 int main(int argc, char** argv) {
   ktg::bench::ConsumeThreadsFlag(&argc, argv);
+  ktg::bench::InstallBenchSignalFlush("bench_fig9_index_cost");
   ktg::bench::ConsumeRepeatFlag(&argc, argv);
   ktg::bench::RunFigure();
   ktg::bench::WriteMetricsSidecar("bench_fig9_index_cost");

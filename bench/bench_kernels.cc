@@ -210,6 +210,7 @@ void BenchConflictConstruction() {
 
 int main(int argc, char** argv) {
   ktg::bench::ConsumeThreadsFlag(&argc, argv);
+  ktg::bench::InstallBenchSignalFlush("bench_kernels");
   ktg::bench::ConsumeRepeatFlag(&argc, argv);
   ktg::bench::BenchWordKernels();
   ktg::bench::BenchConflictConstruction();

@@ -102,6 +102,7 @@ BENCHMARK(ktg::bench::BM_BitmapBuild)->Unit(benchmark::kMillisecond);
 // google-benchmark sees (and rejects) unknown flags.
 int main(int argc, char** argv) {
   ktg::bench::ConsumeThreadsFlag(&argc, argv);
+  ktg::bench::InstallBenchSignalFlush("bench_micro_index");
   ktg::bench::ConsumeRepeatFlag(&argc, argv);
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;

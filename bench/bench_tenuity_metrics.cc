@@ -123,6 +123,7 @@ void RunStudy() {
 
 int main(int argc, char** argv) {
   ktg::bench::ConsumeThreadsFlag(&argc, argv);
+  ktg::bench::InstallBenchSignalFlush("bench_tenuity_metrics");
   ktg::bench::ConsumeRepeatFlag(&argc, argv);
   ktg::bench::RunStudy();
   ktg::bench::WriteMetricsSidecar("bench_tenuity_metrics");

@@ -8,6 +8,7 @@
 #include <functional>
 
 #include "util/rng.h"
+#include "util/shutdown.h"
 #include "util/timer.h"
 
 namespace ktg::bench {
@@ -44,6 +45,11 @@ void WriteMetricsSidecar(const std::string& bench_name) {
   std::fwrite(json.data(), 1, json.size(), f);
   std::fclose(f);
   std::fprintf(stderr, "[bench] metrics sidecar -> %s\n", path.c_str());
+}
+
+void InstallBenchSignalFlush(const std::string& bench_name) {
+  InstallShutdownHandlers();
+  RegisterShutdownFlush([bench_name] { WriteMetricsSidecar(bench_name); });
 }
 
 uint32_t BenchQueries() {

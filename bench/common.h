@@ -52,6 +52,11 @@ obs::MetricsRegistry& Metrics();
 /// Failures only warn: a missing sidecar must never fail a bench run.
 void WriteMetricsSidecar(const std::string& bench_name);
 
+/// Installs SIGINT/SIGTERM handlers that write the metrics sidecar before
+/// exiting, so an interrupted sweep leaves a parseable partial snapshot
+/// instead of nothing. Call once at the top of main().
+void InstallBenchSignalFlush(const std::string& bench_name);
+
 /// Worker threads for index builds and the engine's root-parallel search
 /// (0 = hardware concurrency). Default 1: the figure benches reproduce the
 /// paper's serial latencies unless parallelism is asked for explicitly.

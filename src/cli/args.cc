@@ -3,6 +3,7 @@
 #include "cli/args.h"
 
 #include <algorithm>
+#include <cerrno>
 #include <cstdlib>
 
 namespace ktg::cli {
@@ -50,9 +51,14 @@ Result<int64_t> Args::GetInt(const std::string& flag, int64_t def) const {
   const auto it = flags_.find(flag);
   if (it == flags_.end()) return def;
   char* end = nullptr;
+  errno = 0;
   const int64_t v = std::strtoll(it->second.c_str(), &end, 10);
   if (end == it->second.c_str() || *end != '\0') {
     return Status::InvalidArgument("--" + flag + " expects an integer, got '" +
+                                   it->second + "'");
+  }
+  if (errno == ERANGE) {
+    return Status::InvalidArgument("--" + flag + " value out of range: '" +
                                    it->second + "'");
   }
   return v;
@@ -62,9 +68,14 @@ Result<double> Args::GetDouble(const std::string& flag, double def) const {
   const auto it = flags_.find(flag);
   if (it == flags_.end()) return def;
   char* end = nullptr;
+  errno = 0;
   const double v = std::strtod(it->second.c_str(), &end);
   if (end == it->second.c_str() || *end != '\0') {
     return Status::InvalidArgument("--" + flag + " expects a number, got '" +
+                                   it->second + "'");
+  }
+  if (errno == ERANGE) {
+    return Status::InvalidArgument("--" + flag + " value out of range: '" +
                                    it->second + "'");
   }
   return v;
@@ -92,4 +103,13 @@ std::vector<std::string> Args::GetList(const std::string& flag) const {
   return out;
 }
 
+Status Args::CheckExclusive(const std::string& a, const std::string& b) const {
+  if (Has(a) && Has(b)) {
+    return Status::InvalidArgument("--" + a + " and --" + b +
+                                   " are mutually exclusive");
+  }
+  return Status::OK();
+}
+
 }  // namespace ktg::cli
+

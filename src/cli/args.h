@@ -39,6 +39,10 @@ class Args {
   /// are dropped.
   std::vector<std::string> GetList(const std::string& flag) const;
 
+  /// InvalidArgument when both flags are present — for pairs that select
+  /// mutually exclusive input sources (e.g. --preset vs --edges).
+  Status CheckExclusive(const std::string& a, const std::string& b) const;
+
  private:
   std::string command_;
   std::map<std::string, std::string> flags_;

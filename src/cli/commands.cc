@@ -2,8 +2,12 @@
 
 #include "cli/commands.h"
 
+#include <chrono>
 #include <cstdio>
 #include <memory>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
 
 #include "cache/caching_checker.h"
 #include "cache/ktg_cache.h"
@@ -23,7 +27,13 @@
 #include "keywords/inverted_index.h"
 #include "obs/metrics.h"
 #include "obs/query_trace.h"
+#include "server/loadgen.h"
+#include "server/protocol.h"
+#include "server/server.h"
+#include "server/tcp.h"
+#include "util/json_parse.h"
 #include "util/json_writer.h"
+#include "util/shutdown.h"
 #include "util/percentiles.h"
 #include "util/summary_stats.h"
 #include "util/thread_pool.h"
@@ -32,12 +42,18 @@
 namespace ktg::cli {
 namespace {
 
-const std::vector<std::string> kAllFlags = {
-    "preset", "scale",   "edges", "attrs",   "out",   "kind",  "keywords",
-    "p",      "k",       "n",     "algo",    "index", "checker", "queries",
-    "wq",     "seed",    "gamma", "authors", "max-nodes", "banded",
-    "json",   "threads", "explain", "metrics-json", "trace",
-    "cache-mb", "batches",
+// Registers a shutdown flush for its lifetime; used by commands whose
+// metrics sidecar would otherwise be lost to Ctrl-C mid-run.
+class ScopedShutdownFlush {
+ public:
+  explicit ScopedShutdownFlush(std::function<void()> flush)
+      : id_(RegisterShutdownFlush(std::move(flush))) {}
+  ~ScopedShutdownFlush() { UnregisterShutdownFlush(id_); }
+  ScopedShutdownFlush(const ScopedShutdownFlush&) = delete;
+  ScopedShutdownFlush& operator=(const ScopedShutdownFlush&) = delete;
+
+ private:
+  int id_;
 };
 
 Result<AttributedGraph> LoadInput(const Args& args, bool attrs_required) {
@@ -407,6 +423,9 @@ Status CmdQuery(const Args& args) {
 
   EngineOptions options;
   options.max_nodes = static_cast<uint64_t>(max_nodes.value());
+  const auto budget_ms = args.GetDouble("budget-ms", 0.0);
+  if (!budget_ms.ok()) return budget_ms.status();
+  options.time_budget_ms = budget_ms.value();
   options.num_threads = threads.value();
   options.metrics = metrics;
   options.trace = trace;
@@ -499,6 +518,16 @@ Status CmdWorkload(const Args& args) {
   const std::string metrics_path = args.GetString("metrics-json");
   obs::MetricsRegistry registry;
 
+  // A long multi-batch run interrupted by Ctrl-C still flushes whatever
+  // the registry has accumulated; without this the sidecar is simply lost.
+  std::unique_ptr<ScopedShutdownFlush> flush;
+  if (!metrics_path.empty()) {
+    InstallShutdownHandlers();
+    flush = std::make_unique<ScopedShutdownFlush>([&registry, metrics_path] {
+      (void)WriteTextFile(metrics_path, registry.ToJson() + "\n");
+    });
+  }
+
   BatchOptions bopts;
   bopts.threads = threads.value();
   bopts.engine.cache = cache.get();
@@ -509,6 +538,7 @@ Status CmdWorkload(const Args& args) {
   // batch identically would replay the same queries, so the cache (when on)
   // would look perfect even on workloads with zero genuine reuse.
   for (int64_t b = 0; b < batches.value(); ++b) {
+    if (ShutdownRequested()) break;
     Rng rng(DeriveBatchSeed(static_cast<uint64_t>(seed.value()),
                             static_cast<uint64_t>(b)));
     const auto workload = GenerateWorkload(graph, wopts, rng);
@@ -558,31 +588,329 @@ Status CmdWorkload(const Args& args) {
   return Status::OK();
 }
 
+namespace {
+
+// The dataset a server (or its load generator) runs against: either a
+// deterministic preset build or files on disk — never both.
+Result<AttributedGraph> LoadServingDataset(const Args& args) {
+  KTG_RETURN_IF_ERROR(args.CheckExclusive("preset", "edges"));
+  if (args.Has("edges")) return LoadInput(args, /*attrs_required=*/true);
+  const std::string preset = args.GetString("preset", "gowalla");
+  const auto scale = args.GetDouble("scale", 0.1);
+  if (!scale.ok()) return scale.status();
+  auto spec = GetPreset(preset, scale.value());
+  if (!spec.ok()) return spec.status();
+  const auto seed = args.GetInt("seed", static_cast<int64_t>(spec->seed));
+  if (!seed.ok()) return seed.status();
+  spec->seed = static_cast<uint64_t>(seed.value());
+  return BuildDataset(*spec);
+}
+
+// Shared workload knobs of `workload` and `loadgen` (same defaults, so a
+// loadgen run reproduces the queries a workload run would measure).
+Result<WorkloadOptions> ParseWorkloadOptions(const Args& args) {
+  WorkloadOptions wopts;
+  const auto queries = args.GetInt("queries", 20);
+  const auto p = args.GetInt("p", 4);
+  const auto k = args.GetInt("k", 2);
+  const auto n = args.GetInt("n", 5);
+  const auto wq = args.GetInt("wq", 6);
+  if (!queries.ok()) return queries.status();
+  if (!p.ok()) return p.status();
+  if (!k.ok()) return k.status();
+  if (!n.ok()) return n.status();
+  if (!wq.ok()) return wq.status();
+  wopts.num_queries = static_cast<uint32_t>(queries.value());
+  wopts.group_size = static_cast<uint32_t>(p.value());
+  wopts.tenuity = static_cast<HopDistance>(k.value());
+  wopts.top_n = static_cast<uint32_t>(n.value());
+  wopts.keyword_count = static_cast<uint32_t>(wq.value());
+  wopts.frequency_banded = args.GetBool("banded", true);
+  return wopts;
+}
+
+}  // namespace
+
+Status CmdServe(const Args& args) {
+  auto graph = LoadServingDataset(args);
+  if (!graph.ok()) return graph.status();
+
+  server::ServerOptions sopts;
+  const auto workers = args.GetInt("workers", 0);
+  const auto queue = args.GetInt("queue", 256);
+  const auto batch_max = args.GetInt("batch-max", 8);
+  const auto batch_window = args.GetInt("batch-window", 64);
+  const auto cache_mb = args.GetInt("cache-mb", 0);
+  const auto deadline = args.GetDouble("deadline-ms", 0.0);
+  const auto port = args.GetInt("port", 7777);
+  const auto threads = ParseThreads(args, /*default_value=*/0);
+  if (!workers.ok()) return workers.status();
+  if (!queue.ok()) return queue.status();
+  if (!batch_max.ok()) return batch_max.status();
+  if (!batch_window.ok()) return batch_window.status();
+  if (!cache_mb.ok()) return cache_mb.status();
+  if (!deadline.ok()) return deadline.status();
+  if (!port.ok()) return port.status();
+  if (!threads.ok()) return threads.status();
+  if (port.value() < 0 || port.value() > 65535) {
+    return Status::InvalidArgument("--port must be in [0, 65535]");
+  }
+  if (queue.value() < 1) {
+    return Status::InvalidArgument("--queue must be >= 1");
+  }
+  if (batch_max.value() < 1) {
+    return Status::InvalidArgument("--batch-max must be >= 1");
+  }
+  const auto kind = ParseCheckerKind(args.GetString("checker", "nlrnl"));
+  if (!kind.ok()) return kind.status();
+
+  sopts.workers = static_cast<uint32_t>(std::max<int64_t>(0, workers.value()));
+  sopts.max_queue = static_cast<size_t>(queue.value());
+  sopts.batch_max = static_cast<uint32_t>(batch_max.value());
+  sopts.batch_window = static_cast<size_t>(batch_window.value());
+  sopts.cache_mb = static_cast<size_t>(std::max<int64_t>(0, cache_mb.value()));
+  sopts.default_deadline_ms = deadline.value();
+  sopts.checker = kind.value();
+  sopts.build_threads = threads.value();
+
+  std::fprintf(stderr, "ktgd: building %s checker(s) over %u vertices...\n",
+               CheckerKindName(sopts.checker), graph->num_vertices());
+  server::KtgServer server(std::move(*graph), sopts);
+  KTG_RETURN_IF_ERROR(server.Start());
+  server::TcpServer tcp(server);
+  KTG_RETURN_IF_ERROR(tcp.Listen(static_cast<uint16_t>(port.value())));
+  tcp.Start();
+
+  const std::string port_file = args.GetString("port-file");
+  if (!port_file.empty()) {
+    const Status st =
+        WriteTextFile(port_file, std::to_string(tcp.port()) + "\n");
+    if (!st.ok()) {
+      tcp.Shutdown();
+      server.Stop();
+      return st;
+    }
+  }
+  std::printf("ktgd listening on 127.0.0.1:%u\n", tcp.port());
+  std::fflush(stdout);
+
+  // Resident loop: the handler only sets a flag (async-signal-safe); this
+  // thread notices it and runs the orderly drain below, so SIGINT/SIGTERM
+  // still answer every queued request and still write the sidecar.
+  InstallShutdownHandlers();
+  while (!ShutdownRequested()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  std::fprintf(stderr, "ktgd: draining in-flight requests\n");
+  tcp.Shutdown();
+  server.Stop();
+
+  const std::string metrics_path = args.GetString("metrics-json");
+  if (!metrics_path.empty()) {
+    KTG_RETURN_IF_ERROR(
+        WriteTextFile(metrics_path, server.metrics().ToJson() + "\n"));
+    std::fprintf(stderr, "wrote metrics to %s\n", metrics_path.c_str());
+  }
+  return Status::OK();
+}
+
+Status CmdLoadgen(const Args& args) {
+  KTG_RETURN_IF_ERROR(args.CheckExclusive("port", "port-file"));
+  int64_t port = 0;
+  const std::string port_file = args.GetString("port-file");
+  if (!port_file.empty()) {
+    std::FILE* f = std::fopen(port_file.c_str(), "r");
+    if (f == nullptr) {
+      return Status::NotFound("cannot read --port-file " + port_file);
+    }
+    long value = 0;
+    const int matched = std::fscanf(f, "%ld", &value);
+    std::fclose(f);
+    if (matched != 1) {
+      return Status::InvalidArgument("--port-file holds no port number");
+    }
+    port = value;
+  } else {
+    const auto p = args.GetInt("port", 0);
+    if (!p.ok()) return p.status();
+    port = p.value();
+  }
+  if (port < 1 || port > 65535) {
+    return Status::InvalidArgument(
+        "--port P (or --port-file F) with a valid port is required");
+  }
+  const std::string host = args.GetString("host", "127.0.0.1");
+
+  // Must describe the same dataset the server was started with — keyword
+  // terms are resolved against this vocabulary on both ends.
+  auto graph = LoadServingDataset(args);
+  if (!graph.ok()) return graph.status();
+  auto wopts = ParseWorkloadOptions(args);
+  if (!wopts.ok()) return wopts.status();
+  const auto seed = args.GetInt("seed", 7);
+  if (!seed.ok()) return seed.status();
+  Rng rng(static_cast<uint64_t>(seed.value()));
+  const std::vector<KtgQuery> workload = GenerateWorkload(*graph, *wopts, rng);
+  if (workload.empty()) {
+    return Status::Internal("workload generation produced no queries");
+  }
+
+  server::LoadgenOptions lopts;
+  lopts.open_loop = args.GetBool("open-loop");
+  const auto connections = args.GetInt("connections", 4);
+  const auto rate = args.GetDouble("rate", 100.0);
+  const auto duration = args.GetDouble("duration", 5.0);
+  const auto max_queries = args.GetInt("max-queries", 0);
+  const auto deadline = args.GetDouble("deadline-ms", 0.0);
+  if (!connections.ok()) return connections.status();
+  if (!rate.ok()) return rate.status();
+  if (!duration.ok()) return duration.status();
+  if (!max_queries.ok()) return max_queries.status();
+  if (!deadline.ok()) return deadline.status();
+  if (connections.value() < 1) {
+    return Status::InvalidArgument("--connections must be >= 1");
+  }
+  lopts.connections = static_cast<uint32_t>(connections.value());
+  lopts.rate_qps = rate.value();
+  lopts.duration_s = duration.value();
+  lopts.max_queries =
+      static_cast<uint64_t>(std::max<int64_t>(0, max_queries.value()));
+  lopts.deadline_ms = deadline.value();
+  lopts.retry_rejected = args.GetBool("retry", true);
+
+  // --check: every complete response is compared against a direct
+  // in-process engine run with the server's engine configuration (serial,
+  // default options) — computed lazily, memoized per workload index.
+  std::unique_ptr<InvertedIndex> index;
+  std::unique_ptr<DistanceChecker> checker;
+  std::mutex ref_mu;
+  std::unordered_map<size_t, KtgResult> memo;
+  if (args.GetBool("check")) {
+    const auto kind = ParseCheckerKind(args.GetString("checker", "nlrnl"));
+    if (!kind.ok()) return kind.status();
+    index = std::make_unique<InvertedIndex>(*graph);
+    checker = MakeChecker(kind.value(), graph->graph(), wopts->tenuity,
+                          /*num_threads=*/0);
+    lopts.reference = [&](size_t i) -> const KtgResult* {
+      std::lock_guard<std::mutex> lock(ref_mu);
+      if (const auto it = memo.find(i); it != memo.end()) return &it->second;
+      auto expected = RunKtg(*graph, *index, *checker, workload[i], {});
+      if (!expected.ok()) return nullptr;
+      return &memo.emplace(i, std::move(*expected)).first->second;
+    };
+  }
+
+  auto report = server::RunLoadgen(host, static_cast<uint16_t>(port), *graph,
+                                   workload, lopts);
+  if (!report.ok()) return report.status();
+  std::printf("%s\n", report->ToJson().c_str());
+
+  const std::string metrics_path = args.GetString("metrics-json");
+  if (!metrics_path.empty()) {
+    // The sidecar is the *server's* ktg.metrics.v1 snapshot after the run,
+    // fetched over the wire — cache hit rates, rejections, queue depths.
+    server::TcpClient client;
+    KTG_RETURN_IF_ERROR(client.Connect(host, static_cast<uint16_t>(port)));
+    KTG_RETURN_IF_ERROR(client.SendLine(server::MetricsRequestJson(0)));
+    auto line = client.ReadLine();
+    if (!line.ok()) return line.status();
+    auto doc = ParseJson(*line);
+    if (!doc.ok()) return doc.status();
+    const JsonValue* metrics = doc->Find("metrics");
+    if (metrics == nullptr) {
+      return Status::Internal("metrics response carried no 'metrics' member");
+    }
+    KTG_RETURN_IF_ERROR(
+        WriteTextFile(metrics_path, DumpJson(*metrics) + "\n"));
+    std::fprintf(stderr, "wrote server metrics to %s\n", metrics_path.c_str());
+  }
+
+  if (report->mismatches > 0) {
+    return Status::Internal(
+        std::to_string(report->mismatches) +
+        " differential mismatch(es): server responses differ from direct "
+        "engine runs");
+  }
+  return Status::OK();
+}
+
+const std::vector<CommandSpec>& CommandRegistry() {
+  // Leaked singleton: commands may be looked up from atexit paths.
+  static const auto* kRegistry = new std::vector<CommandSpec>{
+      {"generate", &CmdGenerate,
+       "  generate     build a synthetic preset dataset and save it\n"
+       "               --preset NAME --scale S [--seed S] [--edges F] [--attrs F]\n",
+       {"preset", "scale", "seed", "edges", "attrs"}},
+      {"stats", &CmdStats,
+       "  stats        structural statistics of an edge list\n"
+       "               --edges F [--attrs F]\n",
+       {"edges", "attrs"}},
+      {"build-index", &CmdBuildIndex,
+       "  build-index  build and persist a distance index\n"
+       "               --edges F --kind nl|nlrnl --out F [--threads T]\n",
+       {"edges", "attrs", "kind", "out", "threads"}},
+      {"query", &CmdQuery,
+       "  query        run one query\n"
+       "               --edges F --attrs F --keywords a,b,c [--p P] [--k K]\n"
+       "               [--n N] [--algo vkc-deg|vkc|qkc|greedy|dktg|tagq]\n"
+       "               [--index F | --checker bfs|nl|nlrnl|bitmap]\n"
+       "               [--authors v1,v2] [--gamma G] [--max-nodes M] [--json]\n"
+       "               [--explain] [--threads T] [--metrics-json F] [--trace]\n"
+       "               [--cache-mb M] [--budget-ms B]\n",
+       {"edges", "attrs", "keywords", "p", "k", "n", "algo", "index",
+        "checker", "authors", "gamma", "max-nodes", "json", "explain",
+        "threads", "metrics-json", "trace", "cache-mb", "budget-ms"}},
+      {"workload", &CmdWorkload,
+       "  workload     latency summary over a generated workload\n"
+       "               --preset NAME --scale S [--queries Q] [--p P] [--k K]\n"
+       "               [--n N] [--wq W] [--checker C] [--seed S] [--banded B]\n"
+       "               [--threads T] [--metrics-json F] [--cache-mb M]\n"
+       "               [--batches B]\n",
+       {"preset", "scale", "queries", "p", "k", "n", "wq", "checker", "seed",
+        "banded", "threads", "metrics-json", "cache-mb", "batches"}},
+      {"serve", &CmdServe,
+       "  serve        run ktgd, the resident query service (docs/server.md)\n"
+       "               [--preset NAME --scale S --seed S | --edges F --attrs F]\n"
+       "               [--port P] [--port-file F] [--workers W] [--queue Q]\n"
+       "               [--batch-max B] [--batch-window W] [--cache-mb M]\n"
+       "               [--deadline-ms D] [--checker C] [--threads T]\n"
+       "               [--metrics-json F]\n",
+       {"preset", "scale", "seed", "edges", "attrs", "port", "port-file",
+        "workers", "queue", "batch-max", "batch-window", "cache-mb",
+        "deadline-ms", "checker", "threads", "metrics-json"}},
+      {"loadgen", &CmdLoadgen,
+       "  loadgen      drive a running ktgd with a generated workload\n"
+       "               [--preset NAME --scale S | --edges F --attrs F]\n"
+       "               [--host H] [--port P | --port-file F] [--check]\n"
+       "               [--open-loop] [--rate QPS] [--connections C]\n"
+       "               [--duration S] [--max-queries M] [--deadline-ms D]\n"
+       "               [--queries Q] [--p P] [--k K] [--n N] [--wq W]\n"
+       "               [--seed S] [--banded B] [--retry R] [--checker C]\n"
+       "               [--metrics-json F]\n",
+       {"preset", "scale", "seed", "edges", "attrs", "host", "port",
+        "port-file", "check", "open-loop", "rate", "connections", "duration",
+        "max-queries", "deadline-ms", "queries", "p", "k", "n", "wq",
+        "banded", "retry", "checker", "metrics-json"}},
+  };
+  return *kRegistry;
+}
+
+const CommandSpec* FindCommand(const std::string& name) {
+  for (const CommandSpec& spec : CommandRegistry()) {
+    if (spec.name == name) return &spec;
+  }
+  return nullptr;
+}
+
 std::string UsageText() {
-  return
+  std::string text =
       "ktg — keyword-based socially tenuous group queries\n"
       "\n"
       "usage: ktg <command> [--flag value ...]\n"
       "\n"
-      "commands:\n"
-      "  generate     build a synthetic preset dataset and save it\n"
-      "               --preset NAME --scale S [--seed S] [--edges F] [--attrs F]\n"
-      "  stats        structural statistics of an edge list\n"
-      "               --edges F [--attrs F]\n"
-      "  build-index  build and persist a distance index\n"
-      "               --edges F --kind nl|nlrnl --out F [--threads T]\n"
-      "  query        run one query\n"
-      "               --edges F --attrs F --keywords a,b,c [--p P] [--k K]\n"
-      "               [--n N] [--algo vkc-deg|vkc|qkc|greedy|dktg|tagq]\n"
-      "               [--index F | --checker bfs|nl|nlrnl|bitmap]\n"
-      "               [--authors v1,v2] [--gamma G] [--max-nodes M] [--json]\n"
-      "               [--explain] [--threads T] [--metrics-json F] [--trace]\n"
-      "               [--cache-mb M]\n"
-      "  workload     latency summary over a generated workload\n"
-      "               --preset NAME --scale S [--queries Q] [--p P] [--k K]\n"
-      "               [--n N] [--wq W] [--checker C] [--seed S] [--banded B]\n"
-      "               [--threads T] [--metrics-json F] [--cache-mb M]\n"
-      "               [--batches B]\n"
+      "commands:\n";
+  for (const CommandSpec& spec : CommandRegistry()) text += spec.help;
+  text +=
       "  help         print this text\n"
       "\n"
       "--threads semantics: 0 = all hardware threads. For build-index it\n"
@@ -600,36 +928,42 @@ std::string UsageText() {
       "--batches B runs B workload batches against the same cache, each\n"
       "drawn from a seed derived from --seed, so batch 2+ measures warm\n"
       "reuse on fresh queries rather than replaying batch 1. See\n"
-      "docs/caching.md.\n";
+      "docs/caching.md.\n"
+      "\n"
+      "serve hosts the dataset behind a line-delimited JSON TCP protocol\n"
+      "with admission control, request batching and per-query deadlines;\n"
+      "loadgen drives it closed-loop (saturation) or open-loop (--rate)\n"
+      "and, with --check, differentially verifies every response against\n"
+      "a direct engine run. See docs/server.md.\n";
+  return text;
 }
 
 int RunMain(const std::vector<std::string>& argv) {
-  auto args = Args::Parse(argv, kAllFlags);
+  const std::string cmd =
+      (!argv.empty() && !argv[0].starts_with("--")) ? argv[0] : "";
+  if (cmd.empty()) {
+    std::printf("%s", UsageText().c_str());
+    return 2;
+  }
+  if (cmd == "help") {
+    std::printf("%s", UsageText().c_str());
+    return 0;
+  }
+  const CommandSpec* spec = FindCommand(cmd);
+  if (spec == nullptr) {
+    std::fprintf(stderr, "error: unknown command '%s'\n%s", cmd.c_str(),
+                 UsageText().c_str());
+    return 2;
+  }
+  // Flags are validated against the command's own list, so a flag another
+  // command owns fails loudly instead of being silently ignored.
+  auto args = Args::Parse(argv, spec->flags);
   if (!args.ok()) {
     std::fprintf(stderr, "error: %s\n%s", args.status().ToString().c_str(),
                  UsageText().c_str());
     return 2;
   }
-  const std::string& cmd = args->command();
-  Status status;
-  if (cmd == "generate") {
-    status = CmdGenerate(*args);
-  } else if (cmd == "stats") {
-    status = CmdStats(*args);
-  } else if (cmd == "build-index") {
-    status = CmdBuildIndex(*args);
-  } else if (cmd == "query") {
-    status = CmdQuery(*args);
-  } else if (cmd == "workload") {
-    status = CmdWorkload(*args);
-  } else if (cmd == "help" || cmd.empty()) {
-    std::printf("%s", UsageText().c_str());
-    return cmd.empty() ? 2 : 0;
-  } else {
-    std::fprintf(stderr, "error: unknown command '%s'\n%s", cmd.c_str(),
-                 UsageText().c_str());
-    return 2;
-  }
+  const Status status = spec->fn(*args);
   if (!status.ok()) {
     std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
     return 1;

@@ -1,6 +1,7 @@
 // Copyright (c) 2026 The ktg Authors.
 // The `ktg` command-line tool: generate datasets, inspect graphs, build
-// and persist indexes, and run KTG / DKTG / TAGQ queries from the shell.
+// and persist indexes, run KTG / DKTG / TAGQ queries from the shell, and
+// host / drive the resident query service.
 //
 //   ktg generate    --preset dblp --scale 0.05 --edges g.txt --attrs a.txt
 //   ktg stats       --edges g.txt [--attrs a.txt]
@@ -9,9 +10,16 @@
 //                   [--index dblp.idx | --checker bfs] --p 3 --k 2 --n 5
 //                   [--algo vkc-deg|vkc|qkc|greedy|dktg|tagq]
 //   ktg workload    --preset gowalla --scale 0.1 --queries 20 --p 4 --k 2
+//   ktg serve       --preset gowalla --scale 0.1 --port 0 --workers 4
+//   ktg loadgen     --preset gowalla --scale 0.1 --port 7777 --check
 //
 // Every command writes human-readable output to stdout and returns a
 // non-zero exit code with a message on stderr for malformed input.
+//
+// Commands live in a registry (name -> handler + per-command flag list +
+// help block); RunMain resolves the command first and parses flags against
+// that command's own list, so `ktg stats --keywords x` fails loudly
+// instead of silently ignoring a flag another command owns.
 
 #ifndef KTG_CLI_COMMANDS_H_
 #define KTG_CLI_COMMANDS_H_
@@ -24,6 +32,23 @@
 
 namespace ktg::cli {
 
+/// One registered subcommand.
+struct CommandSpec {
+  std::string name;
+  Status (*fn)(const Args&);
+  /// The command's block in the usage text (verbatim lines, each ending
+  /// in '\n'; first line is "  <name>  <summary>").
+  std::string help;
+  /// Flags this command accepts; anything else is a parse error.
+  std::vector<std::string> flags;
+};
+
+/// All registered commands, in usage-text order.
+const std::vector<CommandSpec>& CommandRegistry();
+
+/// Looks up a command by name; nullptr when unknown.
+const CommandSpec* FindCommand(const std::string& name);
+
 /// Entry point used by tools/ktg_cli.cc; returns the process exit code.
 int RunMain(const std::vector<std::string>& argv);
 
@@ -33,8 +58,11 @@ Status CmdStats(const Args& args);
 Status CmdBuildIndex(const Args& args);
 Status CmdQuery(const Args& args);
 Status CmdWorkload(const Args& args);
+Status CmdServe(const Args& args);
+Status CmdLoadgen(const Args& args);
 
-/// The usage text printed by `ktg help` / on errors.
+/// The usage text printed by `ktg help` / on errors (assembled from the
+/// registry's help blocks).
 std::string UsageText();
 
 }  // namespace ktg::cli

@@ -224,6 +224,15 @@ void KtgEngine::Search(const std::vector<Candidate>& sr, CoverMask covered,
       return;
     }
   }
+  // Deadline: the clock read is amortized over a node batch; each worker
+  // polls its own expansion count, so the shared stop flag fans the
+  // timeout out to the others within one batch.
+  if (options_.time_budget_ms > 0 &&
+      (stats_.nodes_expanded & kTimeBudgetCheckMask) == 0 &&
+      run_watch_.ElapsedMillis() > options_.time_budget_ms) {
+    RequestStop();
+    return;
+  }
 
   if (members_.size() == p_) {
     OfferCurrent(covered);
@@ -424,6 +433,7 @@ std::vector<Group> KtgEngine::ParallelRootSearch(
     clone.p_ = p_;
     clone.k_ = k_;
     clone.top_n_ = top_n_;
+    clone.run_watch_ = run_watch_;  // same deadline origin as Run()
     clone.shared_topn_ = &shared;
     clone.shared_nodes_ = &nodes;
     clone.shared_stop_ = &stop;
@@ -462,6 +472,7 @@ Result<KtgResult> KtgEngine::Run(const KtgQuery& query) {
   KTG_RETURN_IF_ERROR(ValidateQuery(query, graph_));
 
   Stopwatch watch;
+  run_watch_ = watch;  // deadline origin == the query's wall-clock origin
 
   // Cross-query result cache: truncated searches (max_nodes/stop_at_count)
   // produce best-effort groups, so they neither consult nor populate it.

@@ -33,6 +33,7 @@
 #include "keywords/inverted_index.h"
 #include "obs/query_trace.h"
 #include "util/status.h"
+#include "util/timer.h"
 
 namespace ktg {
 
@@ -124,6 +125,12 @@ class KtgEngine {
   SearchStats stats_;
   bool stop_ = false;
   bool last_run_complete_ = true;
+
+  // Deadline clock for options_.time_budget_ms: reset when Run() starts,
+  // copied into worker clones so every worker measures from the same
+  // origin. Polled every kTimeBudgetCheckMask+1 expansions.
+  static constexpr uint64_t kTimeBudgetCheckMask = 0x3F;
+  Stopwatch run_watch_;
 
   // Set only on the per-worker clones of a parallel run; null on the
   // serial path and on the coordinating engine itself.

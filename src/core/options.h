@@ -95,6 +95,17 @@ struct EngineOptions {
   /// the parallel workers.
   uint64_t max_nodes = 0;
 
+  /// Wall-clock budget for one Run() in milliseconds (0 = unlimited). The
+  /// clock starts when Run() is entered and is polled every
+  /// kTimeBudgetCheckMask+1 node expansions (per worker under the
+  /// root-parallel engine, so overrun is bounded by one node batch). A run
+  /// that exceeds its budget stops with the best groups found so far and
+  /// `last_run_complete()` false; like max_nodes truncations, such results
+  /// are never stored into the cross-query cache — but a cache *hit* still
+  /// serves a deadline query instantly. This is the serving-path deadline:
+  /// `ktgd` maps a request's remaining deadline onto this knob.
+  double time_budget_ms = 0.0;
+
   /// When > 0: stop as soon as the collector is full and every held group
   /// covers at least this many keywords. DKTG-Greedy uses it to accept the
   /// first group matching the previous round's coverage.

@@ -1,0 +1,389 @@
+// Copyright (c) 2026 The ktg Authors.
+
+#include "server/loadgen.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+
+#include "server/protocol.h"
+#include "server/tcp.h"
+#include "util/json_parse.h"
+#include "util/json_writer.h"
+#include "util/timer.h"
+
+namespace ktg::server {
+namespace {
+
+// Cap on honoring retry_after_ms so a pessimistic hint cannot stall a
+// closed-loop connection for the whole run.
+constexpr double kMaxRetrySleepMs = 50.0;
+// Open loop: how long after the last send we wait for stragglers.
+constexpr double kDrainGraceS = 2.0;
+
+struct Tally {
+  uint64_t sent = 0;
+  uint64_t completed = 0;
+  uint64_t coalesced = 0;
+  uint64_t incomplete = 0;
+  uint64_t rejected = 0;
+  uint64_t retried = 0;
+  uint64_t timeouts = 0;
+  uint64_t errors = 0;
+  uint64_t checked = 0;
+  uint64_t mismatches = 0;
+  std::vector<double> latencies_ms;
+
+  void Merge(const Tally& o) {
+    sent += o.sent;
+    completed += o.completed;
+    coalesced += o.coalesced;
+    incomplete += o.incomplete;
+    rejected += o.rejected;
+    retried += o.retried;
+    timeouts += o.timeouts;
+    errors += o.errors;
+    checked += o.checked;
+    mismatches += o.mismatches;
+    latencies_ms.insert(latencies_ms.end(), o.latencies_ms.begin(),
+                        o.latencies_ms.end());
+  }
+};
+
+/// True when the response's groups match the oracle result exactly
+/// (count, per-group coverage, per-group member list, in order).
+bool ResponseMatches(const JsonValue& doc, const KtgResult& expect) {
+  const JsonValue* groups = doc.Find("groups");
+  if (groups == nullptr || !groups->is_array()) return false;
+  if (groups->AsArray().size() != expect.groups.size()) return false;
+  for (size_t gi = 0; gi < expect.groups.size(); ++gi) {
+    const JsonValue& g = groups->AsArray()[gi];
+    if (!g.is_object()) return false;
+    const JsonValue* covered = g.Find("covered");
+    if (covered == nullptr || !covered->is_number() ||
+        static_cast<int>(covered->AsDouble()) != expect.groups[gi].covered()) {
+      return false;
+    }
+    const JsonValue* members = g.Find("members");
+    if (members == nullptr || !members->is_array()) return false;
+    const auto& want = expect.groups[gi].members;
+    if (members->AsArray().size() != want.size()) return false;
+    for (size_t mi = 0; mi < want.size(); ++mi) {
+      const JsonValue& m = members->AsArray()[mi];
+      if (!m.is_number() ||
+          static_cast<VertexId>(m.AsDouble()) != want[mi]) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+// Shared response accounting for both loops. `query_index` maps the
+// response back to the workload entry for the differential check. Returns
+// the response status string.
+std::string TallyResponse(const JsonValue& doc, size_t query_index,
+                          const LoadgenOptions& options, Tally& tally) {
+  const auto status = doc.GetString("status", "error");
+  const std::string s = status.ok() ? status.value() : "error";
+  if (s == "ok") {
+    tally.completed++;
+    bool complete = true;
+    if (const JsonValue* serving = doc.Find("serving");
+        serving != nullptr && serving->is_object()) {
+      const auto c = serving->GetBool("complete", true);
+      complete = c.ok() ? c.value() : true;
+      const auto co = serving->GetBool("coalesced", false);
+      if (co.ok() && co.value()) tally.coalesced++;
+    }
+    if (!complete) tally.incomplete++;
+    // Truncated (deadline-cut) answers are best-effort by contract; only
+    // complete responses must equal the oracle.
+    if (complete && options.reference) {
+      const KtgResult* expect = options.reference(query_index);
+      if (expect != nullptr) {
+        tally.checked++;
+        if (!ResponseMatches(doc, *expect)) tally.mismatches++;
+      }
+    }
+  } else if (s == "rejected") {
+    tally.rejected++;
+  } else if (s == "timeout") {
+    tally.timeouts++;
+  } else {
+    tally.errors++;
+  }
+  return s;
+}
+
+void ClosedLoopWorker(const std::string& host, uint16_t port,
+                      const AttributedGraph& graph,
+                      const std::vector<KtgQuery>& queries,
+                      const LoadgenOptions& options, const Stopwatch& watch,
+                      std::atomic<uint64_t>& next, Tally& tally) {
+  TcpClient client;
+  if (!client.Connect(host, port).ok()) {
+    tally.errors++;
+    return;
+  }
+  for (;;) {
+    if (options.duration_s > 0 &&
+        watch.ElapsedSeconds() >= options.duration_s) {
+      return;
+    }
+    const uint64_t i = next.fetch_add(1, std::memory_order_relaxed);
+    if (options.max_queries > 0 && i >= options.max_queries) return;
+    const size_t qi = static_cast<size_t>(i % queries.size());
+    const std::string request = QueryRequestJson(
+        i, graph, queries[qi], options.sort, options.deadline_ms);
+    for (;;) {
+      Stopwatch rtt;
+      if (!client.SendLine(request).ok()) {
+        tally.errors++;
+        return;
+      }
+      tally.sent++;
+      auto line = client.ReadLine();
+      if (!line.ok()) {
+        tally.errors++;
+        return;
+      }
+      auto doc = ParseJson(*line);
+      if (!doc.ok()) {
+        tally.errors++;
+        break;
+      }
+      const std::string status = TallyResponse(*doc, qi, options, tally);
+      if (status == "ok") {
+        tally.latencies_ms.push_back(rtt.ElapsedMillis());
+        break;
+      }
+      if (status != "rejected" || !options.retry_rejected) break;
+      if (options.duration_s > 0 &&
+          watch.ElapsedSeconds() >= options.duration_s) {
+        return;
+      }
+      const auto hint = doc->GetNumber("retry_after_ms", 1.0);
+      const double sleep_ms = std::clamp(
+          hint.ok() ? hint.value() : 1.0, 0.0, kMaxRetrySleepMs);
+      std::this_thread::sleep_for(
+          std::chrono::duration<double, std::milli>(sleep_ms));
+      tally.retried++;
+    }
+  }
+}
+
+Result<LoadgenReport> RunOpenLoop(const std::string& host, uint16_t port,
+                                  const AttributedGraph& graph,
+                                  const std::vector<KtgQuery>& queries,
+                                  const LoadgenOptions& options) {
+  const uint32_t conns = std::max(1u, options.connections);
+  struct Channel {
+    TcpClient client;
+    std::mutex mu;
+    std::unordered_map<uint64_t, double> sent_at_ms;  // id -> send time
+    Tally tally;
+  };
+  std::vector<std::unique_ptr<Channel>> channels;
+  for (uint32_t c = 0; c < conns; ++c) {
+    auto ch = std::make_unique<Channel>();
+    KTG_RETURN_IF_ERROR(ch->client.Connect(host, port));
+    channels.push_back(std::move(ch));
+  }
+
+  Stopwatch watch;
+  std::atomic<uint64_t> outstanding{0};
+  std::vector<std::thread> readers;
+  readers.reserve(conns);
+  for (auto& ch_ptr : channels) {
+    readers.emplace_back([&, ch = ch_ptr.get()] {
+      for (;;) {
+        auto line = ch->client.ReadLine();
+        if (!line.ok()) return;  // closed by the drain phase (or server)
+        auto doc = ParseJson(*line);
+        if (!doc.ok()) {
+          ch->tally.errors++;
+          outstanding.fetch_sub(1, std::memory_order_relaxed);
+          continue;
+        }
+        const auto id = doc->GetInt("id", 0);
+        double latency_ms = -1.0;
+        if (id.ok()) {
+          std::lock_guard<std::mutex> lock(ch->mu);
+          auto it = ch->sent_at_ms.find(static_cast<uint64_t>(id.value()));
+          if (it != ch->sent_at_ms.end()) {
+            latency_ms = watch.ElapsedMillis() - it->second;
+            ch->sent_at_ms.erase(it);
+          }
+        }
+        const size_t qi =
+            id.ok() ? static_cast<size_t>(id.value()) % queries.size() : 0;
+        const std::string status =
+            TallyResponse(*doc, qi, options, ch->tally);
+        if (status == "ok" && latency_ms >= 0) {
+          ch->tally.latencies_ms.push_back(latency_ms);
+        }
+        outstanding.fetch_sub(1, std::memory_order_relaxed);
+      }
+    });
+  }
+
+  // The arrival process: request i leaves at i / rate seconds, on
+  // connection i mod conns, whether or not earlier requests came back.
+  const double rate = std::max(1e-3, options.rate_qps);
+  uint64_t sent = 0;
+  for (uint64_t i = 0;; ++i) {
+    if (options.max_queries > 0 && i >= options.max_queries) break;
+    const double target_s = static_cast<double>(i) / rate;
+    if (options.duration_s > 0 && target_s >= options.duration_s) break;
+    const double wait_s = target_s - watch.ElapsedSeconds();
+    if (wait_s > 0) {
+      std::this_thread::sleep_for(std::chrono::duration<double>(wait_s));
+    }
+    Channel& ch = *channels[i % conns];
+    const size_t qi = static_cast<size_t>(i % queries.size());
+    const std::string request = QueryRequestJson(
+        i, graph, queries[qi], options.sort, options.deadline_ms);
+    {
+      std::lock_guard<std::mutex> lock(ch.mu);
+      ch.sent_at_ms[i] = watch.ElapsedMillis();
+    }
+    outstanding.fetch_add(1, std::memory_order_relaxed);
+    if (!ch.client.SendLine(request).ok()) {
+      outstanding.fetch_sub(1, std::memory_order_relaxed);
+      ch.tally.errors++;
+      std::lock_guard<std::mutex> lock(ch.mu);
+      ch.sent_at_ms.erase(i);
+      continue;
+    }
+    ++sent;
+  }
+
+  // Drain: give in-flight requests a grace window, then cut the sockets
+  // (which unblocks the readers) and join.
+  const double drain_deadline_s =
+      watch.ElapsedSeconds() + kDrainGraceS + options.deadline_ms / 1e3;
+  while (outstanding.load(std::memory_order_relaxed) > 0 &&
+         watch.ElapsedSeconds() < drain_deadline_s) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  const double wall_s = watch.ElapsedSeconds();
+  // shutdown(2), not close(2): close does not wake a thread blocked in
+  // recv, and would free the fd for reuse under the reader's feet.
+  for (auto& ch : channels) ch->client.Shutdown();
+  for (std::thread& t : readers) t.join();
+  for (auto& ch : channels) ch->client.Close();
+
+  Tally total;
+  for (auto& ch : channels) total.Merge(ch->tally);
+  total.sent = sent;
+
+  LoadgenReport report;
+  report.sent = total.sent;
+  report.completed = total.completed;
+  report.coalesced = total.coalesced;
+  report.incomplete = total.incomplete;
+  report.rejected = total.rejected;
+  report.retried = 0;
+  report.timeouts = total.timeouts;
+  report.errors = total.errors;
+  report.checked = total.checked;
+  report.mismatches = total.mismatches;
+  report.wall_s = wall_s;
+  report.qps = wall_s > 0 ? static_cast<double>(total.completed) / wall_s : 0;
+  if (!total.latencies_ms.empty()) {
+    report.latency = LatencySummary::FromSamples(total.latencies_ms);
+    report.p95 = Percentile(total.latencies_ms, 0.95);
+  }
+  return report;
+}
+
+}  // namespace
+
+std::string LoadgenReport::ToJson() const {
+  JsonWriter w;
+  w.BeginObject();
+  w.KV("schema", "ktg.loadgen.v1");
+  w.KV("sent", sent)
+      .KV("completed", completed)
+      .KV("coalesced", coalesced)
+      .KV("incomplete", incomplete)
+      .KV("rejected", rejected)
+      .KV("retried", retried)
+      .KV("timeouts", timeouts)
+      .KV("errors", errors)
+      .KV("checked", checked)
+      .KV("mismatches", mismatches)
+      .KV("wall_s", wall_s)
+      .KV("qps", qps);
+  w.Key("latency_ms").BeginObject();
+  w.KV("count", latency.count)
+      .KV("mean", latency.mean)
+      .KV("min", latency.min)
+      .KV("max", latency.max)
+      .KV("p50", latency.p50)
+      .KV("p90", latency.p90)
+      .KV("p95", p95)
+      .KV("p99", latency.p99);
+  w.EndObject().EndObject();
+  return w.str();
+}
+
+Result<LoadgenReport> RunLoadgen(const std::string& host, uint16_t port,
+                                 const AttributedGraph& graph,
+                                 const std::vector<KtgQuery>& queries,
+                                 const LoadgenOptions& options) {
+  if (queries.empty()) {
+    return Status::InvalidArgument("loadgen needs a non-empty workload");
+  }
+  if (options.duration_s <= 0 && options.max_queries == 0) {
+    return Status::InvalidArgument(
+        "either duration_s or max_queries must bound the run");
+  }
+  if (options.open_loop) {
+    return RunOpenLoop(host, port, graph, queries, options);
+  }
+
+  const uint32_t conns = std::max(1u, options.connections);
+  Stopwatch watch;
+  std::atomic<uint64_t> next{0};
+  std::vector<Tally> tallies(conns);
+  std::vector<std::thread> threads;
+  threads.reserve(conns);
+  for (uint32_t c = 0; c < conns; ++c) {
+    threads.emplace_back([&, c] {
+      ClosedLoopWorker(host, port, graph, queries, options, watch, next,
+                       tallies[c]);
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  const double wall_s = watch.ElapsedSeconds();
+
+  Tally total;
+  for (const Tally& t : tallies) total.Merge(t);
+
+  LoadgenReport report;
+  report.sent = total.sent;
+  report.completed = total.completed;
+  report.coalesced = total.coalesced;
+  report.incomplete = total.incomplete;
+  report.rejected = total.rejected;
+  report.retried = total.retried;
+  report.timeouts = total.timeouts;
+  report.errors = total.errors;
+  report.checked = total.checked;
+  report.mismatches = total.mismatches;
+  report.wall_s = wall_s;
+  report.qps = wall_s > 0 ? static_cast<double>(total.completed) / wall_s : 0;
+  if (!total.latencies_ms.empty()) {
+    report.latency = LatencySummary::FromSamples(total.latencies_ms);
+    report.p95 = Percentile(total.latencies_ms, 0.95);
+  }
+  return report;
+}
+
+}  // namespace ktg::server

@@ -1,0 +1,95 @@
+// Copyright (c) 2026 The ktg Authors.
+// Load generator for ktgd (`ktg loadgen`).
+//
+// Drives a running server over TCP with a pre-generated query workload in
+// one of two modes:
+//
+//   * closed loop — `connections` synchronous clients, each sending the
+//     next query the moment its previous response arrives. Measures the
+//     server's saturation throughput. Rejected requests are retried after
+//     the server's retry_after_ms hint (admission control becomes
+//     back-pressure, every query eventually completes).
+//   * open loop — requests leave at a fixed arrival rate (rate_qps)
+//     regardless of completions, spread round-robin over the connections;
+//     a reader thread per connection matches responses by id. Measures
+//     latency under a chosen offered load without coordinated omission.
+//     Rejects are terminal (counted, not retried) — retrying would break
+//     the arrival process.
+//
+// Latency is measured client-side (send to response) and reported as
+// count/mean/min/max/p50/p90/p95/p99. An optional reference oracle makes
+// every "ok" response differentially checked against a direct in-process
+// engine run of the same query — the zero-incorrect-responses gate of the
+// server's acceptance tests.
+
+#ifndef KTG_SERVER_LOADGEN_H_
+#define KTG_SERVER_LOADGEN_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/options.h"
+#include "core/query.h"
+#include "keywords/attributed_graph.h"
+#include "util/percentiles.h"
+#include "util/status.h"
+
+namespace ktg::server {
+
+struct LoadgenOptions {
+  /// false = closed loop, true = open loop at rate_qps.
+  bool open_loop = false;
+  uint32_t connections = 4;
+  /// Target arrival rate (open loop only).
+  double rate_qps = 100.0;
+  /// Stop issuing new queries after this long (0 = run max_queries).
+  double duration_s = 5.0;
+  /// Hard cap on issued queries, 0 = unlimited; the workload vector is
+  /// cycled round-robin, so a small vector + long run is the repeat-heavy
+  /// regime that exercises the server's cache and coalescing.
+  uint64_t max_queries = 0;
+  /// Per-request deadline forwarded on the wire (0 = server default).
+  double deadline_ms = 0.0;
+  /// Closed loop: honor retry_after_ms and re-send rejected queries.
+  bool retry_rejected = true;
+  SortStrategy sort = SortStrategy::kVkcDeg;
+
+  /// Differential oracle: returns the expected result for workload index
+  /// `i` (memoized by the caller; must be safe to call from any loadgen
+  /// thread). Null disables checking.
+  std::function<const KtgResult*(size_t)> reference;
+};
+
+struct LoadgenReport {
+  uint64_t sent = 0;        ///< query requests put on the wire (incl. retries)
+  uint64_t completed = 0;   ///< "ok" responses
+  uint64_t coalesced = 0;   ///< ok responses served by another run
+  uint64_t incomplete = 0;  ///< ok responses with a truncated search
+  uint64_t rejected = 0;    ///< admission rejections received
+  uint64_t retried = 0;     ///< rejections re-sent (closed loop)
+  uint64_t timeouts = 0;
+  uint64_t errors = 0;
+  uint64_t checked = 0;     ///< responses compared against the oracle
+  uint64_t mismatches = 0;  ///< differential failures (must be 0)
+  double wall_s = 0;
+  double qps = 0;  ///< completed / wall_s
+  LatencySummary latency;
+  double p95 = 0;
+
+  std::string ToJson() const;
+};
+
+/// Runs the configured load against ktgd at host:port. The graph is the
+/// same dataset the server was seeded with (needed to render keyword ids
+/// back into wire terms). Errors only on setup failure (cannot connect,
+/// empty workload); protocol-level failures are counted in the report.
+Result<LoadgenReport> RunLoadgen(const std::string& host, uint16_t port,
+                                 const AttributedGraph& graph,
+                                 const std::vector<KtgQuery>& queries,
+                                 const LoadgenOptions& options);
+
+}  // namespace ktg::server
+
+#endif  // KTG_SERVER_LOADGEN_H_

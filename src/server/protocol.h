@@ -1,0 +1,97 @@
+// Copyright (c) 2026 The ktg Authors.
+// The ktgd wire protocol: line-delimited JSON over a byte stream.
+//
+// Every request is one JSON object on one line; every request produces
+// exactly one response line. Responses carry `"schema":"ktg.response.v1"`;
+// the payload of a successful query reuses the exact group/stats shape the
+// CLI's `query --json` emits, and the `metrics` op embeds a full
+// `ktg.metrics.v1` registry snapshot, so existing consumers of those
+// documents read server output unchanged. docs/server.md specifies the
+// protocol normatively.
+//
+// Request ops:
+//   {"op":"ping"[,"id":7]}
+//   {"op":"query","keywords":["db","graphs"],"p":3,"k":2,"n":5,
+//    "algo":"vkc-deg","deadline_ms":50,"authors":[12,99],"id":7}
+//   {"op":"metrics"}         — introspection: registry snapshot
+//   {"op":"info"}            — introspection: dataset + server config
+//
+// Response statuses: "ok", "rejected" (admission control; carries
+// retry_after_ms), "timeout" (deadline expired before execution),
+// "error" (malformed request or engine validation failure).
+
+#ifndef KTG_SERVER_PROTOCOL_H_
+#define KTG_SERVER_PROTOCOL_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/options.h"
+#include "core/query.h"
+#include "keywords/attributed_graph.h"
+#include "util/status.h"
+
+namespace ktg::server {
+
+/// What a request asks the server to do.
+enum class RequestOp : uint8_t { kPing, kQuery, kMetrics, kInfo };
+
+/// One parsed request line. Keyword terms are carried as strings and
+/// resolved against the serving graph's vocabulary at execution time
+/// (unknown terms behave exactly like the CLI: uncoverable but counted).
+struct Request {
+  RequestOp op = RequestOp::kPing;
+  /// Client-chosen correlation id, echoed verbatim in the response
+  /// (defaults to 0). Required for out-of-order reading (open-loop load).
+  uint64_t id = 0;
+
+  // --- kQuery payload ------------------------------------------------------
+  std::vector<std::string> keywords;
+  uint32_t group_size = 3;
+  HopDistance tenuity = 1;
+  uint32_t top_n = 1;
+  std::vector<VertexId> authors;
+  /// Total deadline (queue wait + execution) in ms; 0 = use the server's
+  /// default (which may itself be "no deadline").
+  double deadline_ms = 0.0;
+  SortStrategy sort = SortStrategy::kVkcDeg;
+};
+
+/// Parses one request line. InvalidArgument on malformed JSON, unknown op,
+/// missing/mistyped fields, or out-of-range parameters.
+Result<Request> ParseRequestLine(const std::string& line);
+
+/// Serializes a query request (the client side; loadgen uses this). The
+/// query's keyword ids are rendered as vocabulary terms.
+std::string QueryRequestJson(uint64_t id, const AttributedGraph& graph,
+                             const KtgQuery& query, SortStrategy sort,
+                             double deadline_ms);
+std::string PingRequestJson(uint64_t id);
+std::string MetricsRequestJson(uint64_t id);
+
+/// Per-request serving telemetry echoed in query responses.
+struct ServingInfo {
+  double queue_ms = 0.0;    ///< admission to execution start
+  double exec_ms = 0.0;     ///< engine wall-clock inside the worker
+  bool complete = true;     ///< false when the deadline truncated the search
+  bool coalesced = false;   ///< answered by an identical in-flight request
+};
+
+/// Response builders (one line each, no trailing newline).
+std::string QueryResponseJson(uint64_t id, const AttributedGraph& graph,
+                              const KtgQuery& query, const KtgResult& result,
+                              const ServingInfo& serving);
+std::string RejectResponseJson(uint64_t id, double retry_after_ms,
+                               uint64_t queue_depth);
+std::string TimeoutResponseJson(uint64_t id, double waited_ms);
+std::string ErrorResponseJson(uint64_t id, const std::string& message);
+std::string PongResponseJson(uint64_t id);
+/// Embeds a pre-serialized ktg.metrics.v1 document under "metrics".
+std::string MetricsResponseJson(uint64_t id, const std::string& metrics_json);
+/// Embeds a pre-serialized info object under "info".
+std::string InfoResponseJson(uint64_t id, const std::string& info_json);
+
+}  // namespace ktg::server
+
+#endif  // KTG_SERVER_PROTOCOL_H_

@@ -1,0 +1,337 @@
+// Copyright (c) 2026 The ktg Authors.
+
+#include "server/server.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "cache/caching_checker.h"
+#include "core/ktg_engine.h"
+#include "util/json_writer.h"
+#include "util/macros.h"
+#include "util/thread_pool.h"
+
+namespace ktg::server {
+namespace {
+
+// retry_after floor/fallback: a just-started server has no latency EMA yet.
+constexpr double kMinRetryAfterMs = 1.0;
+constexpr double kDefaultRequestMs = 5.0;
+
+// Sorted-vector intersection test (QueryKey keeps keywords sorted).
+bool SharesKeyword(const QueryKey& a, const QueryKey& b) {
+  auto i = a.keywords.begin();
+  auto j = b.keywords.begin();
+  while (i != a.keywords.end() && j != b.keywords.end()) {
+    if (*i == *j) return true;
+    if (*i < *j) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+KtgServer::KtgServer(AttributedGraph graph, ServerOptions options)
+    : options_(std::move(options)),
+      graph_(std::move(graph)),
+      index_(graph_) {}
+
+KtgServer::~KtgServer() { Stop(); }
+
+Status KtgServer::Start() {
+  KTG_CHECK_MSG(!started_, "KtgServer::Start called twice");
+  workers_ = ThreadPool::Resolve(options_.workers);
+  if (options_.cache_mb > 0) {
+    cache_ = std::make_unique<KtgCache>(CacheOptionsForMb(options_.cache_mb));
+  }
+  // Checkers are built serially: construction may itself be parallel
+  // (build_threads), and each worker needs a private instance because a
+  // cache-wrapped checker is stateful.
+  checkers_.reserve(workers_);
+  for (uint32_t i = 0; i < workers_; ++i) {
+    auto checker = MakeChecker(options_.checker, graph_.graph(),
+                               options_.bitmap_k, options_.build_threads);
+    if (checker == nullptr) {
+      return Status::Internal("checker construction failed");
+    }
+    checkers_.push_back(
+        MaybeWrapWithCache(std::move(checker), graph_.graph(), cache_.get()));
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    started_ = true;
+  }
+  // Dedicated threads, not the ThreadPool: a size-1 pool runs Submit
+  // inline by contract, which can never host a resident worker loop.
+  threads_.reserve(workers_);
+  for (uint32_t i = 0; i < workers_; ++i) {
+    threads_.emplace_back([this, i] { WorkerLoop(*checkers_[i]); });
+  }
+  return Status::OK();
+}
+
+void KtgServer::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!started_ || stopping_) return;
+    stopping_ = true;
+  }
+  work_ready_.notify_all();
+  for (std::thread& t : threads_) {
+    if (t.joinable()) t.join();
+  }
+  threads_.clear();
+}
+
+size_t KtgServer::queue_depth() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queue_.size();
+}
+
+void KtgServer::HandleLine(const std::string& line, ResponseCallback cb) {
+  auto req = ParseRequestLine(line);
+  if (!req.ok()) {
+    metrics_.counter("server.errors").Add();
+    cb(ErrorResponseJson(0, req.status().message()));
+    return;
+  }
+  switch (req->op) {
+    case RequestOp::kPing:
+      cb(PongResponseJson(req->id));
+      return;
+    case RequestOp::kMetrics:
+      cb(MetricsResponseJson(req->id, metrics_.ToJson()));
+      return;
+    case RequestOp::kInfo:
+      cb(InfoResponseJson(req->id, InfoJson()));
+      return;
+    case RequestOp::kQuery:
+      break;
+  }
+  KtgQuery query = MakeQuery(graph_, req->keywords, req->group_size,
+                             req->tenuity, req->top_n);
+  query.query_vertices = std::move(req->authors);
+  SubmitQuery(req->id, std::move(query), req->sort, req->deadline_ms,
+              std::move(cb));
+}
+
+void KtgServer::SubmitQuery(uint64_t id, KtgQuery query, SortStrategy sort,
+                            double deadline_ms, ResponseCallback cb) {
+  if (Status st = ValidateQuery(query, graph_); !st.ok()) {
+    metrics_.counter("server.errors").Add();
+    cb(ErrorResponseJson(id, st.message()));
+    return;
+  }
+  if (options_.checker == CheckerKind::kKHopBitmap &&
+      query.tenuity != options_.bitmap_k) {
+    metrics_.counter("server.errors").Add();
+    cb(ErrorResponseJson(
+        id, "this server's bitmap checker is specialized to k=" +
+                std::to_string(options_.bitmap_k)));
+    return;
+  }
+
+  Pending p;
+  p.id = id;
+  p.sort = sort;
+  p.deadline_ms = deadline_ms > 0 ? deadline_ms : options_.default_deadline_ms;
+  p.key = CanonicalQueryKey(query, kEngineTagKtg, sort,
+                            options_.engine.degree_ascending);
+  p.query = std::move(query);
+  p.cb = std::move(cb);
+
+  // Decide under the lock, respond outside it: callbacks may be slow
+  // (socket writes) and must never run under mu_.
+  std::string inline_response;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!started_ || stopping_) {
+      inline_response =
+          ErrorResponseJson(id, "server is not accepting requests");
+      metrics_.counter("server.errors").Add();
+    } else if (queue_.size() >= options_.max_queue) {
+      inline_response =
+          RejectResponseJson(id, RetryAfterMs(queue_.size()), queue_.size());
+      metrics_.counter("server.rejected").Add();
+    } else {
+      queue_.push_back(std::move(p));
+      metrics_.counter("server.accepted").Add();
+      metrics_.gauge("server.queue_depth").Set(
+          static_cast<double>(queue_.size()));
+    }
+  }
+  if (!inline_response.empty()) {
+    p.cb(std::move(inline_response));
+    return;
+  }
+  work_ready_.notify_one();
+}
+
+double KtgServer::RetryAfterMs(size_t depth) const {
+  // Called with mu_ held. Expected time until a slot frees up: the EMA of
+  // one request's latency times the number of "rounds" the backlog needs.
+  const double per_request = ema_seeded_ ? ema_request_ms_ : kDefaultRequestMs;
+  const double rounds = static_cast<double>(depth / workers_ + 1);
+  return std::max(kMinRetryAfterMs, per_request * rounds);
+}
+
+void KtgServer::RecordLatency(double request_ms) {
+  metrics_.histogram("server.request_ms").Record(request_ms);
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!ema_seeded_) {
+    ema_request_ms_ = request_ms;
+    ema_seeded_ = true;
+  } else {
+    ema_request_ms_ = 0.9 * ema_request_ms_ + 0.1 * request_ms;
+  }
+}
+
+bool KtgServer::ClaimBatch(Pending* leader, std::vector<Pending>* coalesced,
+                           std::vector<Pending>* affinity) {
+  std::unique_lock<std::mutex> lock(mu_);
+  work_ready_.wait(lock, [&] { return stopping_ || !queue_.empty(); });
+  if (queue_.empty()) return false;  // stopping_ and fully drained
+  *leader = std::move(queue_.front());
+  queue_.pop_front();
+
+  size_t scanned = 0;
+  for (auto it = queue_.begin();
+       it != queue_.end() && scanned < options_.batch_window; ++scanned) {
+    if (it->key == leader->key) {
+      coalesced->push_back(std::move(*it));
+      it = queue_.erase(it);
+    } else if (affinity->size() + 1 < options_.batch_max &&
+               SharesKeyword(leader->key, it->key)) {
+      affinity->push_back(std::move(*it));
+      it = queue_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  if (!coalesced->empty()) {
+    metrics_.counter("server.batch.coalesced").Add(coalesced->size());
+  }
+  if (!affinity->empty()) {
+    metrics_.counter("server.batch.affinity").Add(affinity->size());
+  }
+  metrics_.gauge("server.queue_depth").Set(static_cast<double>(queue_.size()));
+  return true;
+}
+
+void KtgServer::WorkerLoop(DistanceChecker& checker) {
+  for (;;) {
+    Pending leader;
+    std::vector<Pending> coalesced;
+    std::vector<Pending> affinity;
+    if (!ClaimBatch(&leader, &coalesced, &affinity)) return;
+    ExecuteOne(checker, std::move(leader), std::move(coalesced));
+    // Affinity followers run back-to-back on this worker so the cache
+    // entries the leader warmed (balls around shared-keyword candidates,
+    // possibly the result tier) are reused while hot.
+    for (Pending& p : affinity) {
+      ExecuteOne(checker, std::move(p), {});
+    }
+  }
+}
+
+void KtgServer::ExecuteOne(DistanceChecker& checker, Pending leader,
+                           std::vector<Pending> coalesced) {
+  struct Live {
+    Pending* p;
+    double queue_ms;
+  };
+  std::vector<Live> live;
+  live.reserve(1 + coalesced.size());
+  bool unlimited = false;
+  double budget = 0.0;
+  const auto admit = [&](Pending& p) {
+    const double waited = p.waited.ElapsedMillis();
+    metrics_.histogram("server.queue_wait_ms").Record(waited);
+    if (p.deadline_ms > 0 && waited >= p.deadline_ms) {
+      metrics_.counter("server.deadline_missed").Add();
+      p.cb(TimeoutResponseJson(p.id, waited));
+      return;
+    }
+    if (p.deadline_ms <= 0) {
+      unlimited = true;
+    } else {
+      budget = std::max(budget, p.deadline_ms - waited);
+    }
+    live.push_back({&p, waited});
+  };
+  admit(leader);
+  for (Pending& p : coalesced) admit(p);
+  if (live.empty()) return;
+
+  EngineOptions eopts = options_.engine;
+  eopts.sort = leader.sort;
+  // One worker = one serial engine: responses stay bit-identical to a
+  // serial RunKtg, and a cache-wrapped checker is not concurrent-read-safe
+  // anyway.
+  eopts.num_threads = 1;
+  eopts.metrics = &metrics_;
+  eopts.trace = nullptr;
+  eopts.cache = cache_.get();
+  // Coalesced requests share one run, so the run gets the most permissive
+  // deadline among them (docs/server.md: a duplicate can only improve, not
+  // tighten, another request's budget).
+  eopts.time_budget_ms = unlimited ? 0.0 : budget;
+
+  KtgEngine engine(graph_, index_, checker, eopts);
+  Stopwatch exec;
+  const auto result = engine.Run(leader.query);
+  const double exec_ms = exec.ElapsedMillis();
+
+  if (!result.ok()) {
+    metrics_.counter("server.errors").Add(live.size());
+    for (const Live& l : live) {
+      l.p->cb(ErrorResponseJson(l.p->id, result.status().message()));
+    }
+    return;
+  }
+
+  const bool complete = engine.last_run_complete();
+  if (!complete) {
+    metrics_.counter("server.incomplete").Add();
+    if (eopts.time_budget_ms > 0) {
+      metrics_.counter("server.deadline_missed").Add();
+    }
+  }
+  metrics_.counter("server.completed").Add(live.size());
+  metrics_.histogram("server.exec_ms").Record(exec_ms);
+  for (const Live& l : live) {
+    ServingInfo serving;
+    serving.queue_ms = l.queue_ms;
+    serving.exec_ms = exec_ms;
+    serving.complete = complete;
+    serving.coalesced = l.p != &leader;
+    l.p->cb(QueryResponseJson(l.p->id, graph_, l.p->query, *result, serving));
+    RecordLatency(l.queue_ms + exec_ms);
+  }
+}
+
+std::string KtgServer::InfoJson() const {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("dataset").BeginObject();
+  w.KV("vertices", static_cast<uint64_t>(graph_.graph().num_vertices()))
+      .KV("edges", graph_.graph().num_edges())
+      .KV("vocabulary", static_cast<uint64_t>(graph_.vocabulary().size()));
+  w.EndObject();
+  w.Key("serving").BeginObject();
+  w.KV("workers", workers_)
+      .KV("max_queue", static_cast<uint64_t>(options_.max_queue))
+      .KV("batch_max", options_.batch_max)
+      .KV("batch_window", static_cast<uint64_t>(options_.batch_window))
+      .KV("checker", CheckerKindName(options_.checker))
+      .KV("cache_mb", static_cast<uint64_t>(options_.cache_mb))
+      .KV("default_deadline_ms", options_.default_deadline_ms);
+  w.EndObject().EndObject();
+  return w.str();
+}
+
+}  // namespace ktg::server

@@ -1,0 +1,259 @@
+// Copyright (c) 2026 The ktg Authors.
+
+#include "server/tcp.h"
+
+#include <arpa/inet.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+namespace ktg::server {
+namespace {
+
+constexpr int kListenBacklog = 64;
+constexpr size_t kReadChunk = 4096;
+// A request is one line; anything this long is a runaway client.
+constexpr size_t kMaxLineBytes = 1 << 20;
+
+Status Errno(const char* what) {
+  return Status::IoError(std::string(what) + ": " + std::strerror(errno));
+}
+
+bool SendAll(int fd, const char* data, size_t len) {
+  while (len > 0) {
+    const ssize_t n = ::send(fd, data, len, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    data += n;
+    len -= static_cast<size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace
+
+TcpServer::~TcpServer() { Shutdown(); }
+
+Status TcpServer::Listen(uint16_t port) {
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) return Errno("socket");
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    const Status st = Errno("bind");
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return st;
+  }
+  if (::listen(listen_fd_, kListenBacklog) < 0) {
+    const Status st = Errno("listen");
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return st;
+  }
+  socklen_t len = sizeof(addr);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len) <
+      0) {
+    const Status st = Errno("getsockname");
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return st;
+  }
+  port_ = ntohs(addr.sin_port);
+  return Status::OK();
+}
+
+void TcpServer::Start() {
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+}
+
+void TcpServer::Shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (shutdown_) return;
+    shutdown_ = true;
+  }
+  // Waking accept(): shutdown(2) on the listening socket makes a blocked
+  // accept() fail (Linux), while the descriptor stays valid — so the
+  // accept thread never sees a closed/reused fd. Close only after the
+  // join, which also orders the listen_fd_ reset after the last read.
+  if (listen_fd_ >= 0) ::shutdown(listen_fd_, SHUT_RDWR);
+  if (accept_thread_.joinable()) accept_thread_.join();
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+
+  // Wake every blocked reader; keep the fds open until the readers have
+  // joined so a racing recv never touches a reused descriptor.
+  std::vector<std::shared_ptr<Conn>> conns;
+  std::vector<std::thread> readers;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    conns = conns_;
+    readers.swap(readers_);
+  }
+  for (const auto& c : conns) {
+    c->closed.store(true, std::memory_order_relaxed);
+    ::shutdown(c->fd, SHUT_RDWR);
+  }
+  for (std::thread& t : readers) {
+    if (t.joinable()) t.join();
+  }
+  for (const auto& c : conns) {
+    std::lock_guard<std::mutex> wl(c->write_mu);
+    if (c->fd >= 0) {
+      ::close(c->fd);
+      c->fd = -1;
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    conns_.clear();
+  }
+}
+
+void TcpServer::AcceptLoop() {
+  for (;;) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      return;  // listener closed (Shutdown) or fatal error
+    }
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    auto conn = std::make_shared<Conn>();
+    conn->fd = fd;
+    std::lock_guard<std::mutex> lock(mu_);
+    if (shutdown_) {
+      ::close(fd);
+      return;
+    }
+    conns_.push_back(conn);
+    readers_.emplace_back([this, conn] { ReaderLoop(conn); });
+  }
+}
+
+void TcpServer::ReaderLoop(std::shared_ptr<Conn> conn) {
+  std::string buffer;
+  char chunk[kReadChunk];
+  for (;;) {
+    const ssize_t n = ::recv(conn->fd, chunk, sizeof(chunk), 0);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) break;  // disconnect or shutdown
+    buffer.append(chunk, static_cast<size_t>(n));
+    size_t start = 0;
+    for (size_t nl = buffer.find('\n', start); nl != std::string::npos;
+         nl = buffer.find('\n', start)) {
+      std::string line = buffer.substr(start, nl - start);
+      start = nl + 1;
+      if (!line.empty() && line.back() == '\r') line.pop_back();
+      if (line.empty()) continue;
+      // The callback outlives this loop when a worker answers after the
+      // client hung up; the shared_ptr keeps Conn alive for it.
+      server_.HandleLine(line, [conn](std::string response) {
+        WriteLine(*conn, response);
+      });
+    }
+    buffer.erase(0, start);
+    if (buffer.size() > kMaxLineBytes) break;  // runaway unterminated line
+  }
+  conn->closed.store(true, std::memory_order_relaxed);
+}
+
+bool TcpServer::WriteLine(Conn& conn, const std::string& line) {
+  std::lock_guard<std::mutex> lock(conn.write_mu);
+  if (conn.closed.load(std::memory_order_relaxed) || conn.fd < 0) {
+    return false;
+  }
+  if (!SendAll(conn.fd, line.data(), line.size()) ||
+      !SendAll(conn.fd, "\n", 1)) {
+    conn.closed.store(true, std::memory_order_relaxed);
+    return false;
+  }
+  return true;
+}
+
+Status TcpClient::Connect(const std::string& host, uint16_t port) {
+  Close();
+  addrinfo hints{};
+  hints.ai_family = AF_INET;
+  hints.ai_socktype = SOCK_STREAM;
+  addrinfo* res = nullptr;
+  const std::string service = std::to_string(port);
+  if (::getaddrinfo(host.c_str(), service.c_str(), &hints, &res) != 0 ||
+      res == nullptr) {
+    return Status::IoError("getaddrinfo failed for " + host);
+  }
+  int fd = -1;
+  for (addrinfo* ai = res; ai != nullptr; ai = ai->ai_next) {
+    fd = ::socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol);
+    if (fd < 0) continue;
+    if (::connect(fd, ai->ai_addr, ai->ai_addrlen) == 0) break;
+    ::close(fd);
+    fd = -1;
+  }
+  ::freeaddrinfo(res);
+  if (fd < 0) return Errno("connect");
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  fd_ = fd;
+  buffer_.clear();
+  return Status::OK();
+}
+
+Status TcpClient::SendLine(const std::string& line) {
+  if (fd_ < 0) return Status::FailedPrecondition("not connected");
+  if (!SendAll(fd_, line.data(), line.size()) || !SendAll(fd_, "\n", 1)) {
+    return Errno("send");
+  }
+  return Status::OK();
+}
+
+Result<std::string> TcpClient::ReadLine() {
+  if (fd_ < 0) return Status::FailedPrecondition("not connected");
+  for (;;) {
+    const size_t nl = buffer_.find('\n');
+    if (nl != std::string::npos) {
+      std::string line = buffer_.substr(0, nl);
+      buffer_.erase(0, nl + 1);
+      if (!line.empty() && line.back() == '\r') line.pop_back();
+      return line;
+    }
+    char chunk[kReadChunk];
+    const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+    if (n < 0 && errno == EINTR) continue;
+    if (n < 0) return Errno("recv");
+    if (n == 0) return Status::IoError("connection closed by server");
+    buffer_.append(chunk, static_cast<size_t>(n));
+  }
+}
+
+void TcpClient::Shutdown() {
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_RDWR);
+}
+
+void TcpClient::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  buffer_.clear();
+}
+
+}  // namespace ktg::server

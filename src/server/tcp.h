@@ -1,0 +1,117 @@
+// Copyright (c) 2026 The ktg Authors.
+// Socket front end for KtgServer: line-delimited JSON over TCP.
+//
+// TcpServer binds 127.0.0.1 only — ktgd is a localhost benchmark/serving
+// harness, not an internet-facing daemon. One OS thread per connection
+// reads request lines and hands them to KtgServer::HandleLine; responses
+// are written back by whichever thread finishes the request (submitting
+// thread for rejects/inline ops, a query worker otherwise), serialized by
+// a per-connection write lock. Connection objects are shared_ptr-held by
+// every in-flight response callback, so a worker finishing after the
+// client disconnected writes into a closed-flagged object instead of a
+// dangling fd.
+//
+// TcpClient is the minimal blocking counterpart used by the load
+// generator and the end-to-end tests.
+
+#ifndef KTG_SERVER_TCP_H_
+#define KTG_SERVER_TCP_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "server/server.h"
+#include "util/status.h"
+
+namespace ktg::server {
+
+/// Accepts connections and pumps request lines into a KtgServer. The
+/// KtgServer must outlive the TcpServer and be Start()ed by the caller.
+class TcpServer {
+ public:
+  explicit TcpServer(KtgServer& server) : server_(server) {}
+  ~TcpServer();
+
+  TcpServer(const TcpServer&) = delete;
+  TcpServer& operator=(const TcpServer&) = delete;
+
+  /// Binds and listens on 127.0.0.1:`port`; port 0 picks an ephemeral
+  /// port, readable via port() afterwards.
+  Status Listen(uint16_t port);
+
+  /// Bound port (valid after a successful Listen).
+  uint16_t port() const { return port_; }
+
+  /// Spawns the accept thread. Listen must have succeeded.
+  void Start();
+
+  /// Stops accepting, wakes and joins every connection reader, closes all
+  /// sockets. Idempotent. Does not stop the KtgServer.
+  void Shutdown();
+
+ private:
+  struct Conn {
+    int fd = -1;
+    std::mutex write_mu;
+    std::atomic<bool> closed{false};
+  };
+
+  void AcceptLoop();
+  void ReaderLoop(std::shared_ptr<Conn> conn);
+  // Appends '\n' and writes fully; false once the connection is closed.
+  static bool WriteLine(Conn& conn, const std::string& line);
+
+  KtgServer& server_;
+  int listen_fd_ = -1;
+  uint16_t port_ = 0;
+  std::thread accept_thread_;
+
+  std::mutex mu_;
+  std::vector<std::shared_ptr<Conn>> conns_;
+  std::vector<std::thread> readers_;
+  bool shutdown_ = false;
+};
+
+/// Blocking line-protocol client. Not thread-safe; loadgen gives each
+/// connection its own instance (plus one for a dedicated reader thread in
+/// open-loop mode, where reads and writes race by design — see ReadLine).
+class TcpClient {
+ public:
+  TcpClient() = default;
+  ~TcpClient() { Close(); }
+
+  TcpClient(const TcpClient&) = delete;
+  TcpClient& operator=(const TcpClient&) = delete;
+
+  Status Connect(const std::string& host, uint16_t port);
+
+  /// Writes `line` plus '\n'. Thread-safe against a concurrent ReadLine
+  /// (sockets are full-duplex); not against another SendLine.
+  Status SendLine(const std::string& line);
+
+  /// Blocks for the next '\n'-terminated line (terminator stripped).
+  /// IoError on EOF or socket error.
+  Result<std::string> ReadLine();
+
+  /// Half-close both directions without invalidating the fd: wakes a
+  /// thread blocked in ReadLine (recv returns 0 → IoError) while leaving
+  /// the descriptor alive until Close, so a racing recv can never touch a
+  /// reused fd. Safe to call from a thread other than the reader.
+  void Shutdown();
+
+  void Close();
+  bool connected() const { return fd_ >= 0; }
+
+ private:
+  int fd_ = -1;
+  std::string buffer_;
+};
+
+}  // namespace ktg::server
+
+#endif  // KTG_SERVER_TCP_H_

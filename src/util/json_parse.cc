@@ -1,0 +1,420 @@
+// Copyright (c) 2026 The ktg Authors.
+
+#include "util/json_parse.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdlib>
+
+#include "util/json_writer.h"
+#include "util/macros.h"
+
+namespace ktg {
+
+bool JsonValue::AsBool() const {
+  KTG_CHECK(kind_ == Kind::kBool);
+  return bool_;
+}
+
+double JsonValue::AsDouble() const {
+  KTG_CHECK(kind_ == Kind::kNumber);
+  return number_;
+}
+
+const std::string& JsonValue::AsString() const {
+  KTG_CHECK(kind_ == Kind::kString);
+  return string_;
+}
+
+const std::vector<JsonValue>& JsonValue::AsArray() const {
+  KTG_CHECK(kind_ == Kind::kArray);
+  return array_;
+}
+
+const std::map<std::string, JsonValue>& JsonValue::AsObject() const {
+  KTG_CHECK(kind_ == Kind::kObject);
+  return object_;
+}
+
+const JsonValue* JsonValue::Find(std::string_view key) const {
+  if (kind_ != Kind::kObject) return nullptr;
+  const auto it = object_.find(std::string(key));
+  return it == object_.end() ? nullptr : &it->second;
+}
+
+Result<double> JsonValue::GetNumber(std::string_view key, double def) const {
+  const JsonValue* v = Find(key);
+  if (v == nullptr) return def;
+  if (!v->is_number()) {
+    return Status::InvalidArgument("field '" + std::string(key) +
+                                   "' must be a number");
+  }
+  return v->AsDouble();
+}
+
+Result<int64_t> JsonValue::GetInt(std::string_view key, int64_t def) const {
+  const auto num = GetNumber(key, static_cast<double>(def));
+  if (!num.ok()) return num.status();
+  const double d = num.value();
+  if (d != std::floor(d) || d < -9.2e18 || d > 9.2e18) {
+    return Status::InvalidArgument("field '" + std::string(key) +
+                                   "' must be an integer");
+  }
+  return static_cast<int64_t>(d);
+}
+
+Result<std::string> JsonValue::GetString(std::string_view key,
+                                         const std::string& def) const {
+  const JsonValue* v = Find(key);
+  if (v == nullptr) return def;
+  if (!v->is_string()) {
+    return Status::InvalidArgument("field '" + std::string(key) +
+                                   "' must be a string");
+  }
+  return v->AsString();
+}
+
+Result<bool> JsonValue::GetBool(std::string_view key, bool def) const {
+  const JsonValue* v = Find(key);
+  if (v == nullptr) return def;
+  if (!v->is_bool()) {
+    return Status::InvalidArgument("field '" + std::string(key) +
+                                   "' must be a boolean");
+  }
+  return v->AsBool();
+}
+
+JsonValue JsonValue::MakeNull() { return JsonValue(); }
+
+JsonValue JsonValue::MakeBool(bool v) {
+  JsonValue j;
+  j.kind_ = Kind::kBool;
+  j.bool_ = v;
+  return j;
+}
+
+JsonValue JsonValue::MakeNumber(double v) {
+  JsonValue j;
+  j.kind_ = Kind::kNumber;
+  j.number_ = v;
+  return j;
+}
+
+JsonValue JsonValue::MakeString(std::string v) {
+  JsonValue j;
+  j.kind_ = Kind::kString;
+  j.string_ = std::move(v);
+  return j;
+}
+
+JsonValue JsonValue::MakeArray(std::vector<JsonValue> v) {
+  JsonValue j;
+  j.kind_ = Kind::kArray;
+  j.array_ = std::move(v);
+  return j;
+}
+
+JsonValue JsonValue::MakeObject(std::map<std::string, JsonValue> v) {
+  JsonValue j;
+  j.kind_ = Kind::kObject;
+  j.object_ = std::move(v);
+  return j;
+}
+
+namespace {
+
+/// Recursive-descent parser over a string_view; offsets index the original
+/// text so error messages can point at the byte that broke.
+class Parser {
+ public:
+  Parser(std::string_view text, int max_depth)
+      : text_(text), max_depth_(max_depth) {}
+
+  Result<JsonValue> Parse() {
+    SkipWhitespace();
+    auto value = ParseValue(0);
+    if (!value.ok()) return value;
+    SkipWhitespace();
+    if (pos_ != text_.size()) {
+      return Error("trailing characters after JSON document");
+    }
+    return value;
+  }
+
+ private:
+  Status Error(const std::string& what) const {
+    return Status::InvalidArgument("JSON parse error at offset " +
+                                   std::to_string(pos_) + ": " + what);
+  }
+
+  void SkipWhitespace() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  Result<JsonValue> ParseValue(int depth) {
+    if (depth > max_depth_) return Error("nesting too deep");
+    if (pos_ >= text_.size()) return Error("unexpected end of input");
+    switch (text_[pos_]) {
+      case '{':
+        return ParseObject(depth);
+      case '[':
+        return ParseArray(depth);
+      case '"': {
+        auto s = ParseString();
+        if (!s.ok()) return s.status();
+        return JsonValue::MakeString(std::move(s).value());
+      }
+      case 't':
+        return ParseLiteral("true", JsonValue::MakeBool(true));
+      case 'f':
+        return ParseLiteral("false", JsonValue::MakeBool(false));
+      case 'n':
+        return ParseLiteral("null", JsonValue::MakeNull());
+      default:
+        return ParseNumber();
+    }
+  }
+
+  Result<JsonValue> ParseLiteral(std::string_view word, JsonValue value) {
+    if (text_.substr(pos_, word.size()) != word) {
+      return Error("invalid literal");
+    }
+    pos_ += word.size();
+    return value;
+  }
+
+  Result<JsonValue> ParseNumber() {
+    const size_t start = pos_;
+    if (Consume('-')) {
+    }
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0 ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-')) {
+      ++pos_;
+    }
+    if (pos_ == start) return Error("expected a value");
+    const std::string token(text_.substr(start, pos_ - start));
+    // RFC 8259: no leading zeros ("01") — strtod would accept them.
+    const size_t first = token[0] == '-' ? 1 : 0;
+    if (token.size() > first + 1 && token[first] == '0' &&
+        std::isdigit(static_cast<unsigned char>(token[first + 1])) != 0) {
+      return Error("malformed number '" + token + "'");
+    }
+    char* end = nullptr;
+    const double v = std::strtod(token.c_str(), &end);
+    if (end != token.c_str() + token.size() || !std::isfinite(v)) {
+      return Error("malformed number '" + token + "'");
+    }
+    return JsonValue::MakeNumber(v);
+  }
+
+  Result<std::string> ParseString() {
+    if (!Consume('"')) return Error("expected '\"'");
+    std::string out;
+    while (true) {
+      if (pos_ >= text_.size()) return Error("unterminated string");
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (static_cast<unsigned char>(c) < 0x20) {
+        return Error("unescaped control character in string");
+      }
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      if (pos_ >= text_.size()) return Error("unterminated escape");
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"':
+          out.push_back('"');
+          break;
+        case '\\':
+          out.push_back('\\');
+          break;
+        case '/':
+          out.push_back('/');
+          break;
+        case 'b':
+          out.push_back('\b');
+          break;
+        case 'f':
+          out.push_back('\f');
+          break;
+        case 'n':
+          out.push_back('\n');
+          break;
+        case 'r':
+          out.push_back('\r');
+          break;
+        case 't':
+          out.push_back('\t');
+          break;
+        case 'u': {
+          auto cp = ParseHex4();
+          if (!cp.ok()) return cp.status();
+          uint32_t code = cp.value();
+          // Surrogate pair: a high surrogate must be followed by \uDC00-
+          // \uDFFF; anything else is malformed input.
+          if (code >= 0xD800 && code <= 0xDBFF) {
+            if (pos_ + 1 >= text_.size() || text_[pos_] != '\\' ||
+                text_[pos_ + 1] != 'u') {
+              return Error("unpaired surrogate");
+            }
+            pos_ += 2;
+            auto lo = ParseHex4();
+            if (!lo.ok()) return lo.status();
+            if (lo.value() < 0xDC00 || lo.value() > 0xDFFF) {
+              return Error("invalid low surrogate");
+            }
+            code = 0x10000 + ((code - 0xD800) << 10) + (lo.value() - 0xDC00);
+          } else if (code >= 0xDC00 && code <= 0xDFFF) {
+            return Error("unpaired surrogate");
+          }
+          AppendUtf8(out, code);
+          break;
+        }
+        default:
+          return Error("invalid escape");
+      }
+    }
+  }
+
+  Result<uint32_t> ParseHex4() {
+    if (pos_ + 4 > text_.size()) return Error("truncated \\u escape");
+    uint32_t code = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char c = text_[pos_++];
+      code <<= 4;
+      if (c >= '0' && c <= '9') {
+        code |= static_cast<uint32_t>(c - '0');
+      } else if (c >= 'a' && c <= 'f') {
+        code |= static_cast<uint32_t>(c - 'a' + 10);
+      } else if (c >= 'A' && c <= 'F') {
+        code |= static_cast<uint32_t>(c - 'A' + 10);
+      } else {
+        return Error("invalid \\u escape");
+      }
+    }
+    return code;
+  }
+
+  static void AppendUtf8(std::string& out, uint32_t code) {
+    if (code < 0x80) {
+      out.push_back(static_cast<char>(code));
+    } else if (code < 0x800) {
+      out.push_back(static_cast<char>(0xC0 | (code >> 6)));
+      out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+    } else if (code < 0x10000) {
+      out.push_back(static_cast<char>(0xE0 | (code >> 12)));
+      out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+      out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+    } else {
+      out.push_back(static_cast<char>(0xF0 | (code >> 18)));
+      out.push_back(static_cast<char>(0x80 | ((code >> 12) & 0x3F)));
+      out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+      out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+    }
+  }
+
+  Result<JsonValue> ParseArray(int depth) {
+    KTG_CHECK(Consume('['));
+    std::vector<JsonValue> items;
+    SkipWhitespace();
+    if (Consume(']')) return JsonValue::MakeArray(std::move(items));
+    while (true) {
+      SkipWhitespace();
+      auto item = ParseValue(depth + 1);
+      if (!item.ok()) return item;
+      items.push_back(std::move(item).value());
+      SkipWhitespace();
+      if (Consume(']')) return JsonValue::MakeArray(std::move(items));
+      if (!Consume(',')) return Error("expected ',' or ']' in array");
+    }
+  }
+
+  Result<JsonValue> ParseObject(int depth) {
+    KTG_CHECK(Consume('{'));
+    std::map<std::string, JsonValue> members;
+    SkipWhitespace();
+    if (Consume('}')) return JsonValue::MakeObject(std::move(members));
+    while (true) {
+      SkipWhitespace();
+      auto key = ParseString();
+      if (!key.ok()) return key.status();
+      SkipWhitespace();
+      if (!Consume(':')) return Error("expected ':' after object key");
+      SkipWhitespace();
+      auto value = ParseValue(depth + 1);
+      if (!value.ok()) return value;
+      members[std::move(key).value()] = std::move(value).value();
+      SkipWhitespace();
+      if (Consume('}')) return JsonValue::MakeObject(std::move(members));
+      if (!Consume(',')) return Error("expected ',' or '}' in object");
+    }
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+  int max_depth_;
+};
+
+}  // namespace
+
+Result<JsonValue> ParseJson(std::string_view text, int max_depth) {
+  return Parser(text, max_depth).Parse();
+}
+
+namespace {
+
+void DumpTo(const JsonValue& value, JsonWriter& writer) {
+  switch (value.kind()) {
+    case JsonValue::Kind::kNull:
+      writer.Null();
+      return;
+    case JsonValue::Kind::kBool:
+      writer.Value(value.AsBool());
+      return;
+    case JsonValue::Kind::kNumber:
+      writer.Value(value.AsDouble());
+      return;
+    case JsonValue::Kind::kString:
+      writer.Value(value.AsString());
+      return;
+    case JsonValue::Kind::kArray:
+      writer.BeginArray();
+      for (const JsonValue& item : value.AsArray()) DumpTo(item, writer);
+      writer.EndArray();
+      return;
+    case JsonValue::Kind::kObject:
+      writer.BeginObject();
+      for (const auto& [key, member] : value.AsObject()) {
+        writer.Key(key);
+        DumpTo(member, writer);
+      }
+      writer.EndObject();
+      return;
+  }
+}
+
+}  // namespace
+
+std::string DumpJson(const JsonValue& value) {
+  JsonWriter writer;
+  DumpTo(value, writer);
+  return writer.str();
+}
+
+}  // namespace ktg

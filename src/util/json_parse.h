@@ -1,0 +1,91 @@
+// Copyright (c) 2026 The ktg Authors.
+// A minimal JSON parser, the read-side counterpart of util/json_writer.h.
+//
+// The server front end receives line-delimited JSON requests and the test
+// suite validates the documents the library emits; both need to *read*
+// JSON without a third-party dependency. The parser is strict RFC 8259
+// (no comments, no trailing commas), recursion-bounded so hostile input
+// cannot blow the stack, and returns Status errors with a byte offset so
+// a malformed request can be reported back to the client verbatim.
+
+#ifndef KTG_UTIL_JSON_PARSE_H_
+#define KTG_UTIL_JSON_PARSE_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/status.h"
+
+namespace ktg {
+
+/// A parsed JSON document node. Objects preserve no duplicate keys (the
+/// last occurrence wins, as most parsers behave); object member order is
+/// not preserved (std::map — deterministic, which the tests rely on).
+class JsonValue {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  JsonValue() = default;
+
+  Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::kNull; }
+  bool is_bool() const { return kind_ == Kind::kBool; }
+  bool is_number() const { return kind_ == Kind::kNumber; }
+  bool is_string() const { return kind_ == Kind::kString; }
+  bool is_array() const { return kind_ == Kind::kArray; }
+  bool is_object() const { return kind_ == Kind::kObject; }
+
+  /// Typed accessors; fatal (KTG_CHECK) on kind mismatch — callers test
+  /// the kind first or use the Get* lookups below.
+  bool AsBool() const;
+  double AsDouble() const;
+  const std::string& AsString() const;
+  const std::vector<JsonValue>& AsArray() const;
+  const std::map<std::string, JsonValue>& AsObject() const;
+
+  /// Object member lookup; nullptr when absent or not an object.
+  const JsonValue* Find(std::string_view key) const;
+
+  /// Convenience typed lookups with defaults: the value when present and
+  /// of the right kind, `def` when absent, error when present but
+  /// mistyped (a request with {"p":"three"} should fail loudly).
+  Result<double> GetNumber(std::string_view key, double def) const;
+  Result<int64_t> GetInt(std::string_view key, int64_t def) const;
+  Result<std::string> GetString(std::string_view key,
+                                const std::string& def) const;
+  Result<bool> GetBool(std::string_view key, bool def) const;
+
+  // Construction (used by the parser; handy in tests).
+  static JsonValue MakeNull();
+  static JsonValue MakeBool(bool v);
+  static JsonValue MakeNumber(double v);
+  static JsonValue MakeString(std::string v);
+  static JsonValue MakeArray(std::vector<JsonValue> v);
+  static JsonValue MakeObject(std::map<std::string, JsonValue> v);
+
+ private:
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<JsonValue> array_;
+  std::map<std::string, JsonValue> object_;
+};
+
+/// Parses one complete JSON document; trailing non-whitespace is an error.
+/// `max_depth` bounds nesting (arrays + objects) so untrusted input cannot
+/// overflow the stack.
+Result<JsonValue> ParseJson(std::string_view text, int max_depth = 64);
+
+/// Serializes a parsed node back to compact JSON (object members in map
+/// order). parse ∘ dump is idempotent; dump ∘ parse is not guaranteed to
+/// reproduce input bytes (key order, number formatting).
+std::string DumpJson(const JsonValue& value);
+
+}  // namespace ktg
+
+#endif  // KTG_UTIL_JSON_PARSE_H_

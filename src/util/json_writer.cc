@@ -155,4 +155,11 @@ JsonWriter& JsonWriter::Null() {
   return *this;
 }
 
+JsonWriter& JsonWriter::RawValue(std::string_view json) {
+  KTG_CHECK_MSG(!json.empty(), "RawValue() requires a non-empty document");
+  BeforeValue();
+  out_ += json;
+  return *this;
+}
+
 }  // namespace ktg

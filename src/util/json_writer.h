@@ -37,6 +37,12 @@ class JsonWriter {
   JsonWriter& Value(bool v);
   JsonWriter& Null();
 
+  /// Splices `json` — an already-serialized document — in value position
+  /// (e.g. embedding a ktg.metrics.v1 snapshot inside a server response).
+  /// The caller vouches for its validity; structural placement rules still
+  /// apply (a Key() is required inside objects).
+  JsonWriter& RawValue(std::string_view json);
+
   /// Convenience: Key(k) followed by Value(v).
   template <typename T>
   JsonWriter& KV(std::string_view key, T&& v) {

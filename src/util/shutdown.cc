@@ -1,0 +1,99 @@
+// Copyright (c) 2026 The ktg Authors.
+
+#include "util/shutdown.h"
+
+#include <unistd.h>
+
+#include <atomic>
+#include <csignal>
+#include <cstdlib>
+#include <map>
+#include <mutex>
+
+namespace ktg {
+namespace {
+
+std::atomic<bool> g_shutdown_requested{false};
+// 0 = no signal yet, 1 = handler running flushes, 2 = flushes done.
+std::atomic<int> g_handler_state{0};
+std::atomic<bool> g_flushes_registered{false};
+
+// The flush table is mutated only from normal (non-handler) context; the
+// handler reads it without the mutex — registration is expected to happen
+// during single-threaded startup, and the guard above keeps concurrent
+// handler entry out. A std::map keeps node addresses stable.
+std::mutex g_flush_mu;
+std::map<int, std::function<void()>>& FlushTable() {
+  static auto* table = new std::map<int, std::function<void()>>();
+  return *table;
+}
+
+void RunFlushesOnce() {
+  int expected = 0;
+  if (!g_handler_state.compare_exchange_strong(expected, 1)) return;
+  for (auto& [id, fn] : FlushTable()) {
+    if (fn) fn();
+  }
+  g_handler_state.store(2);
+}
+
+void OnSignal(int) {
+  g_shutdown_requested.store(true, std::memory_order_relaxed);
+  if (!g_flushes_registered.load(std::memory_order_relaxed)) {
+    // Pure polling consumers: flag only, fully async-signal-safe. A second
+    // signal while the process is still draining force-exits.
+    static std::atomic<bool> seen{false};
+    if (seen.exchange(true)) _exit(130);
+    return;
+  }
+  // Flush consumers: best-effort sidecar write, then immediate exit (see
+  // the header for why this deliberately bends async-signal-safety).
+  if (g_handler_state.load(std::memory_order_relaxed) != 0) _exit(130);
+  RunFlushesOnce();
+  _exit(130);
+}
+
+}  // namespace
+
+void InstallShutdownHandlers() {
+  static const bool installed = [] {
+    struct sigaction sa = {};
+    sa.sa_handler = OnSignal;
+    sigemptyset(&sa.sa_mask);
+    sigaction(SIGINT, &sa, nullptr);
+    sigaction(SIGTERM, &sa, nullptr);
+    return true;
+  }();
+  (void)installed;
+}
+
+bool ShutdownRequested() {
+  return g_shutdown_requested.load(std::memory_order_relaxed);
+}
+
+void ResetShutdownForTest() {
+  g_shutdown_requested.store(false);
+  g_handler_state.store(0);
+}
+
+int RegisterShutdownFlush(std::function<void()> flush) {
+  InstallShutdownHandlers();
+  std::lock_guard<std::mutex> lock(g_flush_mu);
+  static int next_id = 1;
+  const int id = next_id++;
+  FlushTable()[id] = std::move(flush);
+  g_flushes_registered.store(true, std::memory_order_relaxed);
+  return id;
+}
+
+void UnregisterShutdownFlush(int id) {
+  std::lock_guard<std::mutex> lock(g_flush_mu);
+  FlushTable().erase(id);
+  if (FlushTable().empty()) {
+    g_flushes_registered.store(false, std::memory_order_relaxed);
+  }
+}
+
+void RunShutdownFlushesForTest() { RunFlushesOnce(); }
+
+}  // namespace ktg

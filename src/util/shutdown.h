@@ -1,0 +1,58 @@
+// Copyright (c) 2026 The ktg Authors.
+// Cooperative SIGINT/SIGTERM shutdown for long-running binaries.
+//
+// Two consumers with different needs share this module:
+//
+//  * `ktgd` (the resident query service) polls ShutdownRequested() from its
+//    main loop: the signal handler only sets an atomic flag (fully
+//    async-signal-safe) and the server performs an orderly drain — stop
+//    accepting, finish in-flight queries, flush metrics — on its own
+//    threads.
+//
+//  * One-shot batch binaries (`ktg workload`, the bench harness) spend
+//    minutes inside a synchronous computation and historically lost their
+//    KTG_BENCH_METRICS_PATH sidecar on Ctrl-C. For these, RegisterFlush
+//    installs a best-effort flush that the handler runs before _exit(130).
+//    Writing a file from a signal handler is not strictly async-signal-safe;
+//    the alternative (losing the run's metrics) is strictly worse for a
+//    diagnostic artifact, so the handler guards against re-entry, runs the
+//    flushes once, and exits immediately — it never returns into torn state.
+//
+// A second SIGINT/SIGTERM while a flush is running force-exits. Handlers
+// are installed once per process; both consumers may be active at the same
+// time (the flag is set before the flushes run).
+
+#ifndef KTG_UTIL_SHUTDOWN_H_
+#define KTG_UTIL_SHUTDOWN_H_
+
+#include <functional>
+
+namespace ktg {
+
+/// Installs the SIGINT/SIGTERM handlers (idempotent, first call wins).
+void InstallShutdownHandlers();
+
+/// True once SIGINT or SIGTERM was received. Poll this from service loops.
+bool ShutdownRequested();
+
+/// Clears the flag (tests only; real binaries exit instead).
+void ResetShutdownForTest();
+
+/// Registers a flush callback run by the signal handler just before
+/// _exit(130). Callbacks must be idempotent and minimal (write a sidecar,
+/// fsync a log); they run at most once even if both signals arrive.
+/// Implies InstallShutdownHandlers(). Returns an id for Unregister.
+int RegisterShutdownFlush(std::function<void()> flush);
+
+/// Removes a previously registered flush (no-op on unknown ids). Binaries
+/// that complete normally unregister so a late signal cannot re-flush
+/// freed state.
+void UnregisterShutdownFlush(int id);
+
+/// Runs the registered flushes as the handler would (tests; also called by
+/// binaries that want the same flush on the normal exit path).
+void RunShutdownFlushesForTest();
+
+}  // namespace ktg
+
+#endif  // KTG_UTIL_SHUTDOWN_H_

@@ -11,6 +11,7 @@
 
 #include "cli/args.h"
 #include "cli/commands.h"
+#include "tests/schema_check.h"
 
 namespace ktg::cli {
 namespace {
@@ -70,6 +71,44 @@ TEST(ArgsTest, BoolSpellings) {
   // "q1" command then --flag false.
   ASSERT_TRUE(args.ok());
   EXPECT_FALSE(args->GetBool("flag", true));
+}
+
+TEST(ArgsTest, IntOverflowIsAnErrorNotSaturation) {
+  auto args = ParseFor({"q", "--p", "99999999999999999999999"});
+  ASSERT_TRUE(args.ok());
+  const auto v = args->GetInt("p", 0);
+  ASSERT_FALSE(v.ok());
+  EXPECT_NE(v.status().message().find("out of range"), std::string::npos);
+}
+
+TEST(ArgsTest, DoubleOverflowIsAnError) {
+  auto args = ParseFor({"q", "--scale", "1e999"});
+  ASSERT_TRUE(args.ok());
+  const auto v = args->GetDouble("scale", 0);
+  ASSERT_FALSE(v.ok());
+  EXPECT_NE(v.status().message().find("out of range"), std::string::npos);
+}
+
+TEST(ArgsTest, PartialNumbersAreRejected) {
+  auto args = ParseFor({"q", "--p", "3x", "--scale", "1.5abc"});
+  ASSERT_TRUE(args.ok());
+  EXPECT_FALSE(args->GetInt("p", 0).ok());
+  EXPECT_FALSE(args->GetDouble("scale", 0).ok());
+}
+
+TEST(ArgsTest, CheckExclusiveFlagPairs) {
+  auto both = ParseFor({"q", "--preset", "dblp", "--edges", "g.txt"});
+  ASSERT_TRUE(both.ok());
+  const Status st = both->CheckExclusive("preset", "edges");
+  ASSERT_FALSE(st.ok());
+  EXPECT_NE(st.message().find("mutually exclusive"), std::string::npos);
+
+  auto one = ParseFor({"q", "--preset", "dblp"});
+  ASSERT_TRUE(one.ok());
+  EXPECT_TRUE(one->CheckExclusive("preset", "edges").ok());
+  auto neither = ParseFor({"q"});
+  ASSERT_TRUE(neither.ok());
+  EXPECT_TRUE(neither->CheckExclusive("preset", "edges").ok());
 }
 
 class CliCommandTest : public ::testing::Test {
@@ -213,6 +252,9 @@ TEST_F(CliCommandTest, QueryMetricsJsonSidecar) {
         "\"phase.bb_search_ms\":", "\"p50\":", "\"p99\":"}) {
     EXPECT_NE(json.find(needle), std::string::npos) << needle << "\n" << json;
   }
+  // Structural validation on top of the substring goldens.
+  const auto problems = ktg::testing::CheckMetricsV1(json);
+  EXPECT_TRUE(problems.empty()) << problems.front();
   std::remove(metrics.c_str());
 }
 
@@ -223,6 +265,39 @@ TEST(CliMainTest, DispatchAndExitCodes) {
   EXPECT_EQ(RunMain({"stats", "--bogus-flag", "1"}), 2);
   EXPECT_EQ(RunMain({"stats", "--edges", "/nonexistent/zz.txt"}), 1);
   EXPECT_FALSE(UsageText().empty());
+}
+
+TEST(CliMainTest, RegistryCoversEveryCommand) {
+  for (const char* name :
+       {"generate", "stats", "build-index", "query", "workload", "serve",
+        "loadgen"}) {
+    const CommandSpec* spec = FindCommand(name);
+    ASSERT_NE(spec, nullptr) << name;
+    EXPECT_EQ(spec->name, name);
+    EXPECT_NE(spec->fn, nullptr);
+    EXPECT_FALSE(spec->flags.empty()) << name;
+    // Every registered command appears in the usage text.
+    EXPECT_NE(UsageText().find("  " + spec->name), std::string::npos) << name;
+  }
+  EXPECT_EQ(FindCommand("help"), nullptr);  // built-in, not a registry entry
+  EXPECT_EQ(FindCommand("frobnicate"), nullptr);
+}
+
+TEST(CliMainTest, FlagsAreValidatedPerCommand) {
+  // --keywords belongs to query, not stats: resolving the command first
+  // and parsing against its own flag list must fail loudly.
+  EXPECT_EQ(RunMain({"stats", "--keywords", "a,b"}), 2);
+  // --port belongs to serve/loadgen, not workload.
+  EXPECT_EQ(RunMain({"workload", "--port", "1"}), 2);
+}
+
+TEST(CliMainTest, LoadgenValidatesPortFlags) {
+  // No port at all.
+  EXPECT_EQ(RunMain({"loadgen"}), 1);
+  // Mutually exclusive port sources.
+  EXPECT_EQ(RunMain({"loadgen", "--port", "1", "--port-file", "/tmp/x"}), 1);
+  // Out-of-range port.
+  EXPECT_EQ(RunMain({"loadgen", "--port", "70000"}), 1);
 }
 
 }  // namespace

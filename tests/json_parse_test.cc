@@ -1,0 +1,102 @@
+// Copyright (c) 2026 The ktg Authors.
+// util/json_parse: the strict RFC 8259 parser the server front end and the
+// schema validators are built on, plus DumpJson round-trips.
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "util/json_parse.h"
+
+namespace ktg {
+namespace {
+
+TEST(JsonParseTest, ParsesScalars) {
+  EXPECT_TRUE(ParseJson("null")->is_null());
+  EXPECT_TRUE(ParseJson("true")->AsBool());
+  EXPECT_FALSE(ParseJson("false")->AsBool());
+  EXPECT_DOUBLE_EQ(ParseJson("-12.5e2")->AsDouble(), -1250.0);
+  EXPECT_EQ(ParseJson(R"("hi")")->AsString(), "hi");
+}
+
+TEST(JsonParseTest, ParsesNestedStructures) {
+  const auto doc = ParseJson(
+      R"({"a":[1,2,3],"b":{"c":true,"d":"x"},"e":null})");
+  ASSERT_TRUE(doc.ok()) << doc.status().ToString();
+  ASSERT_TRUE(doc->is_object());
+  EXPECT_EQ(doc->Find("a")->AsArray().size(), 3u);
+  EXPECT_TRUE(doc->Find("b")->Find("c")->AsBool());
+  EXPECT_EQ(doc->Find("b")->Find("d")->AsString(), "x");
+  EXPECT_TRUE(doc->Find("e")->is_null());
+  EXPECT_EQ(doc->Find("missing"), nullptr);
+}
+
+TEST(JsonParseTest, DecodesStringEscapes) {
+  const auto doc = ParseJson(R"("a\"b\\c\n\tA")");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc->AsString(), "a\"b\\c\n\tA");
+}
+
+TEST(JsonParseTest, RejectsMalformedInput) {
+  EXPECT_FALSE(ParseJson("").ok());
+  EXPECT_FALSE(ParseJson("{").ok());
+  EXPECT_FALSE(ParseJson("{\"a\":1,}").ok());   // trailing comma
+  EXPECT_FALSE(ParseJson("[1 2]").ok());        // missing comma
+  EXPECT_FALSE(ParseJson("{\"a\" 1}").ok());    // missing colon
+  EXPECT_FALSE(ParseJson("\"unterminated").ok());
+  EXPECT_FALSE(ParseJson("nul").ok());
+  EXPECT_FALSE(ParseJson("01").ok());           // leading zero
+  EXPECT_FALSE(ParseJson("1 extra").ok());      // trailing garbage
+  EXPECT_FALSE(ParseJson("// comment\n1").ok());
+}
+
+TEST(JsonParseTest, DepthBoundStopsRunawayNesting) {
+  std::string deep;
+  for (int i = 0; i < 100; ++i) deep += "[";
+  for (int i = 0; i < 100; ++i) deep += "]";
+  EXPECT_FALSE(ParseJson(deep, /*max_depth=*/64).ok());
+  EXPECT_TRUE(ParseJson(deep, /*max_depth=*/128).ok());
+}
+
+TEST(JsonParseTest, ErrorsCarryByteOffsets) {
+  const auto doc = ParseJson("{\"a\": nope}");
+  ASSERT_FALSE(doc.ok());
+  EXPECT_NE(doc.status().message().find("offset"), std::string::npos);
+}
+
+TEST(JsonParseTest, TypedGettersDistinguishAbsentFromMistyped) {
+  const auto doc = ParseJson(R"({"n":3,"s":"x","b":true})");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc->GetInt("n", 0).value(), 3);
+  EXPECT_EQ(doc->GetInt("absent", 7).value(), 7);
+  EXPECT_FALSE(doc->GetInt("s", 0).ok());  // present but mistyped
+  EXPECT_EQ(doc->GetString("s", "").value(), "x");
+  EXPECT_FALSE(doc->GetString("n", "").ok());
+  EXPECT_TRUE(doc->GetBool("b", false).value());
+  EXPECT_FALSE(doc->GetBool("n", false).ok());
+}
+
+TEST(JsonParseTest, DumpJsonRoundTripsParsedDocuments) {
+  const std::string text =
+      R"({"arr":[1,true,null,"s"],"num":2.5,"obj":{"k":"v"}})";
+  const auto doc = ParseJson(text);
+  ASSERT_TRUE(doc.ok());
+  const std::string dumped = DumpJson(*doc);
+  // parse ∘ dump is idempotent even when dump ∘ parse is not byte-stable.
+  const auto redoc = ParseJson(dumped);
+  ASSERT_TRUE(redoc.ok()) << redoc.status().ToString();
+  EXPECT_EQ(DumpJson(*redoc), dumped);
+  EXPECT_EQ(redoc->Find("arr")->AsArray().size(), 4u);
+  EXPECT_DOUBLE_EQ(redoc->Find("num")->AsDouble(), 2.5);
+}
+
+TEST(JsonParseTest, DumpJsonEscapesStrings) {
+  const std::string dumped =
+      DumpJson(JsonValue::MakeString("a\"b\\c\n\x01"));
+  const auto redoc = ParseJson(dumped);
+  ASSERT_TRUE(redoc.ok()) << dumped;
+  EXPECT_EQ(redoc->AsString(), "a\"b\\c\n\x01");
+}
+
+}  // namespace
+}  // namespace ktg

@@ -18,6 +18,7 @@
 #include "obs/metrics.h"
 #include "obs/phase_timer.h"
 #include "obs/phases.h"
+#include "tests/schema_check.h"
 #include "obs/query_trace.h"
 #include "util/thread_pool.h"
 
@@ -98,6 +99,8 @@ TEST(MetricsRegistryTest, JsonSchema) {
         "\"query_ms\":", "\"count\":1", "\"p50\":", "\"p99\":", "\"sum\":"}) {
     EXPECT_NE(json.find(needle), std::string::npos) << needle << "\n" << json;
   }
+  const auto problems = ktg::testing::CheckMetricsV1(json);
+  EXPECT_TRUE(problems.empty()) << problems.front();
 }
 
 TEST(PhaseTimerTest, NullSinkIsNoOp) {
@@ -200,6 +203,8 @@ TEST(QueryTraceTest, JsonSchema) {
         "\"depth\":2", "\"vertex\":7", "\"detail\":42"}) {
     EXPECT_NE(json.find(needle), std::string::npos) << needle << "\n" << json;
   }
+  const auto problems = ktg::testing::CheckTraceV1(json);
+  EXPECT_TRUE(problems.empty()) << problems.front();
 }
 
 // The engine wiring: counters flushed into an attached registry must agree

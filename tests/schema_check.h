@@ -1,0 +1,38 @@
+// Copyright (c) 2026 The ktg Authors.
+// Shared structural validators for the library's JSON document schemas.
+//
+// Several suites (observability, CLI goldens, server protocol) and the CI
+// smoke script need to assert "this string is a well-formed ktg.metrics.v1
+// / ktg.trace.v1 / ktg.response.v1 document". Each previously re-derived
+// its own substring checks; these validators parse the document with
+// util/json_parse and walk the real structure instead. They return a list
+// of human-readable problems — empty means valid — so a test failure
+// names every violation at once:
+//
+//   EXPECT_THAT(CheckMetricsV1(json), IsEmpty());
+
+#ifndef KTG_TESTS_SCHEMA_CHECK_H_
+#define KTG_TESTS_SCHEMA_CHECK_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ktg::testing {
+
+/// ktg.metrics.v1: {"schema","counters":{str:num},"gauges":{str:num},
+/// "histograms":{str:{count,mean,min,max,p50,p90,p99,sum}}}.
+std::vector<std::string> CheckMetricsV1(std::string_view json);
+
+/// ktg.trace.v1: {"schema","capacity","recorded","dropped",
+/// "events":[{t_ms,kind,depth,vertex,detail}]}.
+std::vector<std::string> CheckTraceV1(std::string_view json);
+
+/// ktg.response.v1 (one server response line): {"schema","id","status"}
+/// plus status-specific members — "ok" carries groups/stats/serving,
+/// "rejected" retry_after_ms, "error" message.
+std::vector<std::string> CheckResponseV1(std::string_view json);
+
+}  // namespace ktg::testing
+
+#endif  // KTG_TESTS_SCHEMA_CHECK_H_

@@ -1,0 +1,54 @@
+// Copyright (c) 2026 The ktg Authors.
+// util/shutdown: the cooperative SIGINT/SIGTERM machinery behind ktgd's
+// drain loop and the batch binaries' sidecar flush.
+
+#include <csignal>
+
+#include <gtest/gtest.h>
+
+#include "util/shutdown.h"
+
+namespace ktg {
+namespace {
+
+// Must run before any flush is registered in this process: with flushes
+// registered the real handler _exit(130)s, which would kill the test
+// binary. gtest runs tests in declaration order within a file.
+TEST(ShutdownTest, SignalSetsPolledFlag) {
+  InstallShutdownHandlers();
+  EXPECT_FALSE(ShutdownRequested());
+  std::raise(SIGTERM);
+  EXPECT_TRUE(ShutdownRequested());
+  ResetShutdownForTest();
+  EXPECT_FALSE(ShutdownRequested());
+}
+
+TEST(ShutdownTest, FlushesRunOnceAndUnregisterRemoves) {
+  int a = 0;
+  int b = 0;
+  const int id_a = RegisterShutdownFlush([&] { ++a; });
+  const int id_b = RegisterShutdownFlush([&] { ++b; });
+
+  RunShutdownFlushesForTest();
+  EXPECT_EQ(a, 1);
+  EXPECT_EQ(b, 1);
+  // Re-entry guard: a second run without a reset is a no-op.
+  RunShutdownFlushesForTest();
+  EXPECT_EQ(a, 1);
+
+  ResetShutdownForTest();
+  UnregisterShutdownFlush(id_b);
+  RunShutdownFlushesForTest();
+  EXPECT_EQ(a, 2);
+  EXPECT_EQ(b, 1);
+
+  ResetShutdownForTest();
+  UnregisterShutdownFlush(id_a);
+  UnregisterShutdownFlush(9999);  // unknown ids are a no-op
+  RunShutdownFlushesForTest();
+  EXPECT_EQ(a, 2);
+  ResetShutdownForTest();
+}
+
+}  // namespace
+}  // namespace ktg
