@@ -1,0 +1,83 @@
+#!/usr/bin/env bash
+# Mixed read/write smoke test for the epoch-snapshot serving path
+# (docs/concurrency.md). Meant to run against a TSan build of the ktg
+# binary, so every pin/publish/reclaim interleaving the run produces is
+# also a data-race check.
+#
+#   1. start `ktg serve` on an ephemeral port (--port 0 --port-file),
+#   2. drive it with `ktg loadgen --write-ratio 0.05 --check`: ~5% of
+#      request slots become `mutate` batches, and every complete query
+#      response is differentially verified against a direct engine run at
+#      the epoch the response pinned,
+#   3. assert the report shows applied mutations, an advanced epoch, zero
+#      errors and zero mismatches,
+#   4. SIGTERM the server and assert a clean drain: exit code 0 and a
+#      schema-valid ktg.metrics.v1 sidecar carrying snapshot.* metrics.
+#
+# Usage: ci/mixed_smoke.sh [path-to-ktg-binary]   (default: build/tools/ktg)
+
+set -euo pipefail
+
+KTG="${1:-build/tools/ktg}"
+test -x "$KTG" || { echo "mixed_smoke: no binary at $KTG" >&2; exit 1; }
+
+WORK="$(mktemp -d)"
+trap 'kill "${SERVER_PID:-}" 2>/dev/null || true; rm -rf "$WORK"' EXIT
+
+PORT_FILE="$WORK/ktgd.port"
+METRICS="$WORK/ktgd.metrics.json"
+REPORT="$WORK/loadgen.json"
+
+"$KTG" serve --preset gowalla --scale 0.05 --port 0 \
+  --port-file "$PORT_FILE" --workers 2 --cache-mb 16 \
+  --metrics-json "$METRICS" &
+SERVER_PID=$!
+
+# The port file is written only once the listener is up.
+for _ in $(seq 1 100); do
+  [ -s "$PORT_FILE" ] && break
+  kill -0 "$SERVER_PID" 2>/dev/null || { echo "server died" >&2; exit 1; }
+  sleep 0.1
+done
+test -s "$PORT_FILE" || { echo "server never wrote port file" >&2; exit 1; }
+echo "ktgd up on port $(cat "$PORT_FILE")"
+
+"$KTG" loadgen --preset gowalla --scale 0.05 --port-file "$PORT_FILE" \
+  --duration 5 --connections 4 --write-ratio 0.05 --check | tee "$REPORT"
+
+python3 - "$REPORT" <<'EOF'
+import json, sys
+doc = json.loads(open(sys.argv[1]).read().splitlines()[-1])
+assert doc["schema"] == "ktg.loadgen.v1", doc.get("schema")
+assert doc["completed"] > 0, doc
+assert doc["errors"] == 0, doc
+assert doc["mutations_applied"] > 0, doc
+assert doc["mutations_failed"] == 0, doc
+assert doc["final_epoch"] == doc["mutations_applied"], doc
+assert doc["checked"] > 0, doc
+assert doc["mismatches"] == 0, doc
+print(f"loadgen: {doc['completed']} completed, "
+      f"{doc['mutations_applied']} mutations, epoch {doc['final_epoch']}")
+EOF
+
+# Clean shutdown: drain, flush the metrics sidecar, exit 0.
+kill -TERM "$SERVER_PID"
+STATUS=0
+wait "$SERVER_PID" || STATUS=$?
+test "$STATUS" -eq 0 || { echo "server exited $STATUS" >&2; exit 1; }
+
+python3 - "$METRICS" <<'EOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+assert doc["schema"] == "ktg.metrics.v1", doc.get("schema")
+c = doc["counters"]
+assert c.get("server.completed", 0) > 0, c
+assert c.get("server.mutations", 0) > 0, c
+assert c.get("snapshot.retired", 0) > 0, c
+assert doc["gauges"].get("snapshot.epoch", -1) > 0, doc["gauges"]
+assert doc["histograms"].get("snapshot.publish_ms", {}).get("count", 0) > 0
+print(f"sidecar: server.mutations={c['server.mutations']:.0f}, "
+      f"snapshot.epoch={doc['gauges']['snapshot.epoch']:.0f}")
+EOF
+
+echo "mixed smoke OK"

@@ -8,15 +8,27 @@
 namespace ktg {
 
 CachingChecker::CachingChecker(std::unique_ptr<DistanceChecker> inner,
-                               const Graph& graph, KtgCache* cache)
-    : inner_(std::move(inner)), cache_(cache), bfs_(graph) {
+                               const Graph& graph, KtgCache* cache,
+                               uint64_t pinned_epoch)
+    : owned_(std::move(inner)),
+      inner_(owned_.get()),
+      cache_(cache),
+      epoch_(pinned_epoch),
+      bfs_(graph) {
+  KTG_CHECK(inner_ != nullptr);
+  KTG_CHECK(cache_ != nullptr);
+}
+
+CachingChecker::CachingChecker(DistanceChecker* inner, const Graph& graph,
+                               KtgCache* cache, uint64_t pinned_epoch)
+    : inner_(inner), cache_(cache), epoch_(pinned_epoch), bfs_(graph) {
   KTG_CHECK(inner_ != nullptr);
   KTG_CHECK(cache_ != nullptr);
 }
 
 const std::vector<VertexId>* CachingChecker::BallWithinK(VertexId pivot,
                                                          HopDistance k) {
-  KtgCache::BallPtr ball = cache_->GetBall(pivot, k);
+  KtgCache::BallPtr ball = cache_->GetBall(pivot, k, epoch_);
   if (ball == nullptr) {
     // Prefer the inner checker's own bulk path (the BFS checker memoizes
     // one ball; index checkers return nullptr) so wrapping never computes
@@ -28,7 +40,7 @@ const std::vector<VertexId>* CachingChecker::BallWithinK(VertexId pivot,
       RecordChecks(1);  // one traversal-equivalent, mirroring BfsChecker
       ball = std::make_shared<const std::vector<VertexId>>(bfs_.Ball(pivot, k));
     }
-    cache_->PutBall(pivot, k, ball);
+    cache_->PutBall(pivot, k, ball, epoch_);
   }
   holder_ = std::move(ball);
   return holder_.get();
@@ -36,10 +48,10 @@ const std::vector<VertexId>* CachingChecker::BallWithinK(VertexId pivot,
 
 bool CachingChecker::IsFartherThanImpl(VertexId u, VertexId v, HopDistance k) {
   if (u == v) return false;
-  if (KtgCache::BallPtr ball = cache_->PeekBall(u, k)) {
+  if (KtgCache::BallPtr ball = cache_->PeekBall(u, k, epoch_)) {
     return !SortedContains(*ball, v);
   }
-  if (KtgCache::BallPtr ball = cache_->PeekBall(v, k)) {
+  if (KtgCache::BallPtr ball = cache_->PeekBall(v, k, epoch_)) {
     return !SortedContains(*ball, u);
   }
   return inner_->IsFartherThan(u, v, k);
@@ -47,9 +59,10 @@ bool CachingChecker::IsFartherThanImpl(VertexId u, VertexId v, HopDistance k) {
 
 std::unique_ptr<DistanceChecker> MaybeWrapWithCache(
     std::unique_ptr<DistanceChecker> inner, const Graph& graph,
-    KtgCache* cache) {
+    KtgCache* cache, uint64_t pinned_epoch) {
   if (cache == nullptr) return inner;
-  return std::make_unique<CachingChecker>(std::move(inner), graph, cache);
+  return std::make_unique<CachingChecker>(std::move(inner), graph, cache,
+                                          pinned_epoch);
 }
 
 }  // namespace ktg

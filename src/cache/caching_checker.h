@@ -12,11 +12,16 @@
 //    a probe miss is NOT a cache miss, because the fallback is the inner
 //    index, not a traversal.
 //
+// The wrapper carries the epoch its graph was pinned at and passes it on
+// every cache access, so a wrapper serving an old snapshot never reads or
+// parks balls from another epoch. Non-snapshot callers construct it with
+// kCurrentEpoch (the default), which reproduces the pre-snapshot
+// semantics: always read/store against the cache's current epoch.
+//
 // The wrapper is stateful (ball holder + BFS scratch), hence not
-// concurrent_read_safe: create one per worker, all sharing one KtgCache.
-// Invalidation lives entirely in the cache; the wrapper never observes
-// graph updates directly, so it must be bound to the *current* graph and
-// recreated (like its inner checker) when topology changes.
+// concurrent_read_safe: create one per worker (or per engine run), all
+// sharing one KtgCache. It must be bound to the graph of the epoch it is
+// created for and recreated when topology changes.
 
 #ifndef KTG_CACHE_CACHING_CHECKER_H_
 #define KTG_CACHE_CACHING_CHECKER_H_
@@ -36,9 +41,16 @@ namespace ktg {
 class CachingChecker : public DistanceChecker {
  public:
   /// `graph` and `cache` are borrowed and must outlive the checker; `inner`
-  /// must answer over the same graph.
+  /// must answer over the same graph. `pinned_epoch` tags every cache
+  /// access (kCurrentEpoch = follow the cache's live epoch).
   CachingChecker(std::unique_ptr<DistanceChecker> inner, const Graph& graph,
-                 KtgCache* cache);
+                 KtgCache* cache, uint64_t pinned_epoch = kCurrentEpoch);
+
+  /// Non-owning variant: `inner` is borrowed (a snapshot's shared
+  /// read-safe checker) and must outlive the wrapper. The per-run wrapper
+  /// the server builds around a pinned snapshot uses this.
+  CachingChecker(DistanceChecker* inner, const Graph& graph, KtgCache* cache,
+                 uint64_t pinned_epoch = kCurrentEpoch);
 
   std::string name() const override { return "Cached" + inner_->name(); }
   bool concurrent_read_safe() const override { return false; }
@@ -48,13 +60,16 @@ class CachingChecker : public DistanceChecker {
                                            HopDistance k) override;
 
   DistanceChecker& inner() { return *inner_; }
+  uint64_t pinned_epoch() const { return epoch_; }
 
  protected:
   bool IsFartherThanImpl(VertexId u, VertexId v, HopDistance k) override;
 
  private:
-  std::unique_ptr<DistanceChecker> inner_;
+  std::unique_ptr<DistanceChecker> owned_;
+  DistanceChecker* inner_;  // == owned_.get() unless borrowed
   KtgCache* cache_;
+  uint64_t epoch_;
   BoundedBfs bfs_;
   // Keeps the ball returned by BallWithinK alive until the next call on
   // this checker (the interface's validity contract).
@@ -64,7 +79,7 @@ class CachingChecker : public DistanceChecker {
 /// Wraps `inner` when `cache` is non-null; otherwise returns it unchanged.
 std::unique_ptr<DistanceChecker> MaybeWrapWithCache(
     std::unique_ptr<DistanceChecker> inner, const Graph& graph,
-    KtgCache* cache);
+    KtgCache* cache, uint64_t pinned_epoch = kCurrentEpoch);
 
 }  // namespace ktg
 

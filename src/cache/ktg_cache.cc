@@ -7,6 +7,7 @@
 #include "index/affected.h"
 #include "keywords/inverted_index.h"
 #include "obs/metrics.h"
+#include "util/macros.h"
 
 namespace ktg {
 
@@ -57,30 +58,56 @@ KtgCache::KtgCache(const CacheOptions& options)
     : balls_(options.ball_budget_bytes, options.shards),
       queries_(options.query_budget_bytes, options.shards) {}
 
-KtgCache::BallPtr KtgCache::GetBall(VertexId v, HopDistance k) {
+KtgCache::BallPtr KtgCache::GetBall(VertexId v, HopDistance k,
+                                    uint64_t pinned_epoch) {
   if (k > kMaxCachedRadius) return nullptr;
-  return balls_.Get(BallKey{v, k});
+  auto tagged = balls_.Get(BallKey{v, k});
+  if (tagged == nullptr) return nullptr;
+  // An entry stored under a later epoch reflects a ball this reader's
+  // pinned graph may not have; entries at or before the pinned epoch are
+  // valid (presence means no transition since storage affected v).
+  if (tagged->epoch > ResolveEpoch(pinned_epoch)) return nullptr;
+  return tagged->ball;
 }
 
-KtgCache::BallPtr KtgCache::PeekBall(VertexId v, HopDistance k) {
+KtgCache::BallPtr KtgCache::PeekBall(VertexId v, HopDistance k,
+                                     uint64_t pinned_epoch) {
   if (k > kMaxCachedRadius) return nullptr;
-  return balls_.GetIfPresent(BallKey{v, k});
+  auto tagged = balls_.GetIfPresent(BallKey{v, k});
+  if (tagged == nullptr) return nullptr;
+  if (tagged->epoch > ResolveEpoch(pinned_epoch)) return nullptr;
+  return tagged->ball;
 }
 
-void KtgCache::PutBall(VertexId v, HopDistance k, BallPtr ball) {
+void KtgCache::PutBall(VertexId v, HopDistance k, BallPtr ball,
+                       uint64_t pinned_epoch) {
   if (k > kMaxCachedRadius || ball == nullptr) return;
+  const uint64_t at = ResolveEpoch(pinned_epoch);
   const size_t bytes = BallBytes(*ball);
-  balls_.Put(BallKey{v, k}, std::move(ball), bytes);
+  auto tagged = std::make_shared<TaggedBall>();
+  tagged->epoch = at;
+  tagged->ball = std::move(ball);
+  // The guard runs under the shard lock: either the store lands while `at`
+  // is still current (and a concurrent AdvanceEpoch's later erase pass
+  // sweeps it if v is affected), or the epoch has moved on and the stale
+  // ball is dropped. Without the guard a slow reader could park a
+  // pre-transition ball after the erase pass already ran.
+  balls_.PutIf(BallKey{v, k}, std::move(tagged), bytes,
+               [this, at] { return epoch() == at; });
 }
 
 bool KtgCache::LookupQuery(const QueryKey& key, const AttributedGraph& g,
-                           const KtgQuery& query, KtgResult* out) {
+                           const KtgQuery& query, KtgResult* out,
+                           uint64_t pinned_epoch) {
   auto stored = queries_.Get(key);
   if (stored == nullptr) return false;
-  if (stored->epoch != epoch()) {
-    // Lazy wholesale invalidation: the entry predates the last graph
-    // update, so its groups may no longer be k-distance groups.
-    queries_.Erase(key);
+  const uint64_t at = ResolveEpoch(pinned_epoch);
+  if (stored->epoch != at) {
+    // Results are valid only for the exact epoch they were computed under.
+    // Entries *older* than this reader are dead for every future reader
+    // too — erase lazily. Entries newer than this (old, still-pinned)
+    // reader stay: they are the current epoch's live results.
+    if (stored->epoch < at) queries_.Erase(key);
     return false;
   }
   out->groups.clear();
@@ -101,9 +128,10 @@ bool KtgCache::LookupQuery(const QueryKey& key, const AttributedGraph& g,
   return true;
 }
 
-void KtgCache::StoreQuery(const QueryKey& key, const KtgResult& result) {
+void KtgCache::StoreQuery(const QueryKey& key, const KtgResult& result,
+                          uint64_t pinned_epoch) {
   auto stored = std::make_shared<StoredResult>();
-  stored->epoch = epoch();
+  stored->epoch = ResolveEpoch(pinned_epoch);
   stored->groups.reserve(result.groups.size());
   for (const Group& g : result.groups) stored->groups.push_back(g.members);
   const size_t bytes = ResultBytes(stored->groups);
@@ -118,14 +146,24 @@ void KtgCache::EraseBallsOf(const std::vector<VertexId>& vertices) {
   }
 }
 
+void KtgCache::AdvanceEpoch(uint64_t new_epoch,
+                            const std::vector<VertexId>& affected) {
+  KTG_CHECK_MSG(new_epoch > epoch(),
+                "AdvanceEpoch must move the epoch forward");
+  // Publish first, erase second: a racing PutBall that read the old epoch
+  // either lands before this store (and the erase below sweeps it if its
+  // vertex is affected) or fails its PutIf guard. The reverse order would
+  // leave a window where a stale ball survives both.
+  epoch_.store(new_epoch, std::memory_order_release);
+  EraseBallsOf(affected);
+}
+
 void KtgCache::OnEdgeInserted(const Graph& old_graph, VertexId a, VertexId b) {
-  EraseBallsOf(AffectedByInsertion(old_graph, a, b));
-  epoch_.fetch_add(1, std::memory_order_acq_rel);
+  AdvanceEpoch(epoch() + 1, AffectedByInsertion(old_graph, a, b));
 }
 
 void KtgCache::OnEdgeRemoved(const Graph& old_graph, VertexId a, VertexId b) {
-  EraseBallsOf(AffectedByDeletion(old_graph, a, b));
-  epoch_.fetch_add(1, std::memory_order_acq_rel);
+  AdvanceEpoch(epoch() + 1, AffectedByDeletion(old_graph, a, b));
 }
 
 void KtgCache::InvalidateAll() {

@@ -1,11 +1,25 @@
 // Copyright (c) 2026 The ktg Authors.
 // KtgCache — the cross-query cache: a ball tier (k-hop neighborhoods keyed
 // by (vertex, k), consulted by CachingChecker before any traversal) and a
-// query-result tier (keyed by canonical QueryKey). Both are invalidated
-// through the dynamic-update path: the ball tier precisely, by erasing the
-// entries of the vertices `affected.h` proves may have changed balls; the
-// query tier wholesale, by a graph-epoch counter every stored result is
-// tagged with.
+// query-result tier (keyed by canonical QueryKey). Both tiers are
+// epoch-aware: every entry is tagged with the graph epoch it was computed
+// under, and readers pass the epoch they have pinned so entries from other
+// epochs are never served across a topology change.
+//
+// Validity rules (docs/concurrency.md argues both):
+//  * Ball entries: valid for a reader pinned at E iff entry.epoch <= E.
+//    Every epoch transition erases the balls of its affected vertices, so
+//    an entry still present was unaffected by every transition since it was
+//    stored — its ball is identical at all epochs >= entry.epoch.
+//  * Query results: valid iff entry.epoch == E exactly. Results depend on
+//    the whole (graph, keywords) state; only the epoch they were computed
+//    under may reuse them.
+//
+// Writers hand epochs over with AdvanceEpoch(new_epoch, affected): the
+// epoch counter is published *before* the affected balls are erased, and
+// ball stores are epoch-guarded under the shard lock (ShardedLru::PutIf),
+// so a reader racing the transition can never park a stale ball that the
+// erase pass has already swept past.
 //
 // Thread-safe: the tiers are sharded LRUs with per-shard mutexes, so one
 // KtgCache is meant to be shared by every batch worker (that sharing is the
@@ -36,6 +50,12 @@ class MetricsRegistry;
 
 namespace ktg {
 
+/// Sentinel epoch: "whatever the cache's current epoch is at access time".
+/// Callers that run against a single mutable dataset (CLI, batch runner)
+/// use this and keep the pre-snapshot semantics; snapshot readers pass the
+/// epoch they pinned instead.
+inline constexpr uint64_t kCurrentEpoch = ~uint64_t{0};
+
 /// Sizing of one KtgCache.
 struct CacheOptions {
   /// Byte budget of the ball tier (k-hop neighborhood vectors).
@@ -62,36 +82,55 @@ class KtgCache {
   // --- Ball tier -----------------------------------------------------------
 
   /// The cached sorted ball of `v` (vertices within `k` hops, excluding
-  /// `v`), or nullptr. Counts a hit or a miss.
-  BallPtr GetBall(VertexId v, HopDistance k);
+  /// `v`), or nullptr. Counts a hit or a miss. `pinned_epoch` is the epoch
+  /// the caller has pinned; entries stored under a later epoch are not
+  /// served (kCurrentEpoch accepts every resident entry).
+  BallPtr GetBall(VertexId v, HopDistance k,
+                  uint64_t pinned_epoch = kCurrentEpoch);
 
   /// Like GetBall but a probe: absence is not a miss (used by per-pair
   /// checks whose fallback is the inner checker, not a cache fill).
-  BallPtr PeekBall(VertexId v, HopDistance k);
+  BallPtr PeekBall(VertexId v, HopDistance k,
+                   uint64_t pinned_epoch = kCurrentEpoch);
 
-  /// Stores the ball of `v` at radius `k`; `ball` must be sorted and must
-  /// not contain `v`.
-  void PutBall(VertexId v, HopDistance k, BallPtr ball);
+  /// Stores the ball of `v` at radius `k`, computed under `pinned_epoch`;
+  /// `ball` must be sorted and must not contain `v`. Dropped (not stored)
+  /// when the cache has already advanced past the caller's epoch — a stale
+  /// ball must never outlive the erase pass that would have swept it.
+  void PutBall(VertexId v, HopDistance k, BallPtr ball,
+               uint64_t pinned_epoch = kCurrentEpoch);
 
   // --- Query-result tier ---------------------------------------------------
 
-  /// Looks up `key`. On a current-epoch hit, fills `out` with the cached
-  /// groups — masks recomputed against `query.keywords` bit order (members
-  /// are invariant under keyword permutation; masks are not) — and returns
-  /// true. A stale (pre-epoch) entry is erased (counted as an
-  /// invalidation) and reported as a miss.
+  /// Looks up `key` as a reader pinned at `pinned_epoch`. On a same-epoch
+  /// hit, fills `out` with the cached groups — masks recomputed against
+  /// `query.keywords` bit order (members are invariant under keyword
+  /// permutation; masks are not) — and returns true. An entry older than
+  /// the reader's epoch is erased (counted as an invalidation) and
+  /// reported as a miss; an entry from a *newer* epoch is left alone (an
+  /// older pinned reader must not evict current results).
   bool LookupQuery(const QueryKey& key, const AttributedGraph& g,
-                   const KtgQuery& query, KtgResult* out);
+                   const KtgQuery& query, KtgResult* out,
+                   uint64_t pinned_epoch = kCurrentEpoch);
 
-  /// Stores a completed result under `key`, tagged with the current epoch.
-  void StoreQuery(const QueryKey& key, const KtgResult& result);
+  /// Stores a completed result under `key`, tagged with `pinned_epoch`
+  /// (kCurrentEpoch tags with the current epoch).
+  void StoreQuery(const QueryKey& key, const KtgResult& result,
+                  uint64_t pinned_epoch = kCurrentEpoch);
 
-  // --- Invalidation --------------------------------------------------------
+  // --- Invalidation / epoch handoff ---------------------------------------
+
+  /// The snapshot writer's handoff: publishes `new_epoch` (must be greater
+  /// than the current epoch) and then erases the ball entries of
+  /// `affected` — in that order, so a racing ball store is either swept by
+  /// this erase pass or rejected by its epoch guard. Query results are not
+  /// touched; the per-epoch equality rule retires them lazily.
+  void AdvanceEpoch(uint64_t new_epoch, const std::vector<VertexId>& affected);
 
   /// Call with the graph *before* the edge {a, b} is inserted/removed.
-  /// Erases the ball entries of every vertex whose ball may change
-  /// (AffectedByInsertion/Deletion) and bumps the epoch, which voids all
-  /// stored query results.
+  /// Computes the affected set (AffectedByInsertion/Deletion) and advances
+  /// the epoch by one. Convenience wrapper over AdvanceEpoch for callers
+  /// that mutate a single live dataset in place.
   void OnEdgeInserted(const Graph& old_graph, VertexId a, VertexId b);
   void OnEdgeRemoved(const Graph& old_graph, VertexId a, VertexId b);
 
@@ -99,7 +138,7 @@ class KtgCache {
   /// updates whose affected set was not computed.
   void InvalidateAll();
 
-  /// Current graph epoch (starts at 0, bumped once per update).
+  /// Current graph epoch (starts at 0, advanced once per update/handoff).
   uint64_t epoch() const { return epoch_.load(std::memory_order_acquire); }
 
   // --- Introspection -------------------------------------------------------
@@ -126,6 +165,12 @@ class KtgCache {
     }
   };
 
+  /// A cached ball plus the epoch it was computed under.
+  struct TaggedBall {
+    uint64_t epoch = 0;
+    BallPtr ball;
+  };
+
   /// A stored result: member lists only — masks depend on the querying
   /// W_Q's bit order and are recomputed on every hit.
   struct StoredResult {
@@ -133,9 +178,12 @@ class KtgCache {
     std::vector<std::vector<VertexId>> groups;
   };
 
+  uint64_t ResolveEpoch(uint64_t pinned_epoch) const {
+    return pinned_epoch == kCurrentEpoch ? epoch() : pinned_epoch;
+  }
   void EraseBallsOf(const std::vector<VertexId>& vertices);
 
-  ShardedLru<BallKey, std::vector<VertexId>, BallKeyHash> balls_;
+  ShardedLru<BallKey, TaggedBall, BallKeyHash> balls_;
   ShardedLru<QueryKey, StoredResult, QueryKeyHash> queries_;
   std::atomic<uint64_t> epoch_{0};
 

@@ -95,9 +95,23 @@ class ShardedLru {
   /// Inserts or replaces `key`. `value_bytes` is the caller-estimated value
   /// footprint; the entry is charged value_bytes + kEntryOverhead.
   void Put(const Key& key, ValuePtr value, size_t value_bytes) {
+    PutIf(key, std::move(value), value_bytes, [] { return true; });
+  }
+
+  /// Like Put, but the insert happens only while `pred()` holds — evaluated
+  /// under the shard lock, so the decision is atomic against any Erase/
+  /// EraseIf pass on the same shard. The epoch handoff depends on this: a
+  /// writer bumps the cache epoch *before* its erase pass, so a reader's
+  /// Put guarded by "my pinned epoch is still current" either lands before
+  /// the bump (and the erase pass sweeps it if affected) or is dropped.
+  /// Returns whether the value was admitted.
+  template <typename Pred>
+  bool PutIf(const Key& key, ValuePtr value, size_t value_bytes,
+             Pred&& pred) {
     const size_t charge = value_bytes + kEntryOverhead;
     Shard& s = ShardFor(key);
     std::lock_guard<std::mutex> lock(s.mu);
+    if (!pred()) return false;
     size_t freed = 0;
     auto it = s.map.find(key);
     if (it != s.map.end()) {
@@ -124,6 +138,7 @@ class ShardedLru {
     }
     bytes_.fetch_add(charge, std::memory_order_relaxed);
     bytes_.fetch_sub(freed, std::memory_order_relaxed);
+    return true;
   }
 
   /// Erases one key if present (counted as an invalidation); returns 1/0.

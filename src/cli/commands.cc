@@ -4,6 +4,7 @@
 
 #include <chrono>
 #include <cstdio>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <thread>
@@ -16,7 +17,9 @@
 #include "core/explain.h"
 #include "core/greedy_heuristic.h"
 #include "core/ktg_engine.h"
+#include "core/snapshot.h"
 #include "core/tagq.h"
+#include "datagen/mutation_gen.h"
 #include "datagen/presets.h"
 #include "datagen/query_gen.h"
 #include "graph/graph_io.h"
@@ -777,26 +780,91 @@ Status CmdLoadgen(const Args& args) {
       static_cast<uint64_t>(std::max<int64_t>(0, max_queries.value()));
   lopts.deadline_ms = deadline.value();
   lopts.retry_rejected = args.GetBool("retry", true);
+  lopts.seed = static_cast<uint64_t>(seed.value());
+
+  // --write-ratio: that fraction of request slots become `mutate` requests
+  // drawn from a generated mutation workload (evolving-ledger batches, no
+  // intra-batch noops; see datagen/mutation_gen.h).
+  const auto write_ratio = args.GetDouble("write-ratio", 0.0);
+  const auto mbatches = args.GetInt("mutation-batches", 64);
+  const auto medges = args.GetInt("mutation-edges", 2);
+  const auto mkeywords = args.GetInt("mutation-keywords", 1);
+  if (!write_ratio.ok()) return write_ratio.status();
+  if (!mbatches.ok()) return mbatches.status();
+  if (!medges.ok()) return medges.status();
+  if (!mkeywords.ok()) return mkeywords.status();
+  if (write_ratio.value() < 0 || write_ratio.value() > 1) {
+    return Status::InvalidArgument("--write-ratio must be in [0, 1]");
+  }
+  lopts.write_ratio = write_ratio.value();
+  if (lopts.write_ratio > 0) {
+    MutationWorkloadOptions mopts;
+    mopts.num_batches =
+        static_cast<uint32_t>(std::max<int64_t>(1, mbatches.value()));
+    mopts.edges_per_batch =
+        static_cast<uint32_t>(std::max<int64_t>(0, medges.value()));
+    mopts.keywords_per_batch =
+        static_cast<uint32_t>(std::max<int64_t>(0, mkeywords.value()));
+    // Derived stream: the same --seed must yield the same queries whether
+    // or not mutations ride along.
+    Rng mrng(Mix64(static_cast<uint64_t>(seed.value()) ^ 0x6d75746174656eULL));
+    lopts.mutations = GenerateMutationWorkload(*graph, mopts, mrng);
+    if (lopts.mutations.empty()) {
+      return Status::Internal("mutation workload generation produced nothing");
+    }
+  }
 
   // --check: every complete response is compared against a direct
-  // in-process engine run with the server's engine configuration (serial,
-  // default options) — computed lazily, memoized per workload index.
-  std::unique_ptr<InvertedIndex> index;
-  std::unique_ptr<DistanceChecker> checker;
+  // in-process engine run *at the epoch the response names*. The oracle
+  // replays the server's applied-order mutation history — learned from the
+  // mutate responses via on_mutation_applied, since arrival order need not
+  // be generation order — through its own SnapshotStore, and memoizes per
+  // (query index, epoch). A memo keyed by query alone would silently go
+  // stale the moment the first mutation landed.
+  std::unique_ptr<SnapshotStore> oracle;
   std::mutex ref_mu;
-  std::unordered_map<size_t, KtgResult> memo;
+  std::map<uint64_t, size_t> epoch_batches;     // epoch -> mutation index
+  std::map<uint64_t, SnapshotPin> oracle_pins;  // epochs replayed so far
+  std::map<std::pair<size_t, uint64_t>, KtgResult> memo;
   if (args.GetBool("check")) {
     const auto kind = ParseCheckerKind(args.GetString("checker", "nlrnl"));
     if (!kind.ok()) return kind.status();
-    index = std::make_unique<InvertedIndex>(*graph);
-    checker = MakeChecker(kind.value(), graph->graph(), wopts->tenuity,
-                          /*num_threads=*/0);
-    lopts.reference = [&](size_t i) -> const KtgResult* {
+    SnapshotStore::Options oopts;
+    oopts.checker = kind.value();
+    oopts.bitmap_k = wopts->tenuity;
+    oracle = std::make_unique<SnapshotStore>(AttributedGraph(*graph), oopts);
+    oracle_pins[oracle->epoch()] = oracle->Pin();
+    lopts.on_mutation_applied = [&](uint64_t epoch, size_t mi) {
       std::lock_guard<std::mutex> lock(ref_mu);
-      if (const auto it = memo.find(i); it != memo.end()) return &it->second;
-      auto expected = RunKtg(*graph, *index, *checker, workload[i], {});
+      epoch_batches[epoch] = mi;
+    };
+    lopts.reference = [&](size_t qi, uint64_t epoch) -> const KtgResult* {
+      std::lock_guard<std::mutex> lock(ref_mu);
+      if (const auto it = memo.find({qi, epoch}); it != memo.end()) {
+        return &it->second;
+      }
+      // Replay the server's history up to `epoch` (epochs are contiguous;
+      // a gap means the matching mutate response was lost — unverifiable).
+      while (oracle->epoch() < epoch) {
+        const auto bi = epoch_batches.find(oracle->epoch() + 1);
+        if (bi == epoch_batches.end()) return nullptr;
+        if (!oracle->Apply(lopts.mutations[bi->second]).ok()) return nullptr;
+        oracle_pins[oracle->epoch()] = oracle->Pin();
+      }
+      const auto pin = oracle_pins.find(epoch);
+      if (pin == oracle_pins.end()) return nullptr;
+      const EngineSnapshot& snap = *pin->second;
+      std::unique_ptr<DistanceChecker> bfs;
+      DistanceChecker* checker = snap.checker();
+      if (checker == nullptr) {  // kBfs: per-run scratch
+        bfs = std::make_unique<BfsChecker>(snap.graph().graph());
+        checker = bfs.get();
+      }
+      auto expected =
+          RunKtg(snap.graph(), snap.index(), *checker, workload[qi], {});
       if (!expected.ok()) return nullptr;
-      return &memo.emplace(i, std::move(*expected)).first->second;
+      return &memo.emplace(std::make_pair(qi, epoch), std::move(*expected))
+                  .first->second;
     };
   }
 
@@ -886,11 +954,14 @@ const std::vector<CommandSpec>& CommandRegistry() {
        "               [--duration S] [--max-queries M] [--deadline-ms D]\n"
        "               [--queries Q] [--p P] [--k K] [--n N] [--wq W]\n"
        "               [--seed S] [--banded B] [--retry R] [--checker C]\n"
+       "               [--write-ratio R] [--mutation-batches B]\n"
+       "               [--mutation-edges E] [--mutation-keywords K]\n"
        "               [--metrics-json F]\n",
        {"preset", "scale", "seed", "edges", "attrs", "host", "port",
         "port-file", "check", "open-loop", "rate", "connections", "duration",
         "max-queries", "deadline-ms", "queries", "p", "k", "n", "wq",
-        "banded", "retry", "checker", "metrics-json"}},
+        "banded", "retry", "checker", "write-ratio", "mutation-batches",
+        "mutation-edges", "mutation-keywords", "metrics-json"}},
   };
   return *kRegistry;
 }

@@ -299,7 +299,8 @@ Result<KtgResult> RunKtgConflictGraph(const AttributedGraph& graph,
                                   SortStrategy::kVkcDeg,
                                   /*degree_ascending=*/true);
     KtgResult cached;
-    if (options.cache->LookupQuery(cache_key, graph, query, &cached)) {
+    if (options.cache->LookupQuery(cache_key, graph, query, &cached,
+                                   options.snapshot_epoch)) {
       cached.stats.elapsed_ms = watch.ElapsedMillis();
       cached.stats.cpu_ms = cached.stats.elapsed_ms;
       RecordSearchStats(options.metrics, cached.stats, "conflict");
@@ -423,7 +424,9 @@ Result<KtgResult> RunKtgConflictGraph(const AttributedGraph& graph,
   stats.elapsed_ms = watch.ElapsedMillis();
   stats.cpu_ms = stats.elapsed_ms;  // single-threaded engine
   result.stats = stats;
-  if (cacheable) options.cache->StoreQuery(cache_key, result);
+  if (cacheable) {
+    options.cache->StoreQuery(cache_key, result, options.snapshot_epoch);
+  }
   RecordSearchStats(options.metrics, stats, "conflict");
   RecordCheckerDelta(options.metrics, checker, checker_before);
   if (options.metrics != nullptr) {

@@ -80,6 +80,11 @@ struct ConflictEngineOptions {
   /// under a distinct engine tag, so conflict-engine results never serve a
   /// KtgEngine lookup or vice versa. Truncated runs (max_nodes) bypass it.
   KtgCache* cache = nullptr;
+  /// Epoch the run's graph/index state is pinned at; tags every cache
+  /// access (see EngineOptions::snapshot_epoch). Defaults to "follow the
+  /// cache's current epoch" — the value of cache/ktg_cache.h's
+  /// kCurrentEpoch, spelled out to keep this header cache-free.
+  uint64_t snapshot_epoch = ~uint64_t{0};
 };
 
 /// The materialized conflict graph over a candidate set: adj[i] is the

@@ -483,7 +483,8 @@ Result<KtgResult> KtgEngine::Run(const KtgQuery& query) {
     cache_key = CanonicalQueryKey(query, kEngineTagKtg, options_.sort,
                                   options_.degree_ascending);
     KtgResult cached;
-    if (options_.cache->LookupQuery(cache_key, graph_, query, &cached)) {
+    if (options_.cache->LookupQuery(cache_key, graph_, query, &cached,
+                                    options_.snapshot_epoch)) {
       cached.stats.elapsed_ms = watch.ElapsedMillis();
       cached.stats.cpu_ms = cached.stats.elapsed_ms;
       last_run_complete_ = true;
@@ -541,7 +542,7 @@ Result<KtgResult> KtgEngine::Run(const KtgQuery& query) {
   }
   result.stats = stats_;
   if (cacheable && last_run_complete_) {
-    options_.cache->StoreQuery(cache_key, result);
+    options_.cache->StoreQuery(cache_key, result, options_.snapshot_epoch);
   }
   RecordSearchStats(options_.metrics, stats_, "engine");
   RecordCheckerDelta(options_.metrics, checker_, checker_before);

@@ -130,6 +130,16 @@ struct EngineOptions {
   /// through a CachingChecker wrapper (the batch runner installs one per
   /// worker); attaching a cache here does not by itself wrap the checker.
   KtgCache* cache = nullptr;
+
+  /// Graph epoch this run's state (graph, index, checker) is pinned at;
+  /// every cache access of the run is tagged with it so results computed
+  /// against one snapshot are never served to another. The default
+  /// (cache/ktg_cache.h's kCurrentEpoch, spelled out here because
+  /// options.h must not pull in the cache headers) means "resolve to the
+  /// cache's current epoch when Run() starts" — the right semantics for
+  /// callers that mutate a single live dataset in place (CLI, batch
+  /// runner). Snapshot readers (ktgd) set the epoch they pinned.
+  uint64_t snapshot_epoch = ~uint64_t{0};
 };
 
 }  // namespace ktg

@@ -1,0 +1,96 @@
+// Copyright (c) 2026 The ktg Authors.
+
+#include "datagen/mutation_gen.h"
+
+#include <algorithm>
+#include <string>
+#include <unordered_set>
+#include <utility>
+
+namespace ktg {
+
+namespace {
+
+uint64_t PairKey(VertexId a, VertexId b) {
+  if (a > b) std::swap(a, b);
+  return (static_cast<uint64_t>(a) << 32) | b;
+}
+
+}  // namespace
+
+std::vector<MutationBatch> GenerateMutationWorkload(
+    const AttributedGraph& g, const MutationWorkloadOptions& options,
+    Rng& rng) {
+  const uint32_t n = g.num_vertices();
+  std::vector<MutationBatch> out;
+  if (n < 2) return out;
+
+  // The evolving ledger: `live` is the current edge list (removals sample
+  // from it), `live_keys` mirrors it for O(1) membership, `removed_pool`
+  // holds edges available for ABA re-insertion.
+  std::vector<std::pair<VertexId, VertexId>> live = g.graph().EdgeList();
+  std::unordered_set<uint64_t> live_keys;
+  live_keys.reserve(live.size() * 2);
+  for (const auto& [a, b] : live) live_keys.insert(PairKey(a, b));
+  std::vector<std::pair<VertexId, VertexId>> removed_pool;
+
+  auto sample_fresh_pair = [&](std::pair<VertexId, VertexId>* e) {
+    for (int tries = 0; tries < 64; ++tries) {
+      const auto a = static_cast<VertexId>(rng.Below(n));
+      const auto b = static_cast<VertexId>(rng.Below(n));
+      if (a == b || live_keys.count(PairKey(a, b)) != 0) continue;
+      *e = {a, b};
+      return true;
+    }
+    return false;  // graph is (locally) dense; caller falls back
+  };
+
+  uint64_t fresh_term = 0;
+  out.reserve(options.num_batches);
+  for (uint32_t bi = 0; bi < options.num_batches; ++bi) {
+    MutationBatch batch;
+    // One batch may not touch the same edge twice: Apply() runs all
+    // insertions before all removals, so an add-after-remove of the same
+    // pair within a batch would invert the intended order.
+    std::unordered_set<uint64_t> touched;
+    for (uint32_t ei = 0; ei < options.edges_per_batch; ++ei) {
+      const bool want_insert = rng.Chance(options.insert_fraction);
+      if (want_insert) {
+        std::pair<VertexId, VertexId> e;
+        if (!removed_pool.empty() && rng.Chance(0.5)) {
+          const size_t i = rng.Below(removed_pool.size());
+          e = removed_pool[i];
+          if (touched.count(PairKey(e.first, e.second)) != 0) continue;
+          removed_pool[i] = removed_pool.back();
+          removed_pool.pop_back();
+        } else if (!sample_fresh_pair(&e) ||
+                   touched.count(PairKey(e.first, e.second)) != 0) {
+          continue;
+        }
+        batch.add_edges.push_back(e);
+        touched.insert(PairKey(e.first, e.second));
+        live_keys.insert(PairKey(e.first, e.second));
+        live.push_back(e);
+      } else if (!live.empty()) {
+        const size_t i = rng.Below(live.size());
+        const auto e = live[i];
+        if (touched.count(PairKey(e.first, e.second)) != 0) continue;
+        live[i] = live.back();
+        live.pop_back();
+        live_keys.erase(PairKey(e.first, e.second));
+        removed_pool.push_back(e);
+        batch.remove_edges.push_back(e);
+        touched.insert(PairKey(e.first, e.second));
+      }
+    }
+    for (uint32_t ki = 0; ki < options.keywords_per_batch; ++ki) {
+      const auto v = static_cast<VertexId>(rng.Below(n));
+      batch.add_keywords.emplace_back(
+          v, "mut_" + std::to_string(fresh_term++));
+    }
+    if (!batch.empty()) out.push_back(std::move(batch));
+  }
+  return out;
+}
+
+}  // namespace ktg

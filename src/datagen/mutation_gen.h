@@ -1,0 +1,44 @@
+// Copyright (c) 2026 The ktg Authors.
+// Mutation workload generation for the mixed read/write benchmarks and the
+// loadgen --write-ratio driver.
+//
+// Batches are generated against an *evolving* edge ledger, so replaying
+// them in order against the base graph applies every delta exactly once —
+// no accidental no-ops diluting the write load. Removals draw from the
+// graph's current live edges; insertions re-insert previously removed
+// edges half the time (exercising the delete/reinsert ABA pattern the
+// snapshot layer must survive) and otherwise add fresh non-edges. Keyword
+// additions intern fresh low-frequency terms on random vertices.
+
+#ifndef KTG_DATAGEN_MUTATION_GEN_H_
+#define KTG_DATAGEN_MUTATION_GEN_H_
+
+#include <vector>
+
+#include "core/snapshot.h"
+#include "keywords/attributed_graph.h"
+#include "util/rng.h"
+
+namespace ktg {
+
+struct MutationWorkloadOptions {
+  uint32_t num_batches = 64;
+  /// Edge deltas per batch (split between insertions and removals).
+  uint32_t edges_per_batch = 2;
+  /// Fraction of edge deltas that are insertions (the rest are removals).
+  double insert_fraction = 0.5;
+  /// Keyword additions per batch.
+  uint32_t keywords_per_batch = 1;
+};
+
+/// Generates `options.num_batches` mutation batches valid for sequential
+/// application to `g` (each batch against the state left by its
+/// predecessors). Deterministic given `rng`'s state. Batches are never
+/// empty and never contain no-op deltas.
+std::vector<MutationBatch> GenerateMutationWorkload(
+    const AttributedGraph& g, const MutationWorkloadOptions& options,
+    Rng& rng);
+
+}  // namespace ktg
+
+#endif  // KTG_DATAGEN_MUTATION_GEN_H_

@@ -63,4 +63,24 @@ std::unique_ptr<DistanceChecker> MakeChecker(CheckerKind kind,
   return nullptr;
 }
 
+std::unique_ptr<DistanceChecker> MakeSnapshotChecker(CheckerKind kind,
+                                                     const Graph& graph,
+                                                     HopDistance k,
+                                                     uint32_t num_threads) {
+  switch (kind) {
+    case CheckerKind::kBfs:
+      return nullptr;  // per-run construction; see header
+    case CheckerKind::kNl: {
+      NlIndexOptions options;
+      options.num_threads = num_threads;
+      options.memoize_expansions = false;  // reads must not mutate the lists
+      return std::make_unique<NlIndex>(graph, options);
+    }
+    case CheckerKind::kNlrnl:
+    case CheckerKind::kKHopBitmap:
+      return MakeChecker(kind, graph, k, num_threads);
+  }
+  return nullptr;
+}
+
 }  // namespace ktg

@@ -38,6 +38,17 @@ std::unique_ptr<DistanceChecker> MakeChecker(CheckerKind kind,
                                              const Graph& graph, HopDistance k,
                                              uint32_t num_threads = 1);
 
+/// Like MakeChecker, but every returned checker is concurrent_read_safe so
+/// one instance can be shared by all readers pinned to a snapshot:
+/// NL is built with memoize_expansions off (reads never mutate the lists),
+/// NLRNL and the bitmap are read-safe natively. kBfs returns nullptr —
+/// BfsChecker is stateful scratch and trivial to construct, so snapshot
+/// readers build one per run instead of sharing.
+std::unique_ptr<DistanceChecker> MakeSnapshotChecker(CheckerKind kind,
+                                                     const Graph& graph,
+                                                     HopDistance k,
+                                                     uint32_t num_threads = 1);
+
 }  // namespace ktg
 
 #endif  // KTG_INDEX_CHECKER_FACTORY_H_

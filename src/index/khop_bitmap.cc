@@ -29,6 +29,18 @@ KHopBitmapChecker::KHopBitmapChecker(const Graph& graph, HopDistance k,
   });
 }
 
+void KHopBitmapChecker::RebuildRows(const Graph& graph,
+                                    std::span<const VertexId> rows) {
+  KTG_CHECK_MSG((graph.num_vertices() + 63) / 64 == words_per_row_,
+                "RebuildRows requires the original vertex count");
+  BoundedBfs bfs(graph);
+  for (const VertexId v : rows) {
+    uint64_t* row = bits_.data() + static_cast<uint64_t>(v) * words_per_row_;
+    std::fill(row, row + words_per_row_, 0);
+    for (const VertexId w : bfs.Ball(v, k_)) SetBit(v, w);
+  }
+}
+
 bool KHopBitmapChecker::IsFartherThanImpl(VertexId u, VertexId v,
                                           HopDistance k) {
   KTG_CHECK_MSG(k == k_, "KHopBitmapChecker was built for a different k");

@@ -59,6 +59,16 @@ class KHopBitmapChecker final : public DistanceChecker {
   }
   uint32_t words_per_row() const { return words_per_row_; }
 
+  /// Recomputes the given rows against `graph` (one bounded BFS each),
+  /// leaving every other row untouched. Exact for an edge flip whose
+  /// affected set (index/affected.h) is passed as `rows`: if any pair
+  /// (u, v) changes distance, *both* endpoints are affected, so every
+  /// stale bit lives in a rebuilt row. The graph must have the same vertex
+  /// count the checker was built with (checked) — the snapshot layer
+  /// forbids vertex growth. Not safe concurrently with readers; call on a
+  /// private copy before publishing it.
+  void RebuildRows(const Graph& graph, std::span<const VertexId> rows);
+
  protected:
   /// `k` must equal built_k() (checked).
   bool IsFartherThanImpl(VertexId u, VertexId v, HopDistance k) override;

@@ -14,6 +14,7 @@
 #include "server/tcp.h"
 #include "util/json_parse.h"
 #include "util/json_writer.h"
+#include "util/rng.h"
 #include "util/timer.h"
 
 namespace ktg::server {
@@ -34,11 +35,17 @@ struct Tally {
   uint64_t retried = 0;
   uint64_t timeouts = 0;
   uint64_t errors = 0;
-  uint64_t checked = 0;
-  uint64_t mismatches = 0;
+  uint64_t mutations_sent = 0;
+  uint64_t mutations_applied = 0;
+  uint64_t mutations_failed = 0;
+  uint64_t max_epoch = 0;
   std::vector<double> latencies_ms;
+  // Deferred differential checks: (workload query index, raw response
+  // line). Replayed after the run drains, when the epoch history learned
+  // from mutate responses is complete.
+  std::vector<std::pair<size_t, std::string>> deferred_checks;
 
-  void Merge(const Tally& o) {
+  void Merge(Tally&& o) {
     sent += o.sent;
     completed += o.completed;
     coalesced += o.coalesced;
@@ -47,12 +54,26 @@ struct Tally {
     retried += o.retried;
     timeouts += o.timeouts;
     errors += o.errors;
-    checked += o.checked;
-    mismatches += o.mismatches;
+    mutations_sent += o.mutations_sent;
+    mutations_applied += o.mutations_applied;
+    mutations_failed += o.mutations_failed;
+    max_epoch = std::max(max_epoch, o.max_epoch);
     latencies_ms.insert(latencies_ms.end(), o.latencies_ms.begin(),
                         o.latencies_ms.end());
+    deferred_checks.insert(deferred_checks.end(),
+                           std::make_move_iterator(o.deferred_checks.begin()),
+                           std::make_move_iterator(o.deferred_checks.end()));
   }
 };
+
+/// Deterministic write-slot choice: the same (seed, slot) always lands on
+/// the same side in both loops, so a mixed run is reproducible modulo
+/// network interleaving.
+bool IsWriteSlot(uint64_t seed, uint64_t slot, double write_ratio) {
+  if (write_ratio <= 0) return false;
+  const uint64_t h = Mix64(seed ^ (slot * 0x9E3779B97F4A7C15ULL));
+  return static_cast<double>(h >> 11) * 0x1.0p-53 < write_ratio;
+}
 
 /// True when the response's groups match the oracle result exactly
 /// (count, per-group coverage, per-group member list, in order).
@@ -83,15 +104,28 @@ bool ResponseMatches(const JsonValue& doc, const KtgResult& expect) {
   return true;
 }
 
+/// Epoch named by a query response's serving block (0 when absent — the
+/// pre-mutation epoch).
+uint64_t ServingEpoch(const JsonValue& doc) {
+  if (const JsonValue* serving = doc.Find("serving");
+      serving != nullptr && serving->is_object()) {
+    const auto e = serving->GetInt("epoch", 0);
+    if (e.ok() && e.value() >= 0) return static_cast<uint64_t>(e.value());
+  }
+  return 0;
+}
+
 // Shared response accounting for both loops. `query_index` maps the
-// response back to the workload entry for the differential check. Returns
-// the response status string.
-std::string TallyResponse(const JsonValue& doc, size_t query_index,
-                          const LoadgenOptions& options, Tally& tally) {
+// response back to the workload entry; `line` is kept for the deferred
+// differential check. Returns the response status string.
+std::string TallyResponse(const JsonValue& doc, const std::string& line,
+                          size_t query_index, const LoadgenOptions& options,
+                          Tally& tally) {
   const auto status = doc.GetString("status", "error");
   const std::string s = status.ok() ? status.value() : "error";
   if (s == "ok") {
     tally.completed++;
+    tally.max_epoch = std::max(tally.max_epoch, ServingEpoch(doc));
     bool complete = true;
     if (const JsonValue* serving = doc.Find("serving");
         serving != nullptr && serving->is_object()) {
@@ -102,13 +136,11 @@ std::string TallyResponse(const JsonValue& doc, size_t query_index,
     }
     if (!complete) tally.incomplete++;
     // Truncated (deadline-cut) answers are best-effort by contract; only
-    // complete responses must equal the oracle.
+    // complete responses must equal the oracle. Checks are deferred: the
+    // oracle needs the full epoch history, which concurrent mutate
+    // responses are still filling in while this run is live.
     if (complete && options.reference) {
-      const KtgResult* expect = options.reference(query_index);
-      if (expect != nullptr) {
-        tally.checked++;
-        if (!ResponseMatches(doc, *expect)) tally.mismatches++;
-      }
+      tally.deferred_checks.emplace_back(query_index, line);
     }
   } else if (s == "rejected") {
     tally.rejected++;
@@ -120,11 +152,82 @@ std::string TallyResponse(const JsonValue& doc, size_t query_index,
   return s;
 }
 
+// Accounting for a mutate response: learns the published epoch and relays
+// it (with the batch index) to the caller's history.
+void TallyMutateResponse(const JsonValue& doc, size_t mutation_index,
+                         const LoadgenOptions& options, Tally& tally) {
+  const auto status = doc.GetString("status", "error");
+  if (!status.ok() || status.value() != "ok") {
+    tally.mutations_failed++;
+    return;
+  }
+  const JsonValue* mutate = doc.Find("mutate");
+  if (mutate == nullptr || !mutate->is_object()) {
+    tally.mutations_failed++;
+    return;
+  }
+  const auto epoch = mutate->GetInt("epoch", 0);
+  if (!epoch.ok() || epoch.value() < 0) {
+    tally.mutations_failed++;
+    return;
+  }
+  tally.mutations_applied++;
+  tally.max_epoch =
+      std::max(tally.max_epoch, static_cast<uint64_t>(epoch.value()));
+  if (options.on_mutation_applied) {
+    options.on_mutation_applied(static_cast<uint64_t>(epoch.value()),
+                                mutation_index);
+  }
+}
+
+// The post-drain differential pass: every deferred response is re-parsed
+// and compared against the oracle's run at the epoch the response names.
+// An epoch the oracle cannot reproduce (nullptr) is skipped, not failed —
+// it means the matching mutate response was lost to a cut connection.
+void RunDeferredChecks(const LoadgenOptions& options, Tally& total,
+                       uint64_t* checked, uint64_t* mismatches) {
+  *checked = 0;
+  *mismatches = 0;
+  if (!options.reference) return;
+  for (const auto& [qi, line] : total.deferred_checks) {
+    auto doc = ParseJson(line);
+    if (!doc.ok()) continue;
+    const KtgResult* expect = options.reference(qi, ServingEpoch(*doc));
+    if (expect == nullptr) continue;
+    ++*checked;
+    if (!ResponseMatches(*doc, *expect)) ++*mismatches;
+  }
+}
+
+void FillReport(const LoadgenOptions& options, Tally& total, double wall_s,
+                LoadgenReport& report) {
+  report.sent = total.sent;
+  report.completed = total.completed;
+  report.coalesced = total.coalesced;
+  report.incomplete = total.incomplete;
+  report.rejected = total.rejected;
+  report.retried = total.retried;
+  report.timeouts = total.timeouts;
+  report.errors = total.errors;
+  report.mutations_sent = total.mutations_sent;
+  report.mutations_applied = total.mutations_applied;
+  report.mutations_failed = total.mutations_failed;
+  report.final_epoch = total.max_epoch;
+  RunDeferredChecks(options, total, &report.checked, &report.mismatches);
+  report.wall_s = wall_s;
+  report.qps = wall_s > 0 ? static_cast<double>(total.completed) / wall_s : 0;
+  if (!total.latencies_ms.empty()) {
+    report.latency = LatencySummary::FromSamples(total.latencies_ms);
+    report.p95 = Percentile(total.latencies_ms, 0.95);
+  }
+}
+
 void ClosedLoopWorker(const std::string& host, uint16_t port,
                       const AttributedGraph& graph,
                       const std::vector<KtgQuery>& queries,
                       const LoadgenOptions& options, const Stopwatch& watch,
-                      std::atomic<uint64_t>& next, Tally& tally) {
+                      std::atomic<uint64_t>& next,
+                      std::atomic<uint64_t>& next_mutation, Tally& tally) {
   TcpClient client;
   if (!client.Connect(host, port).ok()) {
     tally.errors++;
@@ -137,6 +240,38 @@ void ClosedLoopWorker(const std::string& host, uint16_t port,
     }
     const uint64_t i = next.fetch_add(1, std::memory_order_relaxed);
     if (options.max_queries > 0 && i >= options.max_queries) return;
+
+    if (!options.mutations.empty() &&
+        IsWriteSlot(options.seed, i, options.write_ratio)) {
+      const uint64_t mi =
+          next_mutation.fetch_add(1, std::memory_order_relaxed);
+      if (mi < options.mutations.size()) {
+        Stopwatch rtt;
+        const std::string request =
+            MutateRequestJson(i, options.mutations[mi]);
+        if (!client.SendLine(request).ok()) {
+          tally.errors++;
+          return;
+        }
+        tally.sent++;
+        tally.mutations_sent++;
+        auto line = client.ReadLine();
+        if (!line.ok()) {
+          tally.errors++;
+          return;
+        }
+        auto doc = ParseJson(*line);
+        if (!doc.ok()) {
+          tally.errors++;
+          continue;
+        }
+        TallyMutateResponse(*doc, static_cast<size_t>(mi), options, tally);
+        tally.latencies_ms.push_back(rtt.ElapsedMillis());
+        continue;
+      }
+      // Mutation workload exhausted: the slot degrades to a read.
+    }
+
     const size_t qi = static_cast<size_t>(i % queries.size());
     const std::string request = QueryRequestJson(
         i, graph, queries[qi], options.sort, options.deadline_ms);
@@ -157,7 +292,8 @@ void ClosedLoopWorker(const std::string& host, uint16_t port,
         tally.errors++;
         break;
       }
-      const std::string status = TallyResponse(*doc, qi, options, tally);
+      const std::string status =
+          TallyResponse(*doc, *line, qi, options, tally);
       if (status == "ok") {
         tally.latencies_ms.push_back(rtt.ElapsedMillis());
         break;
@@ -182,10 +318,17 @@ Result<LoadgenReport> RunOpenLoop(const std::string& host, uint16_t port,
                                   const std::vector<KtgQuery>& queries,
                                   const LoadgenOptions& options) {
   const uint32_t conns = std::max(1u, options.connections);
+  // What request `id` was: send time plus, for the reader, whether it was
+  // a mutate (and which batch) or a query (and which workload index).
+  struct InFlight {
+    double sent_ms = 0.0;
+    bool is_mutation = false;
+    size_t index = 0;
+  };
   struct Channel {
     TcpClient client;
     std::mutex mu;
-    std::unordered_map<uint64_t, double> sent_at_ms;  // id -> send time
+    std::unordered_map<uint64_t, InFlight> in_flight;  // id -> bookkeeping
     Tally tally;
   };
   std::vector<std::unique_ptr<Channel>> channels;
@@ -211,19 +354,31 @@ Result<LoadgenReport> RunOpenLoop(const std::string& host, uint16_t port,
           continue;
         }
         const auto id = doc->GetInt("id", 0);
-        double latency_ms = -1.0;
+        InFlight sent;
+        bool tracked = false;
         if (id.ok()) {
           std::lock_guard<std::mutex> lock(ch->mu);
-          auto it = ch->sent_at_ms.find(static_cast<uint64_t>(id.value()));
-          if (it != ch->sent_at_ms.end()) {
-            latency_ms = watch.ElapsedMillis() - it->second;
-            ch->sent_at_ms.erase(it);
+          auto it = ch->in_flight.find(static_cast<uint64_t>(id.value()));
+          if (it != ch->in_flight.end()) {
+            sent = it->second;
+            tracked = true;
+            ch->in_flight.erase(it);
           }
         }
-        const size_t qi =
-            id.ok() ? static_cast<size_t>(id.value()) % queries.size() : 0;
-        const std::string status =
-            TallyResponse(*doc, qi, options, ch->tally);
+        const double latency_ms =
+            tracked ? watch.ElapsedMillis() - sent.sent_ms : -1.0;
+        std::string status;
+        if (tracked && sent.is_mutation) {
+          TallyMutateResponse(*doc, sent.index, options, ch->tally);
+          status = "ok";
+        } else {
+          const size_t qi =
+              tracked ? sent.index
+                      : (id.ok() ? static_cast<size_t>(id.value()) %
+                                       queries.size()
+                                 : 0);
+          status = TallyResponse(*doc, *line, qi, options, ch->tally);
+        }
         if (status == "ok" && latency_ms >= 0) {
           ch->tally.latencies_ms.push_back(latency_ms);
         }
@@ -236,6 +391,8 @@ Result<LoadgenReport> RunOpenLoop(const std::string& host, uint16_t port,
   // connection i mod conns, whether or not earlier requests came back.
   const double rate = std::max(1e-3, options.rate_qps);
   uint64_t sent = 0;
+  uint64_t mutations_sent = 0;
+  uint64_t next_mutation = 0;  // sender-side only; the sender is serial
   for (uint64_t i = 0;; ++i) {
     if (options.max_queries > 0 && i >= options.max_queries) break;
     const double target_s = static_cast<double>(i) / rate;
@@ -245,22 +402,36 @@ Result<LoadgenReport> RunOpenLoop(const std::string& host, uint16_t port,
       std::this_thread::sleep_for(std::chrono::duration<double>(wait_s));
     }
     Channel& ch = *channels[i % conns];
-    const size_t qi = static_cast<size_t>(i % queries.size());
-    const std::string request = QueryRequestJson(
-        i, graph, queries[qi], options.sort, options.deadline_ms);
+
+    InFlight fl;
+    std::string request;
+    if (!options.mutations.empty() &&
+        IsWriteSlot(options.seed, i, options.write_ratio) &&
+        next_mutation < options.mutations.size()) {
+      fl.is_mutation = true;
+      fl.index = static_cast<size_t>(next_mutation);
+      request = MutateRequestJson(i, options.mutations[next_mutation]);
+      ++next_mutation;
+    } else {
+      fl.index = static_cast<size_t>(i % queries.size());
+      request = QueryRequestJson(i, graph, queries[fl.index], options.sort,
+                                 options.deadline_ms);
+    }
     {
       std::lock_guard<std::mutex> lock(ch.mu);
-      ch.sent_at_ms[i] = watch.ElapsedMillis();
+      fl.sent_ms = watch.ElapsedMillis();
+      ch.in_flight[i] = fl;
     }
     outstanding.fetch_add(1, std::memory_order_relaxed);
     if (!ch.client.SendLine(request).ok()) {
       outstanding.fetch_sub(1, std::memory_order_relaxed);
       ch.tally.errors++;
       std::lock_guard<std::mutex> lock(ch.mu);
-      ch.sent_at_ms.erase(i);
+      ch.in_flight.erase(i);
       continue;
     }
     ++sent;
+    if (fl.is_mutation) ++mutations_sent;
   }
 
   // Drain: give in-flight requests a grace window, then cut the sockets
@@ -279,26 +450,13 @@ Result<LoadgenReport> RunOpenLoop(const std::string& host, uint16_t port,
   for (auto& ch : channels) ch->client.Close();
 
   Tally total;
-  for (auto& ch : channels) total.Merge(ch->tally);
+  for (auto& ch : channels) total.Merge(std::move(ch->tally));
   total.sent = sent;
+  total.mutations_sent = mutations_sent;
+  total.retried = 0;
 
   LoadgenReport report;
-  report.sent = total.sent;
-  report.completed = total.completed;
-  report.coalesced = total.coalesced;
-  report.incomplete = total.incomplete;
-  report.rejected = total.rejected;
-  report.retried = 0;
-  report.timeouts = total.timeouts;
-  report.errors = total.errors;
-  report.checked = total.checked;
-  report.mismatches = total.mismatches;
-  report.wall_s = wall_s;
-  report.qps = wall_s > 0 ? static_cast<double>(total.completed) / wall_s : 0;
-  if (!total.latencies_ms.empty()) {
-    report.latency = LatencySummary::FromSamples(total.latencies_ms);
-    report.p95 = Percentile(total.latencies_ms, 0.95);
-  }
+  FillReport(options, total, wall_s, report);
   return report;
 }
 
@@ -318,6 +476,10 @@ std::string LoadgenReport::ToJson() const {
       .KV("errors", errors)
       .KV("checked", checked)
       .KV("mismatches", mismatches)
+      .KV("mutations_sent", mutations_sent)
+      .KV("mutations_applied", mutations_applied)
+      .KV("mutations_failed", mutations_failed)
+      .KV("final_epoch", final_epoch)
       .KV("wall_s", wall_s)
       .KV("qps", qps);
   w.Key("latency_ms").BeginObject();
@@ -344,6 +506,9 @@ Result<LoadgenReport> RunLoadgen(const std::string& host, uint16_t port,
     return Status::InvalidArgument(
         "either duration_s or max_queries must bound the run");
   }
+  if (options.write_ratio < 0 || options.write_ratio > 1) {
+    return Status::InvalidArgument("write_ratio must be in [0, 1]");
+  }
   if (options.open_loop) {
     return RunOpenLoop(host, port, graph, queries, options);
   }
@@ -351,38 +516,24 @@ Result<LoadgenReport> RunLoadgen(const std::string& host, uint16_t port,
   const uint32_t conns = std::max(1u, options.connections);
   Stopwatch watch;
   std::atomic<uint64_t> next{0};
+  std::atomic<uint64_t> next_mutation{0};
   std::vector<Tally> tallies(conns);
   std::vector<std::thread> threads;
   threads.reserve(conns);
   for (uint32_t c = 0; c < conns; ++c) {
     threads.emplace_back([&, c] {
       ClosedLoopWorker(host, port, graph, queries, options, watch, next,
-                       tallies[c]);
+                       next_mutation, tallies[c]);
     });
   }
   for (std::thread& t : threads) t.join();
   const double wall_s = watch.ElapsedSeconds();
 
   Tally total;
-  for (const Tally& t : tallies) total.Merge(t);
+  for (Tally& t : tallies) total.Merge(std::move(t));
 
   LoadgenReport report;
-  report.sent = total.sent;
-  report.completed = total.completed;
-  report.coalesced = total.coalesced;
-  report.incomplete = total.incomplete;
-  report.rejected = total.rejected;
-  report.retried = total.retried;
-  report.timeouts = total.timeouts;
-  report.errors = total.errors;
-  report.checked = total.checked;
-  report.mismatches = total.mismatches;
-  report.wall_s = wall_s;
-  report.qps = wall_s > 0 ? static_cast<double>(total.completed) / wall_s : 0;
-  if (!total.latencies_ms.empty()) {
-    report.latency = LatencySummary::FromSamples(total.latencies_ms);
-    report.p95 = Percentile(total.latencies_ms, 0.95);
-  }
+  FillReport(options, total, wall_s, report);
   return report;
 }
 

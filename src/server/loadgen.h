@@ -21,6 +21,16 @@
 // every "ok" response differentially checked against a direct in-process
 // engine run of the same query — the zero-incorrect-responses gate of the
 // server's acceptance tests.
+//
+// Mixed read/write mode (write_ratio > 0): a deterministic hash of the
+// request slot turns that fraction of slots into `mutate` requests drawn
+// sequentially from `mutations`. The server applies batches in arrival
+// order — which, under concurrent connections, need not be generation
+// order — so the epoch -> batch mapping is learned from the mutate
+// *responses* (each carries the epoch it published) and handed to the
+// caller via on_mutation_applied. Differential checks are deferred to
+// after the run: each checked response is replayed against the epoch its
+// serving.epoch names, once the full epoch history is known.
 
 #ifndef KTG_SERVER_LOADGEN_H_
 #define KTG_SERVER_LOADGEN_H_
@@ -32,6 +42,7 @@
 
 #include "core/options.h"
 #include "core/query.h"
+#include "core/snapshot.h"
 #include "keywords/attributed_graph.h"
 #include "util/percentiles.h"
 #include "util/status.h"
@@ -56,10 +67,30 @@ struct LoadgenOptions {
   bool retry_rejected = true;
   SortStrategy sort = SortStrategy::kVkcDeg;
 
-  /// Differential oracle: returns the expected result for workload index
-  /// `i` (memoized by the caller; must be safe to call from any loadgen
-  /// thread). Null disables checking.
-  std::function<const KtgResult*(size_t)> reference;
+  /// Fraction of request slots sent as `mutate` instead of `query`
+  /// (0 = read-only). Slots are chosen by a deterministic hash of (seed,
+  /// slot index), so a given seed produces the same mix in both loops.
+  double write_ratio = 0.0;
+  /// The mutation workload, consumed sequentially by write slots (writes
+  /// beyond the vector fall back to reads). Batches may be applied out of
+  /// generation order under concurrency; see the header comment.
+  std::vector<MutationBatch> mutations;
+  /// Seed of the write-slot hash.
+  uint64_t seed = 1;
+
+  /// Invoked once per successful mutate response with the epoch the
+  /// server published for mutation batch `mutation_index`. Called from
+  /// loadgen threads; the callee synchronizes. The caller uses it to
+  /// build the epoch -> batch history the `reference` oracle replays.
+  std::function<void(uint64_t epoch, size_t mutation_index)>
+      on_mutation_applied;
+
+  /// Differential oracle: the expected result of workload query
+  /// `query_index` computed against the snapshot of `epoch`. Called after
+  /// the run has fully drained (so the epoch history is complete), from
+  /// the coordinating thread only. Null disables checking.
+  std::function<const KtgResult*(size_t query_index, uint64_t epoch)>
+      reference;
 };
 
 struct LoadgenReport {
@@ -73,6 +104,10 @@ struct LoadgenReport {
   uint64_t errors = 0;
   uint64_t checked = 0;     ///< responses compared against the oracle
   uint64_t mismatches = 0;  ///< differential failures (must be 0)
+  uint64_t mutations_sent = 0;     ///< mutate requests put on the wire
+  uint64_t mutations_applied = 0;  ///< "ok" mutate responses
+  uint64_t mutations_failed = 0;   ///< non-ok mutate responses
+  uint64_t final_epoch = 0;  ///< highest epoch observed in any response
   double wall_s = 0;
   double qps = 0;  ///< completed / wall_s
   LatencySummary latency;

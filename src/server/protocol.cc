@@ -12,6 +12,8 @@ namespace {
 constexpr int kMaxRequestDepth = 16;
 constexpr size_t kMaxKeywords = 64;
 constexpr size_t kMaxAuthors = 1024;
+constexpr size_t kMaxMutationDeltas = 1024;
+constexpr size_t kMaxMutationTerm = 256;
 
 Result<SortStrategy> ParseSort(const std::string& algo) {
   if (algo == "vkc-deg") return SortStrategy::kVkcDeg;
@@ -38,6 +40,29 @@ void BeginResponse(JsonWriter& w, uint64_t id, const char* status) {
   w.KV("schema", "ktg.response.v1");
   w.KV("id", id);
   w.KV("status", status);
+}
+
+/// Parses an optional `[[u,v],...]` edge-pair array under `field`.
+Status ParseEdgeArray(const JsonValue& doc, const char* field,
+                      std::vector<std::pair<VertexId, VertexId>>* out) {
+  const JsonValue* arr = doc.Find(field);
+  if (arr == nullptr) return Status::OK();
+  if (!arr->is_array() || arr->AsArray().size() > kMaxMutationDeltas) {
+    return Status::InvalidArgument(std::string("'") + field +
+                                   "' must be an array of at most 1024 "
+                                   "[u, v] pairs");
+  }
+  for (const JsonValue& pair : arr->AsArray()) {
+    if (!pair.is_array() || pair.AsArray().size() != 2 ||
+        !pair.AsArray()[0].is_number() || !pair.AsArray()[1].is_number() ||
+        pair.AsArray()[0].AsDouble() < 0 || pair.AsArray()[1].AsDouble() < 0) {
+      return Status::InvalidArgument(std::string("'") + field +
+                                     "' entries must be [u, v] vertex pairs");
+    }
+    out->emplace_back(static_cast<VertexId>(pair.AsArray()[0].AsDouble()),
+                      static_cast<VertexId>(pair.AsArray()[1].AsDouble()));
+  }
+  return Status::OK();
 }
 
 }  // namespace
@@ -71,9 +96,44 @@ Result<Request> ParseRequestLine(const std::string& line) {
     req.op = RequestOp::kInfo;
     return req;
   }
+  if (op.value() == "mutate") {
+    req.op = RequestOp::kMutate;
+    KTG_RETURN_IF_ERROR(
+        ParseEdgeArray(*doc, "add_edges", &req.mutation.add_edges));
+    KTG_RETURN_IF_ERROR(
+        ParseEdgeArray(*doc, "remove_edges", &req.mutation.remove_edges));
+    if (const JsonValue* kws = doc->Find("add_keywords"); kws != nullptr) {
+      if (!kws->is_array() || kws->AsArray().size() > kMaxMutationDeltas) {
+        return Status::InvalidArgument(
+            "'add_keywords' must be an array of at most 1024 "
+            "[vertex, term] pairs");
+      }
+      for (const JsonValue& pair : kws->AsArray()) {
+        if (!pair.is_array() || pair.AsArray().size() != 2 ||
+            !pair.AsArray()[0].is_number() ||
+            pair.AsArray()[0].AsDouble() < 0 ||
+            !pair.AsArray()[1].is_string() ||
+            pair.AsArray()[1].AsString().empty() ||
+            pair.AsArray()[1].AsString().size() > kMaxMutationTerm) {
+          return Status::InvalidArgument(
+              "'add_keywords' entries must be [vertex, term] pairs");
+        }
+        req.mutation.add_keywords.emplace_back(
+            static_cast<VertexId>(pair.AsArray()[0].AsDouble()),
+            pair.AsArray()[1].AsString());
+      }
+    }
+    if (req.mutation.empty()) {
+      return Status::InvalidArgument(
+          "mutate requires at least one of add_edges / remove_edges / "
+          "add_keywords");
+    }
+    return req;
+  }
   if (op.value() != "query") {
-    return Status::InvalidArgument("unknown op '" + op.value() +
-                                   "' (expected ping|query|metrics|info)");
+    return Status::InvalidArgument(
+        "unknown op '" + op.value() +
+        "' (expected ping|query|mutate|metrics|info)");
   }
   req.op = RequestOp::kQuery;
 
@@ -189,6 +249,37 @@ std::string MetricsRequestJson(uint64_t id) {
   return w.str();
 }
 
+std::string MutateRequestJson(uint64_t id, const MutationBatch& batch) {
+  JsonWriter w;
+  w.BeginObject();
+  w.KV("op", "mutate");
+  w.KV("id", id);
+  auto edge_array = [&w](const char* key,
+                         const std::vector<std::pair<VertexId, VertexId>>&
+                             edges) {
+    if (edges.empty()) return;
+    w.Key(key).BeginArray();
+    for (const auto& [a, b] : edges) {
+      w.BeginArray()
+          .Value(static_cast<uint64_t>(a))
+          .Value(static_cast<uint64_t>(b))
+          .EndArray();
+    }
+    w.EndArray();
+  };
+  edge_array("add_edges", batch.add_edges);
+  edge_array("remove_edges", batch.remove_edges);
+  if (!batch.add_keywords.empty()) {
+    w.Key("add_keywords").BeginArray();
+    for (const auto& [v, term] : batch.add_keywords) {
+      w.BeginArray().Value(static_cast<uint64_t>(v)).Value(term).EndArray();
+    }
+    w.EndArray();
+  }
+  w.EndObject();
+  return w.str();
+}
+
 std::string QueryResponseJson(uint64_t id, const AttributedGraph& graph,
                               const KtgQuery& query, const KtgResult& result,
                               const ServingInfo& serving) {
@@ -218,7 +309,8 @@ std::string QueryResponseJson(uint64_t id, const AttributedGraph& graph,
   w.KV("queue_ms", serving.queue_ms)
       .KV("exec_ms", serving.exec_ms)
       .KV("complete", serving.complete)
-      .KV("coalesced", serving.coalesced);
+      .KV("coalesced", serving.coalesced)
+      .KV("epoch", serving.epoch);
   w.EndObject();
 
   w.KV("query_keywords", static_cast<uint64_t>(query.keywords.size()));
@@ -274,6 +366,25 @@ std::string InfoResponseJson(uint64_t id, const std::string& info_json) {
   JsonWriter w;
   BeginResponse(w, id, "ok");
   w.Key("info").RawValue(info_json);
+  w.EndObject();
+  return w.str();
+}
+
+std::string MutateResponseJson(uint64_t id,
+                               const SnapshotStore::ApplyInfo& info) {
+  JsonWriter w;
+  BeginResponse(w, id, "ok");
+  w.Key("mutate").BeginObject();
+  w.KV("epoch", info.epoch)
+      .KV("edges_added", info.edges_added)
+      .KV("edges_removed", info.edges_removed)
+      .KV("keywords_added", info.keywords_added)
+      .KV("noop_deltas", info.noop_deltas)
+      .KV("affected_vertices", info.affected_vertices)
+      .KV("checker_rebuilds", info.checker_rebuilds)
+      .KV("publish_ms", info.publish_ms)
+      .KV("retired_live", info.retired_live);
+  w.EndObject();
   w.EndObject();
   return w.str();
 }

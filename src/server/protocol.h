@@ -13,12 +13,17 @@
 //   {"op":"ping"[,"id":7]}
 //   {"op":"query","keywords":["db","graphs"],"p":3,"k":2,"n":5,
 //    "algo":"vkc-deg","deadline_ms":50,"authors":[12,99],"id":7}
+//   {"op":"mutate","add_edges":[[1,2]],"remove_edges":[[3,4]],
+//    "add_keywords":[[5,"db"]],"id":7}  — writer path: applies the batch,
+//    publishes a new epoch (docs/concurrency.md); the response reports
+//    the published epoch and rebuild counts
 //   {"op":"metrics"}         — introspection: registry snapshot
 //   {"op":"info"}            — introspection: dataset + server config
 //
 // Response statuses: "ok", "rejected" (admission control; carries
 // retry_after_ms), "timeout" (deadline expired before execution),
-// "error" (malformed request or engine validation failure).
+// "error" (malformed request, engine validation failure, or rejected
+// mutation batch).
 
 #ifndef KTG_SERVER_PROTOCOL_H_
 #define KTG_SERVER_PROTOCOL_H_
@@ -29,13 +34,14 @@
 
 #include "core/options.h"
 #include "core/query.h"
+#include "core/snapshot.h"
 #include "keywords/attributed_graph.h"
 #include "util/status.h"
 
 namespace ktg::server {
 
 /// What a request asks the server to do.
-enum class RequestOp : uint8_t { kPing, kQuery, kMetrics, kInfo };
+enum class RequestOp : uint8_t { kPing, kQuery, kMutate, kMetrics, kInfo };
 
 /// One parsed request line. Keyword terms are carried as strings and
 /// resolved against the serving graph's vocabulary at execution time
@@ -56,6 +62,9 @@ struct Request {
   /// default (which may itself be "no deadline").
   double deadline_ms = 0.0;
   SortStrategy sort = SortStrategy::kVkcDeg;
+
+  // --- kMutate payload -----------------------------------------------------
+  MutationBatch mutation;
 };
 
 /// Parses one request line. InvalidArgument on malformed JSON, unknown op,
@@ -69,6 +78,8 @@ std::string QueryRequestJson(uint64_t id, const AttributedGraph& graph,
                              double deadline_ms);
 std::string PingRequestJson(uint64_t id);
 std::string MetricsRequestJson(uint64_t id);
+/// Serializes a mutate request (loadgen's mixed driver uses this).
+std::string MutateRequestJson(uint64_t id, const MutationBatch& batch);
 
 /// Per-request serving telemetry echoed in query responses.
 struct ServingInfo {
@@ -76,6 +87,9 @@ struct ServingInfo {
   double exec_ms = 0.0;     ///< engine wall-clock inside the worker
   bool complete = true;     ///< false when the deadline truncated the search
   bool coalesced = false;   ///< answered by an identical in-flight request
+  /// Epoch of the snapshot this response was computed against. A
+  /// differential checker replays the query against exactly this epoch.
+  uint64_t epoch = 0;
 };
 
 /// Response builders (one line each, no trailing newline).
@@ -91,6 +105,10 @@ std::string PongResponseJson(uint64_t id);
 std::string MetricsResponseJson(uint64_t id, const std::string& metrics_json);
 /// Embeds a pre-serialized info object under "info".
 std::string InfoResponseJson(uint64_t id, const std::string& info_json);
+/// The writer path's acknowledgement: the epoch the batch published plus
+/// what it rebuilt (SnapshotStore::ApplyInfo, serialized field-for-field).
+std::string MutateResponseJson(uint64_t id,
+                               const SnapshotStore::ApplyInfo& info);
 
 }  // namespace ktg::server
 

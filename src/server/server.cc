@@ -7,6 +7,7 @@
 
 #include "cache/caching_checker.h"
 #include "core/ktg_engine.h"
+#include "index/bfs_checker.h"
 #include "util/json_writer.h"
 #include "util/macros.h"
 #include "util/thread_pool.h"
@@ -36,9 +37,7 @@ bool SharesKeyword(const QueryKey& a, const QueryKey& b) {
 }  // namespace
 
 KtgServer::KtgServer(AttributedGraph graph, ServerOptions options)
-    : options_(std::move(options)),
-      graph_(std::move(graph)),
-      index_(graph_) {}
+    : options_(std::move(options)), boot_graph_(std::move(graph)) {}
 
 KtgServer::~KtgServer() { Stop(); }
 
@@ -48,19 +47,15 @@ Status KtgServer::Start() {
   if (options_.cache_mb > 0) {
     cache_ = std::make_unique<KtgCache>(CacheOptionsForMb(options_.cache_mb));
   }
-  // Checkers are built serially: construction may itself be parallel
-  // (build_threads), and each worker needs a private instance because a
-  // cache-wrapped checker is stateful.
-  checkers_.reserve(workers_);
-  for (uint32_t i = 0; i < workers_; ++i) {
-    auto checker = MakeChecker(options_.checker, graph_.graph(),
-                               options_.bitmap_k, options_.build_threads);
-    if (checker == nullptr) {
-      return Status::Internal("checker construction failed");
-    }
-    checkers_.push_back(
-        MaybeWrapWithCache(std::move(checker), graph_.graph(), cache_.get()));
-  }
+  // The epoch-0 snapshot: inverted index plus one shared read-safe checker
+  // every worker pins (per-run stateful wrappers are built in ExecuteOne).
+  SnapshotStore::Options sopts;
+  sopts.checker = options_.checker;
+  sopts.bitmap_k = options_.bitmap_k;
+  sopts.build_threads = options_.build_threads;
+  sopts.cache = cache_.get();
+  sopts.metrics = &metrics_;
+  store_ = std::make_unique<SnapshotStore>(std::move(boot_graph_), sopts);
   {
     std::lock_guard<std::mutex> lock(mu_);
     started_ = true;
@@ -69,7 +64,7 @@ Status KtgServer::Start() {
   // inline by contract, which can never host a resident worker loop.
   threads_.reserve(workers_);
   for (uint32_t i = 0; i < workers_; ++i) {
-    threads_.emplace_back([this, i] { WorkerLoop(*checkers_[i]); });
+    threads_.emplace_back([this] { WorkerLoop(); });
   }
   return Status::OK();
 }
@@ -109,19 +104,51 @@ void KtgServer::HandleLine(const std::string& line, ResponseCallback cb) {
     case RequestOp::kInfo:
       cb(InfoResponseJson(req->id, InfoJson()));
       return;
+    case RequestOp::kMutate: {
+      // Writer path, run inline on the transport thread: the snapshot
+      // store serializes concurrent writers, readers never block on it.
+      auto applied = Apply(req->mutation);
+      if (!applied.ok()) {
+        metrics_.counter("server.errors").Add();
+        cb(ErrorResponseJson(req->id, applied.status().message()));
+      } else {
+        cb(MutateResponseJson(req->id, applied.value()));
+      }
+      return;
+    }
     case RequestOp::kQuery:
       break;
   }
-  KtgQuery query = MakeQuery(graph_, req->keywords, req->group_size,
+  // Terms are resolved against the current epoch's vocabulary; the
+  // vocabulary is append-only, so the resulting keyword ids stay valid at
+  // whichever (possibly later) epoch the run pins.
+  const SnapshotPin snap = store_->Pin();
+  KtgQuery query = MakeQuery(snap->graph(), req->keywords, req->group_size,
                              req->tenuity, req->top_n);
   query.query_vertices = std::move(req->authors);
   SubmitQuery(req->id, std::move(query), req->sort, req->deadline_ms,
               std::move(cb));
 }
 
+Result<SnapshotStore::ApplyInfo> KtgServer::Apply(const MutationBatch& batch) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!started_ || stopping_) {
+      return Status::FailedPrecondition("server is not accepting requests");
+    }
+  }
+  auto info = store_->Apply(batch);
+  if (info.ok()) {
+    metrics_.counter("server.mutations").Add();
+    metrics_.counter("server.mutation_deltas")
+        .Add(info->edges_added + info->edges_removed + info->keywords_added);
+  }
+  return info;
+}
+
 void KtgServer::SubmitQuery(uint64_t id, KtgQuery query, SortStrategy sort,
                             double deadline_ms, ResponseCallback cb) {
-  if (Status st = ValidateQuery(query, graph_); !st.ok()) {
+  if (Status st = ValidateQuery(query, store_->Pin()->graph()); !st.ok()) {
     metrics_.counter("server.errors").Add();
     cb(ErrorResponseJson(id, st.message()));
     return;
@@ -222,24 +249,23 @@ bool KtgServer::ClaimBatch(Pending* leader, std::vector<Pending>* coalesced,
   return true;
 }
 
-void KtgServer::WorkerLoop(DistanceChecker& checker) {
+void KtgServer::WorkerLoop() {
   for (;;) {
     Pending leader;
     std::vector<Pending> coalesced;
     std::vector<Pending> affinity;
     if (!ClaimBatch(&leader, &coalesced, &affinity)) return;
-    ExecuteOne(checker, std::move(leader), std::move(coalesced));
+    ExecuteOne(std::move(leader), std::move(coalesced));
     // Affinity followers run back-to-back on this worker so the cache
     // entries the leader warmed (balls around shared-keyword candidates,
     // possibly the result tier) are reused while hot.
     for (Pending& p : affinity) {
-      ExecuteOne(checker, std::move(p), {});
+      ExecuteOne(std::move(p), {});
     }
   }
 }
 
-void KtgServer::ExecuteOne(DistanceChecker& checker, Pending leader,
-                           std::vector<Pending> coalesced) {
+void KtgServer::ExecuteOne(Pending leader, std::vector<Pending> coalesced) {
   struct Live {
     Pending* p;
     double queue_ms;
@@ -267,6 +293,11 @@ void KtgServer::ExecuteOne(DistanceChecker& checker, Pending leader,
   for (Pending& p : coalesced) admit(p);
   if (live.empty()) return;
 
+  // Pin once for the whole run: graph, index, checker and every cache
+  // access come from this epoch, and all coalesced responses carry it. The
+  // pin keeps the snapshot alive even if a writer publishes mid-run.
+  const SnapshotPin snap = store_->Pin();
+
   EngineOptions eopts = options_.engine;
   eopts.sort = leader.sort;
   // One worker = one serial engine: responses stay bit-identical to a
@@ -276,12 +307,30 @@ void KtgServer::ExecuteOne(DistanceChecker& checker, Pending leader,
   eopts.metrics = &metrics_;
   eopts.trace = nullptr;
   eopts.cache = cache_.get();
+  eopts.snapshot_epoch = snap->epoch();
   // Coalesced requests share one run, so the run gets the most permissive
   // deadline among them (docs/server.md: a duplicate can only improve, not
   // tighten, another request's budget).
   eopts.time_budget_ms = unlimited ? 0.0 : budget;
 
-  KtgEngine engine(graph_, index_, checker, eopts);
+  // The snapshot's checker is shared and read-safe; the per-run state —
+  // BFS scratch for kBfs, the stateful cache wrapper — is built here,
+  // against the pinned graph and tagged with the pinned epoch.
+  std::unique_ptr<BfsChecker> bfs_checker;
+  DistanceChecker* base = snap->checker();
+  if (base == nullptr) {
+    bfs_checker = std::make_unique<BfsChecker>(snap->graph().graph());
+    base = bfs_checker.get();
+  }
+  std::unique_ptr<CachingChecker> wrapped;
+  DistanceChecker* checker = base;
+  if (cache_ != nullptr) {
+    wrapped = std::make_unique<CachingChecker>(base, snap->graph().graph(),
+                                               cache_.get(), snap->epoch());
+    checker = wrapped.get();
+  }
+
+  KtgEngine engine(snap->graph(), snap->index(), *checker, eopts);
   Stopwatch exec;
   const auto result = engine.Run(leader.query);
   const double exec_ms = exec.ElapsedMillis();
@@ -309,18 +358,23 @@ void KtgServer::ExecuteOne(DistanceChecker& checker, Pending leader,
     serving.exec_ms = exec_ms;
     serving.complete = complete;
     serving.coalesced = l.p != &leader;
-    l.p->cb(QueryResponseJson(l.p->id, graph_, l.p->query, *result, serving));
+    serving.epoch = snap->epoch();
+    l.p->cb(QueryResponseJson(l.p->id, snap->graph(), l.p->query, *result,
+                              serving));
     RecordLatency(l.queue_ms + exec_ms);
   }
 }
 
 std::string KtgServer::InfoJson() const {
+  const SnapshotPin snap = store_->Pin();
   JsonWriter w;
   w.BeginObject();
   w.Key("dataset").BeginObject();
-  w.KV("vertices", static_cast<uint64_t>(graph_.graph().num_vertices()))
-      .KV("edges", graph_.graph().num_edges())
-      .KV("vocabulary", static_cast<uint64_t>(graph_.vocabulary().size()));
+  w.KV("vertices", static_cast<uint64_t>(snap->graph().num_vertices()))
+      .KV("edges", snap->graph().num_edges())
+      .KV("vocabulary",
+          static_cast<uint64_t>(snap->graph().vocabulary().size()))
+      .KV("epoch", snap->epoch());
   w.EndObject();
   w.Key("serving").BeginObject();
   w.KV("workers", workers_)

@@ -2,10 +2,13 @@
 // The resident KTG query service behind `ktg serve` (transport-agnostic
 // half; src/server/tcp.h adds the socket front end).
 //
-// A KtgServer owns one dataset (graph + inverted index + per-worker
-// distance checkers + optional cross-query cache) and executes query
-// requests on a fixed set of worker threads fed by one bounded FIFO queue.
-// Three serving policies sit between the queue and the engine:
+// A KtgServer owns one dataset behind a SnapshotStore (core/snapshot.h):
+// every query run pins the current epoch's immutable (graph, inverted
+// index, shared read-safe checker, cache-epoch) snapshot for its whole
+// execution, and the `mutate` op is the single-writer path that publishes
+// the next epoch. Requests execute on a fixed set of worker threads fed by
+// one bounded FIFO queue. Three serving policies sit between the queue and
+// the engine:
 //
 //   * Admission control — when the queue is at max_queue, new queries are
 //     rejected immediately with a retry_after_ms hint derived from an EMA
@@ -23,8 +26,14 @@
 //
 // Engine runs use num_threads = 1: parallelism is across requests, not
 // within one, which keeps every response bit-identical to a serial
-// RunKtg() with the same options — the loadgen differential check relies
-// on that.
+// RunKtg() against the response's pinned epoch — the loadgen differential
+// check replays exactly that.
+//
+// Snapshots are pinned at *execution* time, not submission: a batch of
+// coalesced requests shares one run at one epoch, and the response's
+// serving.epoch names it. Queries parsed before a mutation may therefore
+// be answered against a later epoch — the protocol promises per-response
+// epoch consistency, not submission-order serializability.
 
 #ifndef KTG_SERVER_SERVER_H_
 #define KTG_SERVER_SERVER_H_
@@ -44,10 +53,10 @@
 #include "cache/query_key.h"
 #include "core/options.h"
 #include "core/query.h"
+#include "core/snapshot.h"
 #include "index/checker_factory.h"
 #include "index/distance_checker.h"
 #include "keywords/attributed_graph.h"
-#include "keywords/inverted_index.h"
 #include "obs/metrics.h"
 #include "server/protocol.h"
 #include "util/status.h"
@@ -110,9 +119,9 @@ class KtgServer {
   KtgServer(const KtgServer&) = delete;
   KtgServer& operator=(const KtgServer&) = delete;
 
-  /// Builds the inverted index, cache, and one checker per worker, then
-  /// spawns the worker threads. Must be called exactly once before any
-  /// submit.
+  /// Builds the cache and the epoch-0 snapshot (index + shared checker),
+  /// then spawns the worker threads. Must be called exactly once before
+  /// any submit.
   Status Start();
 
   /// Drains the queue (every queued request is still answered), then joins
@@ -121,7 +130,9 @@ class KtgServer {
   void Stop();
 
   /// Parses one protocol line and dispatches it: ping/metrics/info are
-  /// answered inline; query goes through admission onto the queue.
+  /// answered inline; mutate runs the writer path inline on the submitting
+  /// thread (the snapshot store serializes writers); query goes through
+  /// admission onto the queue.
   void HandleLine(const std::string& line, ResponseCallback cb);
 
   /// Typed submission path for in-process callers (benches, tests); same
@@ -130,7 +141,15 @@ class KtgServer {
   void SubmitQuery(uint64_t id, KtgQuery query, SortStrategy sort,
                    double deadline_ms, ResponseCallback cb);
 
-  const AttributedGraph& graph() const { return graph_; }
+  /// Typed writer path: applies `batch`, publishes the next epoch (in-
+  /// process equivalent of the wire `mutate` op). Must not be called
+  /// before Start().
+  Result<SnapshotStore::ApplyInfo> Apply(const MutationBatch& batch);
+
+  /// Pins the current snapshot (readers' entry point; tests and benches
+  /// use it to run reference queries against a known epoch).
+  SnapshotPin Pin() const { return store_->Pin(); }
+
   const ServerOptions& options() const { return options_; }
   obs::MetricsRegistry& metrics() { return metrics_; }
 
@@ -151,24 +170,25 @@ class KtgServer {
     ResponseCallback cb;
   };
 
-  void WorkerLoop(DistanceChecker& checker);
+  void WorkerLoop();
   // Claims a batch under the lock: leader + identical-key `coalesced` +
   // keyword-affine `affinity`. Returns false when stopping and empty.
   bool ClaimBatch(Pending* leader, std::vector<Pending>* coalesced,
                   std::vector<Pending>* affinity);
-  // One engine run answering `leader` and every coalesced duplicate.
-  void ExecuteOne(DistanceChecker& checker, Pending leader,
-                  std::vector<Pending> coalesced);
+  // One engine run answering `leader` and every coalesced duplicate. Pins
+  // the current snapshot for the whole run.
+  void ExecuteOne(Pending leader, std::vector<Pending> coalesced);
   // retry_after hint for a queue currently `depth` deep.
   double RetryAfterMs(size_t depth) const;
   void RecordLatency(double request_ms);
 
   const ServerOptions options_;
-  const AttributedGraph graph_;
-  const InvertedIndex index_;
+  // The dataset handed to the constructor; consumed by Start() when it
+  // builds the epoch-0 snapshot.
+  AttributedGraph boot_graph_;
   obs::MetricsRegistry metrics_;
   std::unique_ptr<KtgCache> cache_;
-  std::vector<std::unique_ptr<DistanceChecker>> checkers_;
+  std::unique_ptr<SnapshotStore> store_;
   std::vector<std::thread> threads_;
   uint32_t workers_ = 1;
 

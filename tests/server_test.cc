@@ -15,6 +15,8 @@
 #include <gtest/gtest.h>
 
 #include "core/ktg_engine.h"
+#include "core/snapshot.h"
+#include "datagen/mutation_gen.h"
 #include "datagen/presets.h"
 #include "datagen/query_gen.h"
 #include "index/checker_factory.h"
@@ -104,6 +106,42 @@ TEST(ProtocolTest, RejectsMalformedRequests) {
       ParseRequestLine(R"({"op":"query","keywords":[1,2]})").ok());
 }
 
+TEST(ProtocolTest, ParsesMutateRequest) {
+  const auto req = ParseRequestLine(
+      R"({"op":"mutate","id":9,"add_edges":[[1,2]],"remove_edges":[[3,4]],)"
+      R"("add_keywords":[[5,"db"]]})");
+  ASSERT_TRUE(req.ok()) << req.status().ToString();
+  EXPECT_EQ(req->op, RequestOp::kMutate);
+  EXPECT_EQ(req->mutation.add_edges,
+            (std::vector<std::pair<VertexId, VertexId>>{{1, 2}}));
+  EXPECT_EQ(req->mutation.remove_edges,
+            (std::vector<std::pair<VertexId, VertexId>>{{3, 4}}));
+  ASSERT_EQ(req->mutation.add_keywords.size(), 1u);
+  EXPECT_EQ(req->mutation.add_keywords[0].first, 5u);
+  EXPECT_EQ(req->mutation.add_keywords[0].second, "db");
+
+  // A mutate with no deltas is a protocol error, as are malformed entries.
+  EXPECT_FALSE(ParseRequestLine(R"({"op":"mutate","id":1})").ok());
+  EXPECT_FALSE(
+      ParseRequestLine(R"({"op":"mutate","add_edges":[[1]]})").ok());
+  EXPECT_FALSE(
+      ParseRequestLine(R"({"op":"mutate","add_keywords":[[5,""]]})").ok());
+}
+
+TEST(ProtocolTest, MutateRequestRoundTripsThroughParse) {
+  MutationBatch batch;
+  batch.add_edges = {{1, 2}, {7, 9}};
+  batch.remove_edges = {{3, 4}};
+  batch.add_keywords = {{5, "db"}, {6, "graphs"}};
+  const auto req = ParseRequestLine(MutateRequestJson(11, batch));
+  ASSERT_TRUE(req.ok()) << req.status().ToString();
+  EXPECT_EQ(req->id, 11u);
+  EXPECT_EQ(req->op, RequestOp::kMutate);
+  EXPECT_EQ(req->mutation.add_edges, batch.add_edges);
+  EXPECT_EQ(req->mutation.remove_edges, batch.remove_edges);
+  EXPECT_EQ(req->mutation.add_keywords, batch.add_keywords);
+}
+
 TEST(ProtocolTest, QueryRequestRoundTripsThroughParse) {
   const AttributedGraph graph = TestGraph();
   const auto queries = TestWorkload(graph, 1);
@@ -188,6 +226,54 @@ TEST(KtgServerTest, QueryResponsesMatchDirectEngineRuns) {
       }
     }
   }
+  server.Stop();
+}
+
+TEST(KtgServerTest, MutateAdvancesEpochAndQueriesPinIt) {
+  AttributedGraph graph = TestGraph();
+  const auto queries = TestWorkload(graph, 2);
+  ASSERT_FALSE(queries.empty());
+  const auto edges = graph.graph().EdgeList();
+  ASSERT_FALSE(edges.empty());
+
+  KtgServer server(graph, {});
+  ASSERT_TRUE(server.Start().ok());
+
+  // Before any mutation, responses name epoch 0.
+  auto d0 = ParseJson(Call(server, QueryRequestJson(1, graph, queries[0],
+                                                    SortStrategy::kVkcDeg, 0)));
+  ASSERT_TRUE(d0.ok());
+  EXPECT_EQ(d0->Find("serving")->GetInt("epoch", -1).value(), 0);
+
+  // Remove an existing edge through the wire op.
+  MutationBatch batch;
+  batch.remove_edges = {edges.front()};
+  auto md = ParseJson(Call(server, MutateRequestJson(2, batch)));
+  ASSERT_TRUE(md.ok());
+  EXPECT_EQ(md->Find("status")->AsString(), "ok");
+  const JsonValue* info = md->Find("mutate");
+  ASSERT_NE(info, nullptr);
+  EXPECT_EQ(info->GetInt("epoch", -1).value(), 1);
+  EXPECT_EQ(info->GetInt("edges_removed", -1).value(), 1);
+
+  // The published snapshot reflects the change and later queries pin it.
+  const SnapshotPin pin = server.Pin();
+  EXPECT_EQ(pin->epoch(), 1u);
+  EXPECT_FALSE(
+      pin->graph().graph().HasEdge(edges.front().first, edges.front().second));
+  auto d1 = ParseJson(Call(server, QueryRequestJson(3, graph, queries[0],
+                                                    SortStrategy::kVkcDeg, 0)));
+  ASSERT_TRUE(d1.ok());
+  EXPECT_EQ(d1->Find("serving")->GetInt("epoch", -1).value(), 1);
+  EXPECT_EQ(server.metrics().CounterValue("server.mutations"), 1u);
+
+  // Invalid batches are rejected atomically with an error response.
+  MutationBatch bad;
+  bad.add_edges = {{0, 0}};  // self-loop
+  auto bd = ParseJson(Call(server, MutateRequestJson(4, bad)));
+  ASSERT_TRUE(bd.ok());
+  EXPECT_EQ(bd->Find("status")->AsString(), "error");
+  EXPECT_EQ(server.Pin()->epoch(), 1u);
   server.Stop();
 }
 
@@ -373,13 +459,14 @@ TEST(TcpEndToEndTest, LoadgenClosedLoopDifferentialIsClean) {
   lopts.connections = 3;
   lopts.duration_s = 0;
   lopts.max_queries = 200;
-  lopts.reference = [&](size_t i) -> const KtgResult* {
+  lopts.reference = [&](size_t qi, uint64_t epoch) -> const KtgResult* {
+    EXPECT_EQ(epoch, 0u);  // read-only run: every response pins epoch 0
     std::lock_guard<std::mutex> lock(mu);
-    auto it = memo.find(i);
+    auto it = memo.find(qi);
     if (it == memo.end()) {
-      auto r = RunKtg(graph, index, *checker, queries[i % queries.size()], {});
+      auto r = RunKtg(graph, index, *checker, queries[qi], {});
       if (!r.ok()) return nullptr;
-      it = memo.emplace(i, std::move(*r)).first;
+      it = memo.emplace(qi, std::move(*r)).first;
     }
     return &it->second;
   };
@@ -398,6 +485,82 @@ TEST(TcpEndToEndTest, LoadgenClosedLoopDifferentialIsClean) {
   auto doc = ParseJson(report->ToJson());
   ASSERT_TRUE(doc.ok());
   EXPECT_EQ(doc->Find("schema")->AsString(), "ktg.loadgen.v1");
+
+  tcp.Shutdown();
+  server.Stop();
+}
+
+// Mixed read/write run over TCP: ~20% of slots are mutate requests; every
+// complete query response must be bit-identical to a direct engine run
+// against the epoch that response pinned (oracle replays the server's
+// applied-order history through its own SnapshotStore).
+TEST(TcpEndToEndTest, MixedLoadgenDifferentialIsCleanAcrossEpochs) {
+  AttributedGraph graph = TestGraph();
+  const auto queries = TestWorkload(graph, 8);
+  ASSERT_FALSE(queries.empty());
+
+  ServerOptions sopts;
+  sopts.workers = 2;
+  sopts.cache_mb = 8;
+  KtgServer server(graph, sopts);
+  ASSERT_TRUE(server.Start().ok());
+  TcpServer tcp(server);
+  ASSERT_TRUE(tcp.Listen(0).ok());
+  tcp.Start();
+
+  LoadgenOptions lopts;
+  lopts.connections = 3;
+  lopts.duration_s = 0;
+  lopts.max_queries = 150;
+  lopts.write_ratio = 0.2;
+  lopts.seed = 5;
+  MutationWorkloadOptions mopts;
+  mopts.num_batches = 16;
+  mopts.edges_per_batch = 2;
+  mopts.keywords_per_batch = 1;
+  Rng mrng(23);
+  lopts.mutations = GenerateMutationWorkload(graph, mopts, mrng);
+  ASSERT_FALSE(lopts.mutations.empty());
+
+  SnapshotStore oracle(AttributedGraph(graph), {});
+  std::mutex mu;
+  std::map<uint64_t, size_t> epoch_batches;
+  std::map<uint64_t, SnapshotPin> pins;
+  pins[0] = oracle.Pin();
+  std::map<std::pair<size_t, uint64_t>, KtgResult> memo;
+  lopts.on_mutation_applied = [&](uint64_t epoch, size_t mi) {
+    std::lock_guard<std::mutex> lock(mu);
+    epoch_batches[epoch] = mi;
+  };
+  lopts.reference = [&](size_t qi, uint64_t epoch) -> const KtgResult* {
+    std::lock_guard<std::mutex> lock(mu);
+    if (const auto it = memo.find({qi, epoch}); it != memo.end()) {
+      return &it->second;
+    }
+    while (oracle.epoch() < epoch) {
+      const auto bi = epoch_batches.find(oracle.epoch() + 1);
+      if (bi == epoch_batches.end()) return nullptr;
+      if (!oracle.Apply(lopts.mutations[bi->second]).ok()) return nullptr;
+      pins[oracle.epoch()] = oracle.Pin();
+    }
+    const auto pin = pins.find(epoch);
+    if (pin == pins.end()) return nullptr;
+    auto r = RunKtg(pin->second->graph(), pin->second->index(),
+                    *pin->second->checker(), queries[qi], {});
+    if (!r.ok()) return nullptr;
+    return &memo.emplace(std::make_pair(qi, epoch), std::move(*r))
+                .first->second;
+  };
+
+  const auto report =
+      RunLoadgen("127.0.0.1", tcp.port(), graph, queries, lopts);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_EQ(report->errors, 0u);
+  EXPECT_GT(report->mutations_applied, 0u);
+  EXPECT_EQ(report->mutations_failed, 0u);
+  EXPECT_EQ(report->mutations_applied, report->final_epoch);
+  EXPECT_GT(report->checked, 0u);
+  EXPECT_EQ(report->mismatches, 0u);
 
   tcp.Shutdown();
   server.Stop();
