@@ -1,0 +1,92 @@
+#!/usr/bin/env python3
+"""Heuristic-quality gate for the CI quality-gate job.
+
+Consumes a ktg.quality.v1 report produced by tools/quality_eval (exact
+branch-and-bound optimum vs. metaheuristic-portfolio result on seeded
+small instances) and enforces the thresholds in ci/quality_baseline.json:
+
+  * any unsound row                 — hard failure, never ratcheted.
+    A row is unsound when the reported upper bound is below the true
+    optimum or the reported gap is not upper_bound - portfolio_best;
+    an unsound gap would let the anytime layer "prove" optimality of a
+    wrong answer.
+  * max_missed_optimum              — how many instances the portfolio
+    may end below the exact optimum (certification says 0).
+  * max_mean_gap                    — ratchet on the mean reported gap
+    (bound slack). Update the baseline when the bounds tighten; never
+    loosen it to make a build pass.
+
+quality_eval runs on a pure iteration budget (no wall clock), so the
+report is deterministic and this gate cannot flake under CI load.
+
+Usage:
+  python3 ci/check_quality.py --report quality.json
+  python3 ci/check_quality.py --report quality.json --update-baseline
+"""
+
+import argparse
+import json
+import sys
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("--report", required=True,
+                    help="ktg.quality.v1 JSON from tools/quality_eval")
+    ap.add_argument("--baseline", default="ci/quality_baseline.json")
+    ap.add_argument("--update-baseline", action="store_true")
+    args = ap.parse_args()
+
+    with open(args.report) as fh:
+        report = json.load(fh)
+    if report.get("schema") != "ktg.quality.v1":
+        sys.exit(f"error: {args.report} is not a ktg.quality.v1 document")
+    summary = report["summary"]
+    instances = summary["instances"]
+    if instances <= 0:
+        sys.exit("error: report contains no instances")
+
+    unsound_rows = [r for r in report["instances"] if not r["sound"]]
+    missed = summary["missed_optimum"]
+    mean_gap = summary["mean_gap"]
+
+    print(f"instances        {instances}")
+    print(f"unsound          {len(unsound_rows)}")
+    print(f"missed optimum   {missed}")
+    print(f"mean gap         {mean_gap:.4f}")
+
+    if args.update_baseline:
+        with open(args.baseline, "w") as fh:
+            json.dump({
+                "max_missed_optimum": 0,
+                # Ratchet: small slack over the measured mean so seed-set
+                # growth doesn't flake, but bound/heuristic regressions trip.
+                "max_mean_gap": round(mean_gap + 0.1, 4),
+            }, fh, indent=2)
+            fh.write("\n")
+        print(f"baseline written to {args.baseline}")
+        return
+
+    with open(args.baseline) as fh:
+        baseline = json.load(fh)
+    failures = []
+    for r in unsound_rows:
+        failures.append(
+            f"unsound gap on round={r['round']} query={r['query']}: "
+            f"upper_bound={r['upper_bound']} gap={r['gap']} "
+            f"portfolio_best={r['portfolio_best']} exact_best={r['exact_best']}")
+    if missed > baseline["max_missed_optimum"]:
+        failures.append(f"portfolio missed the exact optimum on {missed} "
+                        f"instances (> {baseline['max_missed_optimum']})")
+    if mean_gap > baseline["max_mean_gap"]:
+        failures.append(f"mean reported gap {mean_gap:.4f} > "
+                        f"{baseline['max_mean_gap']} baseline")
+    if failures:
+        for msg in failures:
+            print(f"FAIL: {msg}", file=sys.stderr)
+        sys.exit(1)
+    print("quality gate passed")
+
+
+if __name__ == "__main__":
+    main()

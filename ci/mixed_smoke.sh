@@ -10,7 +10,8 @@
 #      response is differentially verified against a direct engine run at
 #      the epoch the response pinned,
 #   3. assert the report shows applied mutations, an advanced epoch, zero
-#      errors and zero mismatches,
+#      errors and zero mismatches, and validate it structurally with
+#      tools/schema_validate,
 #   4. SIGTERM the server and assert a clean drain: exit code 0 and a
 #      schema-valid ktg.metrics.v1 sidecar carrying snapshot.* metrics.
 #
@@ -20,6 +21,8 @@ set -euo pipefail
 
 KTG="${1:-build/tools/ktg}"
 test -x "$KTG" || { echo "mixed_smoke: no binary at $KTG" >&2; exit 1; }
+VALIDATE="$(dirname "$KTG")/schema_validate"
+test -x "$VALIDATE" || { echo "mixed_smoke: no schema_validate next to $KTG" >&2; exit 1; }
 
 WORK="$(mktemp -d)"
 trap 'kill "${SERVER_PID:-}" 2>/dev/null || true; rm -rf "$WORK"' EXIT
@@ -60,6 +63,9 @@ print(f"loadgen: {doc['completed']} completed, "
       f"{doc['mutations_applied']} mutations, epoch {doc['final_epoch']}")
 EOF
 
+tail -n 1 "$REPORT" > "$WORK/loadgen.report.json"
+"$VALIDATE" "$WORK/loadgen.report.json"
+
 # Clean shutdown: drain, flush the metrics sidecar, exit 0.
 kill -TERM "$SERVER_PID"
 STATUS=0
@@ -79,5 +85,14 @@ assert doc["histograms"].get("snapshot.publish_ms", {}).get("count", 0) > 0
 print(f"sidecar: server.mutations={c['server.mutations']:.0f}, "
       f"snapshot.epoch={doc['gauges']['snapshot.epoch']:.0f}")
 EOF
+
+"$VALIDATE" "$METRICS"
+
+# Keep the sidecars around for artifact upload when CI asks for it.
+if [ -n "${SMOKE_ARTIFACT_DIR:-}" ]; then
+  mkdir -p "$SMOKE_ARTIFACT_DIR"
+  cp "$METRICS" "$SMOKE_ARTIFACT_DIR/ktgd.metrics.json"
+  cp "$WORK/loadgen.report.json" "$SMOKE_ARTIFACT_DIR/loadgen.report.json"
+fi
 
 echo "mixed smoke OK"

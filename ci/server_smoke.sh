@@ -4,8 +4,12 @@
 #   1. start `ktg serve` on an ephemeral port (--port 0 --port-file),
 #   2. drive it with `ktg loadgen --check` for a few seconds — the
 #      differential check makes any wrong response a hard failure,
-#   3. assert the loadgen report shows completed work and no errors,
-#   4. SIGTERM the server and assert a clean drain: exit code 0 and a
+#   3. drive a short `--mode portfolio` leg: every response is served by
+#      the heuristic portfolio (complete=false + gap on the wire),
+#   4. assert the loadgen reports show completed work and no errors,
+#      and validate report + metrics sidecar structurally with
+#      tools/schema_validate (the shared obs/schema_check validators),
+#   5. SIGTERM the server and assert a clean drain: exit code 0 and a
 #      schema-valid ktg.metrics.v1 sidecar.
 #
 # Usage: ci/server_smoke.sh [path-to-ktg-binary]   (default: build/tools/ktg)
@@ -14,6 +18,8 @@ set -euo pipefail
 
 KTG="${1:-build/tools/ktg}"
 test -x "$KTG" || { echo "server_smoke: no binary at $KTG" >&2; exit 1; }
+VALIDATE="$(dirname "$KTG")/schema_validate"
+test -x "$VALIDATE" || { echo "server_smoke: no schema_validate next to $KTG" >&2; exit 1; }
 
 WORK="$(mktemp -d)"
 trap 'kill "${SERVER_PID:-}" 2>/dev/null || true; rm -rf "$WORK"' EXIT
@@ -50,6 +56,29 @@ assert doc["mismatches"] == 0, doc
 print(f"loadgen: {doc['completed']} completed, {doc['qps']:.0f} qps")
 EOF
 
+tail -n 1 "$REPORT" > "$WORK/loadgen.report.json"
+"$VALIDATE" "$WORK/loadgen.report.json"
+
+# Portfolio leg: per-request "mode":"portfolio" rides the same wire; the
+# responses are heuristic best-so-far (complete=false + gap), which the
+# loadgen oracle skips — errors/mismatches must still be zero.
+PORTFOLIO_REPORT="$WORK/loadgen.portfolio.json"
+"$KTG" loadgen --preset gowalla --scale 0.05 --port-file "$PORT_FILE" \
+  --duration 3 --connections 2 --mode portfolio --check | tee "$PORTFOLIO_REPORT"
+
+python3 - "$PORTFOLIO_REPORT" <<'EOF'
+import json, sys
+doc = json.loads(open(sys.argv[1]).read().splitlines()[-1])
+assert doc["schema"] == "ktg.loadgen.v1", doc.get("schema")
+assert doc["completed"] > 0, doc
+assert doc["errors"] == 0, doc
+assert doc["mismatches"] == 0, doc
+print(f"portfolio loadgen: {doc['completed']} completed")
+EOF
+
+tail -n 1 "$PORTFOLIO_REPORT" > "$WORK/loadgen.portfolio.report.json"
+"$VALIDATE" "$WORK/loadgen.portfolio.report.json"
+
 # Clean shutdown: drain, flush the metrics sidecar, exit 0.
 kill -TERM "$SERVER_PID"
 STATUS=0
@@ -63,5 +92,16 @@ assert doc["schema"] == "ktg.metrics.v1", doc.get("schema")
 assert doc["counters"].get("server.completed", 0) > 0, doc["counters"]
 print(f"sidecar: server.completed={doc['counters']['server.completed']:.0f}")
 EOF
+
+"$VALIDATE" "$METRICS"
+
+# Keep the sidecars around for artifact upload when CI asks for it.
+if [ -n "${SMOKE_ARTIFACT_DIR:-}" ]; then
+  mkdir -p "$SMOKE_ARTIFACT_DIR"
+  cp "$METRICS" "$SMOKE_ARTIFACT_DIR/ktgd.metrics.json"
+  cp "$WORK/loadgen.report.json" "$SMOKE_ARTIFACT_DIR/loadgen.report.json"
+  cp "$WORK/loadgen.portfolio.report.json" \
+     "$SMOKE_ARTIFACT_DIR/loadgen.portfolio.report.json"
+fi
 
 echo "server smoke OK"

@@ -24,6 +24,7 @@
 #include "datagen/query_gen.h"
 #include "graph/graph_io.h"
 #include "graph/stats.h"
+#include "heur/portfolio.h"
 #include "index/bfs_checker.h"
 #include "index/checker_factory.h"
 #include "index/serialization.h"
@@ -185,7 +186,9 @@ void PrintGroupsJson(const AttributedGraph& graph, const KtgQuery& query,
       .KV("groups_completed", result.stats.groups_completed)
       .KV("keyword_prunes", result.stats.keyword_prunes)
       .KV("kline_filtered", result.stats.kline_filtered)
-      .KV("distance_checks", result.stats.distance_checks);
+      .KV("distance_checks", result.stats.distance_checks)
+      .KV("upper_bound", static_cast<int64_t>(result.stats.upper_bound))
+      .KV("gap", static_cast<int64_t>(result.stats.gap));
   w.Key("phases").BeginObject();
   for (int i = 0; i < obs::kNumPhases; ++i) {
     const auto phase = static_cast<obs::Phase>(i);
@@ -236,6 +239,10 @@ void PrintStats(const SearchStats& stats) {
     std::printf(" %s=%.3f", obs::PhaseName(phase), stats.phases[phase]);
   }
   std::printf("\n");
+  if (stats.upper_bound >= 0) {
+    std::printf("quality: upper_bound=%d gap=%d%s\n", stats.upper_bound,
+                stats.gap, stats.gap == 0 ? " (proved optimal)" : "");
+  }
 }
 
 // Writes `content` to `path` (for --metrics-json sidecars).
@@ -429,6 +436,11 @@ Status CmdQuery(const Args& args) {
   const auto budget_ms = args.GetDouble("budget-ms", 0.0);
   if (!budget_ms.ok()) return budget_ms.status();
   options.time_budget_ms = budget_ms.value();
+  const std::string mode_name = args.GetString("mode", "exact");
+  if (!ParseEngineMode(mode_name, &options.mode)) {
+    return Status::InvalidArgument("unknown --mode: " + mode_name +
+                                   " (expected exact|anytime|portfolio)");
+  }
   options.num_threads = threads.value();
   options.metrics = metrics;
   options.trace = trace;
@@ -453,7 +465,7 @@ Status CmdQuery(const Args& args) {
     *checker = MaybeWrapWithCache(std::move(*checker), graph->graph(),
                                   cache.get());
   }
-  auto result = RunKtg(*graph, index, **checker, *query, options);
+  auto result = heur::RunKtgWithMode(*graph, index, **checker, *query, options);
   if (cache != nullptr && metrics != nullptr) cache->ExportMetrics(*metrics);
   if (!result.ok()) return result.status();
   if (args.GetBool("json")) {
@@ -675,6 +687,12 @@ Status CmdServe(const Args& args) {
   sopts.default_deadline_ms = deadline.value();
   sopts.checker = kind.value();
   sopts.build_threads = threads.value();
+  // Default execution mode for requests that carry no "mode" member.
+  const std::string mode_name = args.GetString("mode", "exact");
+  if (!ParseEngineMode(mode_name, &sopts.engine.mode)) {
+    return Status::InvalidArgument("unknown --mode: " + mode_name +
+                                   " (expected exact|anytime|portfolio)");
+  }
 
   std::fprintf(stderr, "ktgd: building %s checker(s) over %u vertices...\n",
                CheckerKindName(sopts.checker), graph->num_vertices());
@@ -781,6 +799,11 @@ Status CmdLoadgen(const Args& args) {
   lopts.deadline_ms = deadline.value();
   lopts.retry_rejected = args.GetBool("retry", true);
   lopts.seed = static_cast<uint64_t>(seed.value());
+  const std::string mode_name = args.GetString("mode", "exact");
+  if (!ParseEngineMode(mode_name, &lopts.mode)) {
+    return Status::InvalidArgument("unknown --mode: " + mode_name +
+                                   " (expected exact|anytime|portfolio)");
+  }
 
   // --write-ratio: that fraction of request slots become `mutate` requests
   // drawn from a generated mutation workload (evolving-ledger batches, no
@@ -924,10 +947,12 @@ const std::vector<CommandSpec>& CommandRegistry() {
        "               [--index F | --checker bfs|nl|nlrnl|bitmap]\n"
        "               [--authors v1,v2] [--gamma G] [--max-nodes M] [--json]\n"
        "               [--explain] [--threads T] [--metrics-json F] [--trace]\n"
-       "               [--cache-mb M] [--budget-ms B]\n",
+       "               [--cache-mb M] [--budget-ms B]\n"
+       "               [--mode exact|anytime|portfolio]\n",
        {"edges", "attrs", "keywords", "p", "k", "n", "algo", "index",
         "checker", "authors", "gamma", "max-nodes", "json", "explain",
-        "threads", "metrics-json", "trace", "cache-mb", "budget-ms"}},
+        "threads", "metrics-json", "trace", "cache-mb", "budget-ms",
+        "mode"}},
       {"workload", &CmdWorkload,
        "  workload     latency summary over a generated workload\n"
        "               --preset NAME --scale S [--queries Q] [--p P] [--k K]\n"
@@ -942,10 +967,10 @@ const std::vector<CommandSpec>& CommandRegistry() {
        "               [--port P] [--port-file F] [--workers W] [--queue Q]\n"
        "               [--batch-max B] [--batch-window W] [--cache-mb M]\n"
        "               [--deadline-ms D] [--checker C] [--threads T]\n"
-       "               [--metrics-json F]\n",
+       "               [--metrics-json F] [--mode exact|anytime|portfolio]\n",
        {"preset", "scale", "seed", "edges", "attrs", "port", "port-file",
         "workers", "queue", "batch-max", "batch-window", "cache-mb",
-        "deadline-ms", "checker", "threads", "metrics-json"}},
+        "deadline-ms", "checker", "threads", "metrics-json", "mode"}},
       {"loadgen", &CmdLoadgen,
        "  loadgen      drive a running ktgd with a generated workload\n"
        "               [--preset NAME --scale S | --edges F --attrs F]\n"
@@ -956,12 +981,12 @@ const std::vector<CommandSpec>& CommandRegistry() {
        "               [--seed S] [--banded B] [--retry R] [--checker C]\n"
        "               [--write-ratio R] [--mutation-batches B]\n"
        "               [--mutation-edges E] [--mutation-keywords K]\n"
-       "               [--metrics-json F]\n",
+       "               [--metrics-json F] [--mode exact|anytime|portfolio]\n",
        {"preset", "scale", "seed", "edges", "attrs", "host", "port",
         "port-file", "check", "open-loop", "rate", "connections", "duration",
         "max-queries", "deadline-ms", "queries", "p", "k", "n", "wq",
         "banded", "retry", "checker", "write-ratio", "mutation-batches",
-        "mutation-edges", "mutation-keywords", "metrics-json"}},
+        "mutation-edges", "mutation-keywords", "metrics-json", "mode"}},
   };
   return *kRegistry;
 }
@@ -1000,6 +1025,12 @@ std::string UsageText() {
       "drawn from a seed derived from --seed, so batch 2+ measures warm\n"
       "reuse on fresh queries rather than replaying batch 1. See\n"
       "docs/caching.md.\n"
+      "\n"
+      "--mode picks the execution strategy (docs/heuristics.md): exact\n"
+      "(default) proves optimality; anytime seeds the search greedily and\n"
+      "honors --budget-ms / deadlines by returning best-so-far plus a\n"
+      "sound optimality gap; portfolio races greedy/GRASP/swap/tabu local\n"
+      "search for the large-p regime branch-and-bound cannot reach.\n"
       "\n"
       "serve hosts the dataset behind a line-delimited JSON TCP protocol\n"
       "with admission control, request batching and per-query deadlines;\n"

@@ -80,6 +80,9 @@ struct SearchState {
   SearchStats* stats;
   obs::QueryTrace* trace = nullptr;
   bool stop = false;
+  // Deadline clock (mirrors KtgEngine::kTimeBudgetCheckMask): polled every
+  // 64 expansions, measured from the run's entry.
+  Stopwatch run_watch;
 
   std::vector<VertexId> members;
 
@@ -115,6 +118,12 @@ struct SearchState {
     ++stats->nodes_expanded;
     if (options->max_nodes != 0 &&
         stats->nodes_expanded > options->max_nodes) {
+      stop = true;
+      return;
+    }
+    if (options->time_budget_ms > 0 &&
+        (stats->nodes_expanded & 0x3F) == 0 &&
+        run_watch.ElapsedMillis() > options->time_budget_ms) {
       stop = true;
       return;
     }
@@ -214,6 +223,54 @@ struct SearchState {
   }
 };
 
+// Anytime warm start on the materialized conflict graph: greedy
+// constructions picking the highest refreshed-VKC allowed position (ties
+// to the lowest position, i.e. the static VKC/degree/id rank), where
+// feasibility filtering is one AND-NOT per pick. Restart `skip` drops the
+// `skip` best-ranked first picks, mirroring the greedy heuristic.
+std::vector<Group> ConflictGreedySeeds(const std::vector<Candidate>& cands,
+                                       const std::vector<Bitset>& adj,
+                                       uint32_t p, uint32_t top_n) {
+  std::vector<Group> seeds;
+  const auto n = static_cast<uint32_t>(cands.size());
+  if (n < p) return seeds;
+  const uint32_t max_attempts = top_n + 8;
+  for (uint32_t skip = 0; seeds.size() < top_n && skip < max_attempts &&
+                          skip + p <= n;
+       ++skip) {
+    Bitset allowed(n);
+    allowed.SetAll();
+    // Static rank is initial-VKC descending, so the first `skip` positions
+    // are the best-ranked first picks.
+    for (uint32_t j = 0; j < skip; ++j) allowed.Clear(j);
+    Group group;
+    CoverMask covered = 0;
+    while (group.members.size() < p) {
+      uint32_t best = kNoPos;
+      int best_vkc = -1;
+      allowed.ForEach([&](uint32_t pos) {
+        const int vkc = PopCount(NovelBits(cands[pos].mask, covered));
+        if (vkc > best_vkc) {
+          best_vkc = vkc;
+          best = pos;
+        }
+      });
+      if (best == kNoPos) break;  // pool exhausted: dead end
+      allowed.Clear(best);
+      allowed.AndNotAssign(adj[best]);
+      group.members.push_back(cands[best].vertex);
+      covered |= cands[best].mask;
+    }
+    if (group.members.size() < p) continue;
+    std::sort(group.members.begin(), group.members.end());
+    group.mask = covered;
+    if (std::find(seeds.begin(), seeds.end(), group) == seeds.end()) {
+      seeds.push_back(std::move(group));
+    }
+  }
+  return seeds;
+}
+
 }  // namespace
 
 ConflictAdjacency BuildConflictAdjacency(const Graph& graph,
@@ -288,8 +345,12 @@ Result<KtgResult> RunKtgConflictGraph(const AttributedGraph& graph,
 
   QueryKey cache_key;
   // Degeneracy runs reorder tie-breaks, so they bypass the result cache
-  // (same coverage profile, possibly different representative members).
+  // (same coverage profile, possibly different representative members) —
+  // as do time-budgeted runs (truncation is best-effort) and non-exact
+  // modes (seed groups claim collector slots first).
   const bool cacheable = options.cache != nullptr && options.max_nodes == 0 &&
+                         options.time_budget_ms == 0 &&
+                         options.mode == EngineMode::kExact &&
                          !options.degeneracy_order;
   if (cacheable) {
     // This engine has one fixed ordering (VKC desc, degree asc), matching
@@ -339,8 +400,27 @@ Result<KtgResult> RunKtgConflictGraph(const AttributedGraph& graph,
   }
 
   const auto n = static_cast<uint32_t>(cands.size());
+
+  // Root upper bound for the gap report (mirrors KtgEngine::Run): the min
+  // of |W_Q|, the reachable mask union, and the additive sum of the p
+  // largest initial coverages. cands are sorted initial-VKC descending, so
+  // the first p entries are the largest.
+  int root_ub = 0;
+  if (n >= query.group_size) {
+    CoverMask union_mask = 0;
+    int additive = 0;
+    for (uint32_t i = 0; i < n; ++i) {
+      union_mask |= cands[i].mask;
+      if (i < query.group_size) additive += PopCount(cands[i].mask);
+    }
+    root_ub = std::min({static_cast<int>(query.num_keywords()),
+                        PopCount(union_mask), additive});
+  }
+
   ConflictAdjacency cg;
   TopNCollector collector(query.top_n);
+  size_t seeded = 0;
+  bool truncated = false;
   {
     // The build + walk together are this engine's "search"; the build alone
     // additionally charges the kKlineFilter sub-phase — the same Theorem-3
@@ -408,10 +488,20 @@ Result<KtgResult> RunKtgConflictGraph(const AttributedGraph& graph,
     state.collector = &collector;
     state.stats = &stats;
     state.trace = options.trace;
+    state.run_watch = watch;  // deadline origin == the run's entry
+
+    if (options.mode != EngineMode::kExact) {
+      std::vector<Group> seeds =
+          ConflictGreedySeeds(cands, cg.adj, query.group_size, query.top_n);
+      seeded = seeds.size();
+      stats.groups_completed += seeds.size();
+      for (Group& g : seeds) collector.Offer(std::move(g));
+    }
 
     Bitset all(n);
     all.SetAll();
     state.Search(std::move(all), 0);
+    truncated = state.stop;
   }
 
   KtgResult result;
@@ -420,14 +510,27 @@ Result<KtgResult> RunKtgConflictGraph(const AttributedGraph& graph,
     result.groups = collector.Take();
   }
   result.query_keyword_count = query.num_keywords();
+  const int best_found =
+      result.groups.empty() ? 0 : result.groups.front().covered();
+  if (!truncated) {
+    stats.upper_bound = best_found;
+    stats.gap = 0;
+  } else {
+    stats.upper_bound = root_ub;
+    stats.gap = std::max(0, root_ub - best_found);
+  }
   stats.distance_checks = checker.num_checks() - checker_before.checks;
   stats.elapsed_ms = watch.ElapsedMillis();
   stats.cpu_ms = stats.elapsed_ms;  // single-threaded engine
   result.stats = stats;
-  if (cacheable) {
+  if (cacheable && !truncated) {
     options.cache->StoreQuery(cache_key, result, options.snapshot_epoch);
   }
   RecordSearchStats(options.metrics, stats, "conflict");
+  if (options.mode != EngineMode::kExact || options.time_budget_ms > 0 ||
+      options.max_nodes != 0) {
+    RecordAnytimeStats(options.metrics, stats, !truncated, seeded);
+  }
   RecordCheckerDelta(options.metrics, checker, checker_before);
   if (options.metrics != nullptr) {
     options.metrics->counter("kernel.ballwalk.balls")

@@ -71,6 +71,16 @@ struct ConflictEngineOptions {
   bool degeneracy_order = false;
   /// Node budget (0 = unlimited).
   uint64_t max_nodes = 0;
+  /// Wall-clock budget for one run in milliseconds (0 = unlimited), polled
+  /// every 64 node expansions like EngineOptions::time_budget_ms. A run
+  /// that exceeds it stops with the best groups found so far; the result's
+  /// stats carry the optimality gap (SearchStats::gap).
+  double time_budget_ms = 0.0;
+  /// Completeness/latency trade-off (see EngineMode). kAnytime (and
+  /// kPortfolio reaching this engine directly) warm-starts the collector
+  /// with greedy seed groups built word-parallel on the conflict adjacency,
+  /// and bypasses the result cache.
+  EngineMode mode = EngineMode::kExact;
   /// Observability sinks, borrowed; null = disabled (see EngineOptions).
   /// Conflict-graph construction time is attributed to the kline_filter
   /// phase — it is the same pairwise k-line work, paid up front.

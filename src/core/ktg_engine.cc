@@ -5,6 +5,7 @@
 #include <algorithm>
 #include <limits>
 #include <mutex>
+#include <optional>
 
 #include "cache/ktg_cache.h"
 #include "cache/query_key.h"
@@ -27,6 +28,93 @@ const char* SortStrategyName(SortStrategy s) {
   }
   return "?";
 }
+
+const char* EngineModeName(EngineMode m) {
+  switch (m) {
+    case EngineMode::kExact:
+      return "exact";
+    case EngineMode::kAnytime:
+      return "anytime";
+    case EngineMode::kPortfolio:
+      return "portfolio";
+  }
+  return "?";
+}
+
+bool ParseEngineMode(const std::string& name, EngineMode* out) {
+  if (name == "exact") {
+    *out = EngineMode::kExact;
+  } else if (name == "anytime") {
+    *out = EngineMode::kAnytime;
+  } else if (name == "portfolio") {
+    *out = EngineMode::kPortfolio;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+namespace {
+
+// One greedy construction over `sr` for the anytime warm start: drop the
+// `skip` best-ranked first picks (restart diversification, exactly the
+// greedy heuristic's rule), then repeatedly take the highest refreshed-VKC
+// candidate (degree-ascending, then id tie-break — the KTG-VKC-DEG rank)
+// and k-line-filter the rest. nullopt when the pool dead-ends before p.
+std::optional<Group> GreedyConstructOnce(const std::vector<Candidate>& sr,
+                                         uint32_t skip, uint32_t p,
+                                         HopDistance k,
+                                         DistanceChecker& checker,
+                                         uint64_t* kline_filtered) {
+  std::vector<Candidate> pool = sr;
+  const auto best_of = [](std::vector<Candidate>& v, CoverMask covered) {
+    size_t best = v.size();
+    for (size_t i = 0; i < v.size(); ++i) {
+      v[i].vkc = PopCount(NovelBits(v[i].mask, covered));
+      if (best == v.size()) {
+        best = i;
+        continue;
+      }
+      const Candidate& b = v[best];
+      if (v[i].vkc != b.vkc) {
+        if (v[i].vkc > b.vkc) best = i;
+      } else if (v[i].degree < b.degree) {
+        best = i;
+      }
+    }
+    return best;
+  };
+  for (uint32_t s = 0; s < skip; ++s) {
+    const size_t drop = best_of(pool, 0);
+    if (drop == pool.size()) return std::nullopt;
+    pool.erase(pool.begin() + static_cast<int64_t>(drop));
+  }
+  Group group;
+  CoverMask covered = 0;
+  while (group.members.size() < p) {
+    const size_t best = best_of(pool, covered);
+    if (best == pool.size()) return std::nullopt;
+    const Candidate chosen = pool[best];
+    pool.erase(pool.begin() + static_cast<int64_t>(best));
+    group.members.push_back(chosen.vertex);
+    covered |= chosen.mask;
+    std::vector<Candidate> next;
+    next.reserve(pool.size());
+    for (const Candidate& c : pool) {
+      if (checker.IsFartherThan(c.vertex, chosen.vertex, k)) {
+        next.push_back(c);
+      } else {
+        ++*kline_filtered;
+      }
+    }
+    pool.swap(next);
+  }
+  std::sort(group.members.begin(), group.members.end());
+  group.mask = covered;
+  return group;
+}
+
+}  // namespace
 
 KtgEngine::KtgEngine(const AttributedGraph& graph, const InvertedIndex& index,
                      DistanceChecker& checker, EngineOptions options)
@@ -344,6 +432,28 @@ void KtgEngine::Search(const std::vector<Candidate>& sr, CoverMask covered,
   }
 }
 
+std::vector<Group> KtgEngine::GreedySeeds(const std::vector<Candidate>& sr) {
+  std::vector<Group> seeds;
+  if (sr.size() < p_) return seeds;
+  // Same restart budget shape as the greedy heuristic: each attempt skips
+  // one more leading pivot; a few extra attempts absorb dead ends.
+  const uint32_t max_attempts = top_n_ + 8;
+  for (uint32_t skip = 0;
+       seeds.size() < top_n_ && skip < max_attempts && skip < sr.size();
+       ++skip) {
+    auto g = GreedyConstructOnce(sr, skip, p_, k_, checker_,
+                                 &stats_.kline_filtered);
+    if (!g.has_value()) continue;
+    // Restarts can reconverge to an already-found group; keep seeds unique
+    // so they occupy distinct collector slots.
+    if (std::find(seeds.begin(), seeds.end(), *g) == seeds.end()) {
+      seeds.push_back(std::move(*g));
+    }
+  }
+  stats_.groups_completed += seeds.size();
+  return seeds;
+}
+
 uint32_t KtgEngine::EffectiveWorkers(size_t num_candidates) const {
   if (options_.num_threads == 1) return 1;
   if (!checker_.concurrent_read_safe()) return 1;
@@ -410,8 +520,12 @@ bool KtgEngine::SearchRoot(const std::vector<Candidate>& sr, size_t i,
 }
 
 std::vector<Group> KtgEngine::ParallelRootSearch(
-    const std::vector<Candidate>& sr, CoverMask sr_union, uint32_t workers) {
+    const std::vector<Candidate>& sr, CoverMask sr_union, uint32_t workers,
+    const std::vector<Group>& seeds) {
   SharedTopN shared(top_n_);
+  // Anytime warm start: seed before any worker claims a root, so the first
+  // shared-threshold snapshot already reflects the greedy bound.
+  for (const Group& g : seeds) shared.Offer(g);
   const size_t num_roots = sr.size() - p_ + 1;
   // Suffix masks for the per-root residual clamp, built once for every
   // worker (see Search(); O(|sr|) here instead of O(|sr|) per root).
@@ -476,9 +590,13 @@ Result<KtgResult> KtgEngine::Run(const KtgQuery& query) {
 
   // Cross-query result cache: truncated searches (max_nodes/stop_at_count)
   // produce best-effort groups, so they neither consult nor populate it.
+  // Non-exact modes bypass it too — a completed anytime run has the exact
+  // coverage profile but possibly different tie representatives (the seeds
+  // claim slots first), and cached entries must be mode-independent.
   QueryKey cache_key;
   const bool cacheable = options_.cache != nullptr && options_.max_nodes == 0 &&
-                         options_.stop_at_count == 0;
+                         options_.stop_at_count == 0 &&
+                         options_.mode == EngineMode::kExact;
   if (cacheable) {
     cache_key = CanonicalQueryKey(query, kEngineTagKtg, options_.sort,
                                   options_.degree_ascending);
@@ -516,19 +634,48 @@ Result<KtgResult> KtgEngine::Run(const KtgQuery& query) {
   CoverMask sr_union = 0;
   for (const Candidate& c : sr) sr_union |= c.mask;
 
+  // Root upper bound on any feasible group's coverage: |W_Q|, the reachable
+  // union, and the additive sum of the p best initial coverages are each
+  // sound, so their min is. Truncated runs report gap = root_ub - best.
+  const int root_ub =
+      sr.size() < p_
+          ? 0
+          : std::min({static_cast<int>(query.num_keywords()),
+                      PopCount(sr_union), OptimisticGain(sr, 0, p_)});
+
+  // Anytime warm start (greedy seeds; see GreedySeeds). kPortfolio reaching
+  // the engine directly is treated the same — the portfolio itself lives in
+  // src/heur/ and dispatches before Run().
+  std::vector<Group> seeds;
+  if (options_.mode != EngineMode::kExact) {
+    obs::PhaseTimer timer(&stats_.phases, obs::Phase::kBbSearch);
+    seeds = GreedySeeds(sr);
+  }
+
   KtgResult result;
   const uint32_t workers = EffectiveWorkers(sr.size());
   if (workers <= 1) {
     {
       obs::PhaseTimer timer(&stats_.phases, obs::Phase::kBbSearch);
+      for (Group& g : seeds) collector_.Offer(std::move(g));
       Search(sr, 0, sr_union);
     }
     obs::PhaseTimer timer(&stats_.phases, obs::Phase::kTopNMerge);
     result.groups = collector_.Take();
   } else {
-    result.groups = ParallelRootSearch(sr, sr_union, workers);
+    result.groups = ParallelRootSearch(sr, sr_union, workers, seeds);
   }
   result.query_keyword_count = query.num_keywords();
+  const int best_found =
+      result.groups.empty() ? 0 : result.groups.front().covered();
+  if (last_run_complete_) {
+    // Complete search: best_found is the optimum, the bound collapses.
+    stats_.upper_bound = best_found;
+    stats_.gap = 0;
+  } else {
+    stats_.upper_bound = root_ub;
+    stats_.gap = std::max(0, root_ub - best_found);
+  }
   stats_.distance_checks = checker_.num_checks() - checker_before.checks;
   stats_.elapsed_ms = watch.ElapsedMillis();
   if (workers <= 1) {
@@ -545,6 +692,11 @@ Result<KtgResult> KtgEngine::Run(const KtgQuery& query) {
     options_.cache->StoreQuery(cache_key, result, options_.snapshot_epoch);
   }
   RecordSearchStats(options_.metrics, stats_, "engine");
+  if (options_.mode != EngineMode::kExact || options_.time_budget_ms > 0 ||
+      options_.max_nodes != 0) {
+    RecordAnytimeStats(options_.metrics, stats_, last_run_complete_,
+                       seeds.size());
+  }
   RecordCheckerDelta(options_.metrics, checker_, checker_before);
   return result;
 }

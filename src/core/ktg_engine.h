@@ -78,6 +78,13 @@ class KtgEngine {
   // current |S_I|.
   void RecordTrace(obs::TraceEventKind kind, VertexId vertex, int64_t detail);
   void SortCandidates(std::vector<Candidate>& cands) const;
+  // Anytime warm start: up to top_n_ greedy constructions over `sr`
+  // (skip-based restart diversification, k-line feasibility through the
+  // checker). Seeding the collector with them makes best-so-far non-empty
+  // from the first node and starts Theorem-2 pruning at the greedy bound;
+  // exactness of a completed run is unaffected (the collector still admits
+  // every strictly-better group).
+  std::vector<Group> GreedySeeds(const std::vector<Candidate>& sr);
   // Sum of the `need` largest vkc values in `cands[from:]`; assumes the
   // vector is vkc-descending for VKC strategies, scans otherwise.
   int OptimisticGain(const std::vector<Candidate>& cands, size_t from,
@@ -89,9 +96,12 @@ class KtgEngine {
   // num_threads, the checker, and the candidate count all allow more).
   uint32_t EffectiveWorkers(size_t num_candidates) const;
   // Runs the first tree level across `workers` threads; returns the final
-  // ordered groups (the parallel counterpart of collector_.Take()).
+  // ordered groups (the parallel counterpart of collector_.Take()). `seeds`
+  // are pre-search groups (anytime warm start) offered into the shared
+  // top-N before any worker claims a root.
   std::vector<Group> ParallelRootSearch(const std::vector<Candidate>& sr,
-                                        CoverMask sr_union, uint32_t workers);
+                                        CoverMask sr_union, uint32_t workers,
+                                        const std::vector<Group>& seeds);
   // One first-level subtree: selects sr[i] as the sole member and runs the
   // serial search below it. `root_suffix` is ∪ masks of sr[i..] (the
   // residual-bound clamp for this root; ignored unless residual_bound).

@@ -28,6 +28,22 @@ void RecordSearchStats(obs::MetricsRegistry* metrics, const SearchStats& stats,
   }
 }
 
+void RecordAnytimeStats(obs::MetricsRegistry* metrics,
+                        const SearchStats& stats, bool complete,
+                        size_t seeded) {
+  if (metrics == nullptr) return;
+  metrics->counter("search.anytime.runs").Add(1);
+  if (!complete) metrics->counter("search.anytime.truncated").Add(1);
+  if (stats.gap == 0) metrics->counter("search.anytime.optimal").Add(1);
+  metrics->counter("search.anytime.seeded").Add(seeded);
+  metrics->histogram("search.anytime.gap")
+      .Record(static_cast<double>(stats.gap));
+  if (stats.upper_bound >= 0) {
+    metrics->histogram("search.anytime.upper_bound")
+        .Record(static_cast<double>(stats.upper_bound));
+  }
+}
+
 CheckerCounters SnapshotChecker(const DistanceChecker& checker) {
   CheckerCounters c;
   c.checks = checker.num_checks();

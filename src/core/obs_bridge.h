@@ -27,6 +27,16 @@ namespace ktg {
 void RecordSearchStats(obs::MetricsRegistry* metrics, const SearchStats& stats,
                        std::string_view prefix);
 
+/// Flushes the anytime-layer view of one budgeted/heuristic run (no-op when
+/// `metrics` is null): counters search.anytime.runs / .truncated (runs whose
+/// budget cut the search) / .optimal (runs whose reported gap closed to 0) /
+/// .seeded (warm-start groups offered), histograms search.anytime.gap and
+/// search.anytime.upper_bound. Engines call it for every run whose mode is
+/// not kExact or that carried a node/time budget.
+void RecordAnytimeStats(obs::MetricsRegistry* metrics,
+                        const SearchStats& stats, bool complete,
+                        size_t seeded);
+
 /// Snapshot of a checker's counters, for delta attribution around a run.
 struct CheckerCounters {
   uint64_t checks = 0;

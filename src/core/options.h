@@ -34,9 +34,36 @@ enum class SortStrategy {
 
 const char* SortStrategyName(SortStrategy s);
 
+/// How a run trades completeness for latency.
+enum class EngineMode {
+  /// The full branch-and-bound search; results are the exact top-N unless
+  /// a budget (max_nodes / time_budget_ms) truncates it.
+  kExact,
+  /// Exact search warm-started from greedy seed groups: the collector is
+  /// never empty once seeding succeeds, so a truncated run always returns
+  /// best-so-far groups plus a sound optimality gap (SearchStats::gap).
+  /// A run that finishes within its budget is still exact in the coverage
+  /// profile — but tie representatives may differ from kExact, so anytime
+  /// runs bypass the cross-query result cache.
+  kAnytime,
+  /// Raced portfolio of local-search heuristics (src/heur/); never exact
+  /// by construction, but reports the same sound gap. Engines themselves
+  /// treat this like kAnytime — the dispatch lives in
+  /// heur::RunKtgWithMode, which routes kPortfolio to the portfolio.
+  kPortfolio,
+};
+
+const char* EngineModeName(EngineMode m);
+/// Parses "exact" | "anytime" | "portfolio"; false on anything else.
+bool ParseEngineMode(const std::string& name, EngineMode* out);
+
 /// Knobs of the exact KTG engine.
 struct EngineOptions {
   SortStrategy sort = SortStrategy::kVkcDeg;
+
+  /// Completeness/latency trade-off (see EngineMode). kPortfolio is only
+  /// honored by heur::RunKtgWithMode; the engines treat it as kAnytime.
+  EngineMode mode = EngineMode::kExact;
 
   /// Theorem 2: cut branches whose optimistic coverage cannot beat the
   /// current N-th group.

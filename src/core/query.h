@@ -92,6 +92,18 @@ struct SearchStats {
   uint64_t kline_filtered = 0;      ///< S_R removals by Theorem 3
   uint64_t distance_checks = 0;     ///< checker invocations
   uint64_t candidates = 0;          ///< initial |S_R|
+  /// Sound upper bound on the best achievable coverage count of this
+  /// instance: min(|W_Q|, popcount of the candidate-mask union, sum of the
+  /// p largest candidate coverages). A complete run tightens it to the
+  /// found optimum; -1 = not computed (engines that predate the anytime
+  /// layer, or zero-candidate instances short-circuited before the bound).
+  int upper_bound = -1;
+  /// Optimality gap of the returned groups: upper_bound minus the best
+  /// coverage found. 0 for every complete run (the result is provably
+  /// optimal); > 0 only when a budget truncated the search or a heuristic
+  /// mode ran. Always >= 0 — the bound is sound (tests certify this
+  /// against brute force).
+  int gap = 0;
   double elapsed_ms = 0.0;          ///< wall-clock of the search
   /// Compute time: per-worker wall-clocks summed. Equals elapsed_ms for a
   /// serial run; exceeds it under the root-parallel engine (and that ratio
@@ -112,6 +124,10 @@ struct SearchStats {
     kline_filtered += o.kline_filtered;
     distance_checks += o.distance_checks;
     candidates += o.candidates;
+    // Per-instance bounds: the aggregate keeps the loosest bound and the
+    // summed gap (mean gap = gap / number of merged runs).
+    upper_bound = upper_bound > o.upper_bound ? upper_bound : o.upper_bound;
+    gap += o.gap;
     elapsed_ms = elapsed_ms > o.elapsed_ms ? elapsed_ms : o.elapsed_ms;
     cpu_ms += o.cpu_ms;
     phases += o.phases;

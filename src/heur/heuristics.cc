@@ -1,0 +1,200 @@
+// Copyright (c) 2026 The ktg Authors.
+
+#include "heur/heuristics.h"
+
+#include <algorithm>
+
+namespace ktg::heur {
+namespace {
+
+constexpr uint32_t kNoPos = ~uint32_t{0};
+
+// Positions addable next to `members`: everything not conflicting with any
+// member and not a member itself — p AND-NOTs over the adjacency rows.
+Bitset AllowedFor(const HeurContext& ctx,
+                  const std::vector<uint32_t>& members) {
+  Bitset allowed(static_cast<uint32_t>(ctx.cands->size()));
+  allowed.SetAll();
+  for (const uint32_t m : members) {
+    allowed.AndNotAssign((*ctx.adj)[m]);
+    allowed.Clear(m);
+  }
+  return allowed;
+}
+
+// Coverage mask of every member except positions[skip_index].
+CoverMask MaskWithout(const HeurContext& ctx, const PosGroup& g,
+                      size_t skip_index) {
+  CoverMask m = 0;
+  for (size_t i = 0; i < g.positions.size(); ++i) {
+    if (i != skip_index) m |= (*ctx.cands)[g.positions[i]].mask;
+  }
+  return m;
+}
+
+void Add(const HeurContext& ctx, PosGroup* g, uint32_t pos) {
+  g->positions.push_back(pos);
+  g->mask |= (*ctx.cands)[pos].mask;
+}
+
+// Greedy completion loop shared by GreedyConstruct and the descent's
+// extend move: picks the highest refreshed-VKC allowed position until the
+// group is complete or the pool dead-ends.
+void GreedyComplete(const HeurContext& ctx, PosGroup* g, Bitset allowed) {
+  while (!g->complete(ctx)) {
+    uint32_t best = kNoPos;
+    int best_vkc = -1;
+    allowed.ForEach([&](uint32_t pos) {
+      const int vkc = PopCount(NovelBits((*ctx.cands)[pos].mask, g->mask));
+      if (vkc > best_vkc) {
+        best_vkc = vkc;
+        best = pos;
+      }
+    });
+    if (best == kNoPos) return;
+    Add(ctx, g, best);
+    allowed.Clear(best);
+    allowed.AndNotAssign((*ctx.adj)[best]);
+  }
+}
+
+}  // namespace
+
+Group ToGroup(const HeurContext& ctx, const PosGroup& g) {
+  Group out;
+  out.members.reserve(g.positions.size());
+  for (const uint32_t pos : g.positions) {
+    out.members.push_back((*ctx.cands)[pos].vertex);
+  }
+  std::sort(out.members.begin(), out.members.end());
+  out.mask = g.mask;
+  return out;
+}
+
+PosGroup GreedyConstruct(const HeurContext& ctx, uint32_t skip) {
+  PosGroup g;
+  const auto n = static_cast<uint32_t>(ctx.cands->size());
+  if (n < ctx.p) return g;
+  Bitset allowed(n);
+  allowed.SetAll();
+  // Static rank is initial-VKC descending: the first `skip` positions are
+  // the best-ranked first picks.
+  for (uint32_t j = 0; j < skip && j < n; ++j) allowed.Clear(j);
+  GreedyComplete(ctx, &g, std::move(allowed));
+  return g;
+}
+
+PosGroup GraspConstruct(const HeurContext& ctx, SplitMix64& rng,
+                        double alpha) {
+  PosGroup g;
+  const auto n = static_cast<uint32_t>(ctx.cands->size());
+  if (n < ctx.p) return g;
+  Bitset allowed(n);
+  allowed.SetAll();
+  std::vector<std::pair<int, uint32_t>> scored;  // (vkc, pos)
+  while (!g.complete(ctx)) {
+    scored.clear();
+    int best_vkc = -1;
+    int worst_vkc = 65;
+    allowed.ForEach([&](uint32_t pos) {
+      const int vkc = PopCount(NovelBits((*ctx.cands)[pos].mask, g.mask));
+      scored.emplace_back(vkc, pos);
+      best_vkc = std::max(best_vkc, vkc);
+      worst_vkc = std::min(worst_vkc, vkc);
+    });
+    if (scored.empty()) return g;  // dead end
+    // Restricted candidate list: within alpha of the best novel coverage.
+    const double cut = best_vkc - alpha * (best_vkc - worst_vkc);
+    uint32_t rcl_size = 0;
+    for (const auto& [vkc, pos] : scored) {
+      if (vkc >= cut) scored[rcl_size++] = {vkc, pos};
+    }
+    const uint32_t pick = scored[rng.Below(rcl_size)].second;
+    Add(ctx, &g, pick);
+    allowed.Clear(pick);
+    allowed.AndNotAssign((*ctx.adj)[pick]);
+  }
+  return g;
+}
+
+uint64_t ShiftSwapDescent(const HeurContext& ctx, PosGroup* g) {
+  uint64_t moves = 0;
+  // Shift: an incomplete construction first tries to grow (each added
+  // member strictly improves feasible size, trivially "improving").
+  if (!g->complete(ctx)) {
+    const size_t before = g->positions.size();
+    GreedyComplete(ctx, g, AllowedFor(ctx, g->positions));
+    moves += g->positions.size() - before;
+    if (!g->complete(ctx)) return moves;  // stuck below p: no swap basis
+  }
+  // Swap: first-improvement scan over (member, outsider) replacements.
+  bool improved = true;
+  while (improved) {
+    improved = false;
+    for (size_t mi = 0; mi < g->positions.size() && !improved; ++mi) {
+      const CoverMask others = MaskWithout(ctx, *g, mi);
+      std::vector<uint32_t> rest;
+      rest.reserve(g->positions.size() - 1);
+      for (size_t i = 0; i < g->positions.size(); ++i) {
+        if (i != mi) rest.push_back(g->positions[i]);
+      }
+      Bitset allowed = AllowedFor(ctx, rest);
+      allowed.Clear(g->positions[mi]);  // re-adding the member is a no-op
+      const int current = g->covered();
+      uint32_t pick = kNoPos;
+      allowed.ForEach([&](uint32_t pos) {
+        if (pick != kNoPos) return;  // first improvement wins
+        if (PopCount(others | (*ctx.cands)[pos].mask) > current) pick = pos;
+      });
+      if (pick != kNoPos) {
+        g->positions[mi] = pick;
+        g->mask = others | (*ctx.cands)[pick].mask;
+        ++moves;
+        improved = true;
+      }
+    }
+  }
+  return moves;
+}
+
+bool TabuStep(const HeurContext& ctx, PosGroup* g,
+              std::vector<uint64_t>* tabu_until, uint64_t step,
+              uint32_t tenure, int best_known) {
+  if (!g->complete(ctx)) return false;
+  size_t best_mi = 0;
+  uint32_t best_pos = kNoPos;
+  int best_gain = -1;
+  CoverMask best_others = 0;
+  for (size_t mi = 0; mi < g->positions.size(); ++mi) {
+    const CoverMask others = MaskWithout(ctx, *g, mi);
+    std::vector<uint32_t> rest;
+    rest.reserve(g->positions.size() - 1);
+    for (size_t i = 0; i < g->positions.size(); ++i) {
+      if (i != mi) rest.push_back(g->positions[i]);
+    }
+    Bitset allowed = AllowedFor(ctx, rest);
+    allowed.Clear(g->positions[mi]);
+    allowed.ForEach([&](uint32_t pos) {
+      const int gain = PopCount(others | (*ctx.cands)[pos].mask);
+      // Tabu unless aspiration: the move would beat everything seen.
+      if ((*tabu_until)[pos] > step && gain <= best_known) return;
+      // Steepest, ties to the first (lowest mi, lowest pos) — scan order
+      // is deterministic.
+      if (gain > best_gain) {
+        best_gain = gain;
+        best_mi = mi;
+        best_pos = pos;
+        best_others = others;
+      }
+    });
+  }
+  if (best_pos == kNoPos) return false;
+  // The dropped member may not re-enter for `tenure` steps (preventing the
+  // descent's 2-cycle); degrading moves are accepted by design.
+  (*tabu_until)[g->positions[best_mi]] = step + tenure;
+  g->positions[best_mi] = best_pos;
+  g->mask = best_others | (*ctx.cands)[best_pos].mask;
+  return true;
+}
+
+}  // namespace ktg::heur

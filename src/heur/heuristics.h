@@ -1,0 +1,111 @@
+// Copyright (c) 2026 The ktg Authors.
+// Group local-search primitives for the metaheuristic portfolio.
+//
+// All heuristics operate in *position space* over a statically ranked
+// candidate vector and its materialized conflict adjacency (the same
+// Bitset rows the conflict-graph engine searches): a group is a set of
+// candidate positions, feasibility of adding position c to a group is
+// "no member's adjacency row tests c", and the k-line filter of a
+// construction step is one word-parallel AND-NOT.
+//
+// The ladder (greedy construction -> shift/swap descent -> GRASP-style
+// randomized restarts -> tabu trajectories) follows the classic assignment
+// local-search shape: constructions provide feasible starts, the swap
+// neighborhood (drop one member, add one non-conflicting outsider)
+// improves coverage until a local optimum, restarts and tabu drive the
+// walk out of it. Every heuristic is deterministic given its seed and
+// never *reads* shared search state — the portfolio races them with
+// write-only offers into a SharedTopN, so the best coverage found is
+// independent of thread interleaving.
+
+#ifndef KTG_HEUR_HEURISTICS_H_
+#define KTG_HEUR_HEURISTICS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/candidates.h"
+#include "core/query.h"
+#include "util/bitset_ops.h"
+
+namespace ktg::heur {
+
+/// Shared read-only view every heuristic works against.
+struct HeurContext {
+  /// Candidates in static rank order (initial VKC desc, degree asc, id).
+  const std::vector<Candidate>* cands = nullptr;
+  /// Conflict adjacency rows over candidate positions (symmetric).
+  const std::vector<Bitset>* adj = nullptr;
+  uint32_t p = 0;  ///< group size
+};
+
+/// A group in position space plus its coverage mask.
+struct PosGroup {
+  std::vector<uint32_t> positions;
+  CoverMask mask = 0;
+
+  int covered() const { return PopCount(mask); }
+  bool complete(const HeurContext& ctx) const {
+    return positions.size() == ctx.p;
+  }
+};
+
+/// Renders a position-space group back to vertex ids (sorted ascending,
+/// the library-wide Group convention).
+Group ToGroup(const HeurContext& ctx, const PosGroup& g);
+
+/// SplitMix64: tiny, deterministic, seedable — the portfolio gives every
+/// heuristic instance its own stream so racing changes nothing.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(uint64_t seed) : state_(seed) {}
+  uint64_t Next() {
+    uint64_t z = (state_ += 0x9E3779B97F4A7C15ull);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    return z ^ (z >> 31);
+  }
+  /// Uniform draw in [0, bound); bound 0 returns 0.
+  uint32_t Below(uint32_t bound) {
+    return bound == 0 ? 0 : static_cast<uint32_t>(Next() % bound);
+  }
+
+ private:
+  uint64_t state_;
+};
+
+/// Deterministic greedy construction: repeatedly take the highest
+/// refreshed-VKC allowed position (ties to the lowest position, i.e. the
+/// static rank), filtering conflicts word-parallel. The `skip` best-ranked
+/// first picks are dropped up front (restart diversification). Returns a
+/// group with fewer than p members when the pool dead-ends.
+PosGroup GreedyConstruct(const HeurContext& ctx, uint32_t skip);
+
+/// GRASP construction: at each step build the restricted candidate list of
+/// allowed positions whose refreshed VKC is within `alpha` of the best
+/// (alpha 0 = pure greedy, 1 = uniform over all allowed) and pick one at
+/// random. Deterministic given `rng`.
+PosGroup GraspConstruct(const HeurContext& ctx, SplitMix64& rng, double alpha);
+
+/// First-improvement shift/swap descent: repeatedly scan (member, outsider)
+/// swaps — replace one member with a non-conflicting outside candidate —
+/// and take the first coverage-improving one until a local optimum.
+/// Incomplete groups first try to *extend* (the shift move: add an allowed
+/// outsider without dropping anyone). Returns the number of improving moves
+/// applied; `g` is updated in place.
+uint64_t ShiftSwapDescent(const HeurContext& ctx, PosGroup* g);
+
+/// One steepest tabu step from `g`: applies the best non-tabu swap (or any
+/// tabu swap beating `best_known` — aspiration), records the dropped
+/// candidate as tabu for `tenure` steps, and accepts coverage-degrading
+/// moves (that is the point: walking out of the descent's local optimum).
+/// `tabu_until` maps candidate position -> first step it may re-enter;
+/// `step` is the current step counter. Returns false when no feasible swap
+/// exists at all.
+bool TabuStep(const HeurContext& ctx, PosGroup* g,
+              std::vector<uint64_t>* tabu_until, uint64_t step,
+              uint32_t tenure, int best_known);
+
+}  // namespace ktg::heur
+
+#endif  // KTG_HEUR_HEURISTICS_H_

@@ -1,12 +1,12 @@
 // Copyright (c) 2026 The ktg Authors.
 
-#include "tests/schema_check.h"
+#include "obs/schema_check.h"
 
 #include <initializer_list>
 
 #include "util/json_parse.h"
 
-namespace ktg::testing {
+namespace ktg::obs {
 namespace {
 
 void Note(std::vector<std::string>& problems, std::string msg) {
@@ -177,6 +177,11 @@ std::vector<std::string> CheckResponseV1(std::string_view json) {
     } else {
       RequireNumber(*serving, "serving", "queue_ms", problems);
       RequireNumber(*serving, "serving", "exec_ms", problems);
+      RequireNumber(*serving, "serving", "gap", problems);
+      const JsonValue* complete = serving->Find("complete");
+      if (complete == nullptr || !complete->is_bool()) {
+        Note(problems, "serving lacks boolean member 'complete'");
+      }
     }
   } else if (s == "rejected") {
     RequireNumber(*doc, "rejected response", "retry_after_ms", problems);
@@ -194,4 +199,88 @@ std::vector<std::string> CheckResponseV1(std::string_view json) {
   return problems;
 }
 
-}  // namespace ktg::testing
+std::vector<std::string> CheckLoadgenV1(std::string_view json) {
+  std::vector<std::string> problems;
+  auto doc = ParseEnvelope(json, "ktg.loadgen.v1", problems);
+  if (!doc.ok()) return problems;
+
+  for (const char* key :
+       {"sent", "completed", "coalesced", "incomplete", "rejected", "retried",
+        "timeouts", "errors", "checked", "mismatches", "mutations_sent",
+        "mutations_applied", "mutations_failed", "final_epoch", "wall_s",
+        "qps"}) {
+    RequireNumber(*doc, "loadgen report", key, problems);
+  }
+  const JsonValue* lat = doc->Find("latency_ms");
+  if (lat == nullptr || !lat->is_object()) {
+    Note(problems, "missing object member 'latency_ms'");
+    return problems;
+  }
+  for (const char* key :
+       {"count", "mean", "min", "max", "p50", "p90", "p95", "p99"}) {
+    RequireNumber(*lat, "latency_ms", key, problems);
+  }
+  return problems;
+}
+
+std::vector<std::string> CheckQualityV1(std::string_view json) {
+  std::vector<std::string> problems;
+  auto doc = ParseEnvelope(json, "ktg.quality.v1", problems);
+  if (!doc.ok()) return problems;
+
+  const JsonValue* instances = doc->Find("instances");
+  if (instances == nullptr || !instances->is_array()) {
+    Note(problems, "missing array member 'instances'");
+  } else {
+    size_t i = 0;
+    for (const JsonValue& row : instances->AsArray()) {
+      const std::string where = "instances[" + std::to_string(i++) + "]";
+      if (!row.is_object()) {
+        Note(problems, where + " is not an object");
+        continue;
+      }
+      for (const char* key : {"round", "query", "p", "k", "exact_best",
+                              "portfolio_best", "upper_bound", "gap"}) {
+        RequireNumber(row, where, key, problems);
+      }
+      const JsonValue* sound = row.Find("sound");
+      if (sound == nullptr || !sound->is_bool()) {
+        Note(problems, where + " lacks boolean member 'sound'");
+      }
+    }
+  }
+  const JsonValue* summary = doc->Find("summary");
+  if (summary == nullptr || !summary->is_object()) {
+    Note(problems, "missing object member 'summary'");
+    return problems;
+  }
+  for (const char* key :
+       {"instances", "unsound", "missed_optimum", "mean_gap"}) {
+    RequireNumber(*summary, "summary", key, problems);
+  }
+  return problems;
+}
+
+std::vector<std::string> CheckAnyKnownSchema(std::string_view json) {
+  std::vector<std::string> problems;
+  auto doc = ParseJson(json);
+  if (!doc.ok()) {
+    Note(problems, "not valid JSON: " + doc.status().ToString());
+    return problems;
+  }
+  const JsonValue* s = doc->is_object() ? doc->Find("schema") : nullptr;
+  if (s == nullptr || !s->is_string()) {
+    Note(problems, "document carries no string 'schema' member");
+    return problems;
+  }
+  const std::string& schema = s->AsString();
+  if (schema == "ktg.metrics.v1") return CheckMetricsV1(json);
+  if (schema == "ktg.trace.v1") return CheckTraceV1(json);
+  if (schema == "ktg.response.v1") return CheckResponseV1(json);
+  if (schema == "ktg.loadgen.v1") return CheckLoadgenV1(json);
+  if (schema == "ktg.quality.v1") return CheckQualityV1(json);
+  Note(problems, "unknown schema '" + schema + "'");
+  return problems;
+}
+
+}  // namespace ktg::obs

@@ -273,8 +273,9 @@ void ClosedLoopWorker(const std::string& host, uint16_t port,
     }
 
     const size_t qi = static_cast<size_t>(i % queries.size());
-    const std::string request = QueryRequestJson(
-        i, graph, queries[qi], options.sort, options.deadline_ms);
+    const std::string request =
+        QueryRequestJson(i, graph, queries[qi], options.sort,
+                         options.deadline_ms, options.mode);
     for (;;) {
       Stopwatch rtt;
       if (!client.SendLine(request).ok()) {
@@ -415,7 +416,7 @@ Result<LoadgenReport> RunOpenLoop(const std::string& host, uint16_t port,
     } else {
       fl.index = static_cast<size_t>(i % queries.size());
       request = QueryRequestJson(i, graph, queries[fl.index], options.sort,
-                                 options.deadline_ms);
+                                 options.deadline_ms, options.mode);
     }
     {
       std::lock_guard<std::mutex> lock(ch.mu);

@@ -66,6 +66,10 @@ struct LoadgenOptions {
   /// Closed loop: honor retry_after_ms and re-send rejected queries.
   bool retry_rejected = true;
   SortStrategy sort = SortStrategy::kVkcDeg;
+  /// Per-request execution mode forwarded on the wire. Non-exact modes
+  /// answer serving.complete=false, so the differential check (--check)
+  /// tallies but does not oracle-compare those responses.
+  EngineMode mode = EngineMode::kExact;
 
   /// Fraction of request slots sent as `mutate` instead of `query`
   /// (0 = read-only). Slots are chosen by a deterministic hash of (seed,

@@ -184,6 +184,17 @@ Result<Request> ParseRequestLine(const std::string& line) {
   if (!sort.ok()) return sort.status();
   req.sort = sort.value();
 
+  const auto mode = doc->GetString("mode", "");
+  if (!mode.ok()) return mode.status();
+  if (!mode.value().empty()) {
+    if (!ParseEngineMode(mode.value(), &req.mode)) {
+      return Status::InvalidArgument(
+          "unknown mode '" + mode.value() +
+          "' (expected exact|anytime|portfolio)");
+    }
+    req.has_mode = true;
+  }
+
   if (const JsonValue* authors = doc->Find("authors"); authors != nullptr) {
     if (!authors->is_array()) {
       return Status::InvalidArgument("'authors' must be an array");
@@ -204,7 +215,7 @@ Result<Request> ParseRequestLine(const std::string& line) {
 
 std::string QueryRequestJson(uint64_t id, const AttributedGraph& graph,
                              const KtgQuery& query, SortStrategy sort,
-                             double deadline_ms) {
+                             double deadline_ms, EngineMode mode) {
   JsonWriter w;
   w.BeginObject();
   w.KV("op", "query");
@@ -233,6 +244,7 @@ std::string QueryRequestJson(uint64_t id, const AttributedGraph& graph,
   }
   if (deadline_ms > 0) w.KV("deadline_ms", deadline_ms);
   w.KV("algo", SortWireName(sort));
+  if (mode != EngineMode::kExact) w.KV("mode", EngineModeName(mode));
   w.EndObject();
   return w.str();
 }
@@ -310,6 +322,7 @@ std::string QueryResponseJson(uint64_t id, const AttributedGraph& graph,
       .KV("exec_ms", serving.exec_ms)
       .KV("complete", serving.complete)
       .KV("coalesced", serving.coalesced)
+      .KV("gap", static_cast<int64_t>(serving.gap))
       .KV("epoch", serving.epoch);
   w.EndObject();
 

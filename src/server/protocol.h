@@ -21,9 +21,11 @@
 //   {"op":"info"}            — introspection: dataset + server config
 //
 // Response statuses: "ok", "rejected" (admission control; carries
-// retry_after_ms), "timeout" (deadline expired before execution),
-// "error" (malformed request, engine validation failure, or rejected
-// mutation batch).
+// retry_after_ms), "error" (malformed request, engine validation failure,
+// or rejected mutation batch). Queries whose deadline expires while queued
+// are still answered "ok" with best-so-far groups, serving.complete=false
+// and a sound serving.gap; the "timeout" status (waited_ms) remains in the
+// schema for older servers but is no longer emitted by this one.
 
 #ifndef KTG_SERVER_PROTOCOL_H_
 #define KTG_SERVER_PROTOCOL_H_
@@ -62,6 +64,11 @@ struct Request {
   /// default (which may itself be "no deadline").
   double deadline_ms = 0.0;
   SortStrategy sort = SortStrategy::kVkcDeg;
+  /// Per-request execution mode ("mode":"exact|anytime|portfolio"). When
+  /// the line carries no mode member has_mode stays false and the server's
+  /// configured engine mode applies.
+  EngineMode mode = EngineMode::kExact;
+  bool has_mode = false;
 
   // --- kMutate payload -----------------------------------------------------
   MutationBatch mutation;
@@ -72,10 +79,13 @@ struct Request {
 Result<Request> ParseRequestLine(const std::string& line);
 
 /// Serializes a query request (the client side; loadgen uses this). The
-/// query's keyword ids are rendered as vocabulary terms.
+/// query's keyword ids are rendered as vocabulary terms. A non-exact
+/// `mode` is emitted as a "mode" member; kExact is the wire default and
+/// is omitted.
 std::string QueryRequestJson(uint64_t id, const AttributedGraph& graph,
                              const KtgQuery& query, SortStrategy sort,
-                             double deadline_ms);
+                             double deadline_ms,
+                             EngineMode mode = EngineMode::kExact);
 std::string PingRequestJson(uint64_t id);
 std::string MetricsRequestJson(uint64_t id);
 /// Serializes a mutate request (loadgen's mixed driver uses this).
@@ -85,8 +95,15 @@ std::string MutateRequestJson(uint64_t id, const MutationBatch& batch);
 struct ServingInfo {
   double queue_ms = 0.0;    ///< admission to execution start
   double exec_ms = 0.0;     ///< engine wall-clock inside the worker
-  bool complete = true;     ///< false when the deadline truncated the search
+  /// False when the deadline truncated the search OR the request's own
+  /// deadline had already expired in the queue (the response then carries
+  /// the best-so-far groups; `gap` quantifies how far off they may be).
+  bool complete = true;
   bool coalesced = false;   ///< answered by an identical in-flight request
+  /// Sound optimality gap of the returned groups (SearchStats::gap): 0
+  /// means provably optimal, g > 0 means the best group may cover up to g
+  /// more keywords than the best returned one.
+  int gap = 0;
   /// Epoch of the snapshot this response was computed against. A
   /// differential checker replays the query against exactly this epoch.
   uint64_t epoch = 0;

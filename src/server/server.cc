@@ -7,6 +7,7 @@
 
 #include "cache/caching_checker.h"
 #include "core/ktg_engine.h"
+#include "heur/portfolio.h"
 #include "index/bfs_checker.h"
 #include "util/json_writer.h"
 #include "util/macros.h"
@@ -18,6 +19,11 @@ namespace {
 // retry_after floor/fallback: a just-started server has no latency EMA yet.
 constexpr double kMinRetryAfterMs = 1.0;
 constexpr double kDefaultRequestMs = 5.0;
+
+// Execution budget when every request in a batch expired while queued: the
+// run still happens, in anytime mode, so the responses carry best-so-far
+// groups plus a sound gap instead of nothing (docs/heuristics.md).
+constexpr double kExpiredBudgetFloorMs = 1.0;
 
 // Sorted-vector intersection test (QueryKey keeps keywords sorted).
 bool SharesKeyword(const QueryKey& a, const QueryKey& b) {
@@ -127,6 +133,7 @@ void KtgServer::HandleLine(const std::string& line, ResponseCallback cb) {
                              req->tenuity, req->top_n);
   query.query_vertices = std::move(req->authors);
   SubmitQuery(req->id, std::move(query), req->sort, req->deadline_ms,
+              req->has_mode ? req->mode : options_.engine.mode,
               std::move(cb));
 }
 
@@ -147,7 +154,8 @@ Result<SnapshotStore::ApplyInfo> KtgServer::Apply(const MutationBatch& batch) {
 }
 
 void KtgServer::SubmitQuery(uint64_t id, KtgQuery query, SortStrategy sort,
-                            double deadline_ms, ResponseCallback cb) {
+                            double deadline_ms, EngineMode mode,
+                            ResponseCallback cb) {
   if (Status st = ValidateQuery(query, store_->Pin()->graph()); !st.ok()) {
     metrics_.counter("server.errors").Add();
     cb(ErrorResponseJson(id, st.message()));
@@ -165,6 +173,7 @@ void KtgServer::SubmitQuery(uint64_t id, KtgQuery query, SortStrategy sort,
   Pending p;
   p.id = id;
   p.sort = sort;
+  p.mode = mode;
   p.deadline_ms = deadline_ms > 0 ? deadline_ms : options_.default_deadline_ms;
   p.key = CanonicalQueryKey(query, kEngineTagKtg, sort,
                             options_.engine.degree_ascending);
@@ -228,7 +237,9 @@ bool KtgServer::ClaimBatch(Pending* leader, std::vector<Pending>* coalesced,
   size_t scanned = 0;
   for (auto it = queue_.begin();
        it != queue_.end() && scanned < options_.batch_window; ++scanned) {
-    if (it->key == leader->key) {
+    if (it->key == leader->key && it->mode == leader->mode) {
+      // Same canonical query AND same execution mode: an exact duplicate
+      // must not be answered by a heuristic run, or vice versa.
       coalesced->push_back(std::move(*it));
       it = queue_.erase(it);
     } else if (affinity->size() + 1 < options_.batch_max &&
@@ -269,29 +280,38 @@ void KtgServer::ExecuteOne(Pending leader, std::vector<Pending> coalesced) {
   struct Live {
     Pending* p;
     double queue_ms;
+    bool expired;  // deadline passed while queued; served best-so-far
   };
   std::vector<Live> live;
   live.reserve(1 + coalesced.size());
   bool unlimited = false;
   double budget = 0.0;
+  size_t expired_count = 0;
   const auto admit = [&](Pending& p) {
     const double waited = p.waited.ElapsedMillis();
     metrics_.histogram("server.queue_wait_ms").Record(waited);
-    if (p.deadline_ms > 0 && waited >= p.deadline_ms) {
+    // A request whose deadline passed in the queue is not dropped: it joins
+    // the run flagged expired and is answered with whatever the (possibly
+    // shared) run found, marked serving.complete=false with a sound gap.
+    // Non-expired members fund the execution budget as before.
+    const bool expired = p.deadline_ms > 0 && waited >= p.deadline_ms;
+    if (expired) {
       metrics_.counter("server.deadline_missed").Add();
-      p.cb(TimeoutResponseJson(p.id, waited));
-      return;
-    }
-    if (p.deadline_ms <= 0) {
+      ++expired_count;
+    } else if (p.deadline_ms <= 0) {
       unlimited = true;
     } else {
       budget = std::max(budget, p.deadline_ms - waited);
     }
-    live.push_back({&p, waited});
+    live.push_back({&p, waited, expired});
   };
   admit(leader);
   for (Pending& p : coalesced) admit(p);
   if (live.empty()) return;
+  // Every member expired: run anyway under a floor budget, forced into
+  // anytime mode so truncation returns the best-so-far groups it reached.
+  const bool all_expired = !unlimited && budget <= 0.0;
+  if (all_expired) budget = kExpiredBudgetFloorMs;
 
   // Pin once for the whole run: graph, index, checker and every cache
   // access come from this epoch, and all coalesced responses carry it. The
@@ -300,6 +320,7 @@ void KtgServer::ExecuteOne(Pending leader, std::vector<Pending> coalesced) {
 
   EngineOptions eopts = options_.engine;
   eopts.sort = leader.sort;
+  eopts.mode = leader.mode;
   // One worker = one serial engine: responses stay bit-identical to a
   // serial RunKtg, and a cache-wrapped checker is not concurrent-read-safe
   // anyway.
@@ -312,6 +333,11 @@ void KtgServer::ExecuteOne(Pending leader, std::vector<Pending> coalesced) {
   // deadline among them (docs/server.md: a duplicate can only improve, not
   // tighten, another request's budget).
   eopts.time_budget_ms = unlimited ? 0.0 : budget;
+  // kPortfolio already returns best-so-far under any budget; only an exact
+  // run needs the anytime upgrade to have something to report.
+  if (all_expired && eopts.mode == EngineMode::kExact) {
+    eopts.mode = EngineMode::kAnytime;
+  }
 
   // The snapshot's checker is shared and read-safe; the per-run state —
   // BFS scratch for kBfs, the stateful cache wrapper — is built here,
@@ -330,9 +356,26 @@ void KtgServer::ExecuteOne(Pending leader, std::vector<Pending> coalesced) {
     checker = wrapped.get();
   }
 
-  KtgEngine engine(snap->graph(), snap->index(), *checker, eopts);
   Stopwatch exec;
-  const auto result = engine.Run(leader.query);
+  bool complete = false;
+  const Result<KtgResult> result = [&]() -> Result<KtgResult> {
+    if (eopts.mode == EngineMode::kPortfolio) {
+      // The portfolio never claims completeness; stats.gap reports how far
+      // from optimal the groups can be (0 = proved optimal). `complete`
+      // stays false so differential checkers skip representative-sensitive
+      // comparisons against the exact oracle.
+      heur::PortfolioOptions popts;
+      popts.num_threads = 1;  // one worker = one serial run, like the engine
+      popts.time_budget_ms = eopts.time_budget_ms;
+      popts.metrics = &metrics_;
+      return heur::RunKtgPortfolio(snap->graph(), snap->index(), *checker,
+                                   leader.query, popts);
+    }
+    KtgEngine engine(snap->graph(), snap->index(), *checker, eopts);
+    auto run = engine.Run(leader.query);
+    complete = engine.last_run_complete();
+    return run;
+  }();
   const double exec_ms = exec.ElapsedMillis();
 
   if (!result.ok()) {
@@ -343,12 +386,16 @@ void KtgServer::ExecuteOne(Pending leader, std::vector<Pending> coalesced) {
     return;
   }
 
-  const bool complete = engine.last_run_complete();
-  if (!complete) {
+  if (!complete && eopts.mode != EngineMode::kPortfolio) {
     metrics_.counter("server.incomplete").Add();
-    if (eopts.time_budget_ms > 0) {
+    // The per-request misses of an all-expired batch were already counted
+    // at admission; only a live deadline truncating the run counts here.
+    if (eopts.time_budget_ms > 0 && !all_expired) {
       metrics_.counter("server.deadline_missed").Add();
     }
+  }
+  if (expired_count > 0) {
+    metrics_.counter("server.expired_served").Add(expired_count);
   }
   metrics_.counter("server.completed").Add(live.size());
   metrics_.histogram("server.exec_ms").Record(exec_ms);
@@ -356,8 +403,9 @@ void KtgServer::ExecuteOne(Pending leader, std::vector<Pending> coalesced) {
     ServingInfo serving;
     serving.queue_ms = l.queue_ms;
     serving.exec_ms = exec_ms;
-    serving.complete = complete;
+    serving.complete = complete && !l.expired;
     serving.coalesced = l.p != &leader;
+    serving.gap = result->stats.gap;
     serving.epoch = snap->epoch();
     l.p->cb(QueryResponseJson(l.p->id, snap->graph(), l.p->query, *result,
                               serving));

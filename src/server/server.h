@@ -22,12 +22,17 @@
 //     result tier stay hot for them ("affinity").
 //   * Deadlines — a request's remaining deadline (total minus queue wait)
 //     maps onto EngineOptions::time_budget_ms; requests whose deadline
-//     expires while queued are answered "timeout" without running.
+//     expired while queued still ride the (possibly shared) run and are
+//     answered with its best-so-far groups, serving.complete=false and a
+//     sound serving.gap. When *every* member of a batch expired, the run
+//     executes under a small floor budget in anytime mode so there is a
+//     best-so-far to report.
 //
 // Engine runs use num_threads = 1: parallelism is across requests, not
-// within one, which keeps every response bit-identical to a serial
-// RunKtg() against the response's pinned epoch — the loadgen differential
-// check replays exactly that.
+// within one, which keeps every complete response bit-identical to a
+// serial RunKtg() against the response's pinned epoch — the loadgen
+// differential check replays exactly that (incomplete responses are
+// exempt; their groups depend on where truncation landed).
 //
 // Snapshots are pinned at *execution* time, not submission: a batch of
 // coalesced requests shares one run at one epoch, and the response's
@@ -137,9 +142,16 @@ class KtgServer {
 
   /// Typed submission path for in-process callers (benches, tests); same
   /// admission/batching/deadline treatment as the wire path.
-  /// `deadline_ms` <= 0 means "server default".
+  /// `deadline_ms` <= 0 means "server default". The 5-argument form runs
+  /// in the server's configured engine mode; the 6-argument form picks a
+  /// per-request mode (requests only coalesce with same-mode duplicates).
   void SubmitQuery(uint64_t id, KtgQuery query, SortStrategy sort,
-                   double deadline_ms, ResponseCallback cb);
+                   double deadline_ms, ResponseCallback cb) {
+    SubmitQuery(id, std::move(query), sort, deadline_ms, options_.engine.mode,
+                std::move(cb));
+  }
+  void SubmitQuery(uint64_t id, KtgQuery query, SortStrategy sort,
+                   double deadline_ms, EngineMode mode, ResponseCallback cb);
 
   /// Typed writer path: applies `batch`, publishes the next epoch (in-
   /// process equivalent of the wire `mutate` op). Must not be called
@@ -164,6 +176,7 @@ class KtgServer {
     uint64_t id = 0;
     KtgQuery query;
     SortStrategy sort = SortStrategy::kVkcDeg;
+    EngineMode mode = EngineMode::kExact;  // effective per-request mode
     double deadline_ms = 0.0;  // effective total deadline; 0 = none
     Stopwatch waited;          // started at admission
     QueryKey key;              // canonical identity for coalescing

@@ -11,7 +11,7 @@
 
 #include "cli/args.h"
 #include "cli/commands.h"
-#include "tests/schema_check.h"
+#include "obs/schema_check.h"
 
 namespace ktg::cli {
 namespace {
@@ -253,7 +253,7 @@ TEST_F(CliCommandTest, QueryMetricsJsonSidecar) {
     EXPECT_NE(json.find(needle), std::string::npos) << needle << "\n" << json;
   }
   // Structural validation on top of the substring goldens.
-  const auto problems = ktg::testing::CheckMetricsV1(json);
+  const auto problems = ktg::obs::CheckMetricsV1(json);
   EXPECT_TRUE(problems.empty()) << problems.front();
   std::remove(metrics.c_str());
 }

@@ -18,7 +18,7 @@
 #include "obs/metrics.h"
 #include "obs/phase_timer.h"
 #include "obs/phases.h"
-#include "tests/schema_check.h"
+#include "obs/schema_check.h"
 #include "obs/query_trace.h"
 #include "util/thread_pool.h"
 
@@ -99,7 +99,7 @@ TEST(MetricsRegistryTest, JsonSchema) {
         "\"query_ms\":", "\"count\":1", "\"p50\":", "\"p99\":", "\"sum\":"}) {
     EXPECT_NE(json.find(needle), std::string::npos) << needle << "\n" << json;
   }
-  const auto problems = ktg::testing::CheckMetricsV1(json);
+  const auto problems = ktg::obs::CheckMetricsV1(json);
   EXPECT_TRUE(problems.empty()) << problems.front();
 }
 
@@ -203,7 +203,7 @@ TEST(QueryTraceTest, JsonSchema) {
         "\"depth\":2", "\"vertex\":7", "\"detail\":42"}) {
     EXPECT_NE(json.find(needle), std::string::npos) << needle << "\n" << json;
   }
-  const auto problems = ktg::testing::CheckTraceV1(json);
+  const auto problems = ktg::obs::CheckTraceV1(json);
   EXPECT_TRUE(problems.empty()) << problems.front();
 }
 

@@ -24,7 +24,7 @@
 #include "server/protocol.h"
 #include "server/server.h"
 #include "server/tcp.h"
-#include "tests/schema_check.h"
+#include "obs/schema_check.h"
 #include "util/json_parse.h"
 #include "util/macros.h"
 #include "util/rng.h"
@@ -32,8 +32,8 @@
 namespace ktg::server {
 namespace {
 
-using ::ktg::testing::CheckMetricsV1;
-using ::ktg::testing::CheckResponseV1;
+using ::ktg::obs::CheckMetricsV1;
+using ::ktg::obs::CheckResponseV1;
 
 std::string Problems(const std::vector<std::string>& p) {
   std::string out;
@@ -305,7 +305,7 @@ TEST(KtgServerTest, AdmissionControlRejectsWhenQueueFull) {
   server.Stop();
 }
 
-TEST(KtgServerTest, ExpiredDeadlineAnswersTimeoutWithoutRunning) {
+TEST(KtgServerTest, ExpiredDeadlineServesBestSoFarWithGap) {
   AttributedGraph graph = TestGraph();
   const auto queries = TestWorkload(graph, 1);
   ASSERT_FALSE(queries.empty());
@@ -313,7 +313,9 @@ TEST(KtgServerTest, ExpiredDeadlineAnswersTimeoutWithoutRunning) {
   KtgServer server(std::move(graph), {});
   ASSERT_TRUE(server.Start().ok());
   // Any nonzero queue wait exceeds a 1ns deadline by the time a worker
-  // claims the request.
+  // claims the request: the run happens anyway (floor budget, anytime
+  // mode) and the response carries best-so-far groups plus a sound gap
+  // instead of a bare timeout.
   std::promise<std::string> p;
   auto f = p.get_future();
   server.SubmitQuery(1, queries[0], SortStrategy::kVkcDeg, 1e-6,
@@ -323,8 +325,45 @@ TEST(KtgServerTest, ExpiredDeadlineAnswersTimeoutWithoutRunning) {
       << Problems(CheckResponseV1(response));
   auto doc = ParseJson(response);
   ASSERT_TRUE(doc.ok());
-  EXPECT_EQ(doc->Find("status")->AsString(), "timeout");
+  EXPECT_EQ(doc->Find("status")->AsString(), "ok");
+  const JsonValue* serving = doc->Find("serving");
+  ASSERT_NE(serving, nullptr);
+  EXPECT_FALSE(serving->GetBool("complete", true).value());
+  // The gap is a sound bound: 0 <= gap <= |W_Q|.
+  const double gap = serving->Find("gap")->AsDouble();
+  EXPECT_GE(gap, 0.0);
+  EXPECT_LE(gap, static_cast<double>(queries[0].keywords.size()));
   EXPECT_GE(server.metrics().CounterValue("server.deadline_missed"), 1u);
+  EXPECT_GE(server.metrics().CounterValue("server.expired_served"), 1u);
+  server.Stop();
+}
+
+// A server configured with engine.mode = portfolio answers queries from
+// the metaheuristic portfolio: status "ok", serving.complete always false
+// (heuristic answers are never claimed exact), and a sound serving.gap.
+TEST(KtgServerTest, PortfolioModeServesHeuristicAnswers) {
+  AttributedGraph graph = TestGraph();
+  const auto queries = TestWorkload(graph, 1);
+  ASSERT_FALSE(queries.empty());
+
+  ServerOptions opts;
+  opts.engine.mode = EngineMode::kPortfolio;
+  KtgServer server(std::move(graph), opts);
+  ASSERT_TRUE(server.Start().ok());
+  std::promise<std::string> p;
+  auto f = p.get_future();
+  server.SubmitQuery(1, queries[0], SortStrategy::kVkcDeg, 0.0,
+                     [&](std::string r) { p.set_value(std::move(r)); });
+  const std::string response = f.get();
+  ASSERT_TRUE(CheckResponseV1(response).empty())
+      << Problems(CheckResponseV1(response));
+  auto doc = ParseJson(response);
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc->Find("status")->AsString(), "ok");
+  const JsonValue* serving = doc->Find("serving");
+  ASSERT_NE(serving, nullptr);
+  EXPECT_FALSE(serving->GetBool("complete", true).value());
+  EXPECT_GE(serving->Find("gap")->AsDouble(), 0.0);
   server.Stop();
 }
 

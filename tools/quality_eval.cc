@@ -1,0 +1,212 @@
+// Copyright (c) 2026 The ktg Authors.
+// Portfolio quality evaluation for the CI quality gate.
+//
+// Generates the same seeded small-instance families the heur_test
+// certification suite uses (small enough that BruteForceKtg is ground
+// truth), runs the metaheuristic portfolio on every query, and emits a
+// ktg.quality.v1 JSON report: per-instance exact vs portfolio coverage,
+// the reported upper bound and gap, and whether the gap is sound
+// (upper_bound >= exact optimum). ci/check_quality.py consumes the
+// report and fails the build on any unsound gap or on a mean gap above
+// the ratcheted baseline in ci/quality_baseline.json.
+//
+// The portfolio runs with time_budget_ms=0 (pure iteration budget), so
+// the report is deterministic for a given --rounds/--seed: quality
+// regressions in the heuristics show up as reproducible gap increases,
+// not CI flakes.
+//
+// Usage: quality_eval [--rounds N] [--seed S] [--out FILE]
+
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "core/brute_force.h"
+#include "core/query.h"
+#include "datagen/generators.h"
+#include "datagen/keyword_assigner.h"
+#include "datagen/query_gen.h"
+#include "heur/portfolio.h"
+#include "index/bfs_checker.h"
+#include "keywords/inverted_index.h"
+#include "util/json_writer.h"
+#include "util/rng.h"
+
+namespace ktg {
+namespace {
+
+struct Instance {
+  AttributedGraph graph;
+  std::vector<KtgQuery> queries;
+};
+
+// Mirrors heur_test's MakeInstance: the certified small-instance families.
+Instance MakeInstance(int round) {
+  Rng rng(0x4E0B0 + round * 1327);
+  Graph topo;
+  switch (round % 4) {
+    case 0:
+      topo = ErdosRenyi(32, 0.09, rng);
+      break;
+    case 1:
+      topo = BarabasiAlbert(34, 2, rng);
+      break;
+    case 2:
+      topo = WattsStrogatz(30, 2, 0.2, rng);
+      break;
+    default:
+      topo = ChungLuPowerLaw(36, 5.0, 2.5, rng);
+      break;
+  }
+  KeywordModel model;
+  model.vocabulary_size = 12;
+  model.min_per_vertex = 1;
+  model.max_per_vertex = 3;
+  model.empty_fraction = 0.1;
+  Instance inst{AssignKeywords(std::move(topo), model, rng), {}};
+
+  WorkloadOptions wopts;
+  wopts.num_queries = 3;
+  wopts.keyword_count = 4 + round % 3;
+  wopts.group_size = 2 + round % 3;
+  wopts.tenuity = static_cast<HopDistance>(1 + round % 2);
+  wopts.top_n = 1 + round % 3;
+  inst.queries = GenerateWorkload(inst.graph, wopts, rng);
+  return inst;
+}
+
+int BestCovered(const KtgResult& r) {
+  return r.groups.empty() ? 0 : r.groups.front().covered();
+}
+
+int Run(int rounds, uint64_t seed, const std::string& out_path) {
+  JsonWriter w;
+  w.BeginObject();
+  w.KV("schema", "ktg.quality.v1");
+  w.KV("rounds", static_cast<int64_t>(rounds));
+  w.KV("seed", static_cast<int64_t>(seed));
+  w.Key("instances").BeginArray();
+
+  int instances = 0;
+  int unsound = 0;
+  int missed_optimum = 0;
+  int64_t gap_sum = 0;
+  int64_t shortfall_sum = 0;  // exact_best - portfolio_best, clamped at 0
+
+  for (int round = 0; round < rounds; ++round) {
+    const Instance inst = MakeInstance(round);
+    const InvertedIndex idx(inst.graph);
+    int qi = 0;
+    for (const KtgQuery& q : inst.queries) {
+      BfsChecker ref_checker(inst.graph.graph());
+      const auto truth = BruteForceKtg(inst.graph, idx, ref_checker, q);
+      if (!truth.ok()) {
+        std::fprintf(stderr, "brute force failed: %s\n",
+                     truth.status().ToString().c_str());
+        return 1;
+      }
+      const int optimum = BestCovered(*truth);
+
+      BfsChecker checker(inst.graph.graph());
+      heur::PortfolioOptions popts;
+      popts.seed = seed;
+      const auto got = heur::RunKtgPortfolio(inst.graph, idx, checker, q, popts);
+      if (!got.ok()) {
+        std::fprintf(stderr, "portfolio failed: %s\n",
+                     got.status().ToString().c_str());
+        return 1;
+      }
+
+      const int best = BestCovered(*got);
+      const int ub = got->stats.upper_bound;
+      const int gap = got->stats.gap;
+      const bool sound = ub >= optimum && gap == ub - best;
+
+      ++instances;
+      if (!sound) ++unsound;
+      if (best < optimum) ++missed_optimum;
+      gap_sum += gap;
+      shortfall_sum += optimum > best ? optimum - best : 0;
+
+      w.BeginObject();
+      w.KV("round", static_cast<int64_t>(round));
+      w.KV("query", static_cast<int64_t>(qi++));
+      w.KV("p", static_cast<int64_t>(q.group_size));
+      w.KV("k", static_cast<int64_t>(q.tenuity));
+      w.KV("wq", static_cast<int64_t>(q.keywords.size()));
+      w.KV("exact_best", static_cast<int64_t>(optimum));
+      w.KV("portfolio_best", static_cast<int64_t>(best));
+      w.KV("upper_bound", static_cast<int64_t>(ub));
+      w.KV("gap", static_cast<int64_t>(gap));
+      w.KV("sound", sound);
+      w.EndObject();
+    }
+  }
+  w.EndArray();
+
+  w.Key("summary").BeginObject();
+  w.KV("instances", static_cast<int64_t>(instances));
+  w.KV("unsound", static_cast<int64_t>(unsound));
+  w.KV("missed_optimum", static_cast<int64_t>(missed_optimum));
+  w.KV("mean_gap",
+       instances > 0 ? static_cast<double>(gap_sum) / instances : 0.0);
+  w.KV("mean_shortfall",
+       instances > 0 ? static_cast<double>(shortfall_sum) / instances : 0.0);
+  w.EndObject();
+  w.EndObject();
+
+  if (out_path.empty() || out_path == "-") {
+    std::printf("%s\n", w.str().c_str());
+  } else {
+    std::ofstream out(out_path);
+    if (!out) {
+      std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+      return 1;
+    }
+    out << w.str() << "\n";
+  }
+  std::fprintf(stderr,
+               "quality_eval: %d instances, %d unsound, %d missed optimum, "
+               "mean gap %.4f\n",
+               instances, unsound, missed_optimum,
+               instances > 0 ? static_cast<double>(gap_sum) / instances : 0.0);
+  return 0;
+}
+
+}  // namespace
+}  // namespace ktg
+
+int main(int argc, char** argv) {
+  int rounds = 9;
+  uint64_t seed = 17;
+  std::string out_path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s requires a value\n", arg.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--rounds") {
+      rounds = std::atoi(next());
+    } else if (arg == "--seed") {
+      seed = static_cast<uint64_t>(std::strtoull(next(), nullptr, 10));
+    } else if (arg == "--out") {
+      out_path = next();
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--rounds N] [--seed S] [--out FILE]\n", argv[0]);
+      return 2;
+    }
+  }
+  if (rounds <= 0) {
+    std::fprintf(stderr, "--rounds must be positive\n");
+    return 2;
+  }
+  return ktg::Run(rounds, seed, out_path);
+}
