@@ -1,24 +1,31 @@
 // Copyright (c) 2026 The ktg Authors.
-// Kernel microbench (docs/kernels.md): two questions, one binary.
+// Kernel microbench (docs/kernels.md): three questions, one binary.
 //
-//   1. What do the AVX2 word kernels buy over the scalar loops at the
-//      word counts the engines actually see? (Both implementations are
-//      always compiled; this bench calls each directly, bypassing the
+//   1. What does each SIMD dispatch tier (AVX2, AVX-512, NEON) buy over
+//      the scalar loops at the word counts the engines actually see?
+//      (Every tier the build compiled is called directly, bypassing the
 //      runtime dispatch, so the comparison works even on machines where
-//      the dispatcher would pick scalar.)
+//      the dispatcher would pick a lower tier.)
 //   2. What does the ball-walk conflict-graph construction buy over the
 //      all-pairs probe loop as the candidate set grows? (The acceptance
 //      bar for the rewrite: >= 3x at >= 5k candidates.)
+//   3. What does a locality-aware vertex relabeling (graph/reorder.h) buy
+//      the ball-walk construction — the most layout-sensitive kernel —
+//      at a fixed candidate workload? (The full per-mode sweep lives in
+//      bench_reorder; this section is the one-graph summary.)
 //
 // Honors --repeat R / KTG_BENCH_REPEAT (min/median across repeats) and
 // writes the standard metrics sidecar.
 
+#include <algorithm>
 #include <cstdio>
+#include <string>
 #include <vector>
 
 #include "bench/common.h"
 #include "core/conflict_graph_engine.h"
 #include "datagen/generators.h"
+#include "graph/reorder.h"
 #include "index/bfs_checker.h"
 #include "index/khop_bitmap.h"
 #include "util/bitset_ops.h"
@@ -30,11 +37,6 @@ namespace {
 
 // Prevent dead-code elimination without a memory barrier per op.
 volatile uint64_t g_sink = 0;
-
-struct KernelTiming {
-  double scalar_ns = 0.0;
-  double avx2_ns = 0.0;  // 0 when the AVX2 bodies are unavailable
-};
 
 template <typename Fn>
 double TimePerCall(uint64_t reps, Fn&& fn) {
@@ -50,13 +52,46 @@ double TimePerCall(uint64_t reps, Fn&& fn) {
   return best_ms * 1e6 / static_cast<double>(reps);
 }
 
+/// One compiled-and-runnable kernel tier, addressed by function pointer so
+/// every kernel row shares the same timing loop.
+struct KernelTier {
+  const char* name;
+  void (*and_not)(uint64_t*, const uint64_t*, const uint64_t*, size_t);
+  uint64_t (*popcount)(const uint64_t*, size_t);
+  uint64_t (*and_popcount)(const uint64_t*, const uint64_t*, size_t);
+};
+
+std::vector<KernelTier> RunnableTiers() {
+  std::vector<KernelTier> tiers = {{"scalar", &bitset_scalar::AndNot,
+                                    &bitset_scalar::Popcount,
+                                    &bitset_scalar::AndPopcount}};
+#if KTG_BITSET_AVX2_COMPILED
+  if (Avx2Available()) {
+    tiers.push_back({"avx2", &bitset_avx2::AndNot, &bitset_avx2::Popcount,
+                     &bitset_avx2::AndPopcount});
+  }
+#endif
+#if KTG_BITSET_AVX512_COMPILED
+  if (Avx512Available()) {
+    tiers.push_back({"avx512", &bitset_avx512::AndNot,
+                     &bitset_avx512::Popcount, &bitset_avx512::AndPopcount});
+  }
+#endif
+#if KTG_BITSET_NEON_COMPILED
+  tiers.push_back({"neon", &bitset_neon::AndNot, &bitset_neon::Popcount,
+                   &bitset_neon::AndPopcount});
+#endif
+  return tiers;
+}
+
 void BenchWordKernels() {
-  PrintHeader("Bit-parallel kernels: scalar vs AVX2",
+  const auto tiers = RunnableTiers();
+  PrintHeader("Bit-parallel kernels: dispatch tiers vs scalar",
               std::string("dispatch on this machine: ") +
-                  KernelDispatchName() +
-                  (Avx2Available() ? "" : " (CPU lacks AVX2)"));
-  const std::vector<int> widths = {10, 18, 14, 14, 10};
-  PrintRow({"words", "kernel", "scalar ns", "avx2 ns", "speedup"}, widths);
+                  KernelDispatchName() + " (" +
+                  std::to_string(tiers.size()) + " runnable tiers)");
+  const std::vector<int> widths = {10, 14, 10, 12, 10};
+  PrintRow({"words", "kernel", "tier", "ns/call", "speedup"}, widths);
 
   Rng rng(0xBE9C);
   for (const size_t words : {8u, 32u, 128u, 512u, 4096u}) {
@@ -65,72 +100,115 @@ void BenchWordKernels() {
     for (auto& w : b) w = rng.Next();
     const uint64_t reps = words >= 4096 ? 20'000 : 200'000;
 
-    struct Row {
-      const char* name;
-      KernelTiming t;
+    struct Cell {
+      const char* kernel;
+      const char* tier;
+      double ns;
     };
-    std::vector<Row> rows;
-
-    {
-      Row r{"and_not", {}};
-      r.t.scalar_ns = TimePerCall(reps, [&] {
-        bitset_scalar::AndNot(dst.data(), a.data(), b.data(), words);
-        g_sink = g_sink + dst[0];
-      });
-#if KTG_BITSET_AVX2_COMPILED
-      if (Avx2Available()) {
-        r.t.avx2_ns = TimePerCall(reps, [&] {
-          bitset_avx2::AndNot(dst.data(), a.data(), b.data(), words);
-          g_sink = g_sink + dst[0];
-        });
-      }
-#endif
-      rows.push_back(r);
-    }
-    {
-      Row r{"popcount", {}};
-      r.t.scalar_ns = TimePerCall(
-          reps, [&] { g_sink = g_sink + bitset_scalar::Popcount(a.data(), words); });
-#if KTG_BITSET_AVX2_COMPILED
-      if (Avx2Available()) {
-        r.t.avx2_ns = TimePerCall(
-            reps, [&] { g_sink = g_sink + bitset_avx2::Popcount(a.data(), words); });
-      }
-#endif
-      rows.push_back(r);
-    }
-    {
-      Row r{"and_popcount", {}};
-      r.t.scalar_ns = TimePerCall(reps, [&] {
-        g_sink = g_sink + bitset_scalar::AndPopcount(a.data(), b.data(), words);
-      });
-#if KTG_BITSET_AVX2_COMPILED
-      if (Avx2Available()) {
-        r.t.avx2_ns = TimePerCall(reps, [&] {
-          g_sink = g_sink + bitset_avx2::AndPopcount(a.data(), b.data(), words);
-        });
-      }
-#endif
-      rows.push_back(r);
+    std::vector<Cell> cells;
+    for (const KernelTier& tier : tiers) {
+      cells.push_back({"and_not", tier.name, TimePerCall(reps, [&] {
+                         tier.and_not(dst.data(), a.data(), b.data(), words);
+                         g_sink = g_sink + dst[0];
+                       })});
+      cells.push_back({"popcount", tier.name, TimePerCall(reps, [&] {
+                         g_sink = g_sink + tier.popcount(a.data(), words);
+                       })});
+      cells.push_back({"and_popcount", tier.name, TimePerCall(reps, [&] {
+                         g_sink = g_sink +
+                                  tier.and_popcount(a.data(), b.data(), words);
+                       })});
     }
 
-    for (const auto& row : rows) {
-      const bool have_avx2 = row.t.avx2_ns > 0.0;
-      PrintRow({std::to_string(words), row.name, Fmt(row.t.scalar_ns),
-                have_avx2 ? Fmt(row.t.avx2_ns) : "-",
-                have_avx2 ? Fmt(row.t.scalar_ns / row.t.avx2_ns) + "x" : "-"},
-               widths);
-      Metrics()
-          .gauge(std::string("kernel.bench.") + row.name + ".scalar_ns.w" +
-                 std::to_string(words))
-          .Set(row.t.scalar_ns);
-      if (have_avx2) {
+    // Scalar is always tiers[0]; report each tier's speedup against it.
+    for (const char* kernel : {"and_not", "popcount", "and_popcount"}) {
+      double scalar_ns = 0.0;
+      for (const Cell& c : cells) {
+        if (c.kernel == kernel && std::string(c.tier) == "scalar") {
+          scalar_ns = c.ns;
+        }
+      }
+      for (const Cell& c : cells) {
+        if (c.kernel != kernel) continue;
+        const bool is_scalar = std::string(c.tier) == "scalar";
+        PrintRow({std::to_string(words), c.kernel, c.tier, Fmt(c.ns),
+                  is_scalar ? "1.00x" : Fmt(scalar_ns / c.ns) + "x"},
+                 widths);
         Metrics()
-            .gauge(std::string("kernel.bench.") + row.name + ".avx2_ns.w" +
-                   std::to_string(words))
-            .Set(row.t.avx2_ns);
+            .gauge(std::string("kernel.bench.") + c.kernel + "." + c.tier +
+                   "_ns.w" + std::to_string(words))
+            .Set(c.ns);
       }
     }
+  }
+}
+
+void BenchReorderLocality() {
+  // The layout-sensitivity summary: the same candidate workload (the same
+  // vertices, followed through each relabeling) against the index-free
+  // BFS ball walk, whose traversal order is exactly the id order the
+  // reorder pass optimizes. Conflict-edge counts must agree across modes
+  // — the instance is isomorphic, only the labels move.
+  constexpr uint32_t kVertices = 10'000;
+  constexpr HopDistance kK = 2;
+  Rng rng(0x12E0);
+  const Graph original = BarabasiAlbert(kVertices, 3, rng);
+
+  PrintHeader("Graph reordering: ball-walk construction vs vertex layout",
+              "BarabasiAlbert n=10000 m0=3, k=2, 5000 candidates; same "
+              "vertex set under every labeling (bench_reorder has the "
+              "full per-dataset sweep)");
+  const std::vector<int> widths = {12, 14, 14, 12, 14};
+  PrintRow({"mode", "mean |u-v|", "mean log2 gap", "ballwalk ms", "edges"},
+           widths);
+
+  uint64_t baseline_edges = 0;
+  for (const ReorderMode mode :
+       {ReorderMode::kNone, ReorderMode::kDegree, ReorderMode::kBfs,
+        ReorderMode::kDegeneracy}) {
+    const VertexRemap remap = ComputeReorder(original, mode);
+    const Graph graph = ApplyRemap(original, remap);
+    const LocalityStats locality = ComputeLocality(graph);
+
+    // The same 5000 vertices (every other original id), relabeled and
+    // re-sorted the way candidate generation would enumerate them.
+    std::vector<VertexId> members;
+    for (uint32_t v = 0; v < kVertices; v += 2) {
+      members.push_back(remap.ToNew(v));
+    }
+    std::sort(members.begin(), members.end());
+    std::vector<Candidate> cands;
+    cands.reserve(members.size());
+    for (const VertexId v : members) {
+      Candidate c;
+      c.vertex = v;
+      cands.push_back(c);
+    }
+
+    BfsChecker bfs(graph);
+    double best_ms = -1.0;
+    uint64_t edges = 0;
+    for (uint32_t rep = 0; rep < BenchRepeats() + 1; ++rep) {
+      Stopwatch watch;
+      const auto cg = BuildConflictAdjacency(graph, bfs, cands, kK,
+                                             ConflictBuild::kBallWalk);
+      const double ms = watch.ElapsedMillis();
+      edges = cg.edges;
+      if (rep == 0) continue;  // warm-up
+      if (best_ms < 0.0 || ms < best_ms) best_ms = ms;
+    }
+    if (mode == ReorderMode::kNone) baseline_edges = edges;
+    KTG_CHECK(edges == baseline_edges);
+
+    PrintRow({ReorderModeName(mode), Fmt(locality.mean_gap),
+              Fmt(locality.mean_log2_gap), Fmt(best_ms),
+              std::to_string(edges)},
+             widths);
+    const std::string prefix =
+        std::string("kernel.bench.reorder.") + ReorderModeName(mode);
+    Metrics().gauge(prefix + ".mean_gap").Set(locality.mean_gap);
+    Metrics().gauge(prefix + ".mean_log2_gap").Set(locality.mean_log2_gap);
+    Metrics().gauge(prefix + ".ballwalk_ms").Set(best_ms);
   }
 }
 
@@ -212,8 +290,10 @@ int main(int argc, char** argv) {
   ktg::bench::ConsumeThreadsFlag(&argc, argv);
   ktg::bench::InstallBenchSignalFlush("bench_kernels");
   ktg::bench::ConsumeRepeatFlag(&argc, argv);
+  ktg::bench::ConsumeReorderFlag(&argc, argv);
   ktg::bench::BenchWordKernels();
   ktg::bench::BenchConflictConstruction();
+  ktg::bench::BenchReorderLocality();
   ktg::bench::WriteMetricsSidecar("bench_kernels");
   return 0;
 }

@@ -1,0 +1,151 @@
+// Copyright (c) 2026 The ktg Authors.
+// The locality sweep (docs/performance.md, "Graph reordering"): one dataset,
+// every reorder mode, three measurements per mode —
+//
+//   * what the relabeling itself costs (permutation + CSR/keyword rebuild),
+//   * what it does to the layout (edge-gap locality before/after),
+//   * what the engine gets back: k-hop bitmap build time (rows are bitsets
+//     over vertex ids, the most layout-sensitive index) and branch-and-bound
+//     query latency, min/median across --repeat runs.
+//
+// Queries are generated once against the ORIGINAL labeling and carried
+// across the boundary per mode (core/reorder_boundary.h), exactly as
+// `ktg query --reorder` does — so the sweep also asserts that every mode
+// returns the baseline's coverage profile before it reports a single
+// number. Honors --repeat/--threads and KTG_BENCH_SCALE; writes the
+// standard metrics sidecar.
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/common.h"
+#include "util/rng.h"
+#include "util/timer.h"
+
+namespace ktg::bench {
+namespace {
+
+std::vector<int> CoverageProfile(const std::vector<Group>& groups) {
+  std::vector<int> out;
+  out.reserve(groups.size());
+  for (const auto& g : groups) out.push_back(g.covered());
+  return out;
+}
+
+void RunSweep(const std::string& preset_name) {
+  auto spec = GetPreset(preset_name, BenchScale());
+  KTG_CHECK_MSG(spec.ok(), spec.status().ToString().c_str());
+  std::fprintf(stderr, "[bench] building dataset %s (n=%u)...\n",
+               preset_name.c_str(), spec->num_vertices);
+  const AttributedGraph original = BuildDataset(*spec);
+
+  WorkloadOptions wopts;
+  wopts.num_queries = BenchQueries();
+  wopts.keyword_count = kDefaultWq;
+  wopts.group_size = kDefaultP;
+  wopts.tenuity = kDefaultK;
+  wopts.top_n = kDefaultN;
+  Rng rng(0x2E02DE2);
+  const auto queries = GenerateWorkload(original, wopts, rng);
+
+  PrintHeader(
+      "Reorder sweep: " + preset_name,
+      "n=" + std::to_string(original.num_vertices()) +
+          " m=" + std::to_string(original.num_edges()) + ", " +
+          std::to_string(queries.size()) + " queries (p=" +
+          std::to_string(kDefaultP) + " k=" + std::to_string(kDefaultK) +
+          " |Wq|=" + std::to_string(kDefaultWq) + "), bitmap checker, " +
+          std::to_string(BenchRepeats()) + " repeats");
+  const std::vector<int> widths = {12, 12, 12, 14, 14, 10, 10, 12};
+  PrintRow({"mode", "reorder ms", "mean |u-v|", "mean log2 gap",
+            "bitmap build s", "avg ms", "min ms", "median ms"},
+           widths);
+
+  std::vector<std::vector<int>> baseline_profiles;
+  for (const ReorderMode mode :
+       {ReorderMode::kNone, ReorderMode::kDegree, ReorderMode::kBfs,
+        ReorderMode::kDegeneracy}) {
+    AttributedGraph graph = original;
+    const ReorderPlan plan = ReorderDataset(&graph, mode);
+    RecordReorderMetrics(&Metrics(), plan);
+    const InvertedIndex index(graph);
+
+    Stopwatch build_watch;
+    auto checker =
+        MakeChecker(CheckerKind::kKHopBitmap, graph.graph(), kDefaultK,
+                    BenchThreads());
+    const double build_s = build_watch.ElapsedSeconds();
+
+    // Each query crosses the boundary exactly as `ktg query --reorder`
+    // sends it: mapped in, groups mapped back out.
+    std::vector<double> per_repeat_avg_ms;
+    std::vector<std::vector<int>> profiles;
+    for (uint32_t rep = 0; rep < BenchRepeats(); ++rep) {
+      Stopwatch watch;
+      for (size_t qi = 0; qi < queries.size(); ++qi) {
+        const KtgQuery iq = plan.active()
+                                ? MapQueryToInternal(queries[qi], plan.remap)
+                                : queries[qi];
+        auto result = RunKtg(graph, index, *checker, iq, {});
+        KTG_CHECK_MSG(result.ok(), "engine run");
+        if (plan.active()) {
+          MapGroupsToOriginal(plan.remap, &result->groups);
+        }
+        if (rep == 0) profiles.push_back(CoverageProfile(result->groups));
+      }
+      per_repeat_avg_ms.push_back(watch.ElapsedMillis() /
+                                  static_cast<double>(queries.size()));
+    }
+
+    // Exactness first, numbers second: every mode must reproduce the
+    // unreordered coverage profiles query for query.
+    if (mode == ReorderMode::kNone) {
+      baseline_profiles = profiles;
+    } else {
+      KTG_CHECK_MSG(profiles == baseline_profiles,
+                    "reorder changed a coverage profile");
+    }
+
+    std::vector<double> sorted = per_repeat_avg_ms;
+    std::sort(sorted.begin(), sorted.end());
+    const double min_ms = sorted.front();
+    const double median_ms = sorted[sorted.size() / 2];
+    double avg_ms = 0.0;
+    for (const double ms : per_repeat_avg_ms) avg_ms += ms;
+    avg_ms /= static_cast<double>(per_repeat_avg_ms.size());
+
+    const double reorder_ms = plan.compute_ms + plan.apply_ms;
+    const LocalityStats& locality =
+        plan.active() ? plan.after : ComputeLocality(graph.graph());
+    PrintRow({ReorderModeName(mode), Fmt(reorder_ms), Fmt(locality.mean_gap),
+              Fmt(locality.mean_log2_gap), Fmt(build_s, 3), Fmt(avg_ms),
+              Fmt(min_ms), Fmt(median_ms)},
+             widths);
+
+    const std::string prefix =
+        std::string("kernel.reorder.sweep.") + ReorderModeName(mode);
+    Metrics().gauge(prefix + ".reorder_ms").Set(reorder_ms);
+    Metrics().gauge(prefix + ".mean_gap").Set(locality.mean_gap);
+    Metrics().gauge(prefix + ".mean_log2_gap").Set(locality.mean_log2_gap);
+    Metrics().gauge(prefix + ".bitmap_build_s").Set(build_s);
+    Metrics().gauge(prefix + ".avg_ms").Set(avg_ms);
+    Metrics().gauge(prefix + ".min_ms").Set(min_ms);
+    Metrics().gauge(prefix + ".median_ms").Set(median_ms);
+  }
+}
+
+}  // namespace
+}  // namespace ktg::bench
+
+int main(int argc, char** argv) {
+  ktg::bench::ConsumeThreadsFlag(&argc, argv);
+  ktg::bench::InstallBenchSignalFlush("bench_reorder");
+  ktg::bench::ConsumeRepeatFlag(&argc, argv);
+  ktg::bench::ConsumeReorderFlag(&argc, argv);  // accepted, unused: the
+                                                // sweep runs every mode
+  ktg::bench::RunSweep(argc > 1 ? argv[1] : "gowalla");
+  ktg::bench::WriteMetricsSidecar("bench_reorder");
+  return 0;
+}

@@ -54,6 +54,15 @@ void RecordCheckerDelta(obs::MetricsRegistry* metrics,
                         DistanceChecker& checker,
                         const CheckerCounters& before);
 
+/// Records which bitset kernel tier the process dispatches to (no-op when
+/// `metrics` is null): gauges kernel.dispatch.avx512/.avx2/.neon (1 when
+/// that tier is both compiled in and CPU-supported, 0 otherwise) and
+/// kernel.dispatch.active.<tier> = 1 for the tier BitAndNot and friends
+/// actually run — the dispatch decision after the KTG_DISABLE_* escape
+/// hatches. Entry points call this once at startup so every metrics dump
+/// records the hardware tier its numbers were measured on.
+void RecordKernelDispatchMetrics(obs::MetricsRegistry* metrics);
+
 }  // namespace ktg
 
 #endif  // KTG_CORE_OBS_BRIDGE_H_

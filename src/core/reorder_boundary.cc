@@ -1,0 +1,133 @@
+// Copyright (c) 2026 The ktg Authors.
+
+#include "core/reorder_boundary.h"
+
+#include <algorithm>
+#include <string>
+#include <utility>
+
+#include "obs/metrics.h"
+#include "obs/phases.h"
+#include "util/timer.h"
+
+namespace ktg {
+
+AttributedGraph ApplyRemap(const AttributedGraph& graph,
+                           const VertexRemap& remap) {
+  KTG_CHECK(remap.num_vertices() == graph.num_vertices());
+  AttributedGraphBuilder builder;
+  builder.SetGraph(ApplyRemap(graph.graph(), remap));
+  // Share the vocabulary verbatim: keyword ids must not shift, they are
+  // referenced by queries, cache keys and the append-only epoch contract.
+  builder.mutable_vocabulary() = graph.vocabulary();
+  const uint32_t n = graph.num_vertices();
+  for (VertexId v = 0; v < n; ++v) {
+    const VertexId nv = remap.ToNew(v);
+    for (const KeywordId kw : graph.Keywords(v)) {
+      builder.AddKeywordId(nv, kw);
+    }
+  }
+  return builder.Build();
+}
+
+ReorderPlan ReorderDataset(AttributedGraph* graph, ReorderMode mode) {
+  ReorderPlan plan;
+  plan.mode = mode;
+  if (mode == ReorderMode::kNone) {
+    plan.remap = VertexRemap::Identity(graph->num_vertices());
+    return plan;
+  }
+  Stopwatch compute;
+  plan.remap = ComputeReorder(graph->graph(), mode);
+  plan.compute_ms = compute.ElapsedMillis();
+
+  plan.before = ComputeLocality(graph->graph());
+  Stopwatch apply;
+  *graph = ApplyRemap(*graph, plan.remap);
+  plan.apply_ms = apply.ElapsedMillis();
+  plan.after = ComputeLocality(graph->graph());
+  return plan;
+}
+
+ReorderPlan ReorderDatasetWithRemap(AttributedGraph* graph,
+                                    VertexRemap remap) {
+  ReorderPlan plan;
+  // An explicit permutation behaves like a selected order for every
+  // boundary purpose; report it under the closest mode bucket.
+  plan.mode = ReorderMode::kBfs;
+  plan.before = ComputeLocality(graph->graph());
+  Stopwatch apply;
+  plan.remap = std::move(remap);
+  *graph = ApplyRemap(*graph, plan.remap);
+  plan.apply_ms = apply.ElapsedMillis();
+  plan.after = ComputeLocality(graph->graph());
+  return plan;
+}
+
+KtgQuery MapQueryToInternal(const KtgQuery& query, const VertexRemap& remap) {
+  KtgQuery mapped = query;
+  remap.MapToNew(&mapped.query_vertices);
+  remap.MapToNew(&mapped.excluded_vertices);
+  return mapped;
+}
+
+void MapGroupsToOriginal(const VertexRemap& remap,
+                         std::vector<Group>* groups) {
+  for (Group& g : *groups) MapMembersToOriginal(remap, &g.members);
+}
+
+void MapMembersToOriginal(const VertexRemap& remap,
+                          std::vector<VertexId>* members) {
+  remap.MapToOld(members);
+  std::sort(members->begin(), members->end());
+}
+
+MutationBatch MapBatchToInternal(const MutationBatch& batch,
+                                 const VertexRemap& remap) {
+  MutationBatch mapped;
+  const uint32_t n = remap.num_vertices();
+  // Out-of-range vertices pass through unmapped so the snapshot store
+  // rejects the batch with the same validation error as an unreordered
+  // server would.
+  const auto map = [&](VertexId v) { return v < n ? remap.ToNew(v) : v; };
+  mapped.add_edges.reserve(batch.add_edges.size());
+  for (const auto& [u, v] : batch.add_edges) {
+    mapped.add_edges.emplace_back(map(u), map(v));
+  }
+  mapped.remove_edges.reserve(batch.remove_edges.size());
+  for (const auto& [u, v] : batch.remove_edges) {
+    mapped.remove_edges.emplace_back(map(u), map(v));
+  }
+  mapped.add_keywords.reserve(batch.add_keywords.size());
+  for (const auto& [v, term] : batch.add_keywords) {
+    mapped.add_keywords.emplace_back(map(v), term);
+  }
+  return mapped;
+}
+
+void RecordReorderMetrics(obs::MetricsRegistry* metrics,
+                          const ReorderPlan& plan) {
+  if (metrics == nullptr) return;
+  const std::string p = std::string("kernel.reorder.") +
+                        ReorderModeName(plan.mode);
+  metrics->counter("kernel.reorder.applied").Add(plan.active() ? 1 : 0);
+  metrics->gauge(p + ".compute_ms").Set(plan.compute_ms);
+  metrics->gauge(p + ".apply_ms").Set(plan.apply_ms);
+  metrics->gauge(p + ".mean_gap_before").Set(plan.before.mean_gap);
+  metrics->gauge(p + ".mean_gap_after").Set(plan.after.mean_gap);
+  metrics->gauge(p + ".mean_log2_gap_before").Set(plan.before.mean_log2_gap);
+  metrics->gauge(p + ".mean_log2_gap_after").Set(plan.after.mean_log2_gap);
+  metrics->gauge(p + ".max_gap_after")
+      .Set(static_cast<double>(plan.after.max_gap));
+  if (plan.active()) {
+    // Preprocessing is charged to its own phase, never to candidate_gen:
+    // the histogram key mirrors what RecordSearchStats emits for the
+    // in-engine phases so dashboards see one uniform phase.* family.
+    metrics
+        ->histogram(std::string("phase.") +
+                    obs::PhaseName(obs::Phase::kReorder) + "_ms")
+        .Record(plan.compute_ms + plan.apply_ms);
+  }
+}
+
+}  // namespace ktg

@@ -1,0 +1,93 @@
+// Copyright (c) 2026 The ktg Authors.
+// The reorder boundary: everything that carries a VertexRemap across the
+// library's id spaces.
+//
+// graph/reorder.h relabels a bare Graph; this module extends the remap to
+// the full dataset and to the two places vertex ids cross into and out of
+// an engine:
+//
+//   inbound   queries (query_vertices / excluded_vertices) and mutation
+//             batches arrive in *original* ids and are mapped forward
+//             before touching the reordered graph, its indexes, or the
+//             cache (whose canonical QueryKey is built from the mapped
+//             query, so cached and uncached runs agree by construction);
+//   outbound  result groups are mapped back to original ids — and
+//             re-sorted, Group::members is ascending by contract — so no
+//             caller ever observes internal ids.
+//
+// Keyword ids never move: reordering permutes vertices only, and the
+// vocabulary is shared verbatim between the original and reordered graphs.
+
+#ifndef KTG_CORE_REORDER_BOUNDARY_H_
+#define KTG_CORE_REORDER_BOUNDARY_H_
+
+#include <vector>
+
+#include "core/query.h"
+#include "core/snapshot.h"
+#include "graph/reorder.h"
+#include "keywords/attributed_graph.h"
+
+namespace ktg::obs {
+class MetricsRegistry;
+}  // namespace ktg::obs
+
+namespace ktg {
+
+/// What one dataset relabeling did: the remap itself plus the cost and
+/// locality measurements the kernel.reorder.* metrics report.
+struct ReorderPlan {
+  ReorderMode mode = ReorderMode::kNone;
+  VertexRemap remap;
+  double compute_ms = 0.0;  ///< permutation computation
+  double apply_ms = 0.0;    ///< CSR + keyword-table rebuild
+  LocalityStats before;     ///< edge-gap stats under the original labeling
+  LocalityStats after;      ///< ... and under the new one
+
+  /// True when results/queries need mapping (a non-identity relabeling).
+  bool active() const { return mode != ReorderMode::kNone; }
+};
+
+/// Returns `graph` with every vertex relabeled under `remap`: topology via
+/// ApplyRemap(Graph), keyword lists following their vertices, vocabulary
+/// shared unchanged (keyword ids are stable across the boundary).
+AttributedGraph ApplyRemap(const AttributedGraph& graph,
+                           const VertexRemap& remap);
+
+/// Relabels `*graph` in place under `mode` and returns the plan. kNone is
+/// a no-op returning an inactive plan.
+ReorderPlan ReorderDataset(AttributedGraph* graph, ReorderMode mode);
+
+/// As ReorderDataset, but under a caller-supplied permutation (the
+/// metamorphic tests drive this with random bijections). The plan's mode
+/// is reported as kNone-distinct only through `remap`; `active()` is true.
+ReorderPlan ReorderDatasetWithRemap(AttributedGraph* graph,
+                                    VertexRemap remap);
+
+/// Original-id query -> internal-id query. Keywords and scalar parameters
+/// are untouched; query_vertices / excluded_vertices are mapped forward.
+KtgQuery MapQueryToInternal(const KtgQuery& query, const VertexRemap& remap);
+
+/// Internal-id groups -> original ids, preserving group (rank) order and
+/// restoring the ascending-members invariant within each group.
+void MapGroupsToOriginal(const VertexRemap& remap, std::vector<Group>* groups);
+
+/// Maps one bare member list back to original ids (ascending). For result
+/// shapes that are not core Groups (TAGQ rows, explain output).
+void MapMembersToOriginal(const VertexRemap& remap,
+                          std::vector<VertexId>* members);
+
+/// Original-id mutation batch -> internal ids (keyword terms untouched).
+MutationBatch MapBatchToInternal(const MutationBatch& batch,
+                                 const VertexRemap& remap);
+
+/// Records the kernel.reorder.* metrics for one relabeling: mode, costs,
+/// before/after locality gauges, and the phase.reorder_ms histogram entry
+/// (reorder preprocessing is its own phase — obs::Phase::kReorder — not
+/// part of candidate generation). Null-safe.
+void RecordReorderMetrics(obs::MetricsRegistry* metrics,
+                          const ReorderPlan& plan);
+
+}  // namespace ktg
+
+#endif  // KTG_CORE_REORDER_BOUNDARY_H_

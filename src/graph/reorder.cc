@@ -1,0 +1,264 @@
+// Copyright (c) 2026 The ktg Authors.
+
+#include "graph/reorder.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace ktg {
+namespace {
+
+// Degree order: hubs first. Ties break on the original id so the order is
+// total and recomputable.
+std::vector<VertexId> DegreeOrder(const Graph& graph) {
+  const uint32_t n = graph.num_vertices();
+  std::vector<VertexId> order(n);
+  std::iota(order.begin(), order.end(), VertexId{0});
+  std::stable_sort(order.begin(), order.end(), [&](VertexId a, VertexId b) {
+    const uint32_t da = graph.Degree(a);
+    const uint32_t db = graph.Degree(b);
+    return da != db ? da > db : a < b;
+  });
+  return order;
+}
+
+// Reverse Cuthill-McKee. Each component is traversed breadth-first from a
+// minimum-degree start vertex, neighbors visited in ascending degree (id
+// tie-break); the concatenated visit order is reversed at the end.
+std::vector<VertexId> RcmOrder(const Graph& graph) {
+  const uint32_t n = graph.num_vertices();
+  std::vector<VertexId> order;
+  order.reserve(n);
+  std::vector<bool> visited(n, false);
+
+  // Component starts in ascending (degree, id): isolated vertices and
+  // peripheral vertices lead, which is the standard pseudo-peripheral
+  // heuristic without the iterated-BFS refinement.
+  std::vector<VertexId> starts(n);
+  std::iota(starts.begin(), starts.end(), VertexId{0});
+  std::stable_sort(starts.begin(), starts.end(), [&](VertexId a, VertexId b) {
+    const uint32_t da = graph.Degree(a);
+    const uint32_t db = graph.Degree(b);
+    return da != db ? da < db : a < b;
+  });
+
+  std::vector<VertexId> frontier;
+  for (const VertexId start : starts) {
+    if (visited[start]) continue;
+    visited[start] = true;
+    size_t head = order.size();
+    order.push_back(start);
+    while (head < order.size()) {
+      const VertexId u = order[head++];
+      frontier.clear();
+      for (const VertexId w : graph.Neighbors(u)) {
+        if (!visited[w]) {
+          visited[w] = true;
+          frontier.push_back(w);
+        }
+      }
+      std::stable_sort(frontier.begin(), frontier.end(),
+                       [&](VertexId a, VertexId b) {
+                         const uint32_t da = graph.Degree(a);
+                         const uint32_t db = graph.Degree(b);
+                         return da != db ? da < db : a < b;
+                       });
+      order.insert(order.end(), frontier.begin(), frontier.end());
+    }
+  }
+  std::reverse(order.begin(), order.end());
+  return order;
+}
+
+// Degeneracy (k-core peel) order via the classic bucket structure, O(n+m).
+// The peel sequence removes a minimum-degree vertex each step; the returned
+// order is the *reverse* peel, so the innermost-core vertices — the ones
+// every ball walk keeps revisiting — receive the smallest ids.
+std::vector<VertexId> DegeneracyOrder(const Graph& graph) {
+  const uint32_t n = graph.num_vertices();
+  std::vector<uint32_t> degree(n);
+  uint32_t max_degree = 0;
+  for (VertexId v = 0; v < n; ++v) {
+    degree[v] = graph.Degree(v);
+    max_degree = std::max(max_degree, degree[v]);
+  }
+
+  // bucket[d] holds the vertices of current degree d; pos locates each
+  // vertex inside its bucket for O(1) removal-by-swap.
+  std::vector<std::vector<VertexId>> bucket(max_degree + 1);
+  for (VertexId v = 0; v < n; ++v) bucket[degree[v]].push_back(v);
+  std::vector<uint32_t> pos(n);
+  for (auto& b : bucket) {
+    for (uint32_t i = 0; i < b.size(); ++i) pos[b[i]] = i;
+  }
+
+  std::vector<bool> removed(n, false);
+  std::vector<VertexId> peel;
+  peel.reserve(n);
+  uint32_t d = 0;
+  while (peel.size() < n) {
+    while (d <= max_degree && bucket[d].empty()) ++d;
+    if (d > max_degree) break;
+    const VertexId v = bucket[d].back();
+    bucket[d].pop_back();
+    removed[v] = true;
+    peel.push_back(v);
+    for (const VertexId w : graph.Neighbors(v)) {
+      if (removed[w]) continue;
+      auto& b = bucket[degree[w]];
+      const uint32_t i = pos[w];
+      b[i] = b.back();
+      pos[b[i]] = i;
+      b.pop_back();
+      --degree[w];
+      pos[w] = static_cast<uint32_t>(bucket[degree[w]].size());
+      bucket[degree[w]].push_back(w);
+      if (degree[w] < d) d = degree[w];
+    }
+  }
+  std::reverse(peel.begin(), peel.end());
+  return peel;
+}
+
+}  // namespace
+
+const char* ReorderModeName(ReorderMode mode) {
+  switch (mode) {
+    case ReorderMode::kNone:
+      return "none";
+    case ReorderMode::kDegree:
+      return "degree";
+    case ReorderMode::kBfs:
+      return "bfs";
+    case ReorderMode::kDegeneracy:
+      return "degeneracy";
+  }
+  return "?";
+}
+
+bool ParseReorderMode(std::string_view name, ReorderMode* mode) {
+  if (name == "none") {
+    *mode = ReorderMode::kNone;
+  } else if (name == "degree") {
+    *mode = ReorderMode::kDegree;
+  } else if (name == "bfs" || name == "rcm") {
+    *mode = ReorderMode::kBfs;
+  } else if (name == "degeneracy") {
+    *mode = ReorderMode::kDegeneracy;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+VertexRemap VertexRemap::Identity(uint32_t n) {
+  std::vector<VertexId> ids(n);
+  std::iota(ids.begin(), ids.end(), VertexId{0});
+  std::vector<VertexId> copy = ids;
+  return VertexRemap(std::move(ids), std::move(copy));
+}
+
+Result<VertexRemap> VertexRemap::FromOrder(std::vector<VertexId> to_old) {
+  const uint32_t n = static_cast<uint32_t>(to_old.size());
+  std::vector<VertexId> to_new(n, kInvalidVertex);
+  for (uint32_t i = 0; i < n; ++i) {
+    const VertexId v = to_old[i];
+    if (v >= n) {
+      return Status::InvalidArgument("reorder: id out of range");
+    }
+    if (to_new[v] != kInvalidVertex) {
+      return Status::InvalidArgument("reorder: duplicate id in order");
+    }
+    to_new[v] = i;
+  }
+  return VertexRemap(std::move(to_new), std::move(to_old));
+}
+
+Result<VertexRemap> VertexRemap::FromPermutation(std::vector<VertexId> to_new) {
+  const uint32_t n = static_cast<uint32_t>(to_new.size());
+  std::vector<VertexId> to_old(n, kInvalidVertex);
+  for (uint32_t v = 0; v < n; ++v) {
+    const VertexId i = to_new[v];
+    if (i >= n) {
+      return Status::InvalidArgument("reorder: id out of range");
+    }
+    if (to_old[i] != kInvalidVertex) {
+      return Status::InvalidArgument("reorder: duplicate id in permutation");
+    }
+    to_old[i] = v;
+  }
+  return VertexRemap(std::move(to_new), std::move(to_old));
+}
+
+bool VertexRemap::IsIdentity() const {
+  for (uint32_t v = 0; v < to_new_.size(); ++v) {
+    if (to_new_[v] != v) return false;
+  }
+  return true;
+}
+
+void VertexRemap::MapToNew(std::vector<VertexId>* ids) const {
+  for (VertexId& v : *ids) v = to_new_[v];
+}
+
+void VertexRemap::MapToOld(std::vector<VertexId>* ids) const {
+  for (VertexId& v : *ids) v = to_old_[v];
+}
+
+VertexRemap ComputeReorder(const Graph& graph, ReorderMode mode) {
+  if (mode == ReorderMode::kNone) {
+    return VertexRemap::Identity(graph.num_vertices());
+  }
+  std::vector<VertexId> order;
+  switch (mode) {
+    case ReorderMode::kDegree:
+      order = DegreeOrder(graph);
+      break;
+    case ReorderMode::kBfs:
+      order = RcmOrder(graph);
+      break;
+    case ReorderMode::kDegeneracy:
+      order = DegeneracyOrder(graph);
+      break;
+    case ReorderMode::kNone:
+      break;
+  }
+  auto remap = VertexRemap::FromOrder(std::move(order));
+  // The three orders emit each vertex exactly once by construction.
+  KTG_CHECK_MSG(remap.ok(), "reorder produced a non-permutation");
+  return std::move(remap).value();
+}
+
+Graph ApplyRemap(const Graph& graph, const VertexRemap& remap) {
+  KTG_CHECK(remap.num_vertices() == graph.num_vertices());
+  GraphBuilder builder(graph.num_vertices());
+  for (const auto& [u, v] : graph.EdgeList()) {
+    builder.AddEdge(remap.ToNew(u), remap.ToNew(v));
+  }
+  return builder.Build();
+}
+
+LocalityStats ComputeLocality(const Graph& graph) {
+  LocalityStats stats;
+  double gap_sum = 0.0;
+  double log_sum = 0.0;
+  const uint32_t n = graph.num_vertices();
+  for (VertexId u = 0; u < n; ++u) {
+    for (const VertexId v : graph.Neighbors(u)) {
+      if (v <= u) continue;  // each undirected edge once
+      const uint64_t gap = static_cast<uint64_t>(v - u);
+      ++stats.edges;
+      gap_sum += static_cast<double>(gap);
+      log_sum += std::log2(1.0 + static_cast<double>(gap));
+      stats.max_gap = std::max(stats.max_gap, gap);
+    }
+  }
+  if (stats.edges > 0) {
+    stats.mean_gap = gap_sum / static_cast<double>(stats.edges);
+    stats.mean_log2_gap = log_sum / static_cast<double>(stats.edges);
+  }
+  return stats;
+}
+
+}  // namespace ktg

@@ -1,0 +1,121 @@
+// Copyright (c) 2026 The ktg Authors.
+// Locality-aware vertex relabeling (docs/kernels.md, "Graph reordering").
+//
+// The CSR graph, the NL/NLRNL/bitmap indexes and the conflict-graph bitsets
+// all address memory by vertex id, so the id assignment *is* the memory
+// layout: neighbors with nearby ids share cache lines in every one of those
+// structures. Real social datasets arrive in crawl order, which is close to
+// random. This module computes a bijective relabeling (a VertexRemap) under
+// one of three classic cache-conscious orders and applies it to a Graph;
+// higher layers (core/reorder_boundary.h) carry the remap through the
+// attributed graph, queries, mutations and results, so callers only ever
+// see original ids.
+//
+// Orders:
+//   * degree      — hubs first (descending degree, id tie-break). Packs the
+//                   high-traffic rows of every index at the front.
+//   * bfs         — reverse Cuthill-McKee: per component, BFS from a
+//                   minimum-degree start visiting neighbors in ascending
+//                   degree, order reversed. The classic bandwidth reducer.
+//   * degeneracy  — reverse k-core peel order: the densest-core vertices
+//                   (the ones ball walks revisit most) get the smallest ids.
+//
+// Every order is deterministic — recomputing it on the same graph yields
+// the same permutation, which is what lets `--reorder` on query/serve
+// reproduce the labeling a `build-index --reorder` run used.
+
+#ifndef KTG_GRAPH_REORDER_H_
+#define KTG_GRAPH_REORDER_H_
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "graph/graph.h"
+#include "graph/types.h"
+#include "util/status.h"
+
+namespace ktg {
+
+/// The selectable relabeling orders (kNone = keep arrival order).
+enum class ReorderMode : uint8_t { kNone = 0, kDegree, kBfs, kDegeneracy };
+
+/// "none" | "degree" | "bfs" | "degeneracy".
+const char* ReorderModeName(ReorderMode mode);
+
+/// Parses a mode name; returns false (leaving *mode untouched) on an
+/// unknown name.
+bool ParseReorderMode(std::string_view name, ReorderMode* mode);
+
+/// A bijection between original ("old") and relabeled ("new") vertex ids.
+/// Both directions are materialized: the forward map translates queries and
+/// mutations into the reordered space, the inverse translates result groups
+/// back out of it.
+class VertexRemap {
+ public:
+  /// The empty remap (zero vertices). Use Identity(n) for a real graph.
+  VertexRemap() = default;
+
+  /// The identity remap over `n` vertices.
+  static VertexRemap Identity(uint32_t n);
+
+  /// Builds a remap from a new-id-to-old-id order: `to_old[i]` is the
+  /// original id that becomes id `i`. InvalidArgument unless `to_old` is a
+  /// permutation of 0..n-1.
+  static Result<VertexRemap> FromOrder(std::vector<VertexId> to_old);
+
+  /// Builds a remap from an old-id-to-new-id permutation: `to_new[v]` is
+  /// the relabeled id of original vertex `v`. InvalidArgument unless
+  /// `to_new` is a permutation of 0..n-1.
+  static Result<VertexRemap> FromPermutation(std::vector<VertexId> to_new);
+
+  uint32_t num_vertices() const {
+    return static_cast<uint32_t>(to_new_.size());
+  }
+  bool IsIdentity() const;
+
+  VertexId ToNew(VertexId old_id) const { return to_new_[old_id]; }
+  VertexId ToOld(VertexId new_id) const { return to_old_[new_id]; }
+
+  const std::vector<VertexId>& to_new() const { return to_new_; }
+  const std::vector<VertexId>& to_old() const { return to_old_; }
+
+  /// Maps a list of original ids into the relabeled space, in place.
+  void MapToNew(std::vector<VertexId>* ids) const;
+  /// Maps a list of relabeled ids back to original ids, in place.
+  void MapToOld(std::vector<VertexId>* ids) const;
+
+ private:
+  VertexRemap(std::vector<VertexId> to_new, std::vector<VertexId> to_old)
+      : to_new_(std::move(to_new)), to_old_(std::move(to_old)) {}
+
+  std::vector<VertexId> to_new_;  // old id -> new id
+  std::vector<VertexId> to_old_;  // new id -> old id
+};
+
+/// Computes the relabeling of `graph` under `mode`. kNone (and any graph
+/// the order leaves untouched) yields the identity.
+VertexRemap ComputeReorder(const Graph& graph, ReorderMode mode);
+
+/// Returns `graph` with every vertex `v` relabeled to `remap.ToNew(v)`.
+/// The result is isomorphic to the input (same degrees, same edges up to
+/// relabeling); `remap` must span exactly graph.num_vertices() ids.
+Graph ApplyRemap(const Graph& graph, const VertexRemap& remap);
+
+/// How tightly a labeling packs each vertex's neighborhood: statistics of
+/// the id gap |u - v| over all edges. Smaller gaps mean neighbor rows and
+/// bitmap words land closer together (docs/performance.md quantifies the
+/// effect on the kernels).
+struct LocalityStats {
+  uint64_t edges = 0;
+  double mean_gap = 0.0;       ///< mean |u - v|
+  double mean_log2_gap = 0.0;  ///< mean log2(1 + |u - v|) — the cache-line
+                               ///< distance proxy RCM is judged by
+  uint64_t max_gap = 0;        ///< the labeling's bandwidth
+};
+
+LocalityStats ComputeLocality(const Graph& graph);
+
+}  // namespace ktg
+
+#endif  // KTG_GRAPH_REORDER_H_

@@ -4,6 +4,7 @@
 
 #include <initializer_list>
 
+#include "obs/phases.h"
 #include "util/json_parse.h"
 
 namespace ktg::obs {
@@ -61,6 +62,19 @@ void CheckNumericMap(const JsonValue& doc, const std::string& key,
   }
 }
 
+/// True iff `name` is a histogram key the phase breakdown may legally
+/// emit: "phase.<known phase>_ms". Engines and the reorder boundary both
+/// derive these from obs::PhaseName, so any other phase.* key is a typo or
+/// a phase someone forgot to register here.
+bool IsKnownPhaseKey(const std::string& name) {
+  for (int i = 0; i < kNumPhases; ++i) {
+    const std::string want =
+        std::string("phase.") + PhaseName(static_cast<Phase>(i)) + "_ms";
+    if (name == want) return true;
+  }
+  return false;
+}
+
 }  // namespace
 
 std::vector<std::string> CheckMetricsV1(std::string_view json) {
@@ -80,6 +94,9 @@ std::vector<std::string> CheckMetricsV1(std::string_view json) {
     if (!h.is_object()) {
       Note(problems, "histograms." + name + " is not an object");
       continue;
+    }
+    if (name.starts_with("phase.") && !IsKnownPhaseKey(name)) {
+      Note(problems, "histograms." + name + " is not a known phase key");
     }
     for (const char* key :
          {"count", "mean", "min", "max", "p50", "p90", "p99", "sum"}) {

@@ -7,6 +7,7 @@
 
 #include "cache/caching_checker.h"
 #include "core/ktg_engine.h"
+#include "core/obs_bridge.h"
 #include "heur/portfolio.h"
 #include "index/bfs_checker.h"
 #include "util/json_writer.h"
@@ -53,6 +54,13 @@ Status KtgServer::Start() {
   if (options_.cache_mb > 0) {
     cache_ = std::make_unique<KtgCache>(CacheOptionsForMb(options_.cache_mb));
   }
+  // Relabel for locality before any index or checker is built, so every
+  // epoch's snapshot lives in the reordered id space. The remap outlives
+  // the store (vertex growth is forbidden), and the protocol boundary maps
+  // ids in both directions below.
+  reorder_ = ReorderDataset(&boot_graph_, options_.reorder);
+  RecordReorderMetrics(&metrics_, reorder_);
+  RecordKernelDispatchMetrics(&metrics_);
   // The epoch-0 snapshot: inverted index plus one shared read-safe checker
   // every worker pins (per-run stateful wrappers are built in ExecuteOne).
   SnapshotStore::Options sopts;
@@ -144,7 +152,8 @@ Result<SnapshotStore::ApplyInfo> KtgServer::Apply(const MutationBatch& batch) {
       return Status::FailedPrecondition("server is not accepting requests");
     }
   }
-  auto info = store_->Apply(batch);
+  auto info = store_->Apply(
+      reorder_.active() ? MapBatchToInternal(batch, reorder_.remap) : batch);
   if (info.ok()) {
     metrics_.counter("server.mutations").Add();
     metrics_.counter("server.mutation_deltas")
@@ -156,6 +165,10 @@ Result<SnapshotStore::ApplyInfo> KtgServer::Apply(const MutationBatch& batch) {
 void KtgServer::SubmitQuery(uint64_t id, KtgQuery query, SortStrategy sort,
                             double deadline_ms, EngineMode mode,
                             ResponseCallback cb) {
+  // Callers (wire and in-process) speak original vertex ids; everything
+  // from here on — validation, QueryKey, the engine run — is in the
+  // relabeled space. Responses map group members back in ExecuteOne.
+  if (reorder_.active()) query = MapQueryToInternal(query, reorder_.remap);
   if (Status st = ValidateQuery(query, store_->Pin()->graph()); !st.ok()) {
     metrics_.counter("server.errors").Add();
     cb(ErrorResponseJson(id, st.message()));
@@ -358,7 +371,7 @@ void KtgServer::ExecuteOne(Pending leader, std::vector<Pending> coalesced) {
 
   Stopwatch exec;
   bool complete = false;
-  const Result<KtgResult> result = [&]() -> Result<KtgResult> {
+  Result<KtgResult> result = [&]() -> Result<KtgResult> {
     if (eopts.mode == EngineMode::kPortfolio) {
       // The portfolio never claims completeness; stats.gap reports how far
       // from optimal the groups can be (0 = proved optimal). `complete`
@@ -384,6 +397,9 @@ void KtgServer::ExecuteOne(Pending leader, std::vector<Pending> coalesced) {
       l.p->cb(ErrorResponseJson(l.p->id, result.status().message()));
     }
     return;
+  }
+  if (reorder_.active()) {
+    MapGroupsToOriginal(reorder_.remap, &result->groups);
   }
 
   if (!complete && eopts.mode != EngineMode::kPortfolio) {
@@ -431,7 +447,8 @@ std::string KtgServer::InfoJson() const {
       .KV("batch_window", static_cast<uint64_t>(options_.batch_window))
       .KV("checker", CheckerKindName(options_.checker))
       .KV("cache_mb", static_cast<uint64_t>(options_.cache_mb))
-      .KV("default_deadline_ms", options_.default_deadline_ms);
+      .KV("default_deadline_ms", options_.default_deadline_ms)
+      .KV("reorder", ReorderModeName(options_.reorder));
   w.EndObject().EndObject();
   return w.str();
 }

@@ -8,6 +8,10 @@
 #include <immintrin.h>
 #endif
 
+#if KTG_BITSET_NEON_COMPILED
+#include <arm_neon.h>
+#endif
+
 namespace ktg {
 
 // ---- scalar bodies --------------------------------------------------------
@@ -192,7 +196,218 @@ bool Intersects(const uint64_t* a, const uint64_t* b, size_t n) {
 }  // namespace bitset_avx2
 #endif  // KTG_BITSET_AVX2_COMPILED
 
+// ---- AVX-512 bodies -------------------------------------------------------
+// Eight words per vector op. The logical ops need only AVX-512F; the
+// popcount family additionally uses VPOPCNTDQ (_mm512_popcnt_epi64), which
+// counts all eight lanes in one instruction instead of eight scalar
+// popcnts — that is where AVX-512 pulls ahead of AVX2 on the popcount-heavy
+// conflict-graph construction. Dispatch requires BOTH features so the whole
+// table comes from one tier (a CPU with F but not VPOPCNTDQ uses AVX2).
+
+#if KTG_BITSET_AVX512_COMPILED
+namespace bitset_avx512 {
+
+#define KTG_TARGET_AVX512F __attribute__((target("avx512f")))
+#define KTG_TARGET_AVX512_POPCNT \
+  __attribute__((target("avx512f,avx512vpopcntdq")))
+
+KTG_TARGET_AVX512F
+void AndNot(uint64_t* dst, const uint64_t* a, const uint64_t* b, size_t n) {
+  size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m512i va = _mm512_loadu_si512(a + i);
+    const __m512i vb = _mm512_loadu_si512(b + i);
+    // _mm512_andnot_si512 computes ~first & second.
+    _mm512_storeu_si512(dst + i, _mm512_andnot_si512(vb, va));
+  }
+  for (; i < n; ++i) dst[i] = a[i] & ~b[i];
+}
+
+KTG_TARGET_AVX512F
+void And(uint64_t* dst, const uint64_t* a, const uint64_t* b, size_t n) {
+  size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m512i va = _mm512_loadu_si512(a + i);
+    const __m512i vb = _mm512_loadu_si512(b + i);
+    _mm512_storeu_si512(dst + i, _mm512_and_si512(va, vb));
+  }
+  for (; i < n; ++i) dst[i] = a[i] & b[i];
+}
+
+KTG_TARGET_AVX512F
+void Or(uint64_t* dst, const uint64_t* a, const uint64_t* b, size_t n) {
+  size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m512i va = _mm512_loadu_si512(a + i);
+    const __m512i vb = _mm512_loadu_si512(b + i);
+    _mm512_storeu_si512(dst + i, _mm512_or_si512(va, vb));
+  }
+  for (; i < n; ++i) dst[i] = a[i] | b[i];
+}
+
+KTG_TARGET_AVX512_POPCNT
+uint64_t Popcount(const uint64_t* a, size_t n) {
+  __m512i acc = _mm512_setzero_si512();
+  size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m512i v = _mm512_loadu_si512(a + i);
+    acc = _mm512_add_epi64(acc, _mm512_popcnt_epi64(v));
+  }
+  uint64_t c = static_cast<uint64_t>(_mm512_reduce_add_epi64(acc));
+  for (; i < n; ++i) c += __builtin_popcountll(a[i]);
+  return c;
+}
+
+KTG_TARGET_AVX512_POPCNT
+uint64_t AndPopcount(const uint64_t* a, const uint64_t* b, size_t n) {
+  __m512i acc = _mm512_setzero_si512();
+  size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m512i va = _mm512_loadu_si512(a + i);
+    const __m512i vb = _mm512_loadu_si512(b + i);
+    acc = _mm512_add_epi64(acc, _mm512_popcnt_epi64(_mm512_and_si512(va, vb)));
+  }
+  uint64_t c = static_cast<uint64_t>(_mm512_reduce_add_epi64(acc));
+  for (; i < n; ++i) c += __builtin_popcountll(a[i] & b[i]);
+  return c;
+}
+
+KTG_TARGET_AVX512_POPCNT
+uint64_t AndNotPopcount(const uint64_t* a, const uint64_t* b, size_t n) {
+  __m512i acc = _mm512_setzero_si512();
+  size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m512i va = _mm512_loadu_si512(a + i);
+    const __m512i vb = _mm512_loadu_si512(b + i);
+    acc = _mm512_add_epi64(acc,
+                           _mm512_popcnt_epi64(_mm512_andnot_si512(vb, va)));
+  }
+  uint64_t c = static_cast<uint64_t>(_mm512_reduce_add_epi64(acc));
+  for (; i < n; ++i) c += __builtin_popcountll(a[i] & ~b[i]);
+  return c;
+}
+
+KTG_TARGET_AVX512F
+bool Intersects(const uint64_t* a, const uint64_t* b, size_t n) {
+  size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m512i va = _mm512_loadu_si512(a + i);
+    const __m512i vb = _mm512_loadu_si512(b + i);
+    if (_mm512_test_epi64_mask(va, vb) != 0) return true;
+  }
+  for (; i < n; ++i) {
+    if ((a[i] & b[i]) != 0) return true;
+  }
+  return false;
+}
+
+#undef KTG_TARGET_AVX512F
+#undef KTG_TARGET_AVX512_POPCNT
+
+}  // namespace bitset_avx512
+#endif  // KTG_BITSET_AVX512_COMPILED
+
+// ---- NEON bodies ----------------------------------------------------------
+// Two words per vector op. arm64 has no 64-bit-lane popcount, but CNT over
+// bytes plus a widening horizontal add (ADDLV) counts a full 128-bit vector
+// in two instructions — cheaper than two scalar popcounts plus their moves.
+// NEON is baseline on arm64, so there is no cpuid probe; KTG_DISABLE_NEON
+// is the only runtime gate.
+
+#if KTG_BITSET_NEON_COMPILED
+namespace bitset_neon {
+
+void AndNot(uint64_t* dst, const uint64_t* a, const uint64_t* b, size_t n) {
+  size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    const uint64x2_t va = vld1q_u64(a + i);
+    const uint64x2_t vb = vld1q_u64(b + i);
+    // vbicq computes first & ~second.
+    vst1q_u64(dst + i, vbicq_u64(va, vb));
+  }
+  for (; i < n; ++i) dst[i] = a[i] & ~b[i];
+}
+
+void And(uint64_t* dst, const uint64_t* a, const uint64_t* b, size_t n) {
+  size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    const uint64x2_t va = vld1q_u64(a + i);
+    const uint64x2_t vb = vld1q_u64(b + i);
+    vst1q_u64(dst + i, vandq_u64(va, vb));
+  }
+  for (; i < n; ++i) dst[i] = a[i] & b[i];
+}
+
+void Or(uint64_t* dst, const uint64_t* a, const uint64_t* b, size_t n) {
+  size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    const uint64x2_t va = vld1q_u64(a + i);
+    const uint64x2_t vb = vld1q_u64(b + i);
+    vst1q_u64(dst + i, vorrq_u64(va, vb));
+  }
+  for (; i < n; ++i) dst[i] = a[i] | b[i];
+}
+
+namespace {
+/// Set bits in one 128-bit vector: per-byte CNT, widening sum over lanes.
+inline uint64_t VectorPopcount(uint64x2_t v) {
+  return vaddlvq_u8(vcntq_u8(vreinterpretq_u8_u64(v)));
+}
+}  // namespace
+
+uint64_t Popcount(const uint64_t* a, size_t n) {
+  uint64_t c = 0;
+  size_t i = 0;
+  for (; i + 2 <= n; i += 2) c += VectorPopcount(vld1q_u64(a + i));
+  for (; i < n; ++i) c += __builtin_popcountll(a[i]);
+  return c;
+}
+
+uint64_t AndPopcount(const uint64_t* a, const uint64_t* b, size_t n) {
+  uint64_t c = 0;
+  size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    c += VectorPopcount(vandq_u64(vld1q_u64(a + i), vld1q_u64(b + i)));
+  }
+  for (; i < n; ++i) c += __builtin_popcountll(a[i] & b[i]);
+  return c;
+}
+
+uint64_t AndNotPopcount(const uint64_t* a, const uint64_t* b, size_t n) {
+  uint64_t c = 0;
+  size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    c += VectorPopcount(vbicq_u64(vld1q_u64(a + i), vld1q_u64(b + i)));
+  }
+  for (; i < n; ++i) c += __builtin_popcountll(a[i] & ~b[i]);
+  return c;
+}
+
+bool Intersects(const uint64_t* a, const uint64_t* b, size_t n) {
+  size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    const uint64x2_t v = vandq_u64(vld1q_u64(a + i), vld1q_u64(b + i));
+    if ((vgetq_lane_u64(v, 0) | vgetq_lane_u64(v, 1)) != 0) return true;
+  }
+  for (; i < n; ++i) {
+    if ((a[i] & b[i]) != 0) return true;
+  }
+  return false;
+}
+
+}  // namespace bitset_neon
+#endif  // KTG_BITSET_NEON_COMPILED
+
 // ---- dispatch -------------------------------------------------------------
+
+namespace {
+/// Shared escape-hatch check: a tier stays enabled unless its variable is
+/// set to something other than "" or "0".
+bool EnvAllows(const char* var) {
+  const char* env = std::getenv(var);
+  return env == nullptr || env[0] == '\0' || env[0] == '0';
+}
+}  // namespace
 
 bool Avx2Available() {
 #if KTG_BITSET_AVX2_COMPILED
@@ -202,26 +417,60 @@ bool Avx2Available() {
 #endif
 }
 
-namespace {
-bool ResolveAvx2Active() {
-  if (!Avx2Available()) return false;
-  const char* env = std::getenv("KTG_DISABLE_AVX2");
-  return env == nullptr || env[0] == '\0' || env[0] == '0';
-}
-}  // namespace
-
 bool Avx2Active() {
-  static const bool active = ResolveAvx2Active();
+  static const bool active = Avx2Available() && EnvAllows("KTG_DISABLE_AVX2");
   return active;
 }
 
-const char* KernelDispatchName() { return Avx2Active() ? "avx2" : "scalar"; }
+bool Avx512Available() {
+#if KTG_BITSET_AVX512_COMPILED
+  return __builtin_cpu_supports("avx512f") &&
+         __builtin_cpu_supports("avx512vpopcntdq");
+#else
+  return false;
+#endif
+}
+
+bool Avx512Active() {
+  // Avx2Active() in the chain makes the tiers nest: KTG_DISABLE_AVX2 alone
+  // drops dispatch all the way to scalar, never sideways to AVX-512.
+  static const bool active =
+      Avx512Available() && Avx2Active() && EnvAllows("KTG_DISABLE_AVX512");
+  return active;
+}
+
+bool NeonAvailable() { return KTG_BITSET_NEON_COMPILED != 0; }
+
+bool NeonActive() {
+  static const bool active =
+      NeonAvailable() && EnvAllows("KTG_DISABLE_NEON");
+  return active;
+}
+
+const char* KernelDispatchName() {
+  if (Avx512Active()) return "avx512";
+  if (Avx2Active()) return "avx2";
+  if (NeonActive()) return "neon";
+  return "scalar";
+}
 
 namespace internal {
 
 const KernelTable& Kernels() {
   static const KernelTable table = [] {
     KernelTable t;
+#if KTG_BITSET_AVX512_COMPILED
+    if (Avx512Active()) {
+      t.and_not = bitset_avx512::AndNot;
+      t.and_ = bitset_avx512::And;
+      t.or_ = bitset_avx512::Or;
+      t.popcount = bitset_avx512::Popcount;
+      t.and_popcount = bitset_avx512::AndPopcount;
+      t.and_not_popcount = bitset_avx512::AndNotPopcount;
+      t.intersects = bitset_avx512::Intersects;
+      return t;
+    }
+#endif
 #if KTG_BITSET_AVX2_COMPILED
     if (Avx2Active()) {
       t.and_not = bitset_avx2::AndNot;
@@ -231,6 +480,18 @@ const KernelTable& Kernels() {
       t.and_popcount = bitset_avx2::AndPopcount;
       t.and_not_popcount = bitset_avx2::AndNotPopcount;
       t.intersects = bitset_avx2::Intersects;
+      return t;
+    }
+#endif
+#if KTG_BITSET_NEON_COMPILED
+    if (NeonActive()) {
+      t.and_not = bitset_neon::AndNot;
+      t.and_ = bitset_neon::And;
+      t.or_ = bitset_neon::Or;
+      t.popcount = bitset_neon::Popcount;
+      t.and_popcount = bitset_neon::AndPopcount;
+      t.and_not_popcount = bitset_neon::AndNotPopcount;
+      t.intersects = bitset_neon::Intersects;
       return t;
     }
 #endif

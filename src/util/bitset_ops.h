@@ -6,28 +6,33 @@
 // (k-line filtering of a surviving candidate set), popcount (set sizes,
 // coverage counts), OR (coverage unions), intersection tests (residual
 // reachability), and set-bit iteration (child enumeration). This header
-// provides them once, with a runtime-dispatched AVX2 path:
+// provides them once, with runtime-dispatched SIMD tiers:
 //
-//   * compile-time guard — the AVX2 bodies exist only on x86-64 compilers
-//     that support `__attribute__((target("avx2")))`; elsewhere (or with
-//     -DKTG_DISABLE_AVX2=ON) the scalar loops are the only implementation;
-//   * runtime guard — even when compiled in, AVX2 is used only if the CPU
-//     reports it and the KTG_DISABLE_AVX2 environment variable is unset
-//     (the escape hatch for A/B runs and for ruling the kernels out when
-//     debugging);
-//   * bit-exactness — both paths compute identical words/counts, so every
-//     engine result is byte-identical under either dispatch target
+//   * compile-time guards — the AVX2/AVX-512 bodies exist only on x86-64
+//     compilers that support `__attribute__((target(...)))` (and can be
+//     compiled out with -DKTG_DISABLE_AVX2=ON / -DKTG_DISABLE_AVX512=ON);
+//     the NEON bodies exist only on arm64, where NEON is baseline;
+//   * runtime guards — even when compiled in, a tier runs only if the CPU
+//     reports it and its KTG_DISABLE_AVX2 / KTG_DISABLE_AVX512 /
+//     KTG_DISABLE_NEON environment variable is unset (the escape hatches
+//     for A/B runs and for ruling a tier out when debugging). The tiers
+//     nest: disabling AVX2 also rules out AVX-512, so the scalar escape
+//     hatch always yields pure scalar dispatch;
+//   * bit-exactness — every tier computes identical words/counts, so every
+//     engine result is byte-identical under any dispatch target
 //     (fuzz-verified by tests/bitset_ops_test.cc).
 //
-// Both concrete implementations stay callable (namespaces bitset_scalar /
-// bitset_avx2) so the equivalence tests and bench_kernels can pit them
-// against each other; production code calls the dispatched wrappers.
+// All concrete implementations stay callable (namespaces bitset_scalar /
+// bitset_avx2 / bitset_avx512 / bitset_neon) so the equivalence tests and
+// bench_kernels can pit them against each other; production code calls the
+// dispatched wrappers.
 //
-// Dispatch resolves once, on first use, into a function-pointer table.
-// Calls cost one indirect call; for the word counts the engines see
-// (hundreds of words at thousands of candidates) the AVX2 bodies win by
-// 2-4x, and at tiny sizes the indirect call is noise next to the search
-// itself (bench_kernels quantifies both).
+// Dispatch resolves once, on first use, into a function-pointer table with
+// priority avx512 > avx2 > neon > scalar. Calls cost one indirect call;
+// for the word counts the engines see (hundreds of words at thousands of
+// candidates) the vector bodies win by 2-4x, and at tiny sizes the
+// indirect call is noise next to the search itself (bench_kernels
+// quantifies both).
 
 #ifndef KTG_UTIL_BITSET_OPS_H_
 #define KTG_UTIL_BITSET_OPS_H_
@@ -44,6 +49,25 @@
 #define KTG_BITSET_AVX2_COMPILED 1
 #else
 #define KTG_BITSET_AVX2_COMPILED 0
+#endif
+
+// Compile-time availability of the AVX-512 bodies (8 words per vector op,
+// popcount via VPOPCNTDQ). KTG_DISABLE_AVX512_BUILD is set by the
+// -DKTG_DISABLE_AVX512=ON CMake option; disabling AVX2 at build time takes
+// AVX-512 with it — the tiers nest.
+#if KTG_BITSET_AVX2_COMPILED && !defined(KTG_DISABLE_AVX512_BUILD)
+#define KTG_BITSET_AVX512_COMPILED 1
+#else
+#define KTG_BITSET_AVX512_COMPILED 0
+#endif
+
+// Compile-time availability of the NEON bodies. NEON is architecturally
+// baseline on arm64, so there is no CMake switch; the KTG_DISABLE_NEON
+// environment variable remains as the runtime escape hatch.
+#if defined(__aarch64__) && (defined(__GNUC__) || defined(__clang__))
+#define KTG_BITSET_NEON_COMPILED 1
+#else
+#define KTG_BITSET_NEON_COMPILED 0
 #endif
 
 namespace ktg {
@@ -74,6 +98,35 @@ bool Intersects(const uint64_t* a, const uint64_t* b, size_t n);
 }  // namespace bitset_avx2
 #endif
 
+#if KTG_BITSET_AVX512_COMPILED
+/// AVX-512 implementations (8 words per vector op; popcounts use
+/// VPOPCNTDQ). Only call these after Avx512Available() returned true; the
+/// dispatched wrappers do so for you.
+namespace bitset_avx512 {
+void AndNot(uint64_t* dst, const uint64_t* a, const uint64_t* b, size_t n);
+void And(uint64_t* dst, const uint64_t* a, const uint64_t* b, size_t n);
+void Or(uint64_t* dst, const uint64_t* a, const uint64_t* b, size_t n);
+uint64_t Popcount(const uint64_t* a, size_t n);
+uint64_t AndPopcount(const uint64_t* a, const uint64_t* b, size_t n);
+uint64_t AndNotPopcount(const uint64_t* a, const uint64_t* b, size_t n);
+bool Intersects(const uint64_t* a, const uint64_t* b, size_t n);
+}  // namespace bitset_avx512
+#endif
+
+#if KTG_BITSET_NEON_COMPILED
+/// NEON implementations (2 words per vector op; popcount via CNT+ADDLV).
+/// NEON is baseline on arm64, so these are callable unconditionally there.
+namespace bitset_neon {
+void AndNot(uint64_t* dst, const uint64_t* a, const uint64_t* b, size_t n);
+void And(uint64_t* dst, const uint64_t* a, const uint64_t* b, size_t n);
+void Or(uint64_t* dst, const uint64_t* a, const uint64_t* b, size_t n);
+uint64_t Popcount(const uint64_t* a, size_t n);
+uint64_t AndPopcount(const uint64_t* a, const uint64_t* b, size_t n);
+uint64_t AndNotPopcount(const uint64_t* a, const uint64_t* b, size_t n);
+bool Intersects(const uint64_t* a, const uint64_t* b, size_t n);
+}  // namespace bitset_neon
+#endif
+
 /// True when the AVX2 bodies were compiled in AND the running CPU supports
 /// AVX2 (ignores the KTG_DISABLE_AVX2 environment override).
 bool Avx2Available();
@@ -82,7 +135,27 @@ bool Avx2Available();
 /// KTG_DISABLE_AVX2 environment variable. Resolved once per process.
 bool Avx2Active();
 
-/// "avx2" or "scalar" — what the dispatched wrappers below will run.
+/// True when the AVX-512 bodies were compiled in AND the running CPU
+/// supports both AVX-512F and AVX-512VPOPCNTDQ (the popcount kernels need
+/// the latter; a CPU with F but not VPOPCNTDQ falls back to AVX2 rather
+/// than splitting the table across tiers). Ignores environment overrides.
+bool Avx512Available();
+
+/// The dispatch decision for the AVX-512 tier: available, KTG_DISABLE_AVX512
+/// unset, and the AVX2 tier not disabled either (tiers nest, so the
+/// KTG_DISABLE_AVX2 scalar escape hatch stays authoritative).
+bool Avx512Active();
+
+/// True when the NEON bodies were compiled in (arm64 — NEON is baseline
+/// there, no cpuid probe needed).
+bool NeonAvailable();
+
+/// The dispatch decision for the NEON tier: available and KTG_DISABLE_NEON
+/// unset. Resolved once per process.
+bool NeonActive();
+
+/// "avx512", "avx2", "neon" or "scalar" — what the dispatched wrappers
+/// below will run.
 const char* KernelDispatchName();
 
 namespace internal {

@@ -1,7 +1,9 @@
 // Copyright (c) 2026 The ktg Authors.
-// Kernel equivalence fuzz: the AVX2 and scalar bodies must be bit-exact on
-// random word arrays of every alignment-relevant length (0, sub-vector
-// tails, exact multiples of 4 words), plus Bitset container edge cases.
+// Kernel equivalence fuzz: every dispatch tier (AVX2, AVX-512, NEON) must
+// be bit-exact against the scalar bodies on random word arrays of every
+// alignment-relevant length (0, sub-vector tails, exact multiples of the
+// 4- and 8-word strides), including the aliased dst==a form the engines
+// use, plus Bitset container edge cases.
 
 #include <gtest/gtest.h>
 
@@ -34,8 +36,10 @@ std::vector<uint64_t> RandomWords(Rng& rng, size_t n, int mode) {
   return out;
 }
 
-// Lengths crossing every tail case of the 4-word AVX2 stride.
-const size_t kLengths[] = {0, 1, 2, 3, 4, 5, 7, 8, 15, 16, 17, 31, 64, 129};
+// Lengths crossing every tail case of the 4-word AVX2 stride AND the
+// 8-word AVX-512 stride (tails of 0..7 words past a full vector).
+const size_t kLengths[] = {0,  1,  2,  3,  4,  5,  7,  8,  9,   11, 13,
+                           15, 16, 17, 23, 24, 25, 31, 33, 64,  65, 129};
 
 TEST(BitsetOpsTest, ScalarMatchesDispatchedOnRandomInputs) {
   Rng rng(0xB17);
@@ -123,14 +127,134 @@ TEST(BitsetOpsTest, Avx2AliasSafeWhenDstIsA) {
 }
 #endif  // KTG_BITSET_AVX2_COMPILED
 
+#if KTG_BITSET_AVX512_COMPILED
+TEST(BitsetOpsTest, Avx512MatchesScalarDirectly) {
+  if (!Avx512Available()) GTEST_SKIP() << "CPU lacks AVX-512F+VPOPCNTDQ";
+  Rng rng(0xB20);
+  for (const size_t n : kLengths) {
+    for (int mode = 0; mode < 8; ++mode) {
+      const auto a = RandomWords(rng, n, mode);
+      const auto b = RandomWords(rng, n, mode + 2);
+
+      std::vector<uint64_t> want(n), got(n);
+      bitset_scalar::AndNot(want.data(), a.data(), b.data(), n);
+      bitset_avx512::AndNot(got.data(), a.data(), b.data(), n);
+      EXPECT_EQ(got, want) << "AndNot n=" << n << " mode=" << mode;
+
+      bitset_scalar::And(want.data(), a.data(), b.data(), n);
+      bitset_avx512::And(got.data(), a.data(), b.data(), n);
+      EXPECT_EQ(got, want) << "And n=" << n;
+
+      bitset_scalar::Or(want.data(), a.data(), b.data(), n);
+      bitset_avx512::Or(got.data(), a.data(), b.data(), n);
+      EXPECT_EQ(got, want) << "Or n=" << n;
+
+      EXPECT_EQ(bitset_avx512::Popcount(a.data(), n),
+                bitset_scalar::Popcount(a.data(), n))
+          << "Popcount n=" << n;
+      EXPECT_EQ(bitset_avx512::AndPopcount(a.data(), b.data(), n),
+                bitset_scalar::AndPopcount(a.data(), b.data(), n))
+          << "AndPopcount n=" << n;
+      EXPECT_EQ(bitset_avx512::AndNotPopcount(a.data(), b.data(), n),
+                bitset_scalar::AndNotPopcount(a.data(), b.data(), n))
+          << "AndNotPopcount n=" << n;
+      EXPECT_EQ(bitset_avx512::Intersects(a.data(), b.data(), n),
+                bitset_scalar::Intersects(a.data(), b.data(), n))
+          << "Intersects n=" << n;
+    }
+  }
+}
+
+TEST(BitsetOpsTest, Avx512AliasSafeWhenDstIsA) {
+  if (!Avx512Available()) GTEST_SKIP() << "CPU lacks AVX-512F+VPOPCNTDQ";
+  Rng rng(0xB21);
+  for (const size_t n : kLengths) {
+    const auto orig_a = RandomWords(rng, n, 0);
+    const auto b = RandomWords(rng, n, 1);
+    std::vector<uint64_t> want(n);
+    bitset_scalar::AndNot(want.data(), orig_a.data(), b.data(), n);
+    auto a = orig_a;
+    bitset_avx512::AndNot(a.data(), a.data(), b.data(), n);
+    EXPECT_EQ(a, want) << "n=" << n;
+  }
+}
+#endif  // KTG_BITSET_AVX512_COMPILED
+
+#if KTG_BITSET_NEON_COMPILED
+TEST(BitsetOpsTest, NeonMatchesScalarDirectly) {
+  Rng rng(0xB22);
+  for (const size_t n : kLengths) {
+    for (int mode = 0; mode < 8; ++mode) {
+      const auto a = RandomWords(rng, n, mode);
+      const auto b = RandomWords(rng, n, mode + 2);
+
+      std::vector<uint64_t> want(n), got(n);
+      bitset_scalar::AndNot(want.data(), a.data(), b.data(), n);
+      bitset_neon::AndNot(got.data(), a.data(), b.data(), n);
+      EXPECT_EQ(got, want) << "AndNot n=" << n << " mode=" << mode;
+
+      bitset_scalar::And(want.data(), a.data(), b.data(), n);
+      bitset_neon::And(got.data(), a.data(), b.data(), n);
+      EXPECT_EQ(got, want) << "And n=" << n;
+
+      bitset_scalar::Or(want.data(), a.data(), b.data(), n);
+      bitset_neon::Or(got.data(), a.data(), b.data(), n);
+      EXPECT_EQ(got, want) << "Or n=" << n;
+
+      EXPECT_EQ(bitset_neon::Popcount(a.data(), n),
+                bitset_scalar::Popcount(a.data(), n))
+          << "Popcount n=" << n;
+      EXPECT_EQ(bitset_neon::AndPopcount(a.data(), b.data(), n),
+                bitset_scalar::AndPopcount(a.data(), b.data(), n))
+          << "AndPopcount n=" << n;
+      EXPECT_EQ(bitset_neon::AndNotPopcount(a.data(), b.data(), n),
+                bitset_scalar::AndNotPopcount(a.data(), b.data(), n))
+          << "AndNotPopcount n=" << n;
+      EXPECT_EQ(bitset_neon::Intersects(a.data(), b.data(), n),
+                bitset_scalar::Intersects(a.data(), b.data(), n))
+          << "Intersects n=" << n;
+    }
+  }
+}
+
+TEST(BitsetOpsTest, NeonAliasSafeWhenDstIsA) {
+  Rng rng(0xB23);
+  for (const size_t n : kLengths) {
+    const auto orig_a = RandomWords(rng, n, 0);
+    const auto b = RandomWords(rng, n, 1);
+    std::vector<uint64_t> want(n);
+    bitset_scalar::AndNot(want.data(), orig_a.data(), b.data(), n);
+    auto a = orig_a;
+    bitset_neon::AndNot(a.data(), a.data(), b.data(), n);
+    EXPECT_EQ(a, want) << "n=" << n;
+  }
+}
+#endif  // KTG_BITSET_NEON_COMPILED
+
 TEST(BitsetOpsTest, DispatchReportsConsistentState) {
-  // Whatever path was resolved, the name and the flag must agree, and
-  // scalar must always be reachable.
-  if (Avx2Active()) {
+  // Whatever tier was resolved, the name and the flags must agree, the
+  // priority order avx512 > avx2 > neon > scalar must hold, and the tiers
+  // must nest (AVX-512 never runs with the AVX2 tier disabled).
+  if (Avx512Active()) {
+    EXPECT_STREQ(KernelDispatchName(), "avx512");
+    EXPECT_TRUE(Avx512Available());
+    EXPECT_TRUE(Avx2Active());  // nesting
+  } else if (Avx2Active()) {
     EXPECT_STREQ(KernelDispatchName(), "avx2");
     EXPECT_TRUE(Avx2Available());
+  } else if (NeonActive()) {
+    EXPECT_STREQ(KernelDispatchName(), "neon");
+    EXPECT_TRUE(NeonAvailable());
   } else {
     EXPECT_STREQ(KernelDispatchName(), "scalar");
+  }
+  // Availability never depends on environment overrides, so a disabled
+  // tier still reports its hardware truthfully.
+  if (NeonAvailable()) {
+    EXPECT_FALSE(Avx2Available());  // no CPU has both ISAs
+  }
+  if (Avx512Available()) {
+    EXPECT_TRUE(Avx2Available());  // every AVX-512 CPU has AVX2
   }
 }
 

@@ -1,0 +1,426 @@
+// Copyright (c) 2026 The ktg Authors.
+// Permutation-metamorphic certification of the reorder boundary
+// (graph/reorder.h + core/reorder_boundary.h): relabeling the vertices of a
+// dataset — under any of the computed locality orders or an arbitrary
+// random bijection — must be invisible at the API surface. Both engines
+// must return the baseline's top-N coverage profile with every group
+// structurally valid *on the original graph* after mapping back (coverage
+// profiles, not raw members: under full-coverage ties the representative
+// group legitimately depends on internal id order). The same must hold
+// through the result cache (cold and warm runs) and through the
+// epoch-snapshot layer under interleaved mutation batches mapped across
+// the boundary. This binary carries the tsan label via snapshot coverage.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include "cache/ktg_cache.h"
+#include "core/brute_force.h"
+#include "core/conflict_graph_engine.h"
+#include "core/ktg_engine.h"
+#include "core/reorder_boundary.h"
+#include "core/snapshot.h"
+#include "datagen/generators.h"
+#include "datagen/keyword_assigner.h"
+#include "datagen/mutation_gen.h"
+#include "datagen/query_gen.h"
+#include "graph/reorder.h"
+#include "index/bfs_checker.h"
+#include "index/checker_factory.h"
+#include "keywords/inverted_index.h"
+#include "util/macros.h"
+#include "util/rng.h"
+
+namespace ktg {
+namespace {
+
+std::vector<int> CoverageCounts(const std::vector<Group>& groups) {
+  std::vector<int> out;
+  out.reserve(groups.size());
+  for (const auto& g : groups) out.push_back(g.covered());
+  return out;
+}
+
+/// The same four topology families the engine-equivalence suite sweeps.
+AttributedGraph MakeInstance(int round, Rng& rng) {
+  Graph topo;
+  switch (round % 4) {
+    case 0:
+      topo = ErdosRenyi(34, 0.08, rng);
+      break;
+    case 1:
+      topo = BarabasiAlbert(36, 2, rng);
+      break;
+    case 2:
+      topo = WattsStrogatz(32, 2, 0.2, rng);
+      break;
+    default:
+      topo = ChungLuPowerLaw(38, 5.0, 2.5, rng);
+      break;
+  }
+  KeywordModel model;
+  model.vocabulary_size = 12;
+  model.min_per_vertex = 1;
+  model.max_per_vertex = 3;
+  model.empty_fraction = 0.1;
+  return AssignKeywords(std::move(topo), model, rng);
+}
+
+VertexRemap RandomRemap(uint32_t n, Rng& rng) {
+  std::vector<VertexId> to_new(n);
+  std::iota(to_new.begin(), to_new.end(), VertexId{0});
+  std::shuffle(to_new.begin(), to_new.end(), rng);
+  auto remap = VertexRemap::FromPermutation(std::move(to_new));
+  KTG_CHECK_MSG(remap.ok(), "random permutation");
+  return *std::move(remap);
+}
+
+/// One relabeled copy of the instance plus the plan that produced it.
+struct Relabeling {
+  std::string name;
+  AttributedGraph graph;
+  ReorderPlan plan;
+};
+
+/// Every computed order plus two arbitrary random bijections — the
+/// metamorphic transform set each instance is run under.
+std::vector<Relabeling> MakeRelabelings(const AttributedGraph& original,
+                                        Rng& rng) {
+  std::vector<Relabeling> out;
+  for (const ReorderMode mode :
+       {ReorderMode::kDegree, ReorderMode::kBfs, ReorderMode::kDegeneracy}) {
+    Relabeling r;
+    r.name = ReorderModeName(mode);
+    r.graph = original;
+    r.plan = ReorderDataset(&r.graph, mode);
+    out.push_back(std::move(r));
+  }
+  for (int p = 0; p < 2; ++p) {
+    Relabeling r;
+    r.name = "perm" + std::to_string(p);
+    r.graph = original;
+    r.plan = ReorderDatasetWithRemap(
+        &r.graph, RandomRemap(original.num_vertices(), rng));
+    out.push_back(std::move(r));
+  }
+  return out;
+}
+
+/// Structural validity of mapped-back groups, judged ONLY against the
+/// original graph: ascending original-id members of the right count,
+/// pairwise within k hops, and a coverage mask that is both honest (every
+/// member contributes) and equal to what the engine reported.
+void ExpectValidOnOriginal(const AttributedGraph& original,
+                           const KtgQuery& query,
+                           const std::vector<Group>& groups,
+                           const std::string& label) {
+  BfsChecker validator(original.graph());
+  for (const auto& grp : groups) {
+    EXPECT_EQ(grp.members.size(), query.group_size) << label;
+    EXPECT_TRUE(std::is_sorted(grp.members.begin(), grp.members.end()))
+        << label;
+    for (const VertexId m : grp.members) {
+      EXPECT_LT(m, original.num_vertices()) << label;
+    }
+    EXPECT_TRUE(IsKDistanceGroup(grp.members, query.tenuity, validator))
+        << label;
+    CoverMask mask = 0;
+    for (const VertexId m : grp.members) {
+      const CoverMask vm = CoverMaskOf(original, m, query.keywords);
+      EXPECT_GT(PopCount(vm), 0) << label;
+      mask |= vm;
+    }
+    EXPECT_EQ(mask, grp.mask) << label;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// The remap itself: bijectivity, determinism, isomorphism.
+
+TEST(VertexRemapTest, FromPermutationRoundTripsAndRejectsNonBijections) {
+  Rng rng(0x9E37);
+  const uint32_t n = 97;
+  const VertexRemap remap = RandomRemap(n, rng);
+  ASSERT_EQ(remap.num_vertices(), n);
+  for (VertexId v = 0; v < n; ++v) {
+    EXPECT_EQ(remap.ToOld(remap.ToNew(v)), v);
+    EXPECT_EQ(remap.ToNew(remap.ToOld(v)), v);
+  }
+  std::vector<VertexId> ids = {5, 3, 96, 0, 3};
+  const std::vector<VertexId> before = ids;
+  remap.MapToNew(&ids);
+  remap.MapToOld(&ids);
+  EXPECT_EQ(ids, before);
+
+  EXPECT_FALSE(VertexRemap::FromPermutation({0, 0, 2}).ok());   // duplicate
+  EXPECT_FALSE(VertexRemap::FromPermutation({0, 1, 3}).ok());   // out of range
+  EXPECT_FALSE(VertexRemap::FromOrder({2, 2, 0}).ok());
+  EXPECT_TRUE(VertexRemap::Identity(4).IsIdentity());
+  EXPECT_FALSE(RandomRemap(64, rng).IsIdentity());  // astronomically unlikely
+}
+
+TEST(ComputeReorderTest, DeterministicAndBijectivePerMode) {
+  Rng rng(0xD0D0);
+  const AttributedGraph g = MakeInstance(3, rng);
+  for (const ReorderMode mode :
+       {ReorderMode::kNone, ReorderMode::kDegree, ReorderMode::kBfs,
+        ReorderMode::kDegeneracy}) {
+    const VertexRemap a = ComputeReorder(g.graph(), mode);
+    const VertexRemap b = ComputeReorder(g.graph(), mode);
+    EXPECT_EQ(a.to_new(), b.to_new()) << ReorderModeName(mode);
+    EXPECT_EQ(a.num_vertices(), g.num_vertices()) << ReorderModeName(mode);
+    if (mode == ReorderMode::kNone) {
+      EXPECT_TRUE(a.IsIdentity());
+    }
+    // Bijectivity: to_old really inverts to_new.
+    for (VertexId v = 0; v < a.num_vertices(); ++v) {
+      EXPECT_EQ(a.ToOld(a.ToNew(v)), v);
+    }
+  }
+}
+
+TEST(ApplyRemapTest, RelabeledGraphIsIsomorphic) {
+  Rng rng(0xA110);
+  const AttributedGraph g = MakeInstance(0, rng);
+  const VertexRemap remap = RandomRemap(g.num_vertices(), rng);
+  const Graph relabeled = ApplyRemap(g.graph(), remap);
+  ASSERT_EQ(relabeled.num_vertices(), g.graph().num_vertices());
+  ASSERT_EQ(relabeled.num_edges(), g.graph().num_edges());
+  for (VertexId u = 0; u < g.num_vertices(); ++u) {
+    EXPECT_EQ(relabeled.Degree(remap.ToNew(u)), g.graph().Degree(u));
+    for (const VertexId v : g.graph().Neighbors(u)) {
+      EXPECT_TRUE(relabeled.HasEdge(remap.ToNew(u), remap.ToNew(v)));
+    }
+  }
+  // Locality stats see the same edge multiset under both labelings.
+  EXPECT_EQ(ComputeLocality(relabeled).edges,
+            ComputeLocality(g.graph()).edges);
+}
+
+TEST(ReorderDatasetTest, KeywordsFollowTheirVerticesAndVocabularyIsShared) {
+  Rng rng(0xF00D);
+  const AttributedGraph original = MakeInstance(2, rng);
+  AttributedGraph reordered = original;
+  const ReorderPlan plan = ReorderDataset(&reordered, ReorderMode::kDegree);
+  ASSERT_TRUE(plan.active());
+  ASSERT_EQ(plan.remap.num_vertices(), original.num_vertices());
+  EXPECT_EQ(reordered.vocabulary().size(), original.vocabulary().size());
+  for (VertexId v = 0; v < original.num_vertices(); ++v) {
+    auto a = original.Keywords(v);
+    auto b = reordered.Keywords(plan.remap.ToNew(v));
+    EXPECT_TRUE(std::equal(a.begin(), a.end(), b.begin(), b.end()))
+        << "vertex " << v;
+  }
+  // The plan measured both labelings over the same edges.
+  EXPECT_EQ(plan.before.edges, plan.after.edges);
+}
+
+// ---------------------------------------------------------------------------
+// The metamorphic core: both engines, every relabeling, mapped-back results.
+
+class ReorderMetamorphicTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(ReorderMetamorphicTest, EnginesMatchBaselineUnderEveryRelabeling) {
+  const int round = GetParam();
+  Rng rng(0x4E0000 + round * 1201);
+  const AttributedGraph g = MakeInstance(round, rng);
+  const InvertedIndex idx(g);
+
+  WorkloadOptions wopts;
+  wopts.num_queries = 2;
+  wopts.keyword_count = 4 + round % 3;
+  wopts.group_size = 2 + round % 3;
+  wopts.tenuity = static_cast<HopDistance>(1 + round % 3);
+  wopts.top_n = 1 + round % 4;
+  const auto queries = GenerateWorkload(g, wopts, rng);
+
+  const auto relabelings = MakeRelabelings(g, rng);
+
+  for (const auto& query : queries) {
+    BfsChecker base_checker(g.graph());
+    const auto base = RunKtg(g, idx, base_checker, query, {});
+    ASSERT_TRUE(base.ok());
+    const auto expected = CoverageCounts(base->groups);
+    ExpectValidOnOriginal(g, query, base->groups, "baseline");
+
+    for (const auto& r : relabelings) {
+      ASSERT_TRUE(r.plan.active()) << r.name;
+      const InvertedIndex ridx(r.graph);
+      const KtgQuery iq = MapQueryToInternal(query, r.plan.remap);
+      EXPECT_EQ(iq.keywords, query.keywords);  // keyword ids never move
+
+      const std::string label =
+          r.name + " round=" + std::to_string(round) +
+          " p=" + std::to_string(query.group_size) +
+          " k=" + std::to_string(query.tenuity) +
+          " N=" + std::to_string(query.top_n);
+
+      // Branch-and-bound engine on the relabeled instance.
+      {
+        auto checker =
+            MakeChecker(CheckerKind::kNlrnl, r.graph.graph(), query.tenuity);
+        auto got = RunKtg(r.graph, ridx, *checker, iq, {});
+        ASSERT_TRUE(got.ok()) << label;
+        MapGroupsToOriginal(r.plan.remap, &got->groups);
+        EXPECT_EQ(CoverageCounts(got->groups), expected) << "bb " << label;
+        ExpectValidOnOriginal(g, query, got->groups, "bb " + label);
+      }
+
+      // Conflict-graph engine on the relabeled instance.
+      {
+        auto checker = MakeChecker(CheckerKind::kKHopBitmap, r.graph.graph(),
+                                   query.tenuity);
+        auto got = RunKtgConflictGraph(r.graph, ridx, *checker, iq, {});
+        ASSERT_TRUE(got.ok()) << label;
+        MapGroupsToOriginal(r.plan.remap, &got->groups);
+        EXPECT_EQ(CoverageCounts(got->groups), expected) << "cg " << label;
+        ExpectValidOnOriginal(g, query, got->groups, "cg " + label);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Rounds, ReorderMetamorphicTest,
+                         ::testing::Range(0, 8));
+
+// ---------------------------------------------------------------------------
+// Through the result cache: the canonical QueryKey is built from the mapped
+// query, so a cold fill and a warm hit must return identical groups — and
+// both must carry the baseline coverage profile after mapping back.
+
+TEST(ReorderCacheTest, ColdAndWarmCachedRunsAgreeAndMatchBaseline) {
+  Rng rng(0xCAC4E);
+  const AttributedGraph g = MakeInstance(1, rng);
+  const InvertedIndex idx(g);
+
+  WorkloadOptions wopts;
+  wopts.num_queries = 4;
+  wopts.keyword_count = 5;
+  wopts.group_size = 3;
+  wopts.tenuity = 2;
+  wopts.top_n = 3;
+  const auto queries = GenerateWorkload(g, wopts, rng);
+
+  AttributedGraph reordered = g;
+  const ReorderPlan plan = ReorderDataset(&reordered, ReorderMode::kBfs);
+  const InvertedIndex ridx(reordered);
+  auto checker = MakeChecker(CheckerKind::kNlrnl, reordered.graph(),
+                             wopts.tenuity);
+
+  KtgCache cache;
+  EngineOptions opts;
+  opts.cache = &cache;
+
+  for (const auto& query : queries) {
+    BfsChecker base_checker(g.graph());
+    const auto base = RunKtg(g, idx, base_checker, query, {});
+    ASSERT_TRUE(base.ok());
+
+    const KtgQuery iq = MapQueryToInternal(query, plan.remap);
+    auto cold = RunKtg(reordered, ridx, *checker, iq, opts);
+    ASSERT_TRUE(cold.ok());
+    auto warm = RunKtg(reordered, ridx, *checker, iq, opts);
+    ASSERT_TRUE(warm.ok());
+
+    MapGroupsToOriginal(plan.remap, &cold->groups);
+    MapGroupsToOriginal(plan.remap, &warm->groups);
+    // Same engine, same internal labeling: a cache hit must replay the
+    // exact groups, not merely the profile.
+    EXPECT_EQ(cold->groups, warm->groups);
+    EXPECT_EQ(CoverageCounts(cold->groups), CoverageCounts(base->groups));
+    ExpectValidOnOriginal(g, query, warm->groups, "warm");
+  }
+  EXPECT_GT(cache.QueryStats().hits, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Through the snapshot layer: the same mutation stream, mapped across the
+// boundary batch by batch, must keep a reordered store and an unreordered
+// store observationally equal at every epoch — including a retained pin of
+// the previous epoch (the interleaving a live server actually exhibits).
+
+TEST(ReorderSnapshotTest, MappedMutationStreamKeepsStoresEquivalent) {
+  Rng rng(0x5EED9);
+  const AttributedGraph g = MakeInstance(3, rng);
+
+  WorkloadOptions wopts;
+  wopts.num_queries = 3;
+  wopts.keyword_count = 4;
+  wopts.group_size = 3;
+  wopts.tenuity = 2;
+  wopts.top_n = 3;
+  const auto queries = GenerateWorkload(g, wopts, rng);
+
+  AttributedGraph reordered = g;
+  const ReorderPlan plan = ReorderDataset(&reordered, ReorderMode::kDegeneracy);
+  ASSERT_TRUE(plan.active());
+
+  SnapshotStore::Options sopts;
+  sopts.checker = CheckerKind::kNlrnl;
+  sopts.build_threads = 1;
+  SnapshotStore base_store(AttributedGraph(g), sopts);
+  SnapshotStore reord_store(std::move(reordered), sopts);
+
+  MutationWorkloadOptions mopts;
+  mopts.num_batches = 5;
+  mopts.edges_per_batch = 3;
+  mopts.keywords_per_batch = 1;
+  Rng mrng(0x77AA);
+  const auto batches = GenerateMutationWorkload(g, mopts, mrng);
+
+  const auto run_all = [&](const EngineSnapshot& snap, bool mapped) {
+    std::vector<std::vector<int>> profiles;
+    for (const auto& query : queries) {
+      const KtgQuery iq =
+          mapped ? MapQueryToInternal(query, plan.remap) : query;
+      std::unique_ptr<DistanceChecker> bfs;
+      DistanceChecker* checker = snap.checker();
+      if (checker == nullptr) {
+        bfs = std::make_unique<BfsChecker>(snap.graph().graph());
+        checker = bfs.get();
+      }
+      auto got = RunKtg(snap.graph(), snap.index(), *checker, iq, {});
+      KTG_CHECK_MSG(got.ok(), "snapshot run");
+      if (mapped) MapGroupsToOriginal(plan.remap, &got->groups);
+      profiles.push_back(CoverageCounts(got->groups));
+    }
+    return profiles;
+  };
+
+  const auto compare_epochs = [&]() {
+    const SnapshotPin bp = base_store.Pin();
+    const SnapshotPin rp = reord_store.Pin();
+    ASSERT_EQ(bp->epoch(), rp->epoch());
+    EXPECT_EQ(run_all(*bp, /*mapped=*/false), run_all(*rp, /*mapped=*/true))
+        << "epoch " << bp->epoch();
+  };
+
+  compare_epochs();  // boot epoch
+
+  SnapshotPin prev_base = base_store.Pin();
+  SnapshotPin prev_reord = reord_store.Pin();
+  for (const MutationBatch& batch : batches) {
+    const auto base_info = base_store.Apply(batch);
+    ASSERT_TRUE(base_info.ok()) << base_info.status().ToString();
+    const auto reord_info =
+        reord_store.Apply(MapBatchToInternal(batch, plan.remap));
+    ASSERT_TRUE(reord_info.ok()) << reord_info.status().ToString();
+    ASSERT_EQ(base_info->epoch, reord_info->epoch);
+
+    // The retired pins (previous epoch) must still agree with each other…
+    EXPECT_EQ(run_all(*prev_base, /*mapped=*/false),
+              run_all(*prev_reord, /*mapped=*/true));
+    // …and so must the freshly published epoch.
+    compare_epochs();
+    prev_base = base_store.Pin();
+    prev_reord = reord_store.Pin();
+  }
+}
+
+}  // namespace
+}  // namespace ktg
