@@ -25,6 +25,7 @@
 #include "bench/common.h"
 #include "core/conflict_graph_engine.h"
 #include "datagen/generators.h"
+#include "exec/sharded_pool.h"
 #include "graph/reorder.h"
 #include "index/bfs_checker.h"
 #include "index/khop_bitmap.h"
@@ -283,6 +284,71 @@ void BenchConflictConstruction() {
   }
 }
 
+void BenchShardedConflictBuild() {
+  // The sharded-executor locality hook (docs/sharding.md): the same
+  // bitmap-row ball walk, serial vs on an exec::ShardedThreadPool where
+  // each worker first-touches its own adjacency rows and draws scratch
+  // from its shard arena. Edge counts must agree — the parallel build is
+  // a partitioning of the same row loop, not an approximation.
+  constexpr uint32_t kVertices = 20'000;
+  constexpr HopDistance kK = 2;
+  Rng rng(0xBA11);
+  const Graph graph = BarabasiAlbert(kVertices, 3, rng);
+  std::printf("[bench] building KHopBitmap (n=%u, k=%d)...\n", kVertices,
+              int{kK});
+  KHopBitmapChecker bitmap(graph, kK);
+
+  const uint32_t threads = std::max(2u, BenchThreads());
+  exec::ShardedPoolOptions popts;
+  popts.num_threads = threads;
+  popts.shards = BenchShards();
+  popts.pin_threads = BenchPinThreads();
+  exec::ShardedThreadPool pool(popts);
+
+  PrintHeader("Conflict-graph construction: serial vs sharded pool",
+              "BarabasiAlbert n=20000 m0=3, k=2, bitmap rows; pool: " +
+                  std::to_string(threads) + " worker(s), " +
+                  std::to_string(pool.num_shards()) + " shard(s)");
+  const std::vector<int> widths = {12, 12, 12, 10, 14};
+  PrintRow({"candidates", "serial ms", "pooled ms", "speedup", "edges"},
+           widths);
+
+  for (const uint32_t n : {2'000u, 5'000u, 10'000u}) {
+    std::vector<Candidate> cands;
+    cands.reserve(n);
+    for (uint32_t i = 0; i < n; ++i) {
+      Candidate c;
+      c.vertex = static_cast<VertexId>(i * 2);
+      cands.push_back(c);
+    }
+    auto time_build = [&](exec::ShardedThreadPool* p, uint64_t* edges) {
+      double best_ms = -1.0;
+      for (uint32_t rep = 0; rep < BenchRepeats(); ++rep) {
+        Stopwatch watch;
+        const auto cg = BuildConflictAdjacency(graph, bitmap, cands, kK,
+                                               ConflictBuild::kBallWalk, p);
+        const double ms = watch.ElapsedMillis();
+        *edges = cg.edges;
+        if (best_ms < 0.0 || ms < best_ms) best_ms = ms;
+      }
+      return best_ms;
+    };
+    uint64_t edges_serial = 0, edges_pool = 0;
+    const double serial_ms = time_build(nullptr, &edges_serial);
+    const double pooled_ms = time_build(&pool, &edges_pool);
+    KTG_CHECK(edges_serial == edges_pool);
+    PrintRow({std::to_string(n), Fmt(serial_ms), Fmt(pooled_ms),
+              Fmt(serial_ms / pooled_ms) + "x", std::to_string(edges_serial)},
+             widths);
+    Metrics()
+        .gauge("kernel.bench.conflict_pool_ms.c" + std::to_string(n))
+        .Set(pooled_ms);
+    Metrics()
+        .gauge("kernel.bench.conflict_pool_speedup.c" + std::to_string(n))
+        .Set(serial_ms / pooled_ms);
+  }
+}
+
 }  // namespace
 }  // namespace ktg::bench
 
@@ -291,8 +357,11 @@ int main(int argc, char** argv) {
   ktg::bench::InstallBenchSignalFlush("bench_kernels");
   ktg::bench::ConsumeRepeatFlag(&argc, argv);
   ktg::bench::ConsumeReorderFlag(&argc, argv);
+  ktg::bench::ConsumeShardsFlag(&argc, argv);
+  ktg::bench::ConsumePinFlag(&argc, argv);
   ktg::bench::BenchWordKernels();
   ktg::bench::BenchConflictConstruction();
+  ktg::bench::BenchShardedConflictBuild();
   ktg::bench::BenchReorderLocality();
   ktg::bench::WriteMetricsSidecar("bench_kernels");
   return 0;

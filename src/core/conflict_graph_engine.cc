@@ -4,16 +4,21 @@
 
 #include <algorithm>
 #include <bit>
+#include <memory>
+#include <mutex>
 #include <numeric>
 
 #include "cache/ktg_cache.h"
 #include "cache/query_key.h"
 #include "core/obs_bridge.h"
 #include "core/topn.h"
+#include "exec/sharded_topn.h"
 #include "graph/bfs.h"
 #include "index/khop_bitmap.h"
 #include "obs/phase_timer.h"
 #include "obs/query_trace.h"
+#include "util/align.h"
+#include "util/thread_pool.h"
 #include "util/timer.h"
 
 namespace ktg {
@@ -84,7 +89,43 @@ struct SearchState {
   // 64 expansions, measured from the run's entry.
   Stopwatch run_watch;
 
+  // Set only on per-worker states of a parallel run (mirrors KtgEngine's
+  // clone indirection): the shard-replica view replaces the collector, and
+  // the node budget / stop flag become process-wide.
+  exec::ShardedTopN::View* view = nullptr;
+  std::atomic<uint64_t>* shared_nodes = nullptr;
+  std::atomic<bool>* shared_stop = nullptr;
+
   std::vector<VertexId> members;
+
+  bool CollectorFull() {
+    return view != nullptr ? view->full() : collector->full();
+  }
+  int Threshold() {
+    return view != nullptr ? view->threshold() : collector->threshold();
+  }
+  void OfferGroup(Group g) {
+    if (view != nullptr) {
+      view->Offer(std::move(g));
+    } else {
+      collector->Offer(std::move(g));
+    }
+  }
+  bool StopRequested() {
+    if (stop) return true;
+    if (shared_stop != nullptr &&
+        shared_stop->load(std::memory_order_relaxed)) {
+      stop = true;
+      return true;
+    }
+    return false;
+  }
+  void RequestStop() {
+    stop = true;
+    if (shared_stop != nullptr) {
+      shared_stop->store(true, std::memory_order_relaxed);
+    }
+  }
 
   void RecordTrace(obs::TraceEventKind kind, VertexId vertex, int64_t detail) {
     if (trace == nullptr) return;
@@ -114,17 +155,23 @@ struct SearchState {
   }
 
   void Search(Bitset allowed, CoverMask covered) {
-    if (stop) return;
+    if (StopRequested()) return;
     ++stats->nodes_expanded;
-    if (options->max_nodes != 0 &&
-        stats->nodes_expanded > options->max_nodes) {
-      stop = true;
-      return;
+    if (options->max_nodes != 0) {
+      // Parallel runs charge the global budget; serial runs the local count.
+      const uint64_t expanded =
+          shared_nodes == nullptr
+              ? stats->nodes_expanded
+              : shared_nodes->fetch_add(1, std::memory_order_relaxed) + 1;
+      if (expanded > options->max_nodes) {
+        RequestStop();
+        return;
+      }
     }
     if (options->time_budget_ms > 0 &&
         (stats->nodes_expanded & 0x3F) == 0 &&
         run_watch.ElapsedMillis() > options->time_budget_ms) {
-      stop = true;
+      RequestStop();
       return;
     }
     if (trace != nullptr) {
@@ -140,7 +187,7 @@ struct SearchState {
       g.members = members;
       std::sort(g.members.begin(), g.members.end());
       g.mask = covered;
-      collector->Offer(std::move(g));
+      OfferGroup(std::move(g));
       return;
     }
     const uint32_t need = p - static_cast<uint32_t>(members.size());
@@ -157,9 +204,9 @@ struct SearchState {
     if (order.size() < need) return;
 
     const int covered_count = PopCount(covered);
-    if (options->keyword_pruning && collector->full()) {
+    if (options->keyword_pruning && CollectorFull()) {
       // Reachable-coverage ceiling (this engine always clamps).
-      if (PopCount(reachable) <= collector->threshold()) {
+      if (PopCount(reachable) <= Threshold()) {
         ++stats->keyword_prunes;
         RecordTrace(obs::TraceEventKind::kKeywordPrune, kInvalidVertex,
                     PopCount(reachable));
@@ -170,10 +217,10 @@ struct SearchState {
     // the static root rank, so ties fall back to that rank).
     std::sort(order.begin(), order.end());
 
-    if (options->keyword_pruning && collector->full()) {
+    if (options->keyword_pruning && CollectorFull()) {
       int additive = covered_count;
       for (uint32_t i = 0; i < need; ++i) additive += -order[i].first;
-      if (additive <= collector->threshold()) {
+      if (additive <= Threshold()) {
         ++stats->keyword_prunes;
         RecordTrace(obs::TraceEventKind::kKeywordPrune, kInvalidVertex,
                     additive);
@@ -182,15 +229,15 @@ struct SearchState {
     }
 
     for (size_t i = 0; i + need <= order.size(); ++i) {
-      if (stop) return;
+      if (StopRequested()) return;
       const uint32_t pos = order[i].second;
       const Candidate& v = (*cands)[pos];
 
-      if (options->keyword_pruning && collector->full()) {
+      if (options->keyword_pruning && CollectorFull()) {
         int bound = covered_count + (-order[i].first);
         const size_t end = std::min(order.size(), i + need);
         for (size_t j = i + 1; j < end; ++j) bound += -order[j].first;
-        if (bound <= collector->threshold()) {
+        if (bound <= Threshold()) {
           ++stats->keyword_prunes;
           RecordTrace(obs::TraceEventKind::kKeywordPrune, v.vertex, bound);
           return;  // order is VKC-descending: later children bound lower
@@ -205,8 +252,8 @@ struct SearchState {
 
       const CoverMask child_covered = covered | v.mask;
       if (options->residual_bound && options->keyword_pruning &&
-          collector->full() &&
-          ResidualBoundPrunes(child, child_covered, collector->threshold())) {
+          CollectorFull() &&
+          ResidualBoundPrunes(child, child_covered, Threshold())) {
         // The additive bound passed but the child's surviving set cannot
         // reach past the N-th coverage: skip the subtree. Not a `return` —
         // later children survive different conflict sets.
@@ -276,12 +323,15 @@ std::vector<Group> ConflictGreedySeeds(const std::vector<Candidate>& cands,
 ConflictAdjacency BuildConflictAdjacency(const Graph& graph,
                                          DistanceChecker& checker,
                                          const std::vector<Candidate>& cands,
-                                         HopDistance k, ConflictBuild build) {
+                                         HopDistance k, ConflictBuild build,
+                                         exec::ShardedThreadPool* pool) {
   const auto n = static_cast<uint32_t>(cands.size());
   ConflictAdjacency out;
-  out.adj.assign(n, Bitset(n));
 
   if (build == ConflictBuild::kPairwise) {
+    // Serial by contract: the checker is not required to be
+    // concurrent-read-safe, and this path exists for the ablation.
+    out.adj.assign(n, Bitset(n));
     for (uint32_t i = 0; i < n; ++i) {
       for (uint32_t j = i + 1; j < n; ++j) {
         if (!checker.IsFartherThan(cands[i].vertex, cands[j].vertex, k)) {
@@ -300,37 +350,112 @@ ConflictAdjacency BuildConflictAdjacency(const Graph& graph,
   std::vector<uint32_t> pos_of(nv, kNoPos);
   for (uint32_t i = 0; i < n; ++i) pos_of[cands[i].vertex] = i;
 
+  // Parallel row construction: candidate rows are partitioned into
+  // contiguous per-shard ranges; each worker allocates AND fills the rows
+  // it owns, so first-touch places every row on the builder's node — the
+  // same node whose search workers scan it later (ranges are contiguous in
+  // the candidate rank, matching the search partition). Per-worker edge
+  // subtotals avoid a shared counter. Rows are disjoint, so the only
+  // synchronization is the pool's own Wait().
+  const auto run_rows = [&](auto&& build_row) {
+    if (pool == nullptr || n == 0) {
+      out.adj.assign(n, Bitset(n));
+      uint64_t edges = 0;
+      exec::ScratchArena arena;
+      for (uint32_t i = 0; i < n; ++i) build_row(i, &arena, &edges);
+      out.edges = edges;
+      return;
+    }
+    out.adj.assign(n, Bitset());
+    exec::ShardedPartition rows(n, pool->plan().worker_counts());
+    std::vector<PaddedAtomic<uint64_t>> edge_subtotals(pool->num_shards());
+    for (uint32_t w = 0; w < pool->num_threads(); ++w) {
+      pool->Submit(pool->shard_of_worker(w),
+                   [&](const exec::WorkerContext& ctx) {
+                     uint64_t edges = 0;
+                     uint64_t i = 0;
+                     bool stolen = false;
+                     while (rows.Claim(ctx.shard, &i, &stolen)) {
+                       out.adj[i] = Bitset(n);  // first touch by the builder
+                       build_row(static_cast<uint32_t>(i), ctx.arena, &edges);
+                     }
+                     edge_subtotals[ctx.shard].value.fetch_add(
+                         edges, std::memory_order_relaxed);
+                   });
+    }
+    pool->Wait();
+    for (const auto& sub : edge_subtotals) {
+      out.edges += sub.value.load(std::memory_order_relaxed);
+    }
+  };
+
   if (auto* bitmap = dynamic_cast<KHopBitmapChecker*>(&checker);
       bitmap != nullptr && bitmap->built_k() == k) {
     // Balls are already materialized as matrix rows: adjacency row i is
     // row(v_i) ∩ members, one AND kernel per candidate — no BFS, no
-    // per-pair probes.
+    // per-pair probes. The AND scratch comes from the worker's arena
+    // (node-local, no shared vector).
     Bitset members(nv);
     for (uint32_t i = 0; i < n; ++i) members.Set(cands[i].vertex);
-    std::vector<uint64_t> scratch(members.num_words());
-    for (uint32_t i = 0; i < n; ++i) {
+    const size_t num_words = members.num_words();
+    run_rows([&](uint32_t i, exec::ScratchArena* arena, uint64_t* edges) {
+      uint64_t* scratch = arena->AllocWords(num_words);
       const auto row = bitmap->RowWords(cands[i].vertex);
-      BitAnd(scratch.data(), row.data(), members.words(), scratch.size());
-      ForEachSetBit(scratch.data(), scratch.size(), [&](uint32_t w) {
+      BitAnd(scratch, row.data(), members.words(), num_words);
+      ForEachSetBit(scratch, num_words, [&](uint32_t w) {
         const uint32_t j = pos_of[w];
         out.adj[i].Set(j);
-        if (j > i) ++out.edges;
+        if (j > i) ++*edges;
       });
-    }
+      arena->Reset();
+    });
     return out;
   }
 
   // One bounded BFS per candidate over the social graph: O(n · ball)
   // traversal work replaces O(n²) checker probes, and symmetry is free
-  // (j ∈ ball(i) ⇔ i ∈ ball(j) on an undirected graph).
-  BoundedBfs bfs(graph);
-  for (uint32_t i = 0; i < n; ++i) {
-    for (const VertexId w : bfs.Ball(cands[i].vertex, k)) {
-      const uint32_t j = pos_of[w];
-      if (j == kNoPos) continue;
-      out.adj[i].Set(j);
-      if (j > i) ++out.edges;
+  // (j ∈ ball(i) ⇔ i ∈ ball(j) on an undirected graph). Each worker keeps
+  // its own BoundedBfs (the visited scratch is stateful).
+  if (pool == nullptr) {
+    BoundedBfs bfs(graph);
+    out.adj.assign(n, Bitset(n));
+    for (uint32_t i = 0; i < n; ++i) {
+      for (const VertexId w : bfs.Ball(cands[i].vertex, k)) {
+        const uint32_t j = pos_of[w];
+        if (j == kNoPos) continue;
+        out.adj[i].Set(j);
+        if (j > i) ++out.edges;
+      }
     }
+    return out;
+  }
+  out.adj.assign(n, Bitset());
+  exec::ShardedPartition rows(n, pool->plan().worker_counts());
+  std::vector<PaddedAtomic<uint64_t>> edge_subtotals(pool->num_shards());
+  for (uint32_t w = 0; w < pool->num_threads(); ++w) {
+    pool->Submit(pool->shard_of_worker(w),
+                 [&](const exec::WorkerContext& ctx) {
+                   BoundedBfs bfs(graph);
+                   uint64_t edges = 0;
+                   uint64_t i = 0;
+                   bool stolen = false;
+                   while (rows.Claim(ctx.shard, &i, &stolen)) {
+                     out.adj[i] = Bitset(n);  // first touch by the builder
+                     for (const VertexId v :
+                          bfs.Ball(cands[i].vertex, k)) {
+                       const uint32_t j = pos_of[v];
+                       if (j == kNoPos) continue;
+                       out.adj[i].Set(j);
+                       if (j > i) ++edges;
+                     }
+                   }
+                   edge_subtotals[ctx.shard].value.fetch_add(
+                       edges, std::memory_order_relaxed);
+                 });
+  }
+  pool->Wait();
+  for (const auto& sub : edge_subtotals) {
+    out.edges += sub.value.load(std::memory_order_relaxed);
   }
   return out;
 }
@@ -343,15 +468,21 @@ Result<KtgResult> RunKtgConflictGraph(const AttributedGraph& graph,
   KTG_RETURN_IF_ERROR(ValidateQuery(query, graph));
   Stopwatch watch;
 
+  // Worker threads this run may use (final count is additionally clamped
+  // to the root count once candidates are known).
+  const uint32_t max_workers =
+      options.num_threads == 1 ? 1 : ThreadPool::Resolve(options.num_threads);
+
   QueryKey cache_key;
   // Degeneracy runs reorder tie-breaks, so they bypass the result cache
   // (same coverage profile, possibly different representative members) —
-  // as do time-budgeted runs (truncation is best-effort) and non-exact
-  // modes (seed groups claim collector slots first).
+  // as do time-budgeted runs (truncation is best-effort), non-exact
+  // modes (seed groups claim collector slots first), and parallel runs
+  // (shard interleaving reorders tie representatives too).
   const bool cacheable = options.cache != nullptr && options.max_nodes == 0 &&
                          options.time_budget_ms == 0 &&
                          options.mode == EngineMode::kExact &&
-                         !options.degeneracy_order;
+                         !options.degeneracy_order && max_workers == 1;
   if (cacheable) {
     // This engine has one fixed ordering (VKC desc, degree asc), matching
     // kVkcDeg/ascending; the distinct engine tag keeps its tie-breaks from
@@ -417,8 +548,26 @@ Result<KtgResult> RunKtgConflictGraph(const AttributedGraph& graph,
                         PopCount(union_mask), additive});
   }
 
+  // Root-parallel dispatch: one worker per first-level subtree, grouped
+  // into topology shards. The pool also fans out the adjacency build.
+  const uint32_t num_roots = n >= query.group_size
+                                 ? n - query.group_size + 1
+                                 : 0;
+  const uint32_t workers = static_cast<uint32_t>(
+      std::min<uint64_t>(max_workers, std::max<uint32_t>(num_roots, 1)));
+  std::unique_ptr<exec::ShardedThreadPool> pool;
+  if (workers > 1) {
+    exec::ShardedPoolOptions popts;
+    popts.num_threads = workers;
+    popts.shards = options.shards;
+    popts.pin_threads = options.pin_threads;
+    popts.metrics = options.metrics;
+    pool = std::make_unique<exec::ShardedThreadPool>(popts);
+  }
+
   ConflictAdjacency cg;
   TopNCollector collector(query.top_n);
+  std::unique_ptr<exec::ShardedTopN> shared;
   size_t seeded = 0;
   bool truncated = false;
   {
@@ -429,7 +578,7 @@ Result<KtgResult> RunKtgConflictGraph(const AttributedGraph& graph,
     {
       obs::PhaseTimer timer(&stats.phases, obs::Phase::kKlineFilter);
       cg = BuildConflictAdjacency(graph.graph(), checker, cands,
-                                  query.tenuity, options.build);
+                                  query.tenuity, options.build, pool.get());
       stats.kline_filtered = cg.edges;
     }
 
@@ -478,36 +627,165 @@ Result<KtgResult> RunKtgConflictGraph(const AttributedGraph& graph,
       }
     }
 
-    SearchState state;
-    state.cands = &cands;
-    state.conflicts = &cg.adj;
-    state.kw_pos = &kw_pos;
-    state.all_kw_mask = all_kw_mask;
-    state.options = &options;
-    state.p = query.group_size;
-    state.collector = &collector;
-    state.stats = &stats;
-    state.trace = options.trace;
-    state.run_watch = watch;  // deadline origin == the run's entry
-
+    std::vector<Group> seeds;
     if (options.mode != EngineMode::kExact) {
-      std::vector<Group> seeds =
-          ConflictGreedySeeds(cands, cg.adj, query.group_size, query.top_n);
+      seeds = ConflictGreedySeeds(cands, cg.adj, query.group_size,
+                                  query.top_n);
       seeded = seeds.size();
       stats.groups_completed += seeds.size();
-      for (Group& g : seeds) collector.Offer(std::move(g));
     }
 
-    Bitset all(n);
-    all.SetAll();
-    state.Search(std::move(all), 0);
-    truncated = state.stop;
+    if (pool == nullptr) {
+      SearchState state;
+      state.cands = &cands;
+      state.conflicts = &cg.adj;
+      state.kw_pos = &kw_pos;
+      state.all_kw_mask = all_kw_mask;
+      state.options = &options;
+      state.p = query.group_size;
+      state.collector = &collector;
+      state.stats = &stats;
+      state.trace = options.trace;
+      state.run_watch = watch;  // deadline origin == the run's entry
+      for (Group& g : seeds) collector.Offer(std::move(g));
+      Bitset all(n);
+      all.SetAll();
+      state.Search(std::move(all), 0);
+      truncated = state.stop;
+    } else {
+      // Root-parallel search over the sharded pool: root i is the subtree
+      // selecting candidate i first; its pool is the positions after i
+      // minus i's conflicts. Roots are in the static (VKC desc) rank, so
+      // the serial root ordering is the identity permutation and the
+      // contiguous shard ranges are bands of like-strength roots.
+      shared = std::make_unique<exec::ShardedTopN>(query.top_n,
+                                                   pool->num_shards());
+      shared->SeedGlobal(seeds);
+      exec::ShardedPartition partition(num_roots,
+                                       pool->plan().worker_counts());
+      PaddedAtomic<uint64_t> nodes{1};  // the (virtual) root node itself
+      PaddedAtomic<bool> stop{false};
+
+      // Root-level bounds, shared by every worker: the additive Theorem-2
+      // sum over a window of p consecutive vkcs (non-increasing in the
+      // root index — the break-on-failure rule depends on that), and the
+      // reachable-coverage ceiling (constant at the root).
+      std::vector<int> vkc_prefix(n + 1, 0);
+      CoverMask union_mask = 0;
+      for (uint32_t i = 0; i < n; ++i) {
+        vkc_prefix[i + 1] = vkc_prefix[i] + cands[i].vkc;
+        union_mask |= cands[i].mask;
+      }
+      const int root_ceiling = PopCount(union_mask);
+      const uint32_t p = query.group_size;
+
+      std::mutex agg_mu;
+      SearchStats agg;
+      bool complete = true;
+
+      auto worker_fn = [&](const exec::WorkerContext& ctx) {
+        Stopwatch worker_watch;
+        SearchStats wstats;
+        SearchState st;
+        st.cands = &cands;
+        st.conflicts = &cg.adj;
+        st.kw_pos = &kw_pos;
+        st.all_kw_mask = all_kw_mask;
+        st.options = &options;
+        st.p = p;
+        st.collector = nullptr;  // all access goes through the view
+        st.stats = &wstats;
+        st.trace = options.trace;  // QueryTrace records are mutex-guarded
+        st.run_watch = watch;
+        exec::ShardedTopN::View view = shared->MakeView(ctx.shard);
+        st.view = &view;
+        st.shared_nodes = &nodes.value;
+        st.shared_stop = &stop.value;
+
+        uint64_t root = 0;
+        bool stolen = false;
+        while (!st.StopRequested() &&
+               partition.Claim(ctx.shard, &root, &stolen)) {
+          const auto i = static_cast<uint32_t>(root);
+          if (options.keyword_pruning && st.CollectorFull()) {
+            const int threshold = st.Threshold();
+            if (root_ceiling <= threshold) {
+              // The ceiling is constant across roots: nothing anywhere can
+              // beat the N-th result anymore. Close every range and stop.
+              ++wstats.keyword_prunes;
+              partition.CloseFrom(0);
+              break;
+            }
+            const int additive =
+                vkc_prefix[std::min(n, i + p)] - vkc_prefix[i];
+            if (additive <= threshold) {
+              // The window sums are non-increasing in the root index, so
+              // this proves the whole tail [root, n) redundant — but not
+              // earlier unclaimed roots in other shards' ranges, which
+              // this worker may be the only one to reach (ring-order
+              // stealing under task pile-up). Close the tail and keep
+              // claiming instead of breaking; see docs/sharding.md.
+              ++wstats.keyword_prunes;
+              partition.CloseFrom(root);
+              continue;
+            }
+          }
+          // allowed = positions after i, minus i's conflicts (the serial
+          // first level reaches root i with exactly this pool).
+          Bitset allowed(n);
+          allowed.SetAll();
+          uint64_t* words = allowed.words();
+          const uint32_t full_words = (i + 1) >> 6;
+          for (uint32_t w = 0; w < full_words; ++w) words[w] = 0;
+          const uint32_t rem = (i + 1) & 63;
+          if (rem != 0) words[full_words] &= ~((uint64_t{1} << rem) - 1);
+          allowed.AndNotAssign(cg.adj[i]);
+
+          const CoverMask child_covered = cands[i].mask;
+          if (options.residual_bound && options.keyword_pruning &&
+              st.CollectorFull() &&
+              st.ResidualBoundPrunes(allowed, child_covered,
+                                     st.Threshold())) {
+            ++wstats.ub_prunes;
+            continue;  // later roots survive different conflict sets
+          }
+          st.members.push_back(cands[i].vertex);
+          st.Search(std::move(allowed), child_covered);
+          st.members.pop_back();
+          if (st.stop) break;
+        }
+        wstats.cpu_ms = worker_watch.ElapsedMillis();
+        std::lock_guard<std::mutex> lock(agg_mu);
+        agg += wstats;
+        complete = complete && !st.stop;
+      };
+
+      for (uint32_t w = 0; w < pool->num_threads(); ++w) {
+        pool->Submit(pool->shard_of_worker(w), worker_fn);
+      }
+      pool->Wait();
+
+      agg.elapsed_ms = 0.0;  // wall-clock is measured below, not by workers
+      stats += agg;
+      ++stats.nodes_expanded;  // the virtual root accounted in `nodes`
+      truncated = !complete;
+      if (options.metrics != nullptr) {
+        options.metrics->counter("exec.bound.publish")
+            .Add(shared->publishes());
+        options.metrics->counter("exec.bound.refresh")
+            .Add(shared->refreshes());
+        options.metrics->counter("exec.shard.steals")
+            .Add(partition.steals());
+        options.metrics->counter("exec.shard.local_claims")
+            .Add(partition.local_claims());
+      }
+    }
   }
 
   KtgResult result;
   {
     obs::PhaseTimer timer(&stats.phases, obs::Phase::kTopNMerge);
-    result.groups = collector.Take();
+    result.groups = shared != nullptr ? shared->Take() : collector.Take();
   }
   result.query_keyword_count = query.num_keywords();
   const int best_found =
@@ -521,7 +799,15 @@ Result<KtgResult> RunKtgConflictGraph(const AttributedGraph& graph,
   }
   stats.distance_checks = checker.num_checks() - checker_before.checks;
   stats.elapsed_ms = watch.ElapsedMillis();
-  stats.cpu_ms = stats.elapsed_ms;  // single-threaded engine
+  if (pool == nullptr) {
+    stats.cpu_ms = stats.elapsed_ms;  // serial run: all compute on this thread
+  } else {
+    // Workers contributed their wall-clocks; add the coordinator's serial
+    // prologue so cpu covers the whole query (the parallel build's worker
+    // time is charged to the kKlineFilter wall instead).
+    stats.cpu_ms += stats.phases[obs::Phase::kCandidateGen] +
+                    stats.phases[obs::Phase::kTopNMerge];
+  }
   result.stats = stats;
   if (cacheable && !truncated) {
     options.cache->StoreQuery(cache_key, result, options.snapshot_epoch);

@@ -22,6 +22,7 @@
 #include "core/candidates.h"
 #include "core/options.h"
 #include "core/query.h"
+#include "exec/sharded_pool.h"
 #include "index/distance_checker.h"
 #include "keywords/attributed_graph.h"
 #include "keywords/inverted_index.h"
@@ -49,6 +50,20 @@ struct ConflictEngineOptions {
   /// Refuse queries whose candidate set exceeds this (the conflict graph
   /// is quadratic in candidates). 0 = unlimited.
   uint32_t max_candidates = 20000;
+  /// Worker threads for the search and the conflict-graph build (0 =
+  /// hardware concurrency). With 1 (the default) the engine is serial,
+  /// bit-for-bit. With more, the first level of the search tree is split
+  /// across a topology-aware sharded pool (see docs/sharding.md): the
+  /// result is still the exact top-N coverage multiset, but which members
+  /// represent a tied coverage value can differ from the serial order —
+  /// so parallel runs bypass the result cache, like degeneracy runs.
+  uint32_t num_threads = 1;
+  /// Shards for the parallel search/build (0 = auto: one per NUMA node).
+  /// Semantics match EngineOptions::shards.
+  uint32_t shards = 0;
+  /// Pin workers to their shard's CPU set (best-effort; see
+  /// EngineOptions::pin_threads).
+  bool pin_threads = false;
   /// Theorem-2 pruning (with the reachable-coverage clamp; this engine is
   /// an extension, so it always uses the tighter bound).
   bool keyword_pruning = true;
@@ -112,10 +127,18 @@ struct ConflictAdjacency {
 /// directly when `checker` is one built for this `k`). Exposed for
 /// bench_kernels and the construction-equivalence tests; the engine calls
 /// it internally.
+/// When `pool` is non-null, the ball-walk and bitmap constructions fan the
+/// per-candidate row work out across its shards — each worker first-touches
+/// the rows it builds (node-local pages) and AND-scratch comes from the
+/// worker's arena. The pairwise construction stays serial (the checker is
+/// not required to be concurrent-read-safe). The matrix is bit-identical
+/// either way.
 ConflictAdjacency BuildConflictAdjacency(const Graph& graph,
                                          DistanceChecker& checker,
                                          const std::vector<Candidate>& cands,
-                                         HopDistance k, ConflictBuild build);
+                                         HopDistance k, ConflictBuild build,
+                                         exec::ShardedThreadPool* pool =
+                                             nullptr);
 
 /// Runs a KTG query on the materialized conflict graph. Exact: returns the
 /// same coverage profile as the paper's engines (property-tested).

@@ -28,6 +28,7 @@
 #include "core/options.h"
 #include "core/query.h"
 #include "core/topn.h"
+#include "exec/sharded_topn.h"
 #include "index/distance_checker.h"
 #include "keywords/attributed_graph.h"
 #include "keywords/inverted_index.h"
@@ -102,6 +103,17 @@ class KtgEngine {
   std::vector<Group> ParallelRootSearch(const std::vector<Candidate>& sr,
                                         CoverMask sr_union, uint32_t workers,
                                         const std::vector<Group>& seeds);
+  // Topology-aware variant of ParallelRootSearch used when the effective
+  // shard count is 2+: workers are grouped into shards on a
+  // exec::ShardedThreadPool, roots are partitioned into contiguous
+  // per-shard ranges (with cross-shard stealing), and the pruning bound
+  // flows through exec::ShardedTopN's two-level replica/global scheme
+  // instead of one SharedTopN. Same result contract: the exact top-N
+  // coverage multiset (see docs/sharding.md for the argument).
+  std::vector<Group> ShardedRootSearch(const std::vector<Candidate>& sr,
+                                       CoverMask sr_union, uint32_t workers,
+                                       uint32_t shards,
+                                       const std::vector<Group>& seeds);
   // One first-level subtree: selects sr[i] as the sole member and runs the
   // serial search below it. `root_suffix` is ∪ masks of sr[i..] (the
   // residual-bound clamp for this root; ignored unless residual_bound).
@@ -143,8 +155,12 @@ class KtgEngine {
   Stopwatch run_watch_;
 
   // Set only on the per-worker clones of a parallel run; null on the
-  // serial path and on the coordinating engine itself.
+  // serial path and on the coordinating engine itself. Exactly one of
+  // shared_topn_ / shard_view_ is set on a clone: the former under the
+  // single shared-collector baseline, the latter (a worker-local handle
+  // onto the shard's replica) under the sharded search.
   SharedTopN* shared_topn_ = nullptr;
+  exec::ShardedTopN::View* shard_view_ = nullptr;
   std::atomic<uint64_t>* shared_nodes_ = nullptr;
   std::atomic<bool>* shared_stop_ = nullptr;
 };

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "core/query.h"
+#include "util/align.h"
 
 namespace ktg {
 
@@ -88,7 +89,10 @@ class SharedTopN {
  private:
   std::mutex mu_;
   TopNCollector collector_;
-  std::atomic<int> threshold_{-1};
+  // On its own cache line: every worker reads this on every tree node,
+  // and without the alignment it shares a line with the mutex — so each
+  // Offer's lock traffic would invalidate every reader's hot snapshot.
+  alignas(kCacheLineBytes) std::atomic<int> threshold_{-1};
 };
 
 }  // namespace ktg

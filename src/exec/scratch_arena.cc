@@ -1,0 +1,61 @@
+// Copyright (c) 2026 The ktg Authors.
+
+#include "exec/scratch_arena.h"
+
+#include <algorithm>
+#include <new>
+
+namespace ktg::exec {
+
+ScratchArena::~ScratchArena() {
+  for (Block& b : blocks_) {
+    ::operator delete(b.data, std::align_val_t{kCacheLineBytes});
+  }
+}
+
+ScratchArena::Block& ScratchArena::BlockWithRoom(size_t count) {
+  // Round every allocation up to whole cache lines so consecutive
+  // allocations from one arena never share a line.
+  const size_t words =
+      (std::max<size_t>(count, 1) + kWordsPerLine - 1) / kWordsPerLine *
+      kWordsPerLine;
+  while (active_ < blocks_.size()) {
+    Block& b = blocks_[active_];
+    if (b.capacity - b.used >= words) return b;
+    ++active_;
+  }
+  // Geometric growth from the last capacity, floored at kMinBlockWords and
+  // at the request itself (oversized requests get a dedicated block).
+  const size_t last = blocks_.empty() ? 0 : blocks_.back().capacity;
+  const size_t capacity = std::max({kMinBlockWords, last * 2, words});
+  Block b;
+  b.data = static_cast<uint64_t*>(::operator new(
+      capacity * sizeof(uint64_t), std::align_val_t{kCacheLineBytes}));
+  b.capacity = capacity;
+  blocks_.push_back(b);
+  active_ = blocks_.size() - 1;
+  return blocks_.back();
+}
+
+uint64_t* ScratchArena::AllocWords(size_t count) {
+  const size_t words =
+      (std::max<size_t>(count, 1) + kWordsPerLine - 1) / kWordsPerLine *
+      kWordsPerLine;
+  Block& b = BlockWithRoom(words);
+  uint64_t* out = b.data + b.used;
+  b.used += words;
+  return out;
+}
+
+void ScratchArena::Reset() {
+  for (Block& b : blocks_) b.used = 0;
+  active_ = 0;
+}
+
+size_t ScratchArena::bytes_reserved() const {
+  size_t bytes = 0;
+  for (const Block& b : blocks_) bytes += b.capacity * sizeof(uint64_t);
+  return bytes;
+}
+
+}  // namespace ktg::exec

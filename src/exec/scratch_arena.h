@@ -1,0 +1,66 @@
+// Copyright (c) 2026 The ktg Authors.
+// Per-worker bump-allocated scratch for the sharded execution layer.
+//
+// Parallel kernels used to share one heap-allocated scratch vector (e.g.
+// the bitmap-row AND buffer in conflict-graph construction), which either
+// races under parallelism or costs an allocation per call. A ScratchArena
+// is owned by exactly one pool worker: allocations are a pointer bump,
+// Reset() recycles the whole arena between tasks, and — the NUMA point —
+// the owning worker is the first to *write* every page it hands out, so
+// first-touch places the scratch on that worker's (shard's) node.
+//
+// Not thread-safe by design; the pool hands each worker its own arena via
+// WorkerContext.
+
+#ifndef KTG_EXEC_SCRATCH_ARENA_H_
+#define KTG_EXEC_SCRATCH_ARENA_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "util/align.h"
+
+namespace ktg::exec {
+
+/// Bump allocator over cache-line-aligned blocks. Memory is uninitialized
+/// (callers overwrite scratch wholesale); blocks grow geometrically and are
+/// kept across Reset() so a steady-state worker never re-allocates.
+class ScratchArena {
+ public:
+  ScratchArena() = default;
+  ~ScratchArena();
+
+  ScratchArena(const ScratchArena&) = delete;
+  ScratchArena& operator=(const ScratchArena&) = delete;
+
+  /// `count` uint64 words, aligned to kCacheLineBytes. Valid until the next
+  /// Reset(). count 0 returns a non-null one-word allocation so callers
+  /// never branch on emptiness.
+  uint64_t* AllocWords(size_t count);
+
+  /// Recycles every block; previously returned pointers become invalid.
+  void Reset();
+
+  /// Total bytes backing the arena (capacity, not live allocations).
+  size_t bytes_reserved() const;
+
+ private:
+  struct Block {
+    uint64_t* data = nullptr;
+    size_t capacity = 0;  // words
+    size_t used = 0;      // words
+  };
+
+  static constexpr size_t kMinBlockWords = 4096;  // 32 KiB
+  static constexpr size_t kWordsPerLine = kCacheLineBytes / sizeof(uint64_t);
+
+  Block& BlockWithRoom(size_t count);
+
+  std::vector<Block> blocks_;
+  size_t active_ = 0;  // blocks_[0..active_) are (partially) used
+};
+
+}  // namespace ktg::exec
+
+#endif  // KTG_EXEC_SCRATCH_ARENA_H_

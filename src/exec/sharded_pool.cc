@@ -1,0 +1,254 @@
+// Copyright (c) 2026 The ktg Authors.
+
+#include "exec/sharded_pool.h"
+
+#include <algorithm>
+
+#include "obs/metrics.h"
+#include "util/thread_pool.h"
+
+#if defined(__linux__)
+#include <pthread.h>
+#include <sched.h>
+#endif
+
+namespace ktg::exec {
+
+uint32_t ShardPlan::total_workers() const {
+  uint32_t total = 0;
+  for (const Shard& s : shards) total += s.workers;
+  return total;
+}
+
+std::vector<uint32_t> ShardPlan::worker_counts() const {
+  std::vector<uint32_t> counts;
+  counts.reserve(shards.size());
+  for (const Shard& s : shards) counts.push_back(s.workers);
+  return counts;
+}
+
+uint32_t ResolveShardCount(uint32_t requested, const Topology& topo,
+                           uint32_t workers) {
+  const uint32_t w = std::max<uint32_t>(workers, 1);
+  uint32_t shards = requested == 0 ? std::max<uint32_t>(topo.num_nodes(), 1)
+                                   : requested;
+  return std::min(std::max<uint32_t>(shards, 1), w);
+}
+
+ShardPlan PlanShards(const Topology& topo, uint32_t num_threads,
+                     uint32_t requested_shards) {
+  const uint32_t workers = ThreadPool::Resolve(num_threads);
+  const uint32_t shards = ResolveShardCount(requested_shards, topo, workers);
+  const uint32_t num_nodes = std::max<uint32_t>(topo.num_nodes(), 1);
+
+  ShardPlan plan;
+  plan.shards.resize(shards);
+  // Deal workers as evenly as possible; earlier shards absorb the
+  // remainder so counts are deterministic in shard order.
+  const uint32_t base = workers / shards;
+  const uint32_t rem = workers % shards;
+  for (uint32_t i = 0; i < shards; ++i) {
+    ShardPlan::Shard& s = plan.shards[i];
+    s.workers = base + (i < rem ? 1 : 0);
+    if (!topo.nodes.empty()) {
+      const TopologyNode& node = topo.nodes[i % num_nodes];
+      s.node = node.id;
+      s.cpus = node.cpus;
+    }
+  }
+  return plan;
+}
+
+ShardedPartition::ShardedPartition(uint64_t num_items,
+                                   const std::vector<uint32_t>& weights) {
+  uint64_t total_weight = 0;
+  for (const uint32_t w : weights) total_weight += w;
+  const uint32_t shards =
+      total_weight == 0 ? 1 : static_cast<uint32_t>(weights.size());
+  bounds_.resize(shards + 1);
+  bounds_[0] = 0;
+  if (total_weight == 0) {
+    bounds_[1] = num_items;
+  } else {
+    // bounds_[i] = round-down of the cumulative weight fraction; monotone,
+    // bounds_[shards] == num_items, so ranges tile [0, num_items) exactly.
+    uint64_t cum = 0;
+    for (uint32_t i = 0; i < shards; ++i) {
+      cum += weights[i];
+      bounds_[i + 1] = num_items * cum / total_weight;
+    }
+  }
+  cursors_ = std::make_unique<PaddedAtomic<uint64_t>[]>(shards);
+  limits_ = std::make_unique<PaddedAtomic<uint64_t>[]>(shards);
+  for (uint32_t i = 0; i < shards; ++i) {
+    cursors_[i].value.store(0, std::memory_order_relaxed);
+    limits_[i].value.store(bounds_[i + 1] - bounds_[i],
+                           std::memory_order_relaxed);
+  }
+}
+
+void ShardedPartition::CloseFrom(uint64_t from) {
+  const uint32_t shards = num_shards();
+  for (uint32_t s = 0; s < shards; ++s) {
+    if (bounds_[s + 1] <= from) continue;  // whole range below the cut
+    // First excluded local offset in this range (0 when the cut starts at
+    // or before the range).
+    const uint64_t cap = from > bounds_[s] ? from - bounds_[s] : 0;
+    auto& limit = limits_[s].value;
+    uint64_t cur = limit.load(std::memory_order_relaxed);
+    while (cap < cur && !limit.compare_exchange_weak(
+                            cur, cap, std::memory_order_relaxed)) {
+    }
+  }
+}
+
+bool ShardedPartition::Claim(uint32_t home, uint64_t* index, bool* stolen) {
+  const uint32_t shards = num_shards();
+  const uint32_t start = home < shards ? home : 0;
+  for (uint32_t step = 0; step < shards; ++step) {
+    const uint32_t shard = (start + step) % shards;
+    const uint64_t limit = limits_[shard].value.load(std::memory_order_relaxed);
+    if (cursors_[shard].value.load(std::memory_order_relaxed) >= limit) {
+      continue;  // cheap pre-check; the fetch_add below is authoritative
+    }
+    const uint64_t pos =
+        cursors_[shard].value.fetch_add(1, std::memory_order_relaxed);
+    if (pos >= limit) continue;  // lost the race; overshoot is benign
+    *index = bounds_[shard] + pos;
+    *stolen = step != 0;
+    if (step != 0) {
+      steals_.value.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      local_claims_.value.fetch_add(1, std::memory_order_relaxed);
+    }
+    return true;
+  }
+  return false;
+}
+
+ShardedThreadPool::ShardedThreadPool(ShardedPoolOptions options)
+    : metrics_(options.metrics) {
+  const Topology& topo =
+      options.topology != nullptr ? *options.topology : ProcessTopology();
+  plan_ = PlanShards(topo, options.num_threads, options.shards);
+  num_threads_ = plan_.total_workers();
+  queues_.resize(plan_.num_shards());
+
+  contexts_.resize(num_threads_);
+  arenas_.reserve(num_threads_);
+  uint32_t worker = 0;
+  for (uint32_t shard = 0; shard < plan_.num_shards(); ++shard) {
+    for (uint32_t i = 0; i < plan_.shards[shard].workers; ++i, ++worker) {
+      arenas_.push_back(std::make_unique<ScratchArena>());
+      contexts_[worker].worker = worker;
+      contexts_[worker].shard = shard;
+      contexts_[worker].arena = arenas_.back().get();
+    }
+  }
+
+  RecordShardPlanMetrics(metrics_, plan_, topo, options.pin_threads);
+
+  pin_requested_ = options.pin_threads;
+  workers_.reserve(num_threads_);
+  for (uint32_t w = 0; w < num_threads_; ++w) {
+    workers_.emplace_back([this, w] { WorkerLoop(w); });
+  }
+}
+
+ShardedThreadPool::~ShardedThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  task_ready_.notify_all();
+  for (std::thread& t : workers_) t.join();
+  if (metrics_ != nullptr) {
+    // Queue-level task steals — distinct from the engines' partition-level
+    // root steals, which land in exec.shard.steals.
+    metrics_->counter("exec.shard.task_steals").Add(steals());
+    metrics_->counter("exec.shard.pin_failures").Add(pin_failures());
+  }
+}
+
+void ShardedThreadPool::Submit(uint32_t shard, Task task) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queues_[shard % queues_.size()].push_back(std::move(task));
+    ++queued_;
+  }
+  task_ready_.notify_one();
+}
+
+void ShardedThreadPool::Wait() {
+  std::unique_lock<std::mutex> lock(mu_);
+  all_idle_.wait(lock, [this] { return queued_ == 0 && active_ == 0; });
+}
+
+void ShardedThreadPool::WorkerLoop(uint32_t worker) {
+  if (pin_requested_) PinWorker(worker);
+  const WorkerContext& ctx = contexts_[worker];
+  const uint32_t shards = plan_.num_shards();
+  for (;;) {
+    Task task;
+    bool stolen = false;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      task_ready_.wait(lock, [this] { return shutdown_ || queued_ > 0; });
+      if (queued_ == 0) {
+        if (shutdown_) return;
+        continue;
+      }
+      // Own shard's queue first, then the others in ring order.
+      for (uint32_t step = 0; step < shards; ++step) {
+        const uint32_t shard = (ctx.shard + step) % shards;
+        if (queues_[shard].empty()) continue;
+        task = std::move(queues_[shard].front());
+        queues_[shard].pop_front();
+        stolen = step != 0;
+        break;
+      }
+      --queued_;
+      ++active_;
+    }
+    if (stolen) steals_.value.fetch_add(1, std::memory_order_relaxed);
+    task(ctx);
+    // Scratch is per-task; recycle so steady-state tasks never allocate.
+    ctx.arena->Reset();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      --active_;
+      if (queued_ == 0 && active_ == 0) all_idle_.notify_all();
+    }
+  }
+}
+
+void ShardedThreadPool::PinWorker(uint32_t worker) {
+#if defined(__linux__)
+  const std::vector<uint32_t>& cpus = plan_.shards[contexts_[worker].shard].cpus;
+  if (cpus.empty()) return;
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  for (const uint32_t c : cpus) {
+    if (c < CPU_SETSIZE) CPU_SET(c, &set);
+  }
+  if (pthread_setaffinity_np(pthread_self(), sizeof(set), &set) != 0) {
+    pin_failures_.fetch_add(1, std::memory_order_relaxed);
+  }
+#else
+  (void)worker;
+  pin_failures_.fetch_add(1, std::memory_order_relaxed);
+#endif
+}
+
+void RecordShardPlanMetrics(obs::MetricsRegistry* metrics, const ShardPlan& plan,
+                            const Topology& topo, bool pinned) {
+  if (metrics == nullptr) return;
+  RecordTopologyMetrics(metrics, topo);
+  metrics->gauge("exec.shard.count")
+      .Set(static_cast<double>(plan.num_shards()));
+  metrics->gauge("exec.shard.workers")
+      .Set(static_cast<double>(plan.total_workers()));
+  metrics->gauge("exec.shard.pinned").Set(pinned ? 1.0 : 0.0);
+}
+
+}  // namespace ktg::exec

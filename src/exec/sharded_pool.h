@@ -1,0 +1,224 @@
+// Copyright (c) 2026 The ktg Authors.
+// Topology-aware sharded thread pool + work partition.
+//
+// The util/thread_pool.h pool treats workers as interchangeable; this layer
+// groups them into *shards* — one per NUMA node by default — so callers can
+// keep a shard's working set (candidate ranges, scratch arenas, top-N
+// replica) on one node's memory. Three pieces:
+//
+//   * ShardPlan / PlanShards — the pure planning function: given a
+//     Topology, a worker count and a requested shard count, decide how many
+//     shards exist, which node each one maps to, and how many workers each
+//     gets. Deterministic, thread-free, unit-testable.
+//   * ShardedPartition — contiguous index ranges per shard with padded
+//     atomic cursors and cross-shard work stealing: a worker drains its own
+//     shard's range first, then steals from the others in ring order, so a
+//     skewed range never idles a shard while neighbours still have work.
+//   * ShardedThreadPool — the worker threads themselves, each carrying a
+//     WorkerContext (worker id, shard id, a first-touch ScratchArena) and
+//     optionally pinned to its shard's CPU set. Task queues are per shard;
+//     an idle worker steals from other shards' queues, preferring its own
+//     (stealing order starts at the home shard and walks the ring).
+//
+// Unlike ThreadPool, a ShardedThreadPool always spawns real threads — the
+// server parks resident worker loops on it, which an inline-executing pool
+// could never host. Engine callers gate on workers > 1 themselves, so the
+// serial bit-for-bit contract lives one layer up.
+
+#ifndef KTG_EXEC_SHARDED_POOL_H_
+#define KTG_EXEC_SHARDED_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "exec/scratch_arena.h"
+#include "exec/topology.h"
+#include "util/align.h"
+
+namespace ktg::obs {
+class MetricsRegistry;
+}  // namespace ktg::obs
+
+namespace ktg::exec {
+
+/// The deterministic shard layout a pool (or a test) plans against.
+struct ShardPlan {
+  struct Shard {
+    uint32_t node = 0;           ///< topology node id this shard maps to
+    uint32_t workers = 0;        ///< worker threads assigned to the shard
+    std::vector<uint32_t> cpus;  ///< the node's CPU set (pinning mask)
+  };
+  std::vector<Shard> shards;
+
+  uint32_t num_shards() const { return static_cast<uint32_t>(shards.size()); }
+  uint32_t total_workers() const;
+  /// workers per shard, in shard order — the weight vector
+  /// ShardedPartition splits ranges by.
+  std::vector<uint32_t> worker_counts() const;
+};
+
+/// Shard count the engines use: `requested` 0 = one shard per topology node
+/// (so single-node machines resolve to 1 — the shared-bound baseline);
+/// otherwise `requested` verbatim. Always clamped to [1, workers].
+uint32_t ResolveShardCount(uint32_t requested, const Topology& topo,
+                           uint32_t workers);
+
+/// Splits `num_threads` workers (0 = hardware concurrency) into
+/// `ResolveShardCount(requested_shards, ...)` shards: workers are dealt as
+/// evenly as possible (earlier shards get the remainder), shard i maps to
+/// topology node i mod num_nodes.
+ShardPlan PlanShards(const Topology& topo, uint32_t num_threads,
+                     uint32_t requested_shards);
+
+/// Contiguous per-shard index ranges over [0, num_items) with work
+/// stealing. Range sizes are proportional to the shard weights (typically
+/// ShardPlan::worker_counts), so a shard with more workers owns more
+/// items. Claim() is lock-free (one fetch_add per attempt, cursors padded
+/// to a cache line each); every index in [0, num_items) is claimed exactly
+/// once across all callers.
+class ShardedPartition {
+ public:
+  ShardedPartition(uint64_t num_items, const std::vector<uint32_t>& weights);
+
+  uint32_t num_shards() const {
+    return static_cast<uint32_t>(bounds_.size() - 1);
+  }
+  uint64_t shard_begin(uint32_t shard) const { return bounds_[shard]; }
+  uint64_t shard_end(uint32_t shard) const { return bounds_[shard + 1]; }
+
+  /// Claims the next index for a worker homed on `home`: the home shard's
+  /// range first, then the other shards' in ring order (home+1, home+2,
+  /// ...). Returns false when every range is drained. `*stolen` reports
+  /// whether the claim crossed shards (set to false on home claims).
+  bool Claim(uint32_t home, uint64_t* index, bool* stolen);
+
+  /// Permanently excludes every index >= `from` from future claims. For
+  /// callers whose items are ordered by a monotone bound (the engines'
+  /// vkc-descending roots): proving index `from` redundant proves the whole
+  /// tail redundant, across every shard's range — while indices < `from`
+  /// in other ranges remain claimable, which a plain loop break would
+  /// wrongly abandon. A claim racing with the close may still return one
+  /// in-flight index past the cut; it is by construction redundant and the
+  /// caller's next bound check re-closes at no cost.
+  void CloseFrom(uint64_t from);
+
+  /// Cross-shard claims so far (the contention/imbalance proxy reported by
+  /// bench_sharding).
+  uint64_t steals() const {
+    return steals_.value.load(std::memory_order_relaxed);
+  }
+  /// Home-shard claims so far.
+  uint64_t local_claims() const {
+    return local_claims_.value.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::vector<uint64_t> bounds_;  // size num_shards + 1, bounds_[0] == 0
+  std::unique_ptr<PaddedAtomic<uint64_t>[]> cursors_;  // offsets into ranges
+  // Per-shard claim caps (local offsets, init = range size); CloseFrom
+  // lowers them with a CAS-min so a closed tail is never claimed again.
+  std::unique_ptr<PaddedAtomic<uint64_t>[]> limits_;
+  PaddedAtomic<uint64_t> steals_{0};
+  PaddedAtomic<uint64_t> local_claims_{0};
+};
+
+/// Per-worker identity handed to every task.
+struct WorkerContext {
+  uint32_t worker = 0;            ///< 0..num_threads-1, globally unique
+  uint32_t shard = 0;             ///< shard the worker belongs to
+  ScratchArena* arena = nullptr;  ///< worker-owned first-touch scratch
+};
+
+struct ShardedPoolOptions {
+  /// Worker threads (0 = hardware concurrency).
+  uint32_t num_threads = 0;
+  /// Requested shard count (0 = one per topology node; see
+  /// ResolveShardCount).
+  uint32_t shards = 0;
+  /// Pin each worker to its shard's CPU set (pthread_setaffinity_np).
+  /// Best-effort: failures — common in containers with restricted
+  /// affinity masks, and guaranteed under a fake topology naming CPUs the
+  /// machine lacks — are counted (pin_failures()), never fatal.
+  bool pin_threads = false;
+  /// Layout to plan against; null = ProcessTopology().
+  const Topology* topology = nullptr;
+  /// When set, the pool records exec.topology.* and exec.shard.* gauges at
+  /// construction and exec.shard.steals / exec.shard.pin_failures counters
+  /// at destruction. Borrowed, must outlive the pool.
+  obs::MetricsRegistry* metrics = nullptr;
+};
+
+/// The sharded worker pool. Submit targets a shard; Wait blocks until every
+/// queue is empty and every worker idle. The destructor drains and joins.
+class ShardedThreadPool {
+ public:
+  using Task = std::function<void(const WorkerContext&)>;
+
+  explicit ShardedThreadPool(ShardedPoolOptions options = {});
+  ~ShardedThreadPool();
+
+  ShardedThreadPool(const ShardedThreadPool&) = delete;
+  ShardedThreadPool& operator=(const ShardedThreadPool&) = delete;
+
+  const ShardPlan& plan() const { return plan_; }
+  uint32_t num_threads() const { return num_threads_; }
+  uint32_t num_shards() const { return plan_.num_shards(); }
+  uint32_t shard_of_worker(uint32_t worker) const {
+    return contexts_[worker].shard;
+  }
+
+  /// Enqueues `task` on `shard`'s queue. Workers of that shard run it
+  /// unless they are all busy and another shard's worker steals it.
+  void Submit(uint32_t shard, Task task);
+
+  /// Blocks until all submitted tasks have finished.
+  void Wait();
+
+  /// Tasks executed by a worker homed on a different shard than the queue
+  /// they came from.
+  uint64_t steals() const { return steals_.value.load(std::memory_order_relaxed); }
+  /// Failed pthread_setaffinity_np calls (0 when pinning is off).
+  uint64_t pin_failures() const {
+    return pin_failures_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void WorkerLoop(uint32_t worker);
+  void PinWorker(uint32_t worker);
+
+  ShardPlan plan_;
+  uint32_t num_threads_ = 0;
+  bool pin_requested_ = false;
+  obs::MetricsRegistry* metrics_ = nullptr;
+
+  std::vector<WorkerContext> contexts_;
+  std::vector<std::unique_ptr<ScratchArena>> arenas_;
+  std::vector<std::thread> workers_;
+
+  std::mutex mu_;
+  std::condition_variable task_ready_;
+  std::condition_variable all_idle_;
+  std::vector<std::deque<Task>> queues_;  // one per shard
+  uint64_t queued_ = 0;                   // total tasks across queues_
+  uint64_t active_ = 0;                   // tasks currently executing
+  bool shutdown_ = false;
+
+  PaddedAtomic<uint64_t> steals_{0};
+  std::atomic<uint64_t> pin_failures_{0};
+};
+
+/// Records the pool-level gauges (exec.shard.count / exec.shard.workers /
+/// exec.shard.pinned) plus RecordTopologyMetrics for `topo`. No-op on null.
+void RecordShardPlanMetrics(obs::MetricsRegistry* metrics, const ShardPlan& plan,
+                            const Topology& topo, bool pinned);
+
+}  // namespace ktg::exec
+
+#endif  // KTG_EXEC_SHARDED_POOL_H_

@@ -1,0 +1,94 @@
+// Copyright (c) 2026 The ktg Authors.
+
+#include "exec/sharded_topn.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace ktg::exec {
+
+ShardedTopN::ShardedTopN(uint32_t n, uint32_t num_shards,
+                         uint32_t refresh_interval)
+    : n_(n), refresh_interval_(std::max<uint32_t>(refresh_interval, 1)) {
+  const uint32_t shards = std::max<uint32_t>(num_shards, 1);
+  slots_.reserve(shards);
+  for (uint32_t i = 0; i < shards; ++i) {
+    slots_.push_back(std::make_unique<Slot>(n));
+  }
+}
+
+void ShardedTopN::PublishIfImproved(int t) {
+  int cur = global_bound_.load(std::memory_order_relaxed);
+  while (t > cur) {
+    if (global_bound_.compare_exchange_weak(cur, t,
+                                            std::memory_order_relaxed)) {
+      publishes_.value.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+  }
+}
+
+bool ShardedTopN::Offer(uint32_t shard, Group group) {
+  Slot& slot = *slots_[shard % slots_.size()];
+  bool admitted;
+  int t;
+  {
+    std::lock_guard<std::mutex> lock(slot.mu);
+    admitted = slot.collector.Offer(std::move(group));
+    t = slot.collector.threshold();
+    slot.threshold.store(t, std::memory_order_relaxed);
+  }
+  // Publish outside the slot lock: the CAS-max races only against other
+  // improvements, and a late publish merely delays pruning.
+  if (admitted && t > -1) PublishIfImproved(t);
+  return admitted;
+}
+
+bool ShardedTopN::View::Offer(Group group) {
+  const bool admitted = parent_->Offer(shard_, std::move(group));
+  if (admitted) {
+    cached_global_ =
+        parent_->global_bound_.load(std::memory_order_relaxed);
+    countdown_ = interval_;
+  }
+  return admitted;
+}
+
+void ShardedTopN::View::Refresh() {
+  countdown_ = interval_;
+  cached_global_ =
+      parent_->global_bound_.load(std::memory_order_relaxed);
+  parent_->refreshes_.value.fetch_add(1, std::memory_order_relaxed);
+}
+
+void ShardedTopN::SeedGlobal(const std::vector<Group>& seeds) {
+  const uint32_t shards = num_shards();
+  std::vector<int> coverages;
+  coverages.reserve(seeds.size());
+  for (size_t i = 0; i < seeds.size(); ++i) {
+    Offer(static_cast<uint32_t>(i % shards), seeds[i]);
+    coverages.push_back(seeds[i].covered());
+  }
+  if (coverages.size() >= n_ && n_ > 0) {
+    // N distinct feasible groups exist with coverage >= the N-th best seed
+    // coverage, so it is a valid global bound even though no single
+    // replica may be full yet.
+    std::sort(coverages.begin(), coverages.end(), std::greater<int>());
+    PublishIfImproved(coverages[n_ - 1]);
+  }
+}
+
+std::vector<Group> ShardedTopN::Take() {
+  TopNCollector merged(n_);
+  for (const std::unique_ptr<Slot>& slot : slots_) {
+    std::lock_guard<std::mutex> lock(slot->mu);
+    for (Group& g : slot->collector.Take()) {
+      merged.Offer(std::move(g));
+    }
+    slot->threshold.store(-1, std::memory_order_relaxed);
+  }
+  global_bound_.store(-1, std::memory_order_relaxed);
+  return merged.Take();
+}
+
+}  // namespace ktg::exec

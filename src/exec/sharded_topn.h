@@ -1,0 +1,158 @@
+// Copyright (c) 2026 The ktg Authors.
+// Two-level top-N pruning bound for sharded root-parallel search.
+//
+// The single SharedTopN the parallel engines used forces every Offer — and
+// every threshold publish — through one mutex and one atomic that all
+// sockets ping-pong. This replaces it with:
+//
+//   * one cache-line-aligned TopNCollector replica ("slot") per shard —
+//     Offers serialize only against the shard's own workers;
+//   * one padded global bound atomic, written only when a slot's threshold
+//     *improves* on it (publish-on-improve CAS-max), so a steady-state
+//     search stops writing the shared line entirely;
+//   * per-worker Views that consult the slot threshold on every node but
+//     re-read the global bound only every `refresh_interval` lookups
+//     (epoch-batched refresh) — the remote line is read, never written, and
+//     only rarely.
+//
+// Soundness sketch (docs/sharding.md has the full argument): a slot's
+// threshold t means that slot alone holds N distinct feasible groups with
+// coverage >= t, so the *merged* top-N threshold is >= t — any branch whose
+// optimistic bound is <= t can never enter the final result under the
+// strict-greater admission rule. The global bound is the max of published
+// slot thresholds, hence also a valid (possibly lagging) lower bound on the
+// final threshold; lag only weakens pruning, exactly as SharedTopN's
+// relaxed snapshot already does. Take() merges the slots in shard order
+// into one TopNCollector, so the final coverage profile equals the
+// unsharded run's (tie-safe: equal-coverage groups may differ, counts may
+// not).
+
+#ifndef KTG_EXEC_SHARDED_TOPN_H_
+#define KTG_EXEC_SHARDED_TOPN_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "core/topn.h"
+#include "util/align.h"
+
+namespace ktg::exec {
+
+class ShardedTopN {
+ public:
+  /// Node-visits between global-bound refreshes in a View. 64 keeps the
+  /// remote cache line out of the hot loop while bounding staleness to a
+  /// blink of search progress.
+  static constexpr uint32_t kDefaultRefreshInterval = 64;
+
+  ShardedTopN(uint32_t n, uint32_t num_shards,
+              uint32_t refresh_interval = kDefaultRefreshInterval);
+
+  uint32_t num_shards() const {
+    return static_cast<uint32_t>(slots_.size());
+  }
+
+  /// Offers a feasible group to `shard`'s replica; publishes the replica's
+  /// threshold to the global bound when it improves on it. Returns true
+  /// when the replica admitted the group.
+  bool Offer(uint32_t shard, Group group);
+
+  /// A worker-local handle: slot threshold every call, global bound every
+  /// `refresh_interval` calls. Cheap to copy; not thread-safe (one per
+  /// worker).
+  class View {
+   public:
+    View() = default;
+
+    /// max(shard-replica threshold, cached global bound). -1 until either
+    /// holds N groups.
+    int threshold() {
+      if (--countdown_ == 0) Refresh();
+      const int local =
+          slot_threshold_->load(std::memory_order_relaxed);
+      return local > cached_global_ ? local : cached_global_;
+    }
+
+    bool full() { return threshold() > -1; }
+
+    /// Offers through the parent (and refreshes the cached global for
+    /// free — an admission is exactly when the bound moves).
+    bool Offer(Group group);
+
+   private:
+    friend class ShardedTopN;
+    View(ShardedTopN* parent, uint32_t shard, uint32_t interval)
+        : parent_(parent),
+          shard_(shard),
+          slot_threshold_(&parent->slots_[shard]->threshold),
+          interval_(interval),
+          countdown_(interval) {}
+
+    void Refresh();
+
+    ShardedTopN* parent_ = nullptr;
+    uint32_t shard_ = 0;
+    const std::atomic<int>* slot_threshold_ = nullptr;
+    uint32_t interval_ = 1;
+    uint32_t countdown_ = 1;
+    int cached_global_ = -1;
+  };
+
+  View MakeView(uint32_t shard) {
+    return View(this, shard % num_shards(), refresh_interval_);
+  }
+
+  /// Distributes greedy seeds round-robin across the replicas — never the
+  /// same group into two slots, or the merged profile would double-count
+  /// it. When there are at least N seeds, the N-th best seed coverage is
+  /// published as the global bound directly (N distinct feasible groups
+  /// with that coverage exist), giving every shard a warm bound from node
+  /// zero.
+  void SeedGlobal(const std::vector<Group>& seeds);
+
+  /// Merges every replica (shard order, preserving each replica's
+  /// insertion order) into one TopNCollector and finalizes it. Replicas
+  /// and the global bound are left empty/reset.
+  std::vector<Group> Take();
+
+  /// Current global bound (-1 until some replica filled).
+  int global_bound() const {
+    return global_bound_.load(std::memory_order_relaxed);
+  }
+
+  /// Successful publish-on-improve CAS stores (contention proxy).
+  uint64_t publishes() const {
+    return publishes_.value.load(std::memory_order_relaxed);
+  }
+  /// Epoch-batched global-bound refreshes performed by Views.
+  uint64_t refreshes() const {
+    return refreshes_.value.load(std::memory_order_relaxed);
+  }
+
+ private:
+  // Mutex + collector + threshold snapshot, one cache line set per shard.
+  // Mirrors SharedTopN but aligned so neighbouring slots never share a
+  // line. unique_ptr because std::mutex is immovable.
+  struct alignas(kCacheLineBytes) Slot {
+    explicit Slot(uint32_t n) : collector(n) {}
+    std::mutex mu;
+    TopNCollector collector;
+    std::atomic<int> threshold{-1};
+  };
+
+  void PublishIfImproved(int t);
+
+  uint32_t n_;
+  uint32_t refresh_interval_;
+  std::vector<std::unique_ptr<Slot>> slots_;
+  alignas(kCacheLineBytes) std::atomic<int> global_bound_{-1};
+  PaddedAtomic<uint64_t> publishes_{0};
+  PaddedAtomic<uint64_t> refreshes_{0};
+};
+
+}  // namespace ktg::exec
+
+#endif  // KTG_EXEC_SHARDED_TOPN_H_

@@ -1,0 +1,201 @@
+// Copyright (c) 2026 The ktg Authors.
+
+#include "exec/topology.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "obs/metrics.h"
+#include "util/thread_pool.h"
+
+namespace ktg::exec {
+namespace {
+
+// Splits on `sep`, dropping empty pieces is NOT done — empty pieces are a
+// syntax error in both cpulists and topology specs, so callers see them.
+std::vector<std::string> Split(const std::string& s, char sep) {
+  std::vector<std::string> out;
+  std::string piece;
+  std::istringstream in(s);
+  while (std::getline(in, piece, sep)) out.push_back(piece);
+  if (!s.empty() && s.back() == sep) out.emplace_back();
+  return out;
+}
+
+Result<uint32_t> ParseCpuId(const std::string& s) {
+  if (s.empty()) return Status::InvalidArgument("empty cpu id");
+  for (const char c : s) {
+    if (!std::isdigit(static_cast<unsigned char>(c))) {
+      return Status::InvalidArgument("non-numeric cpu id: '" + s + "'");
+    }
+  }
+  const unsigned long v = std::strtoul(s.c_str(), nullptr, 10);
+  if (v > 1u << 20) {
+    return Status::InvalidArgument("implausible cpu id: " + s);
+  }
+  return static_cast<uint32_t>(v);
+}
+
+// One node's cpulist file ("0-3,8-11\n"); empty string on any read failure.
+std::string ReadFileTrimmed(const std::string& path) {
+  std::ifstream in(path);
+  if (!in.is_open()) return "";
+  std::string line;
+  std::getline(in, line);
+  while (!line.empty() &&
+         std::isspace(static_cast<unsigned char>(line.back()))) {
+    line.pop_back();
+  }
+  return line;
+}
+
+Topology FallbackTopology() {
+  Topology topo;
+  topo.source = Topology::Source::kFallback;
+  TopologyNode node;
+  node.id = 0;
+  const uint32_t hw = ThreadPool::HardwareThreads();
+  node.cpus.reserve(hw);
+  for (uint32_t c = 0; c < hw; ++c) node.cpus.push_back(c);
+  topo.nodes.push_back(std::move(node));
+  return topo;
+}
+
+}  // namespace
+
+uint32_t Topology::num_cpus() const {
+  uint32_t total = 0;
+  for (const TopologyNode& n : nodes) {
+    total += static_cast<uint32_t>(n.cpus.size());
+  }
+  return total;
+}
+
+const char* TopologySourceName(Topology::Source s) {
+  switch (s) {
+    case Topology::Source::kSysfs:
+      return "sysfs";
+    case Topology::Source::kFake:
+      return "fake";
+    case Topology::Source::kFallback:
+      return "fallback";
+  }
+  return "?";
+}
+
+Result<std::vector<uint32_t>> ParseCpuList(const std::string& list) {
+  if (list.empty()) return Status::InvalidArgument("empty cpulist");
+  std::vector<uint32_t> cpus;
+  for (const std::string& piece : Split(list, ',')) {
+    const size_t dash = piece.find('-');
+    if (dash == std::string::npos) {
+      const auto id = ParseCpuId(piece);
+      if (!id.ok()) return id.status();
+      cpus.push_back(id.value());
+      continue;
+    }
+    const auto lo = ParseCpuId(piece.substr(0, dash));
+    if (!lo.ok()) return lo.status();
+    const auto hi = ParseCpuId(piece.substr(dash + 1));
+    if (!hi.ok()) return hi.status();
+    if (hi.value() < lo.value()) {
+      return Status::InvalidArgument("reversed cpu range: '" + piece + "'");
+    }
+    for (uint32_t c = lo.value(); c <= hi.value(); ++c) cpus.push_back(c);
+  }
+  std::sort(cpus.begin(), cpus.end());
+  cpus.erase(std::unique(cpus.begin(), cpus.end()), cpus.end());
+  return cpus;
+}
+
+Result<Topology> ParseFakeTopology(const std::string& spec) {
+  if (spec.empty()) return Status::InvalidArgument("empty topology spec");
+  Topology topo;
+  topo.source = Topology::Source::kFake;
+  for (const std::string& entry : Split(spec, ';')) {
+    const size_t colon = entry.find(':');
+    if (colon == std::string::npos) {
+      return Status::InvalidArgument("topology entry without ':': '" + entry +
+                                     "' (expected node:cpulist)");
+    }
+    const auto id = ParseCpuId(entry.substr(0, colon));
+    if (!id.ok()) return id.status();
+    auto cpus = ParseCpuList(entry.substr(colon + 1));
+    if (!cpus.ok()) return cpus.status();
+    for (const TopologyNode& existing : topo.nodes) {
+      if (existing.id == id.value()) {
+        return Status::InvalidArgument("duplicate node id " +
+                                       std::to_string(id.value()));
+      }
+    }
+    TopologyNode node;
+    node.id = id.value();
+    node.cpus = std::move(cpus.value());
+    topo.nodes.push_back(std::move(node));
+  }
+  // Stable shard numbering regardless of spec order.
+  std::sort(topo.nodes.begin(), topo.nodes.end(),
+            [](const TopologyNode& a, const TopologyNode& b) {
+              return a.id < b.id;
+            });
+  return topo;
+}
+
+Topology ProbeSysfsTopology(const std::string& sysfs_root) {
+  Topology topo;
+  topo.source = Topology::Source::kSysfs;
+  // Probe node ids directly instead of listing the directory: node ids are
+  // small and the kernel numbers them densely enough that scanning a fixed
+  // window (with a gap tolerance for offlined nodes) finds them all without
+  // dirent dependencies.
+  constexpr uint32_t kMaxProbe = 1024;
+  uint32_t misses = 0;
+  for (uint32_t id = 0; id < kMaxProbe && misses < 16; ++id) {
+    const std::string cpulist = ReadFileTrimmed(
+        sysfs_root + "/node/node" + std::to_string(id) + "/cpulist");
+    if (cpulist.empty()) {
+      ++misses;
+      continue;
+    }
+    misses = 0;
+    auto cpus = ParseCpuList(cpulist);
+    if (!cpus.ok() || cpus.value().empty()) continue;  // CPU-less node
+    TopologyNode node;
+    node.id = id;
+    node.cpus = std::move(cpus.value());
+    topo.nodes.push_back(std::move(node));
+  }
+  if (topo.nodes.empty()) return FallbackTopology();
+  return topo;
+}
+
+Topology DetectTopology() {
+  const char* fake = std::getenv("KTG_FAKE_TOPOLOGY");
+  if (fake != nullptr && fake[0] != '\0') {
+    auto parsed = ParseFakeTopology(fake);
+    if (parsed.ok()) return std::move(parsed.value());
+    std::fprintf(stderr,
+                 "[exec] ignoring malformed KTG_FAKE_TOPOLOGY '%s': %s\n",
+                 fake, parsed.status().message().c_str());
+  }
+  return ProbeSysfsTopology("/sys/devices/system");
+}
+
+const Topology& ProcessTopology() {
+  static const Topology topo = DetectTopology();
+  return topo;
+}
+
+void RecordTopologyMetrics(obs::MetricsRegistry* metrics, const Topology& t) {
+  if (metrics == nullptr) return;
+  metrics->gauge("exec.topology.nodes").Set(static_cast<double>(t.num_nodes()));
+  metrics->gauge("exec.topology.cpus").Set(static_cast<double>(t.num_cpus()));
+  metrics->gauge("exec.topology.fake")
+      .Set(t.source == Topology::Source::kFake ? 1.0 : 0.0);
+}
+
+}  // namespace ktg::exec

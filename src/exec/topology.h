@@ -1,0 +1,94 @@
+// Copyright (c) 2026 The ktg Authors.
+// Machine-topology probe for the sharded execution layer.
+//
+// The sharded thread pool (src/exec/sharded_pool.h) groups workers by NUMA
+// node so each shard's candidate ranges, scratch arenas and top-N replica
+// stay in node-local pages. This header answers the one question the pool
+// needs: which CPUs belong to which node?
+//
+// Three sources, in precedence order:
+//   1. KTG_FAKE_TOPOLOGY — an env override ("0:0-3;1:4-7") so tests and CI
+//      can exercise multi-node layouts on the single-node runners that
+//      actually execute them.
+//   2. sysfs — /sys/devices/system/node/node*/cpulist, the kernel's own
+//      description. cpulist range syntax ("0-3,8-11") is handled, including
+//      the holes offline CPUs leave behind.
+//   3. Fallback — one synthetic node holding every hardware thread, so
+//      machines (or containers) without a node directory degrade to the
+//      unsharded behaviour instead of failing.
+
+#ifndef KTG_EXEC_TOPOLOGY_H_
+#define KTG_EXEC_TOPOLOGY_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace ktg::obs {
+class MetricsRegistry;
+}  // namespace ktg::obs
+
+namespace ktg::exec {
+
+/// One NUMA node: its kernel id and the online CPUs it owns.
+struct TopologyNode {
+  uint32_t id = 0;
+  std::vector<uint32_t> cpus;
+};
+
+/// The machine layout the sharded pool plans against.
+struct Topology {
+  enum class Source {
+    kSysfs,     ///< parsed from /sys/devices/system/node
+    kFake,      ///< KTG_FAKE_TOPOLOGY override
+    kFallback,  ///< synthetic single node (no sysfs, or probing failed)
+  };
+
+  std::vector<TopologyNode> nodes;
+  Source source = Source::kFallback;
+
+  uint32_t num_nodes() const { return static_cast<uint32_t>(nodes.size()); }
+  uint32_t num_cpus() const;
+};
+
+const char* TopologySourceName(Topology::Source s);
+
+/// Parses kernel cpulist syntax: comma-separated CPU ids and inclusive
+/// ranges ("0-3,8-11,16"). Offline-CPU holes are simply absent ids; the
+/// result is sorted and deduplicated. InvalidArgument on malformed input
+/// (empty list, reversed range, trailing separator, non-numeric).
+Result<std::vector<uint32_t>> ParseCpuList(const std::string& list);
+
+/// Parses the KTG_FAKE_TOPOLOGY spec: semicolon-separated "node:cpulist"
+/// entries, e.g. "0:0-3;1:4-7". Node ids must be unique; every node needs
+/// at least one CPU.
+Result<Topology> ParseFakeTopology(const std::string& spec);
+
+/// Probes `sysfs_root` (normally "/sys/devices/system") for node*/cpulist
+/// files. Returns a kFallback topology — one node, HardwareThreads() CPUs —
+/// when the node directory is missing, unreadable, or describes no CPUs.
+/// Exposed with the root as a parameter so tests can point it at fixture
+/// directories.
+Topology ProbeSysfsTopology(const std::string& sysfs_root);
+
+/// The full detection chain: KTG_FAKE_TOPOLOGY (malformed specs warn to
+/// stderr and fall through), then sysfs, then the single-node fallback.
+/// Re-reads the environment on every call; prefer ProcessTopology() outside
+/// tests.
+Topology DetectTopology();
+
+/// DetectTopology() memoized for the process lifetime — what the engines
+/// and the server consult. The probe is cheap but not free (directory
+/// scan), and a process migrating between topologies mid-run is not a
+/// scenario worth code.
+const Topology& ProcessTopology();
+
+/// Gauges exec.topology.nodes / exec.topology.cpus / exec.topology.fake
+/// (1 when the layout came from KTG_FAKE_TOPOLOGY). No-op on null.
+void RecordTopologyMetrics(obs::MetricsRegistry* metrics, const Topology& t);
+
+}  // namespace ktg::exec
+
+#endif  // KTG_EXEC_TOPOLOGY_H_

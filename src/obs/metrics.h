@@ -27,13 +27,19 @@
 #include <string>
 #include <string_view>
 
+#include "util/align.h"
 #include "util/json_writer.h"
 #include "util/percentiles.h"
 
 namespace ktg::obs {
 
 /// A monotonically increasing 64-bit counter. Exact under concurrency.
-class Counter {
+/// Cache-line aligned: counters are individually heap-allocated by the
+/// registry, and without the alignment two hot counters can land on one
+/// line and false-share across threads. (Search hot loops still must not
+/// touch counters per node — the engines accumulate locally and flush once
+/// per run; the alignment protects the per-request paths like the server's.)
+class alignas(kCacheLineBytes) Counter {
  public:
   void Add(uint64_t delta = 1) {
     value_.fetch_add(delta, std::memory_order_relaxed);
@@ -45,8 +51,9 @@ class Counter {
 };
 
 /// A last-write-wins double. Set/value are atomic but not read-modify-write;
-/// use a Counter for anything that accumulates.
-class Gauge {
+/// use a Counter for anything that accumulates. Aligned for the same
+/// false-sharing reason as Counter.
+class alignas(kCacheLineBytes) Gauge {
  public:
   void Set(double v) { value_.store(v, std::memory_order_relaxed); }
   double value() const { return value_.load(std::memory_order_relaxed); }

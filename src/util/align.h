@@ -1,0 +1,39 @@
+// Copyright (c) 2026 The ktg Authors.
+// Cache-line geometry for false-sharing avoidance.
+//
+// std::hardware_destructive_interference_size is the standard spelling of
+// this constant, but GCC warns on every use (-Winterference-size: the value
+// can change with -mtune, which would silently change ABI across TUs), and
+// the repo builds with -Werror. kCacheLineBytes pins the conventional
+// values instead: 64 on x86-64, 128 on AArch64 (big.LITTLE parts pair
+// 64-byte lines with a 128-byte prefetcher, and Apple/Neoverse cores use
+// 128 outright — the destructive-interference guidance for the platform).
+
+#ifndef KTG_UTIL_ALIGN_H_
+#define KTG_UTIL_ALIGN_H_
+
+#include <atomic>
+#include <cstddef>
+
+namespace ktg {
+
+#if defined(__aarch64__)
+inline constexpr std::size_t kCacheLineBytes = 128;
+#else
+inline constexpr std::size_t kCacheLineBytes = 64;
+#endif
+
+/// An atomic alone on its cache line(s): hot shared counters wrapped in
+/// this never false-share with neighbouring state. Sized *and* aligned to
+/// kCacheLineBytes, so arrays of PaddedAtomic place one element per line.
+template <typename T>
+struct alignas(kCacheLineBytes) PaddedAtomic {
+  std::atomic<T> value;
+
+  PaddedAtomic() : value{} {}
+  explicit PaddedAtomic(T v) : value(v) {}
+};
+
+}  // namespace ktg
+
+#endif  // KTG_UTIL_ALIGN_H_

@@ -1,0 +1,737 @@
+// Copyright (c) 2026 The ktg Authors.
+// The sharded execution layer (src/exec/): topology probing, shard
+// planning, partition claim/steal/close semantics, the two-level top-N
+// bound, per-worker scratch arenas, the sharded pool itself — and the
+// end-to-end exactness sweep: sharded search must reproduce the
+// brute-force coverage profile at every threads x shards x pinning
+// combination (the contract docs/sharding.md states).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "core/brute_force.h"
+#include "core/conflict_graph_engine.h"
+#include "core/ktg_engine.h"
+#include "core/topn.h"
+#include "datagen/generators.h"
+#include "datagen/keyword_assigner.h"
+#include "datagen/query_gen.h"
+#include "exec/scratch_arena.h"
+#include "exec/sharded_pool.h"
+#include "exec/sharded_topn.h"
+#include "exec/topology.h"
+#include "index/bfs_checker.h"
+#include "index/checker_factory.h"
+#include "keywords/inverted_index.h"
+
+namespace ktg {
+namespace {
+
+using exec::ParseCpuList;
+using exec::ParseFakeTopology;
+using exec::PlanShards;
+using exec::ResolveShardCount;
+using exec::ScratchArena;
+using exec::ShardedPartition;
+using exec::ShardedThreadPool;
+using exec::ShardedTopN;
+using exec::ShardPlan;
+using exec::Topology;
+using exec::TopologyNode;
+
+// ---------------------------------------------------------------------------
+// Topology probing.
+
+TEST(TopologyTest, ParseCpuListRangesAndSingles) {
+  const auto cpus = ParseCpuList("0-3,8-11,16");
+  ASSERT_TRUE(cpus.ok());
+  EXPECT_EQ(cpus.value(),
+            (std::vector<uint32_t>{0, 1, 2, 3, 8, 9, 10, 11, 16}));
+
+  const auto one = ParseCpuList("5");
+  ASSERT_TRUE(one.ok());
+  EXPECT_EQ(one.value(), (std::vector<uint32_t>{5}));
+}
+
+TEST(TopologyTest, ParseCpuListSortsAndDeduplicates) {
+  const auto cpus = ParseCpuList("4,0-2,1,4");
+  ASSERT_TRUE(cpus.ok());
+  EXPECT_EQ(cpus.value(), (std::vector<uint32_t>{0, 1, 2, 4}));
+}
+
+TEST(TopologyTest, ParseCpuListRejectsMalformedInput) {
+  EXPECT_FALSE(ParseCpuList("").ok());
+  EXPECT_FALSE(ParseCpuList("3-1").ok());     // reversed range
+  EXPECT_FALSE(ParseCpuList("0,").ok());      // trailing separator
+  EXPECT_FALSE(ParseCpuList("0,,2").ok());    // empty piece
+  EXPECT_FALSE(ParseCpuList("a").ok());       // non-numeric
+  EXPECT_FALSE(ParseCpuList("0-x").ok());     // non-numeric range end
+}
+
+TEST(TopologyTest, ParseFakeTopologyTwoNodes) {
+  const auto topo = ParseFakeTopology("0:0-3;1:4-7");
+  ASSERT_TRUE(topo.ok());
+  EXPECT_EQ(topo.value().source, Topology::Source::kFake);
+  ASSERT_EQ(topo.value().num_nodes(), 2u);
+  EXPECT_EQ(topo.value().nodes[0].id, 0u);
+  EXPECT_EQ(topo.value().nodes[0].cpus, (std::vector<uint32_t>{0, 1, 2, 3}));
+  EXPECT_EQ(topo.value().nodes[1].id, 1u);
+  EXPECT_EQ(topo.value().nodes[1].cpus, (std::vector<uint32_t>{4, 5, 6, 7}));
+  EXPECT_EQ(topo.value().num_cpus(), 8u);
+}
+
+TEST(TopologyTest, ParseFakeTopologySortsNodesById) {
+  // Spec order must not leak into shard numbering.
+  const auto topo = ParseFakeTopology("2:8-9;0:0-1;1:4-5");
+  ASSERT_TRUE(topo.ok());
+  ASSERT_EQ(topo.value().num_nodes(), 3u);
+  EXPECT_EQ(topo.value().nodes[0].id, 0u);
+  EXPECT_EQ(topo.value().nodes[1].id, 1u);
+  EXPECT_EQ(topo.value().nodes[2].id, 2u);
+}
+
+TEST(TopologyTest, ParseFakeTopologyRejectsMalformedSpecs) {
+  EXPECT_FALSE(ParseFakeTopology("").ok());
+  EXPECT_FALSE(ParseFakeTopology("0:0;0:1").ok());  // duplicate node id
+  EXPECT_FALSE(ParseFakeTopology("0:").ok());       // node without CPUs
+  EXPECT_FALSE(ParseFakeTopology("0-3;4-7").ok());  // missing node prefix
+  EXPECT_FALSE(ParseFakeTopology("x:0-3").ok());    // non-numeric node id
+}
+
+class SysfsFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    root_ = std::filesystem::path(::testing::TempDir()) /
+            ("ktg_sysfs_" + std::to_string(::getpid()) + "_" +
+             ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    std::filesystem::remove_all(root_);
+  }
+  void TearDown() override { std::filesystem::remove_all(root_); }
+
+  void AddNode(uint32_t id, const std::string& cpulist) {
+    const auto dir = root_ / "node" / ("node" + std::to_string(id));
+    std::filesystem::create_directories(dir);
+    std::ofstream out(dir / "cpulist");
+    out << cpulist << "\n";
+  }
+
+  std::filesystem::path root_;
+};
+
+TEST_F(SysfsFixture, ProbeReadsNodeCpulists) {
+  AddNode(0, "0-1");
+  AddNode(1, "2-3,6");
+  const Topology topo = exec::ProbeSysfsTopology(root_.string());
+  EXPECT_EQ(topo.source, Topology::Source::kSysfs);
+  ASSERT_EQ(topo.num_nodes(), 2u);
+  EXPECT_EQ(topo.nodes[0].cpus, (std::vector<uint32_t>{0, 1}));
+  EXPECT_EQ(topo.nodes[1].cpus, (std::vector<uint32_t>{2, 3, 6}));
+}
+
+TEST_F(SysfsFixture, ProbeToleratesOfflinedNodeGaps) {
+  // node1 missing (offlined): node2 must still be found.
+  AddNode(0, "0-1");
+  AddNode(2, "2-3");
+  const Topology topo = exec::ProbeSysfsTopology(root_.string());
+  ASSERT_EQ(topo.num_nodes(), 2u);
+  EXPECT_EQ(topo.nodes[1].id, 2u);
+}
+
+TEST_F(SysfsFixture, ProbeFallsBackWhenNodeDirMissing) {
+  const Topology topo = exec::ProbeSysfsTopology(root_.string());
+  EXPECT_EQ(topo.source, Topology::Source::kFallback);
+  ASSERT_EQ(topo.num_nodes(), 1u);
+  EXPECT_GE(topo.num_cpus(), 1u);
+}
+
+// setenv-based: fine because gtest runs tests in one thread.
+TEST(TopologyTest, DetectHonorsFakeEnvAndFallsThroughOnGarbage) {
+  ::setenv("KTG_FAKE_TOPOLOGY", "0:0-1;1:2-3", 1);
+  const Topology fake = exec::DetectTopology();
+  EXPECT_EQ(fake.source, Topology::Source::kFake);
+  EXPECT_EQ(fake.num_nodes(), 2u);
+
+  ::setenv("KTG_FAKE_TOPOLOGY", "not-a-topology", 1);
+  const Topology real = exec::DetectTopology();
+  EXPECT_NE(real.source, Topology::Source::kFake);
+  EXPECT_GE(real.num_nodes(), 1u);
+  ::unsetenv("KTG_FAKE_TOPOLOGY");
+}
+
+Topology TwoNodeTopology() {
+  Topology topo;
+  topo.source = Topology::Source::kFake;
+  topo.nodes.push_back(TopologyNode{0, {0, 1}});
+  topo.nodes.push_back(TopologyNode{1, {2, 3}});
+  return topo;
+}
+
+// ---------------------------------------------------------------------------
+// Shard planning.
+
+TEST(ShardPlanTest, ResolveShardCountAutoAndExplicit) {
+  const Topology topo = TwoNodeTopology();
+  EXPECT_EQ(ResolveShardCount(0, topo, 8), 2u);  // auto: one per node
+  EXPECT_EQ(ResolveShardCount(0, topo, 1), 1u);  // clamped to workers
+  EXPECT_EQ(ResolveShardCount(3, topo, 8), 3u);  // explicit wins over nodes
+  EXPECT_EQ(ResolveShardCount(5, topo, 4), 4u);  // clamped to workers
+  EXPECT_EQ(ResolveShardCount(2, topo, 0), 1u);  // zero workers -> 1
+}
+
+TEST(ShardPlanTest, PlanDealsWorkersEvenlyWithRemainderFirst) {
+  const Topology topo = TwoNodeTopology();
+  const ShardPlan plan = PlanShards(topo, 7, 3);
+  ASSERT_EQ(plan.num_shards(), 3u);
+  EXPECT_EQ(plan.total_workers(), 7u);
+  // 7 workers over 3 shards: earlier shards absorb the remainder.
+  EXPECT_EQ(plan.worker_counts(), (std::vector<uint32_t>{3, 2, 2}));
+  // Shard i maps to node i mod num_nodes.
+  EXPECT_EQ(plan.shards[0].node, 0u);
+  EXPECT_EQ(plan.shards[1].node, 1u);
+  EXPECT_EQ(plan.shards[2].node, 0u);
+  EXPECT_EQ(plan.shards[2].cpus, topo.nodes[0].cpus);
+}
+
+TEST(ShardPlanTest, PlanIsDeterministic) {
+  const Topology topo = TwoNodeTopology();
+  const ShardPlan a = PlanShards(topo, 6, 0);
+  const ShardPlan b = PlanShards(topo, 6, 0);
+  ASSERT_EQ(a.num_shards(), b.num_shards());
+  EXPECT_EQ(a.worker_counts(), b.worker_counts());
+  for (uint32_t i = 0; i < a.num_shards(); ++i) {
+    EXPECT_EQ(a.shards[i].node, b.shards[i].node);
+    EXPECT_EQ(a.shards[i].cpus, b.shards[i].cpus);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// ShardedPartition: exactly-once claims, ring-order stealing, CloseFrom.
+
+TEST(ShardedPartitionTest, EveryIndexClaimedExactlyOnce) {
+  ShardedPartition part(100, {2, 1, 1});
+  std::vector<uint64_t> seen;
+  uint64_t idx = 0;
+  bool stolen = false;
+  // Rotate the claiming home so every shard both drains its own range and
+  // steals from the others.
+  uint32_t home = 0;
+  while (part.Claim(home, &idx, &stolen)) {
+    seen.push_back(idx);
+    home = (home + 1) % part.num_shards();
+  }
+  std::sort(seen.begin(), seen.end());
+  ASSERT_EQ(seen.size(), 100u);
+  for (uint64_t i = 0; i < 100; ++i) EXPECT_EQ(seen[i], i);
+  EXPECT_EQ(part.steals() + part.local_claims(), 100u);
+}
+
+TEST(ShardedPartitionTest, RangesAreWeightProportionalAndTiling) {
+  ShardedPartition part(100, {2, 1, 1});
+  ASSERT_EQ(part.num_shards(), 3u);
+  EXPECT_EQ(part.shard_begin(0), 0u);
+  EXPECT_EQ(part.shard_end(0), 50u);  // weight 2 of 4
+  EXPECT_EQ(part.shard_end(1), 75u);
+  EXPECT_EQ(part.shard_end(2), 100u);
+  // All-zero weights degrade to a single range.
+  ShardedPartition flat(10, {0, 0});
+  EXPECT_EQ(flat.num_shards(), 1u);
+  EXPECT_EQ(flat.shard_end(0), 10u);
+}
+
+TEST(ShardedPartitionTest, HomeRangeDrainsBeforeStealing) {
+  ShardedPartition part(40, {1, 1});
+  uint64_t idx = 0;
+  bool stolen = false;
+  // Home 1 claims its own range [20, 40) first...
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_TRUE(part.Claim(1, &idx, &stolen));
+    EXPECT_GE(idx, 20u);
+    EXPECT_FALSE(stolen);
+  }
+  // ...then steals shard 0's range in ring order.
+  ASSERT_TRUE(part.Claim(1, &idx, &stolen));
+  EXPECT_LT(idx, 20u);
+  EXPECT_TRUE(stolen);
+  EXPECT_EQ(part.steals(), 1u);
+}
+
+TEST(ShardedPartitionTest, ConcurrentClaimsAreExactlyOnce) {
+  // The TSan-relevant property: hammering Claim from every shard at once
+  // never duplicates or drops an index.
+  constexpr uint64_t kItems = 4096;
+  ShardedPartition part(kItems, {1, 1, 1, 1});
+  std::vector<std::vector<uint64_t>> per_thread(4);
+  std::vector<std::thread> threads;
+  for (uint32_t t = 0; t < 4; ++t) {
+    threads.emplace_back([&part, &per_thread, t] {
+      uint64_t idx = 0;
+      bool stolen = false;
+      while (part.Claim(t, &idx, &stolen)) per_thread[t].push_back(idx);
+    });
+  }
+  for (auto& t : threads) t.join();
+  std::vector<uint64_t> all;
+  for (const auto& v : per_thread) all.insert(all.end(), v.begin(), v.end());
+  std::sort(all.begin(), all.end());
+  ASSERT_EQ(all.size(), kItems);
+  for (uint64_t i = 0; i < kItems; ++i) EXPECT_EQ(all[i], i);
+}
+
+// The regression test for the tail-closing claim rule: a failed monotone
+// bound at index i must exclude every index >= i everywhere, while indices
+// < i in *other* shards' ranges stay claimable. (The engines used to
+// `break` out of the claim loop instead, which abandoned lower-index
+// ranges reachable only by stealing — and returned wrong results whenever
+// task pile-up left one worker to drain several ranges.)
+TEST(ShardedPartitionTest, CloseFromExcludesTailKeepsEarlierRanges) {
+  ShardedPartition part(100, {1, 1, 1, 1});  // ranges of 25
+  uint64_t idx = 0;
+  bool stolen = false;
+
+  // A worker homed on shard 2 claims one index (50), "fails its bound"
+  // there, and closes the tail.
+  ASSERT_TRUE(part.Claim(2, &idx, &stolen));
+  EXPECT_EQ(idx, 50u);
+  part.CloseFrom(50);
+
+  // Every remaining claim — from any home — lands strictly below the cut,
+  // and all 50 surviving indices are still claimed exactly once.
+  std::vector<uint64_t> seen;
+  uint32_t home = 2;  // keep claiming from the closing worker's shard
+  while (part.Claim(home, &idx, &stolen)) {
+    EXPECT_LT(idx, 50u);
+    seen.push_back(idx);
+    home = (home + 1) % part.num_shards();
+  }
+  std::sort(seen.begin(), seen.end());
+  ASSERT_EQ(seen.size(), 50u);
+  for (uint64_t i = 0; i < 50; ++i) EXPECT_EQ(seen[i], i);
+}
+
+TEST(ShardedPartitionTest, CloseFromZeroDrainsEverything) {
+  ShardedPartition part(64, {1, 1});
+  part.CloseFrom(0);
+  uint64_t idx = 0;
+  bool stolen = false;
+  EXPECT_FALSE(part.Claim(0, &idx, &stolen));
+  EXPECT_FALSE(part.Claim(1, &idx, &stolen));
+}
+
+TEST(ShardedPartitionTest, CloseFromMidRangeCutsPartially) {
+  ShardedPartition part(40, {1, 1});  // ranges [0,20) and [20,40)
+  part.CloseFrom(30);                 // cuts half of shard 1's range
+  std::vector<uint64_t> seen;
+  uint64_t idx = 0;
+  bool stolen = false;
+  while (part.Claim(1, &idx, &stolen)) seen.push_back(idx);
+  std::sort(seen.begin(), seen.end());
+  ASSERT_EQ(seen.size(), 30u);
+  EXPECT_EQ(seen.back(), 29u);
+}
+
+TEST(ShardedPartitionTest, CloseFromIsMonotone) {
+  ShardedPartition part(40, {1, 1});
+  part.CloseFrom(10);
+  part.CloseFrom(30);  // raising the cut back up must not reopen the tail
+  uint64_t idx = 0;
+  bool stolen = false;
+  uint64_t count = 0;
+  while (part.Claim(0, &idx, &stolen)) {
+    EXPECT_LT(idx, 10u);
+    ++count;
+  }
+  EXPECT_EQ(count, 10u);
+}
+
+TEST(ShardedPartitionTest, CloseFromRacingClaimsStayExactlyOnce) {
+  // Claimers race a closer: claims past a cut are allowed (benign, the
+  // caller re-checks its bound) but duplicates never are, and indices
+  // below the final cut must all be claimed.
+  constexpr uint64_t kItems = 8192;
+  constexpr uint64_t kCut = 1024;
+  ShardedPartition part(kItems, {1, 1, 1, 1});
+  std::vector<std::vector<uint64_t>> per_thread(4);
+  std::vector<std::thread> threads;
+  std::atomic<bool> closed{false};
+  for (uint32_t t = 0; t < 4; ++t) {
+    threads.emplace_back([&, t] {
+      uint64_t idx = 0;
+      bool stolen = false;
+      while (part.Claim(t, &idx, &stolen)) {
+        per_thread[t].push_back(idx);
+        if (!closed.exchange(true)) part.CloseFrom(kCut);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  std::vector<uint64_t> all;
+  for (const auto& v : per_thread) all.insert(all.end(), v.begin(), v.end());
+  std::sort(all.begin(), all.end());
+  // No duplicates, ever.
+  EXPECT_TRUE(std::adjacent_find(all.begin(), all.end()) == all.end());
+  // Everything below the cut was claimed (the close may only trim the
+  // tail).
+  std::set<uint64_t> claimed(all.begin(), all.end());
+  for (uint64_t i = 0; i < kCut; ++i) {
+    EXPECT_TRUE(claimed.count(i)) << "index " << i << " lost by CloseFrom";
+  }
+}
+
+// ---------------------------------------------------------------------------
+// ShardedTopN: replica merge equivalence and bound soundness.
+
+Group MakeGroup(VertexId id, int coverage) {
+  Group g;
+  g.members = {id};
+  g.mask = coverage >= 64 ? ~CoverMask{0} : (CoverMask{1} << coverage) - 1;
+  return g;
+}
+
+std::vector<int> Profile(const std::vector<Group>& groups) {
+  std::vector<int> p;
+  p.reserve(groups.size());
+  for (const auto& g : groups) p.push_back(g.covered());
+  std::sort(p.rbegin(), p.rend());
+  return p;
+}
+
+TEST(ShardedTopNTest, MergedProfileMatchesSingleCollector) {
+  // Offer the same group stream round-robin across 3 replicas and all
+  // into one TopNCollector: the merged coverage profile must be
+  // identical — the bound-exchange exactness contract.
+  const std::vector<int> coverages = {3, 1, 4, 1, 5, 2, 6, 5, 3, 5,
+                                      8, 9, 7, 9, 3, 2, 3, 8, 4, 6};
+  for (uint32_t n : {1u, 3u, 5u}) {
+    ShardedTopN sharded(n, 3);
+    TopNCollector single(n);
+    for (size_t i = 0; i < coverages.size(); ++i) {
+      const Group g = MakeGroup(static_cast<VertexId>(i), coverages[i]);
+      sharded.Offer(static_cast<uint32_t>(i % 3), g);
+      single.Offer(g);
+    }
+    EXPECT_EQ(Profile(sharded.Take()), Profile(single.Take()))
+        << "n=" << n;
+  }
+}
+
+TEST(ShardedTopNTest, GlobalBoundIsSoundAndPublishesOnImprove) {
+  ShardedTopN topn(2, 2);
+  EXPECT_EQ(topn.global_bound(), -1);
+
+  // One group in shard 0: no replica holds N yet, bound stays -1.
+  topn.Offer(0, MakeGroup(1, 5));
+  EXPECT_EQ(topn.global_bound(), -1);
+
+  // Second group fills shard 0's replica: its threshold (worst held
+  // coverage = 3) becomes the global bound.
+  topn.Offer(0, MakeGroup(2, 3));
+  EXPECT_EQ(topn.global_bound(), 3);
+  EXPECT_GE(topn.publishes(), 1u);
+
+  // A weaker shard-1 replica must not drag the global bound down.
+  topn.Offer(1, MakeGroup(3, 1));
+  topn.Offer(1, MakeGroup(4, 1));
+  EXPECT_EQ(topn.global_bound(), 3);
+
+  // Improving shard 1 past shard 0 raises it.
+  topn.Offer(1, MakeGroup(5, 7));
+  topn.Offer(1, MakeGroup(6, 8));
+  EXPECT_EQ(topn.global_bound(), 7);
+
+  // The bound never exceeds the true merged N-th coverage.
+  const auto merged = topn.Take();
+  ASSERT_EQ(merged.size(), 2u);
+  EXPECT_LE(7, Profile(merged).back());
+}
+
+TEST(ShardedTopNTest, ViewSeesRemoteBoundAfterRefreshInterval) {
+  constexpr uint32_t kInterval = 4;
+  ShardedTopN topn(1, 2, kInterval);
+  ShardedTopN::View view = topn.MakeView(0);
+  EXPECT_EQ(view.threshold(), -1);
+
+  // Shard 1 fills its replica; shard 0's slot is still empty, so the
+  // view only learns the bound from its next epoch refresh.
+  topn.Offer(1, MakeGroup(1, 6));
+  EXPECT_EQ(topn.global_bound(), 6);
+  int seen = -1;
+  for (uint32_t i = 0; i < kInterval; ++i) seen = view.threshold();
+  EXPECT_EQ(seen, 6);
+  EXPECT_GE(topn.refreshes(), 1u);
+  EXPECT_TRUE(view.full());
+}
+
+TEST(ShardedTopNTest, ViewOfferRefreshesForFree) {
+  ShardedTopN topn(1, 2, /*refresh_interval=*/1000);
+  ShardedTopN::View v0 = topn.MakeView(0);
+  topn.Offer(1, MakeGroup(1, 6));
+  // An Offer through the view refreshes its cached global bound without
+  // burning the epoch countdown.
+  v0.Offer(MakeGroup(2, 2));
+  EXPECT_EQ(v0.threshold(), 6);
+}
+
+TEST(ShardedTopNTest, SeedGlobalWarmsBoundWithoutDoubleCounting) {
+  std::vector<Group> seeds;
+  for (int i = 0; i < 4; ++i) {
+    seeds.push_back(MakeGroup(static_cast<VertexId>(i), 2 + i));
+  }
+  ShardedTopN topn(2, 2);
+  topn.SeedGlobal(seeds);
+  // N=2 seeds exist with coverage >= 4 (5 and 4): the bound is warm.
+  EXPECT_EQ(topn.global_bound(), 4);
+  // The merged result holds each seed at most once.
+  const auto merged = topn.Take();
+  EXPECT_EQ(Profile(merged), (std::vector<int>{5, 4}));
+}
+
+// ---------------------------------------------------------------------------
+// ScratchArena.
+
+TEST(ScratchArenaTest, AllocationsAreAlignedAndDisjoint) {
+  ScratchArena arena;
+  uint64_t* a = arena.AllocWords(100);
+  uint64_t* b = arena.AllocWords(100);
+  ASSERT_NE(a, nullptr);
+  ASSERT_NE(b, nullptr);
+  EXPECT_EQ(reinterpret_cast<uintptr_t>(a) % kCacheLineBytes, 0u);
+  EXPECT_EQ(reinterpret_cast<uintptr_t>(b) % kCacheLineBytes, 0u);
+  // Writing one allocation never touches the other.
+  for (int i = 0; i < 100; ++i) a[i] = 0xA;
+  for (int i = 0; i < 100; ++i) b[i] = 0xB;
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a[i], 0xAu);
+}
+
+TEST(ScratchArenaTest, ZeroCountStillReturnsWritableWord) {
+  ScratchArena arena;
+  uint64_t* p = arena.AllocWords(0);
+  ASSERT_NE(p, nullptr);
+  *p = 42;  // callers never branch on emptiness
+}
+
+TEST(ScratchArenaTest, ResetRecyclesWithoutReallocating) {
+  ScratchArena arena;
+  arena.AllocWords(10000);
+  arena.AllocWords(10000);
+  const size_t reserved = arena.bytes_reserved();
+  EXPECT_GT(reserved, 0u);
+  // Steady state: the same allocation pattern after Reset reuses the
+  // blocks — capacity must not grow.
+  for (int round = 0; round < 8; ++round) {
+    arena.Reset();
+    arena.AllocWords(10000);
+    arena.AllocWords(10000);
+    EXPECT_EQ(arena.bytes_reserved(), reserved) << "round " << round;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// ShardedThreadPool.
+
+TEST(ShardedPoolTest, PlacesWorkersPerPlanAndRunsEverything) {
+  const Topology topo = TwoNodeTopology();
+  exec::ShardedPoolOptions opts;
+  opts.num_threads = 4;
+  opts.shards = 2;
+  opts.topology = &topo;
+  ShardedThreadPool pool(opts);
+  EXPECT_EQ(pool.num_threads(), 4u);
+  EXPECT_EQ(pool.num_shards(), 2u);
+  EXPECT_EQ(pool.plan().worker_counts(), (std::vector<uint32_t>{2, 2}));
+  for (uint32_t w = 0; w < 4; ++w) {
+    EXPECT_EQ(pool.shard_of_worker(w), w / 2);
+  }
+
+  std::atomic<uint32_t> ran{0};
+  std::atomic<uint32_t> bad_context{0};
+  for (uint32_t i = 0; i < 64; ++i) {
+    pool.Submit(i % 2, [&](const exec::WorkerContext& ctx) {
+      if (ctx.worker >= 4 || ctx.shard >= 2 || ctx.arena == nullptr) {
+        bad_context.fetch_add(1);
+      }
+      // Scratch must be usable inside every task.
+      uint64_t* scratch = ctx.arena->AllocWords(256);
+      scratch[0] = ctx.worker;
+      ran.fetch_add(1);
+    });
+  }
+  pool.Wait();
+  EXPECT_EQ(ran.load(), 64u);
+  EXPECT_EQ(bad_context.load(), 0u);
+}
+
+TEST(ShardedPoolTest, IdleShardStealsQueuedTasks) {
+  const Topology topo = TwoNodeTopology();
+  exec::ShardedPoolOptions opts;
+  opts.num_threads = 4;
+  opts.shards = 2;
+  opts.topology = &topo;
+  ShardedThreadPool pool(opts);
+  // Everything lands on shard 0's queue; shard 1's workers must still
+  // drain it (ring-order queue stealing) rather than idling forever.
+  std::atomic<uint32_t> ran{0};
+  for (uint32_t i = 0; i < 128; ++i) {
+    pool.Submit(0, [&](const exec::WorkerContext&) { ran.fetch_add(1); });
+  }
+  pool.Wait();
+  EXPECT_EQ(ran.load(), 128u);
+}
+
+TEST(ShardedPoolTest, WaitIsReusableAcrossBatches) {
+  const Topology topo = TwoNodeTopology();
+  exec::ShardedPoolOptions opts;
+  opts.num_threads = 2;
+  opts.topology = &topo;
+  ShardedThreadPool pool(opts);
+  std::atomic<uint32_t> ran{0};
+  for (int batch = 0; batch < 4; ++batch) {
+    for (uint32_t i = 0; i < 16; ++i) {
+      pool.Submit(i, [&](const exec::WorkerContext&) { ran.fetch_add(1); });
+    }
+    pool.Wait();
+    EXPECT_EQ(ran.load(), (batch + 1) * 16u);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Parallel conflict-graph construction: bit-identical to serial.
+
+TEST(ShardedConflictBuildTest, PooledBallWalkMatchesSerial) {
+  Rng rng(0xEC51);
+  const Topology topo = TwoNodeTopology();
+  for (int round = 0; round < 4; ++round) {
+    const AttributedGraph g =
+        AssignKeywords(round % 2 == 0 ? ErdosRenyi(80, 0.05, rng)
+                                      : BarabasiAlbert(90, 2, rng),
+                       KeywordModel{}, rng);
+    const auto k = static_cast<HopDistance>(1 + round % 3);
+    std::vector<Candidate> cands;
+    for (VertexId v = 0; v < g.num_vertices(); v += 2) {
+      Candidate c;
+      c.vertex = v;
+      cands.push_back(c);
+    }
+
+    BfsChecker bfs(g.graph());
+    const ConflictAdjacency serial = BuildConflictAdjacency(
+        g.graph(), bfs, cands, k, ConflictBuild::kBallWalk);
+
+    exec::ShardedPoolOptions popts;
+    popts.num_threads = 4;
+    popts.shards = 2;
+    popts.topology = &topo;
+    ShardedThreadPool pool(popts);
+    const ConflictAdjacency pooled = BuildConflictAdjacency(
+        g.graph(), bfs, cands, k, ConflictBuild::kBallWalk, &pool);
+
+    EXPECT_EQ(serial.edges, pooled.edges) << "round " << round;
+    ASSERT_EQ(serial.adj.size(), pooled.adj.size());
+    for (size_t i = 0; i < serial.adj.size(); ++i) {
+      EXPECT_TRUE(serial.adj[i] == pooled.adj[i])
+          << "round " << round << " row " << i;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end exactness: sharded search == unsharded == brute force at
+// every threads x shards x pinning combination. This sweep is the
+// regression net for the CloseFrom rule above — the pinned oversubscribed
+// configs are exactly the ones where the old `break` lost results.
+
+struct ShardConfig {
+  uint32_t threads;
+  uint32_t shards;
+  bool pin;
+};
+
+class ShardedEquivalenceTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(ShardedEquivalenceTest, MatchesBruteForceAtEveryShardCount) {
+  const int round = GetParam();
+  Rng rng(0xEC60 + round * 131);
+
+  Graph topo_graph;
+  switch (round % 3) {
+    case 0:
+      topo_graph = ErdosRenyi(34, 0.08, rng);
+      break;
+    case 1:
+      topo_graph = BarabasiAlbert(36, 2, rng);
+      break;
+    default:
+      topo_graph = WattsStrogatz(32, 2, 0.2, rng);
+      break;
+  }
+  KeywordModel model;
+  model.vocabulary_size = 12;
+  model.min_per_vertex = 1;
+  model.max_per_vertex = 3;
+  model.empty_fraction = 0.1;
+  const AttributedGraph g = AssignKeywords(std::move(topo_graph), model, rng);
+  const InvertedIndex idx(g);
+
+  WorkloadOptions wopts;
+  wopts.num_queries = 2;
+  wopts.keyword_count = 4 + round % 3;
+  wopts.group_size = 2 + round % 3;
+  wopts.tenuity = static_cast<HopDistance>(1 + round % 2);
+  wopts.top_n = 1 + round % 4;
+  const auto queries = GenerateWorkload(g, wopts, rng);
+
+  // threads x shards x pin: shards=1 is the shared-bound baseline, the
+  // oversubscribed pinned configs are the CloseFrom regression columns
+  // (on small CI machines pinning piles every task onto few CPUs).
+  const std::vector<ShardConfig> configs = {
+      {2, 1, false}, {2, 2, false}, {4, 2, false}, {4, 4, false},
+      {4, 2, true},  {8, 4, true},
+  };
+
+  for (const auto& query : queries) {
+    BfsChecker ref_checker(g.graph());
+    const auto truth = BruteForceKtg(g, idx, ref_checker, query);
+    ASSERT_TRUE(truth.ok());
+    const auto expected = Profile(truth->groups);
+
+    for (const auto& cfg : configs) {
+      auto checker = MakeChecker(CheckerKind::kNlrnl, g.graph(), query.tenuity);
+      EngineOptions opts;
+      opts.num_threads = cfg.threads;
+      opts.shards = cfg.shards;
+      opts.pin_threads = cfg.pin;
+      const auto got = RunKtg(g, idx, *checker, query, opts);
+      ASSERT_TRUE(got.ok());
+      EXPECT_EQ(Profile(got->groups), expected)
+          << "engine=ktg t=" << cfg.threads << " s=" << cfg.shards
+          << " pin=" << cfg.pin << " round=" << round
+          << " p=" << query.group_size << " k=" << int{query.tenuity}
+          << " N=" << query.top_n;
+
+      auto cchecker =
+          MakeChecker(CheckerKind::kKHopBitmap, g.graph(), query.tenuity);
+      ConflictEngineOptions copts;
+      copts.num_threads = cfg.threads;
+      copts.shards = cfg.shards;
+      copts.pin_threads = cfg.pin;
+      const auto cgot = RunKtgConflictGraph(g, idx, *cchecker, query, copts);
+      ASSERT_TRUE(cgot.ok());
+      EXPECT_EQ(Profile(cgot->groups), expected)
+          << "engine=conflict t=" << cfg.threads << " s=" << cfg.shards
+          << " pin=" << cfg.pin << " round=" << round;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Rounds, ShardedEquivalenceTest,
+                         ::testing::Range(0, 6));
+
+}  // namespace
+}  // namespace ktg
